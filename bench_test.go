@@ -1,0 +1,484 @@
+// Package repro's root benchmark harness regenerates every quantitative
+// artifact of the paper as testing.B benchmarks:
+//
+//   - BenchmarkTable1/<circuit>/<target> — one bench per Table I cell
+//     group: runs the full flow and reports Nb, Ab, Yo, Y and Yi as custom
+//     metrics (the wall time per iteration is the paper's T(s) column).
+//   - BenchmarkFig4Pruning — the pruning statistics behind Fig. 4.
+//   - BenchmarkFig5Concentration — the tuning-value spread before/after
+//     concentration (Fig. 5's three panels as sd metrics).
+//   - BenchmarkAblation* — the design-choice ablations called out in
+//     DESIGN.md (concentration, pruning, grouping thresholds, discrete
+//     step count, sample budget).
+//   - BenchmarkBaseline* — sampling-based flow vs top-k criticality and
+//     random placement at equal buffer budget.
+//   - Benchmark<Substrate> — microbenchmarks of the hot substrates (LP,
+//     MILP, difference constraints, SSTA, chip sampling).
+//
+// Sample budgets are reduced relative to the paper's 10 000 so the whole
+// suite runs in minutes; cmd/table1 -samples 10000 reproduces the full-size
+// run. Benchmarks use fixed seeds, so reported metrics are stable.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/binning"
+	"repro/internal/cells"
+	"repro/internal/diffcon"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/lp"
+	"repro/internal/mc"
+	"repro/internal/milp"
+	"repro/internal/ssta"
+	"repro/internal/stat"
+	"repro/internal/timing"
+	"repro/internal/tuner"
+	"repro/internal/variation"
+	"repro/internal/yield"
+)
+
+// benchCache holds prepared benchmarks so multiple benchmarks of the same
+// circuit don't redo SSTA and period estimation.
+var benchCache sync.Map
+
+func prepared(b *testing.B, name string) *expt.Bench {
+	b.Helper()
+	if v, ok := benchCache.Load(name); ok {
+		return v.(*expt.Bench)
+	}
+	bench, err := expt.PreparePreset(name, expt.Options{PeriodSamples: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache.Store(name, bench)
+	return bench
+}
+
+// table1Samples scales the per-row insertion budget: the big circuits get
+// fewer samples so the suite stays bounded; shapes are unaffected.
+func table1Samples(ns int) int {
+	switch {
+	case ns <= 700:
+		return 400
+	case ns <= 1800:
+		return 250
+	default:
+		return 150
+	}
+}
+
+// BenchmarkTable1 regenerates Table I: every circuit × period target.
+func BenchmarkTable1(b *testing.B) {
+	for _, p := range gen.Presets {
+		for _, tgt := range expt.Targets {
+			b.Run(fmt.Sprintf("%s/%s", p.Name, tgt), func(b *testing.B) {
+				bench := prepared(b, p.Name)
+				var last expt.Row
+				for i := 0; i < b.N; i++ {
+					row, err := expt.RunRow(bench, tgt, expt.RowConfig{
+						InsertSamples: table1Samples(p.FFs),
+						EvalSamples:   2000,
+						Seed:          0xF00D,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = row
+				}
+				b.ReportMetric(float64(last.Nb), "Nb")
+				b.ReportMetric(last.Ab, "Ab_steps")
+				b.ReportMetric(last.Yo, "Yo_%")
+				b.ReportMetric(last.Y, "Y_%")
+				b.ReportMetric(last.Yi, "Yi_points")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Pruning reports how many tuned FFs the §III-A2 rule prunes.
+func BenchmarkFig4Pruning(b *testing.B) {
+	bench := prepared(b, "s9234")
+	var kept, pruned, touched int
+	for i := 0; i < b.N; i++ {
+		row, err := expt.RunRow(bench, expt.MuT, expt.RowConfig{
+			InsertSamples: 400, EvalSamples: 100, Seed: 0xF00D,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		kept = len(row.Insert.Stats.KeptFFs)
+		pruned = len(row.Insert.Stats.PrunedFFs)
+		touched = len(expt.Fig4Data(row.Insert))
+	}
+	b.ReportMetric(float64(touched), "tuned_FFs")
+	b.ReportMetric(float64(pruned), "pruned")
+	b.ReportMetric(float64(kept), "kept")
+}
+
+// BenchmarkFig5Concentration reports the tuning-value spread of the most
+// used buffer after step 1 vs step 2 — the visual story of Fig. 5.
+func BenchmarkFig5Concentration(b *testing.B) {
+	bench := prepared(b, "s9234")
+	var sd1, sd2, rangeSteps float64
+	for i := 0; i < b.N; i++ {
+		row, err := expt.RunRow(bench, expt.MuT, expt.RowConfig{
+			InsertSamples: 400, EvalSamples: 100, Seed: 0xF00D,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s1, s2, ok := expt.Fig5Data(row.Insert, -1)
+		if !ok {
+			b.Fatal("no buffer data")
+		}
+		_, sd1 = stat.MeanStd(s1.Values)
+		_, sd2 = stat.MeanStd(s2.Values)
+		for _, buf := range row.Insert.Buffers {
+			if buf.FF == s1.FF {
+				rangeSteps = float64(buf.RangeSteps)
+			}
+		}
+	}
+	b.ReportMetric(sd1, "sd_step1_ps")
+	b.ReportMetric(sd2, "sd_step2_ps")
+	b.ReportMetric(rangeSteps, "final_range_steps")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices called out in DESIGN.md).
+// ---------------------------------------------------------------------------
+
+func runAblation(b *testing.B, bench *expt.Bench, mutate func(*insertion.Config)) (nb int, ab, yi float64) {
+	b.Helper()
+	T := bench.PeriodFor(expt.MuT)
+	cfg := insertion.Config{T: T, Samples: 400, Seed: 0xF00D}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := insertion.Run(bench.Graph, bench.Placement, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := yield.NewEvaluator(bench.Graph, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := yield.Evaluate(ev, mc.New(bench.Graph, 0x1F00D), 2000, T)
+	return res.NumPhysicalBuffers(), res.AvgRangeSteps(), rep.Improvement()
+}
+
+// BenchmarkAblationConcentration compares the flow with and without the
+// concentration ILPs (paper objectives (15)/(19)).
+func BenchmarkAblationConcentration(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			bench := prepared(b, "s9234")
+			var nb int
+			var ab, yi float64
+			for i := 0; i < b.N; i++ {
+				nb, ab, yi = runAblation(b, bench, func(c *insertion.Config) { c.NoConcentration = off })
+			}
+			b.ReportMetric(float64(nb), "Nb")
+			b.ReportMetric(ab, "Ab_steps")
+			b.ReportMetric(yi, "Yi_points")
+		})
+	}
+}
+
+// BenchmarkAblationPruning compares runtime and buffer count with the
+// §III-A2 pruning disabled.
+func BenchmarkAblationPruning(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			bench := prepared(b, "s9234")
+			var nb int
+			var yi float64
+			for i := 0; i < b.N; i++ {
+				nb, _, yi = runAblation(b, bench, func(c *insertion.Config) { c.NoPruning = off })
+			}
+			b.ReportMetric(float64(nb), "Nb")
+			b.ReportMetric(yi, "Yi_points")
+		})
+	}
+}
+
+// BenchmarkAblationSteps sweeps the discrete step count (the paper fixes
+// 20 after [4]); fewer steps = coarser grid = cheaper buffers, lower yield.
+func BenchmarkAblationSteps(b *testing.B) {
+	for _, steps := range []int{8, 20, 32} {
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			bench := prepared(b, "s9234")
+			T := bench.PeriodFor(expt.MuT)
+			var yi float64
+			for i := 0; i < b.N; i++ {
+				_, _, yi = runAblation(b, bench, func(c *insertion.Config) {
+					c.Spec = insertion.BufferSpec{MaxRange: T / 8, Steps: steps}
+				})
+			}
+			b.ReportMetric(yi, "Yi_points")
+		})
+	}
+}
+
+// BenchmarkAblationSamples sweeps the Monte Carlo budget |M|: buffer
+// locations stabilize well below the paper's 10 000.
+func BenchmarkAblationSamples(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("samples=%d", n), func(b *testing.B) {
+			bench := prepared(b, "s9234")
+			var nb int
+			var yi float64
+			for i := 0; i < b.N; i++ {
+				nb, _, yi = runAblation(b, bench, func(c *insertion.Config) { c.Samples = n })
+			}
+			b.ReportMetric(float64(nb), "Nb")
+			b.ReportMetric(yi, "Yi_points")
+		})
+	}
+}
+
+// BenchmarkAblationGroupingThreshold sweeps rt (paper: 0.8).
+func BenchmarkAblationGroupingThreshold(b *testing.B) {
+	for _, rt := range []float64{0.6, 0.8, 0.95} {
+		b.Run(fmt.Sprintf("rt=%.2f", rt), func(b *testing.B) {
+			bench := prepared(b, "s9234")
+			var nb int
+			var yi float64
+			for i := 0; i < b.N; i++ {
+				nb, _, yi = runAblation(b, bench, func(c *insertion.Config) { c.CorrThreshold = rt })
+			}
+			b.ReportMetric(float64(nb), "Nb")
+			b.ReportMetric(yi, "Yi_points")
+		})
+	}
+}
+
+// BenchmarkBaselineComparison measures the paper's flow against top-k
+// criticality and random placement at the same physical buffer budget.
+func BenchmarkBaselineComparison(b *testing.B) {
+	bench := prepared(b, "s9234")
+	T := bench.PeriodFor(expt.MuT)
+	res, err := insertion.Run(bench.Graph, bench.Placement, insertion.Config{T: T, Samples: 400, Seed: 0xF00D})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb := len(res.Groups)
+	spec := res.Cfg.Spec
+	strategies := map[string][]insertion.Group{
+		"sampling": res.Groups,
+		"topk":     baseline.TopK(bench.Graph, spec, T, nb),
+		"random":   baseline.RandomK(bench.Graph, spec, nb, 5),
+		"everyFF":  baseline.EveryFF(bench.Graph, spec),
+	}
+	for _, name := range []string{"sampling", "topk", "random", "everyFF"} {
+		b.Run(name, func(b *testing.B) {
+			groups := strategies[name]
+			ev, err := yield.NewEvaluator(bench.Graph, spec, groups)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var yi float64
+			for i := 0; i < b.N; i++ {
+				rep := yield.Evaluate(ev, mc.New(bench.Graph, 0x1F00D), 2000, T)
+				yi = rep.Improvement()
+			}
+			b.ReportMetric(float64(len(groups)), "Nb")
+			b.ReportMetric(yi, "Yi_points")
+		})
+	}
+}
+
+// BenchmarkAblationSpatialRegions compares the single-region die (the
+// paper's setting) with a 4-region spatially-partitioned die: within-die
+// independence decorrelates paths, changing σT and the buffer picture.
+func BenchmarkAblationSpatialRegions(b *testing.B) {
+	for _, regions := range []int{1, 4} {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			bench, err := expt.PreparePreset("s9234", expt.Options{PeriodSamples: 2000, Regions: regions})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var nb int
+			var yi float64
+			for i := 0; i < b.N; i++ {
+				nb, _, yi = runAblation(b, bench, nil)
+			}
+			b.ReportMetric(bench.Period.Sigma/bench.Period.Mu*100, "sigmaT_rel_%")
+			b.ReportMetric(float64(nb), "Nb")
+			b.ReportMetric(yi, "Yi_points")
+		})
+	}
+}
+
+// BenchmarkSpeedBinning measures the speed-bin population shift from
+// tuning (the clock-binning scenario of the paper's conclusion).
+func BenchmarkSpeedBinning(b *testing.B) {
+	bench := prepared(b, "s9234")
+	T := bench.PeriodFor(expt.MuT)
+	res, err := insertion.Run(bench.Graph, bench.Placement, insertion.Config{T: T, Samples: 400, Seed: 0xF00D})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := yield.NewEvaluator(bench.Graph, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bins := binning.MuSigmaBins(bench.Period)
+	var untuned, tuned binning.Result
+	for i := 0; i < b.N; i++ {
+		untuned, tuned, err = binning.Compare(bench.Graph, ev, bins, mc.New(bench.Graph, 0xB1B5), 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(untuned.MeanPeriod(), "untuned_mean_T_ps")
+	b.ReportMetric(tuned.MeanPeriod(), "tuned_mean_T_ps")
+	b.ReportMetric(100*untuned.ScrapRate(), "untuned_scrap_%")
+	b.ReportMetric(100*tuned.ScrapRate(), "tuned_scrap_%")
+}
+
+// BenchmarkTunerBudgetCurve measures rescued chips vs per-chip
+// configuration budget (test-cost / yield balance).
+func BenchmarkTunerBudgetCurve(b *testing.B) {
+	bench := prepared(b, "s9234")
+	T := bench.PeriodFor(expt.MuT)
+	res, err := insertion.Run(bench.Graph, bench.Placement, insertion.Config{T: T, Samples: 400, Seed: 0xF00D})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn, err := tuner.New(bench.Graph, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mc.New(bench.Graph, 0xBADBED)
+	chips := make([]*timing.Chip, 300)
+	for k := range chips {
+		chips[k] = eng.Chip(k)
+	}
+	budgets := []int{1, 2, 4, 100}
+	var curve []tuner.CostReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve = tn.BudgetCurve(chips, T, budgets)
+	}
+	for i, budget := range budgets {
+		b.ReportMetric(float64(curve[i].Rescued), fmt.Sprintf("rescued_budget%d", budget))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate microbenchmarks.
+// ---------------------------------------------------------------------------
+
+// BenchmarkLPSolve measures the simplex on a buffer-insertion-shaped LP.
+func BenchmarkLPSolve(b *testing.B) {
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		n := 12
+		for v := 0; v < n; v++ {
+			p.AddVar(-100, 100, 1, "x")
+		}
+		for v := 0; v < n-1; v++ {
+			p.AddRow(lp.LE, float64(5*v-20), lp.T(v, 1), lp.T(v+1, -1))
+			p.AddRow(lp.LE, float64(30-v), lp.T(v+1, 1), lp.T(v, -1))
+		}
+		return p
+	}
+	p := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMILPMinCount measures the per-sample min-buffer ILP shape.
+func BenchmarkMILPMinCount(b *testing.B) {
+	build := func() *milp.Problem {
+		p := milp.NewProblem()
+		const n = 8
+		var xs, cs [n]int
+		for v := 0; v < n; v++ {
+			xs[v] = p.AddVar(milp.Continuous, -50, 50, 0, "x")
+			cs[v] = p.AddVar(milp.Binary, 0, 1, 1, "c")
+			p.Indicator(xs[v], cs[v], 50)
+		}
+		for v := 0; v < n-1; v++ {
+			p.AddRow(lp.LE, float64(-10+v), lp.T(xs[v], 1), lp.T(xs[v+1], -1))
+		}
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := build()
+		if _, err := p.Solve(milp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiffconFeasibility measures the per-chip yield check.
+func BenchmarkDiffconFeasibility(b *testing.B) {
+	sys := diffcon.NewIntSystem(20)
+	for i := 0; i < 19; i++ {
+		sys.Add(i, i+1, int64(3+i%5))
+		sys.Add(i+1, i, 2)
+	}
+	for i := 0; i < 20; i++ {
+		sys.AddUpper(i, 10)
+		sys.AddLower(i, -10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sys.Feasible() {
+			b.Fatal("should be feasible")
+		}
+	}
+}
+
+// BenchmarkSSTAPairDelays measures the canonical SSTA pass on s9234.
+func BenchmarkSSTAPairDelays(b *testing.B) {
+	p, _ := gen.PresetByName("s9234")
+	c, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := ssta.New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pairs := a.PairDelays(); len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkChipRealization measures virtual-chip sampling throughput
+// (one chip = one manufactured die's realized delays).
+func BenchmarkChipRealization(b *testing.B) {
+	bench := prepared(b, "s9234")
+	rng := rand.New(rand.NewPCG(1, 2))
+	ch := bench.Graph.NewChip()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Graph.RealizeInto(rng, ch)
+	}
+}

@@ -1,0 +1,121 @@
+// Command figgen regenerates the data behind the paper's Fig. 4 (buffer
+// pruning on the tuning-count graph) and Fig. 5 (tuning-value histograms
+// before and after concentration), as aligned text histograms/tables.
+//
+// Usage:
+//
+//	figgen -fig 4 -preset s9234 -samples 1000
+//	figgen -fig 5 -preset s9234 -samples 1000 -bins 21
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/expt"
+	"repro/internal/insertion"
+	"repro/internal/stat"
+	"repro/internal/tabular"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 5, "figure to regenerate: 4 or 5")
+		preset  = flag.String("preset", "s9234", "paper benchmark circuit")
+		samples = flag.Int("samples", 1000, "insertion samples")
+		seed    = flag.Uint64("seed", 0xF00D, "sampling seed")
+		bins    = flag.Int("bins", 21, "histogram bins (fig 5)")
+		ff      = flag.Int("ff", -1, "buffer (FF id) to plot (fig 5; -1 = most used)")
+	)
+	flag.Parse()
+
+	b, err := expt.PreparePreset(*preset, expt.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figgen:", err)
+		os.Exit(1)
+	}
+	row, err := expt.RunRow(b, expt.MuT, expt.RowConfig{
+		InsertSamples: *samples, EvalSamples: 100, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figgen:", err)
+		os.Exit(1)
+	}
+
+	switch *fig {
+	case 4:
+		fig4(row.Insert)
+	case 5:
+		fig5(row.Insert, *ff, *bins)
+	default:
+		fmt.Fprintf(os.Stderr, "figgen: only figures 4 and 5 carry data (got %d)\n", *fig)
+		os.Exit(1)
+	}
+}
+
+// fig4 prints the pruning picture: tuning counts per FF and which nodes the
+// §III-A2 rule removed.
+func fig4(res *insertion.Result) {
+	nodes := expt.Fig4Data(res)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Count > nodes[j].Count })
+	tb := tabular.New("FF", "tunings", "fate")
+	tb.SetTitle(fmt.Sprintf("Fig. 4: tuning-count graph pruning (%d tuned FFs, %d pruned, %d kept)",
+		len(nodes), len(res.Stats.PrunedFFs), len(res.Stats.KeptFFs)))
+	for _, n := range nodes {
+		fate := "kept"
+		if n.Pruned {
+			fate = "pruned"
+		}
+		tb.AddRowf(n.FF, n.Count, fate)
+	}
+	fmt.Println(tb)
+}
+
+// fig5 prints the three panels of Fig. 5 as text histograms: (a) step-1
+// values with the chosen range window, (c) step-2 values concentrated
+// toward the average with the reduced final range.
+func fig5(res *insertion.Result, ff, bins int) {
+	s1, s2, ok := expt.Fig5Data(res, ff)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "figgen: no buffer with tuning values")
+		os.Exit(1)
+	}
+	var buf *insertion.Buffer
+	for i := range res.Buffers {
+		if res.Buffers[i].FF == s1.FF {
+			buf = &res.Buffers[i]
+		}
+	}
+	tau := res.Cfg.Spec.MaxRange
+	fmt.Printf("Fig. 5 for buffer at FF %d (τ=%.1f ps, step %.2f ps)\n\n", s1.FF, tau, res.Cfg.Spec.Step())
+	fmt.Printf("(a/b) step-1 tuning values (%d tunings), assigned window [%.1f, %.1f]:\n",
+		len(s1.Values), buf.Lower, buf.Lower+tau)
+	printHist(s1.Values, -tau, tau, bins)
+	fmt.Printf("\n(c) step-2 tuning values (%d tunings), final range [%.1f, %.1f] = %d steps:\n",
+		len(s2.Values), buf.Lo, buf.Hi, buf.RangeSteps)
+	printHist(s2.Values, -tau, tau, bins)
+	m1, d1 := stat.MeanStd(s1.Values)
+	m2, d2 := stat.MeanStd(s2.Values)
+	fmt.Printf("\nconcentration: step-1 mean %.2f sd %.2f → step-2 mean %.2f sd %.2f\n", m1, d1, m2, d2)
+}
+
+func printHist(vals []float64, lo, hi float64, bins int) {
+	h := stat.NewHistogram(lo, hi, bins)
+	h.AddAll(vals)
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*50/maxC)
+		fmt.Printf("%8.1f | %-50s %d\n", h.BinCenter(i), bar, c)
+	}
+	if h.Under+h.Over > 0 {
+		fmt.Printf("  (outside plotted range: %d)\n", h.Under+h.Over)
+	}
+}

@@ -1,0 +1,83 @@
+// Command table1 regenerates the paper's Table I: for each benchmark
+// circuit and each clock-period target (µT, µT+σT, µT+2σT) it runs the
+// sampling-based insertion flow and reports the buffer count Nb, average
+// range Ab, yields Yo/Y/Yi and the flow runtime.
+//
+// The paper uses 10 000 insertion samples; the default here is 1000 for a
+// laptop-scale run — pass -samples 10000 to match the paper exactly.
+//
+// Usage:
+//
+//	table1                         # all 8 circuits, moderate samples
+//	table1 -circuits s9234,s13207 -samples 10000
+//	table1 -csv > table1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/tabular"
+)
+
+func main() {
+	var (
+		circuits = flag.String("circuits", "", "comma-separated benchmark names (default: all 8)")
+		samples  = flag.Int("samples", 1000, "insertion Monte Carlo samples (paper: 10000)")
+		evalN    = flag.Int("eval", 4000, "fresh chips per yield measurement")
+		seed     = flag.Uint64("seed", 0xF00D, "insertion seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table")
+	)
+	flag.Parse()
+
+	names := make([]string, 0, len(gen.Presets))
+	if *circuits == "" {
+		for _, p := range gen.Presets {
+			names = append(names, p.Name)
+		}
+	} else {
+		for _, n := range strings.Split(*circuits, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	tb := tabular.New("Circuit", "ns", "ng", "target", "T(ps)", "Nb", "Ab", "Yo(%)", "Y(%)", "Yi(%)", "T(s)")
+	tb.SetTitle(fmt.Sprintf("Table I reproduction (%d insertion samples, %d eval chips)", *samples, *evalN))
+	grand := time.Now()
+	for _, name := range names {
+		b, err := expt.PreparePreset(name, expt.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s: µT=%.1f σT=%.1f (hold-viol rate %.4f)\n",
+			name, b.Period.Mu, b.Period.Sigma, b.Period.HoldViolRate)
+		for _, tgt := range expt.Targets {
+			row, err := expt.RunRow(b, tgt, expt.RowConfig{
+				InsertSamples: *samples,
+				EvalSamples:   *evalN,
+				Seed:          *seed,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "table1:", err)
+				os.Exit(1)
+			}
+			tb.AddRowf(row.Circuit, row.NS, row.NG, row.Target.String(),
+				fmt.Sprintf("%.1f", row.T), row.Nb, row.Ab,
+				row.Yo, row.Y, row.Yi, fmt.Sprintf("%.2f", row.Runtime.Seconds()))
+			fmt.Fprintf(os.Stderr, "  %-10s Nb=%-3d Ab=%-6.2f Yi=%+6.2f  (%.1fs)\n",
+				tgt, row.Nb, row.Ab, row.Yi, row.Runtime.Seconds())
+		}
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		fmt.Println(tb)
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(grand))
+}

@@ -1,0 +1,114 @@
+// Command yieldeval measures the yield of a circuit at a sweep of clock
+// periods, with and without buffer insertion, and compares against the
+// baseline strategies (every-FF, top-k criticality, random-k). It answers
+// "where does the paper's method sit between no tuning and unlimited
+// tuning?" for any circuit.
+//
+// Usage:
+//
+//	yieldeval -preset s13207 -samples 1000 -eval 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/tabular"
+	"repro/internal/yield"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "s9234", "paper benchmark circuit")
+		bench    = flag.String("bench", "", ".bench netlist file (overrides -preset)")
+		samples  = flag.Int("samples", 1000, "insertion samples")
+		evalN    = flag.Int("eval", 4000, "fresh chips per yield measurement")
+		seed     = flag.Uint64("seed", 0xF00D, "insertion seed")
+		planFile = flag.String("plan", "", "evaluate a saved buffer plan (JSON from bufins -saveplan) instead of running the flow")
+	)
+	flag.Parse()
+
+	var (
+		sys *core.System
+		err error
+	)
+	if *bench != "" {
+		f, ferr := os.Open(*bench)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "yieldeval:", ferr)
+			os.Exit(1)
+		}
+		sys, err = core.FromBench(f, *bench, expt.Options{})
+		f.Close()
+	} else {
+		sys, err = core.FromPreset(*preset, expt.Options{})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yieldeval:", err)
+		os.Exit(1)
+	}
+	fmt.Println(sys.Summary())
+	fmt.Println()
+
+	if *planFile != "" {
+		f, err := os.Open(*planFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldeval:", err)
+			os.Exit(1)
+		}
+		plan, err := insertion.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldeval:", err)
+			os.Exit(1)
+		}
+		ev, err := yield.NewEvaluator(sys.Graph(), plan.Spec, plan.Groups)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldeval:", err)
+			os.Exit(1)
+		}
+		rep := yield.Evaluate(ev, mc.New(sys.Graph(), *seed+0x1000), *evalN, plan.T)
+		fmt.Printf("plan %q (%d buffers) at T=%.1f ps over %d chips:\n",
+			*planFile, len(plan.Groups), plan.T, *evalN)
+		fmt.Printf("  Yo = %6.2f %%\n  Y  = %6.2f %%\n  Yi = %+6.2f points\n",
+			rep.Original.Percent(), rep.Tuned.Percent(), rep.Improvement())
+		return
+	}
+
+	tb := tabular.New("T", "Yo(%)", "sampling Y(%)", "Nb", "topk Y(%)", "randk Y(%)", "everyFF Y(%)")
+	tb.SetTitle("Yield vs strategy (equal buffer budget for topk/randk):")
+	g := sys.Graph()
+	for _, k := range []float64{0, 1, 2} {
+		T := sys.TargetPeriod(k)
+		res, err := sys.Insert(T, insertion.Config{Samples: *samples, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yieldeval:", err)
+			os.Exit(1)
+		}
+		spec := res.Cfg.Spec
+		nb := len(res.Groups)
+		eng := mc.New(g, *seed+0x1000)
+		measure := func(groups []insertion.Group) yield.Report {
+			ev, err := yield.NewEvaluator(g, spec, groups)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "yieldeval:", err)
+				os.Exit(1)
+			}
+			return yield.Evaluate(ev, eng, *evalN, T)
+		}
+		rSamp := measure(res.Groups)
+		rTop := measure(baseline.TopK(g, spec, T, nb))
+		rRand := measure(baseline.RandomK(g, spec, nb, 5))
+		rAll := measure(baseline.EveryFF(g, spec))
+		tb.AddRowf(fmt.Sprintf("%.1f (µ+%0.0fσ)", T, k),
+			rSamp.Original.Percent(), rSamp.Tuned.Percent(), nb,
+			rTop.Tuned.Percent(), rRand.Tuned.Percent(), rAll.Tuned.Percent())
+	}
+	fmt.Println(tb)
+}

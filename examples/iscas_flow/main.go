@@ -1,0 +1,65 @@
+// ISCAS flow: the full per-step view of the paper's method on the s9234
+// benchmark preset — step-1 tuning counts and pruning, window assignment,
+// the 0.1 % skip rule, step-2 concentration, grouping, and the final
+// Table I quantities for all three period targets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/expt"
+	"repro/internal/tabular"
+)
+
+func main() {
+	b, err := expt.PreparePreset("s9234", expt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d FFs, %d gates, %d register pairs\n",
+		b.Name, b.Graph.NS, b.Circuit.NumGates(), len(b.Graph.Pairs))
+	fmt.Printf("clock period distribution: µT = %.1f ps, σT = %.1f ps\n\n",
+		b.Period.Mu, b.Period.Sigma)
+
+	tb := tabular.New("target", "T(ps)", "Nb", "Ab", "Yo(%)", "Y(%)", "Yi(%)", "runtime")
+	tb.SetTitle("s9234 across the three Table I period targets:")
+	for _, tgt := range expt.Targets {
+		row, err := expt.RunRow(b, tgt, expt.RowConfig{InsertSamples: 800, EvalSamples: 3000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRowf(tgt.String(), fmt.Sprintf("%.1f", row.T), row.Nb, row.Ab,
+			row.Yo, row.Y, row.Yi, row.Runtime.Truncate(1e7).String())
+
+		if tgt == expt.MuT {
+			st := row.Insert.Stats
+			fmt.Printf("step 1 at µT: %d/%d samples needed tuning, %d unfixable, %d FFs touched\n",
+				st.Samples-st.ZeroViolation, st.Samples, st.InfeasibleStep1, countTouched(st.TuneCountStep1))
+			fmt.Printf("pruning: kept %d, pruned %d; step-2 skip rule: missing %.4f → skipped=%v\n",
+				len(st.KeptFFs), len(st.PrunedFFs), st.MissingFrac, st.SkippedB1)
+			top := expt.Fig4Data(row.Insert)
+			sort.Slice(top, func(i, j int) bool { return top[i].Count > top[j].Count })
+			if len(top) > 5 {
+				top = top[:5]
+			}
+			fmt.Println("most-tuned flip-flops (Fig. 4 node weights):")
+			for _, n := range top {
+				fmt.Printf("  FF %-4d tuned %d times\n", n.FF, n.Count)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println(tb)
+}
+
+func countTouched(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}

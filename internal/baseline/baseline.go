@@ -1,0 +1,120 @@
+// Package baseline provides the comparison strategies the sampling-based
+// flow is judged against:
+//
+//   - EveryFF: a buffer on every flip-flop with the full symmetric range —
+//     the upper bound on what clock tuning can achieve (unbounded area).
+//   - TopK: the [2]-style statistical heuristic — rank flip-flops by the
+//     statistical criticality of their adjacent paths (SSTA only, no
+//     sampling, no ILP) and give the top k symmetric full-range buffers.
+//   - RandomK: k buffers at random flip-flops (sanity floor).
+//
+// All strategies emit insertion.Group values, so the same yield.Evaluator
+// measures them and comparisons are apples-to-apples.
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/insertion"
+	"repro/internal/stat"
+	"repro/internal/timing"
+)
+
+// symmetricWindow returns the full symmetric grid window [−τ/2·…, +…]:
+// the spec range τ centered on zero (the paper notes prior work used
+// ranges symmetric around 0; its own windows are asymmetric).
+func symmetricWindow(spec insertion.BufferSpec) (lo, hi float64) {
+	s := spec.Step()
+	half := float64(spec.Steps/2) * s
+	return -half, float64(spec.Steps)*s - half
+}
+
+// EveryFF returns one full-range group per flip-flop.
+func EveryFF(g *timing.Graph, spec insertion.BufferSpec) []insertion.Group {
+	lo, hi := symmetricWindow(spec)
+	groups := make([]insertion.Group, g.NS)
+	for ff := 0; ff < g.NS; ff++ {
+		groups[ff] = insertion.Group{FFs: []int{ff}, Lo: lo, Hi: hi}
+	}
+	return groups
+}
+
+// Criticality scores each flip-flop by the probability mass of near-critical
+// paths touching it: Σ over adjacent pairs of P(pair delay + setup > T),
+// computed from the canonical forms (no sampling). This mirrors the
+// statistical-criticality ranking of post-silicon-tunable clock-tree work
+// such as the paper's reference [2].
+func Criticality(g *timing.Graph, T float64) []float64 {
+	score := make([]float64, g.NS)
+	// Nominal setup means once; setup sigma is small next to path sigma, so
+	// the ranking treats it as a fixed 10 % of the mean.
+	nom := g.NominalChip()
+	for p := range g.Pairs {
+		pr := &g.Pairs[p]
+		if pr.Launch == pr.Capture {
+			continue // self-loops are untunable
+		}
+		su := nom.Setup[pr.Capture]
+		// Slack form: T − (dmax + setup) + skew terms; P(slack < 0).
+		mean := T - pr.Max.Mean - su + g.Skew[pr.Capture] - g.Skew[pr.Launch]
+		std := math.Sqrt(pr.Max.Variance() + (0.1*su)*(0.1*su))
+		if std <= 0 {
+			continue
+		}
+		pFail := 1 - stat.NormalCDF(mean/std)
+		score[pr.Launch] += pFail
+		score[pr.Capture] += pFail
+	}
+	return score
+}
+
+// TopK selects the k most critical flip-flops and gives each a symmetric
+// full-range buffer.
+func TopK(g *timing.Graph, spec insertion.BufferSpec, T float64, k int) []insertion.Group {
+	score := Criticality(g, T)
+	type fs struct {
+		ff    int
+		score float64
+	}
+	ranked := make([]fs, g.NS)
+	for ff := range ranked {
+		ranked[ff] = fs{ff, score[ff]}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].score != ranked[b].score {
+			return ranked[a].score > ranked[b].score
+		}
+		return ranked[a].ff < ranked[b].ff
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	lo, hi := symmetricWindow(spec)
+	var groups []insertion.Group
+	for i := 0; i < k; i++ {
+		if ranked[i].score <= 0 {
+			break // no critical mass left
+		}
+		groups = append(groups, insertion.Group{FFs: []int{ranked[i].ff}, Lo: lo, Hi: hi})
+	}
+	return groups
+}
+
+// RandomK places k symmetric full-range buffers uniformly at random
+// (deterministic in seed).
+func RandomK(g *timing.Graph, spec insertion.BufferSpec, k int, seed uint64) []insertion.Group {
+	rng := rand.New(rand.NewPCG(seed, 0xba5e))
+	perm := rng.Perm(g.NS)
+	if k > len(perm) {
+		k = len(perm)
+	}
+	lo, hi := symmetricWindow(spec)
+	var groups []insertion.Group
+	for _, ff := range perm[:k] {
+		groups = append(groups, insertion.Group{FFs: []int{ff}, Lo: lo, Hi: hi})
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].FFs[0] < groups[b].FFs[0] })
+	return groups
+}

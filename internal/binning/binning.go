@@ -1,0 +1,165 @@
+// Package binning implements speed binning with post-silicon clock tuning —
+// the "complex scenario" the paper's conclusion names as future work.
+// Instead of a single pass/fail period, manufactured chips are sorted into
+// speed bins (each bin = a sellable clock period). Tuning buffers let a
+// chip that misses its natural bin be reconfigured into a faster bin,
+// shifting the whole bin population upward.
+//
+// For each chip the assigner finds the fastest bin whose period the chip
+// can meet: directly (zero tuning) for the untuned baseline, or with the
+// best buffer configuration for the tuned distribution. Feasibility per
+// bin reuses the exact discrete evaluator of internal/yield, and the
+// fastest bin is found by scanning bins from fast to slow (feasibility is
+// monotone in the period).
+package binning
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mc"
+	"repro/internal/timing"
+	"repro/internal/yield"
+)
+
+// Bins is an ascending list of bin clock periods (fastest first after
+// normalization). A chip "lands in bin i" when bins[i] is the smallest
+// period it can meet; chips that meet no bin are scrap.
+type Bins []float64
+
+// Normalize sorts the bin periods ascending and validates them.
+func (b Bins) Normalize() (Bins, error) {
+	if len(b) == 0 {
+		return nil, errors.New("binning: no bins")
+	}
+	out := append(Bins(nil), b...)
+	sort.Float64s(out)
+	if out[0] <= 0 {
+		return nil, errors.New("binning: non-positive bin period")
+	}
+	return out, nil
+}
+
+// MuSigmaBins builds a standard bin ladder around the period distribution:
+// µ−σ, µ, µ+σ, µ+2σ — a faster premium bin plus the three Table I targets.
+func MuSigmaBins(ps mc.PeriodStats) Bins {
+	return Bins{ps.Mu - ps.Sigma, ps.Mu, ps.Mu + ps.Sigma, ps.Mu + 2*ps.Sigma}
+}
+
+// Result is a binned population.
+type Result struct {
+	Bins Bins
+	// Counts[i] is the number of chips landing in bin i; Scrap counts
+	// chips that meet no bin.
+	Counts []int
+	Scrap  int
+	Total  int
+}
+
+// Fractions returns the per-bin population fractions.
+func (r Result) Fractions() []float64 {
+	out := make([]float64, len(r.Counts))
+	for i, c := range r.Counts {
+		out[i] = float64(c) / float64(max(1, r.Total))
+	}
+	return out
+}
+
+// ScrapRate returns the fraction of unsellable chips.
+func (r Result) ScrapRate() float64 {
+	return float64(r.Scrap) / float64(max(1, r.Total))
+}
+
+// MeanPeriod returns the population-average sellable period (scrap
+// excluded) — lower is better.
+func (r Result) MeanPeriod() float64 {
+	sold := 0
+	sum := 0.0
+	for i, c := range r.Counts {
+		sold += c
+		sum += float64(c) * r.Bins[i]
+	}
+	if sold == 0 {
+		return 0
+	}
+	return sum / float64(sold)
+}
+
+// String renders the distribution.
+func (r Result) String() string {
+	var b strings.Builder
+	for i, c := range r.Counts {
+		fmt.Fprintf(&b, "bin %.1f: %d (%.1f%%)  ", r.Bins[i], c, 100*float64(c)/float64(max(1, r.Total)))
+	}
+	fmt.Fprintf(&b, "scrap: %d (%.1f%%)", r.Scrap, 100*r.ScrapRate())
+	return b.String()
+}
+
+// Assigner bins chip populations for one buffer plan.
+type Assigner struct {
+	G    *timing.Graph
+	Ev   *yield.Evaluator // nil = untuned binning
+	bins Bins
+}
+
+// New creates an assigner. ev may be nil for untuned (baseline) binning.
+func New(g *timing.Graph, ev *yield.Evaluator, bins Bins) (*Assigner, error) {
+	nb, err := bins.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Assigner{G: g, Ev: ev, bins: nb}, nil
+}
+
+// BinOf returns the index of the fastest bin the chip meets, or −1 for
+// scrap. With a non-nil evaluator the chip may use its buffers.
+func (a *Assigner) BinOf(ch *timing.Chip) int {
+	for i, T := range a.bins {
+		if a.G.FeasibleAtZero(ch, T) {
+			return i
+		}
+		if a.Ev != nil && a.Ev.ChipFeasible(ch, T) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Population bins n chips from the engine.
+func (a *Assigner) Population(eng *mc.Engine, n int) Result {
+	binOf := make([]int, n)
+	eng.ForEach(n, func(k int, ch *timing.Chip) {
+		binOf[k] = a.BinOf(ch)
+	})
+	res := Result{Bins: a.bins, Counts: make([]int, len(a.bins)), Total: n}
+	for _, b := range binOf {
+		if b < 0 {
+			res.Scrap++
+		} else {
+			res.Counts[b]++
+		}
+	}
+	return res
+}
+
+// Compare bins the same population with and without tuning.
+func Compare(g *timing.Graph, ev *yield.Evaluator, bins Bins, eng *mc.Engine, n int) (untuned, tuned Result, err error) {
+	base, err := New(g, nil, bins)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	with, err := New(g, ev, bins)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return base.Population(eng, n), with.Population(eng, n), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

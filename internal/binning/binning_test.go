@@ -1,0 +1,139 @@
+package binning
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/placement"
+	"repro/internal/ssta"
+	"repro/internal/timing"
+	"repro/internal/variation"
+	"repro/internal/yield"
+)
+
+func buildBench(t *testing.T, seed uint64) (*timing.Graph, mc.PeriodStats, *yield.Evaluator) {
+	t.Helper()
+	c, err := gen.Generate(gen.Config{NumFFs: 30, NumGates: 160, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ssta.New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := timing.Build(a, nil)
+	g = g.WithSkew(g.HoldSafeSkews(timing.SkewSigma(g.Pairs, 0.03), seed+77))
+	ps := mc.New(g, 555).PeriodDistribution(1000)
+	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
+	res, err := insertion.Run(g, pl, insertion.Config{T: ps.Mu, Samples: 300, Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := yield.NewEvaluator(g, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ps, ev
+}
+
+func TestBinsNormalize(t *testing.T) {
+	b, err := Bins{3, 1, 2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 || b[2] != 3 {
+		t.Fatalf("b = %v", b)
+	}
+	if _, err := (Bins{}).Normalize(); err == nil {
+		t.Fatal("empty bins must fail")
+	}
+	if _, err := (Bins{-1, 2}).Normalize(); err == nil {
+		t.Fatal("negative bin must fail")
+	}
+}
+
+func TestPopulationPartition(t *testing.T) {
+	g, ps, ev := buildBench(t, 601)
+	bins := MuSigmaBins(ps)
+	a, err := New(g, ev, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Population(mc.New(g, 888), 800)
+	total := res.Scrap
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != 800 || res.Total != 800 {
+		t.Fatalf("partition broken: %+v", res)
+	}
+	if res.String() == "" {
+		t.Fatal("String")
+	}
+	fr := res.Fractions()
+	sum := res.ScrapRate()
+	for _, f := range fr {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestTuningShiftsBinsUp(t *testing.T) {
+	g, ps, ev := buildBench(t, 603)
+	bins := MuSigmaBins(ps)
+	untuned, tuned, err := Compare(g, ev, bins, mc.New(g, 999), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuning must not increase scrap and must not slow the mean bin.
+	if tuned.Scrap > untuned.Scrap {
+		t.Fatalf("tuning increased scrap: %d > %d", tuned.Scrap, untuned.Scrap)
+	}
+	if tuned.MeanPeriod() > untuned.MeanPeriod()+1e-9 {
+		t.Fatalf("tuned mean period %.2f worse than untuned %.2f",
+			tuned.MeanPeriod(), untuned.MeanPeriod())
+	}
+	// And should strictly improve the fastest bins on this bench.
+	if tuned.Counts[0]+tuned.Counts[1] <= untuned.Counts[0]+untuned.Counts[1] {
+		t.Fatalf("no upward shift: tuned %v vs untuned %v", tuned.Counts, untuned.Counts)
+	}
+}
+
+func TestBinMonotonicity(t *testing.T) {
+	// A chip's bin with tuning can never be slower than without.
+	g, ps, ev := buildBench(t, 605)
+	bins := MuSigmaBins(ps)
+	base, _ := New(g, nil, bins)
+	with, _ := New(g, ev, bins)
+	eng := mc.New(g, 31415)
+	for k := 0; k < 200; k++ {
+		ch := eng.Chip(k)
+		b0 := base.BinOf(ch)
+		b1 := with.BinOf(ch)
+		if b0 >= 0 && (b1 < 0 || b1 > b0) {
+			t.Fatalf("chip %d: tuned bin %d worse than untuned %d", k, b1, b0)
+		}
+	}
+}
+
+func TestMeanPeriodEmpty(t *testing.T) {
+	r := Result{Bins: Bins{1, 2}, Counts: []int{0, 0}, Scrap: 5, Total: 5}
+	if r.MeanPeriod() != 0 {
+		t.Fatal("all-scrap population mean should be 0")
+	}
+	if r.ScrapRate() != 1 {
+		t.Fatal("scrap rate")
+	}
+}
+
+func TestNewRejectsBadBins(t *testing.T) {
+	g, _, _ := buildBench(t, 607)
+	if _, err := New(g, nil, Bins{}); err == nil {
+		t.Fatal("empty bins must fail")
+	}
+}

@@ -1,0 +1,157 @@
+// Package cells provides the standard-cell timing library used to annotate
+// netlists with delays. The paper maps its benchmarks to an industrial
+// library; we substitute a synthetic library with the same structure: each
+// cell has a nominal intrinsic delay, a load-dependent term (per fan-out),
+// and sensitivities to the three varied process parameters — transistor
+// length L, oxide thickness Tox and threshold voltage Vth — whose standard
+// deviations the paper sets to 15.7 %, 5.3 % and 4.4 % of nominal.
+package cells
+
+import (
+	"fmt"
+
+	"repro/internal/ckt"
+)
+
+// Param identifies a varied process parameter.
+type Param int
+
+// The three process parameters varied in the paper's experiments.
+const (
+	Length Param = iota
+	Tox
+	Vth
+	NumParams int = 3
+)
+
+// String returns the parameter name.
+func (p Param) String() string {
+	switch p {
+	case Length:
+		return "L"
+	case Tox:
+		return "Tox"
+	case Vth:
+		return "Vth"
+	}
+	return fmt.Sprintf("Param(%d)", int(p))
+}
+
+// SigmaRel is the paper's relative standard deviation per parameter
+// (fraction of nominal): L 15.7 %, Tox 5.3 %, Vth 4.4 %.
+var SigmaRel = [NumParams]float64{0.157, 0.053, 0.044}
+
+// Cell is one library cell's timing view. All delays are in picoseconds.
+type Cell struct {
+	Name string
+	// Intrinsic is the no-load pin-to-pin delay.
+	Intrinsic float64
+	// PerLoad is the delay added per fan-out connection.
+	PerLoad float64
+	// Sens[p] is ∂delay/∂(Δp/σp): the delay shift in ps caused by a one-sigma
+	// move of parameter p. Derived from SigmaRel and the cell's electrical
+	// sensitivity to each parameter.
+	Sens [NumParams]float64
+	// RandFrac is the fraction of nominal delay carried by the purely
+	// independent (within-die, uncorrelated) variation component.
+	RandFrac float64
+}
+
+// Library maps circuit node kinds to cells.
+type Library struct {
+	Name  string
+	cells map[ckt.Kind]Cell
+	// FF timing parameters (also in ps).
+	ClkToQ    Cell
+	SetupTime float64
+	HoldTime  float64
+}
+
+// Cell returns the cell view for a node kind.
+func (l *Library) Cell(k ckt.Kind) (Cell, error) {
+	c, ok := l.cells[k]
+	if !ok {
+		return Cell{}, fmt.Errorf("cells: no cell for kind %v in library %s", k, l.Name)
+	}
+	return c, nil
+}
+
+// MustCell is Cell that panics on unknown kinds.
+func (l *Library) MustCell(k ckt.Kind) Cell {
+	c, err := l.Cell(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Delay returns the nominal delay of kind k driving `load` fan-outs.
+func (l *Library) Delay(k ckt.Kind, load int) (float64, error) {
+	c, err := l.Cell(k)
+	if err != nil {
+		return 0, err
+	}
+	return c.Nominal(load), nil
+}
+
+// Nominal returns the cell's nominal delay at the given fan-out load.
+func (c Cell) Nominal(load int) float64 {
+	if load < 1 {
+		load = 1
+	}
+	return c.Intrinsic + c.PerLoad*float64(load)
+}
+
+// mk builds a cell: base intrinsic delay, per-load delay, electrical
+// sensitivities eL/eTox/eVth expressed as the relative delay change per
+// relative parameter change (unitless), and the independent fraction.
+func mk(name string, intrinsic, perLoad, eL, eTox, eVth, randFrac float64) Cell {
+	c := Cell{Name: name, Intrinsic: intrinsic, PerLoad: perLoad, RandFrac: randFrac}
+	// One-sigma delay shift = nominal_intrinsic × e_p × σp,rel.
+	// The load-dependent part varies proportionally; we fold it in when the
+	// canonical form is built (see internal/variation), so Sens here is per
+	// unit of nominal delay and scaled there. Store relative sensitivities:
+	c.Sens[Length] = eL * SigmaRel[Length]
+	c.Sens[Tox] = eTox * SigmaRel[Tox]
+	c.Sens[Vth] = eVth * SigmaRel[Vth]
+	return c
+}
+
+// Default returns the synthetic 45nm-flavoured library used across the
+// experiments. Values are representative: inverting gates are faster than
+// complex gates, XORs are slowest, and every cell's variability follows the
+// paper's parameter sigmas. Delays are in picoseconds.
+func Default() *Library {
+	l := &Library{
+		Name:  "synth45",
+		cells: make(map[ckt.Kind]Cell),
+		// FF clk→Q behaves like a buffered stage.
+		ClkToQ:    mk("dff_cq", 45, 6, 0.55, 0.30, 0.45, 0.05),
+		SetupTime: 30,
+		HoldTime:  8,
+	}
+	l.cells[ckt.Buf] = mk("buf", 30, 8, 0.50, 0.30, 0.40, 0.05)
+	l.cells[ckt.Not] = mk("inv", 18, 7, 0.50, 0.30, 0.42, 0.05)
+	l.cells[ckt.And] = mk("and2", 42, 9, 0.55, 0.32, 0.45, 0.05)
+	l.cells[ckt.Nand] = mk("nand2", 32, 9, 0.55, 0.32, 0.45, 0.05)
+	l.cells[ckt.Or] = mk("or2", 44, 9, 0.55, 0.32, 0.45, 0.05)
+	l.cells[ckt.Nor] = mk("nor2", 34, 9, 0.55, 0.32, 0.45, 0.05)
+	l.cells[ckt.Xor] = mk("xor2", 58, 11, 0.60, 0.34, 0.48, 0.06)
+	l.cells[ckt.Xnor] = mk("xnor2", 60, 11, 0.60, 0.34, 0.48, 0.06)
+	// Ports contribute no delay but must resolve.
+	l.cells[ckt.Input] = Cell{Name: "port_in"}
+	l.cells[ckt.Output] = Cell{Name: "port_out"}
+	l.cells[ckt.DFF] = l.ClkToQ
+	return l
+}
+
+// Kinds returns the node kinds the library covers.
+func (l *Library) Kinds() []ckt.Kind {
+	out := make([]ckt.Kind, 0, len(l.cells))
+	for k := ckt.Kind(0); int(k) <= int(ckt.Xnor); k++ {
+		if _, ok := l.cells[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}

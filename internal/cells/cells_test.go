@@ -1,0 +1,85 @@
+package cells_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/ckt"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCellsLibrary(t *testing.T) {
+	lib := cells.Default()
+	if _, err := lib.Cell(ckt.Kind(99)); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	d, err := lib.Delay(ckt.And, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := lib.MustCell(ckt.And)
+	if !almost(d, cell.Intrinsic+3*cell.PerLoad, 1e-12) {
+		t.Fatalf("delay = %v", d)
+	}
+	// Load below 1 clamps to 1.
+	if cell.Nominal(0) != cell.Nominal(1) {
+		t.Fatal("load clamp broken")
+	}
+	if len(lib.Kinds()) < 8 {
+		t.Fatalf("kinds = %v", lib.Kinds())
+	}
+	// Param names.
+	if cells.Length.String() != "L" || cells.Tox.String() != "Tox" || cells.Vth.String() != "Vth" {
+		t.Fatal("param names")
+	}
+	if cells.Param(9).String() == "" {
+		t.Fatal("unknown param should still print")
+	}
+}
+
+func TestDelayUnknownKind(t *testing.T) {
+	lib := cells.Default()
+	if _, err := lib.Delay(ckt.Kind(99), 1); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestSigmaRelMatchesPaper(t *testing.T) {
+	// The paper sets σ(L)=15.7 %, σ(Tox)=5.3 %, σ(Vth)=4.4 % of nominal.
+	want := [3]float64{0.157, 0.053, 0.044}
+	for p, w := range want {
+		if cells.SigmaRel[p] != w {
+			t.Fatalf("SigmaRel[%d] = %v, want %v", p, cells.SigmaRel[p], w)
+		}
+	}
+}
+
+func TestInvertersFasterThanComplexGates(t *testing.T) {
+	lib := cells.Default()
+	inv := lib.MustCell(ckt.Not)
+	xor := lib.MustCell(ckt.Xor)
+	if inv.Nominal(1) >= xor.Nominal(1) {
+		t.Fatal("inverter should be faster than xor")
+	}
+}
+
+func TestFFTimingPositive(t *testing.T) {
+	lib := cells.Default()
+	if lib.SetupTime <= 0 || lib.HoldTime <= 0 || lib.ClkToQ.Nominal(1) <= 0 {
+		t.Fatal("FF timing must be positive")
+	}
+	if lib.HoldTime >= lib.SetupTime {
+		t.Fatal("hold should be below setup for this library")
+	}
+}
+
+func TestMustCellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cells.Default().MustCell(ckt.Kind(99))
+}

@@ -1,0 +1,200 @@
+package ckt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graphx"
+)
+
+// FaninCone returns the set of nodes in the combinational fan-in cone of a
+// flip-flop's D pin (or any node): every gate on some combinational path
+// into it, stopping at flip-flop Q outputs and primary inputs (which are
+// included as the cone's leaves). The result is sorted by node index.
+func (c *Circuit) FaninCone(node int) []int {
+	if node < 0 || node >= len(c.Nodes) {
+		return nil
+	}
+	seen := map[int]bool{node: true}
+	stack := []int{node}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v != node && (c.Nodes[v].Kind == DFF || c.Nodes[v].Kind == Input) {
+			continue // leaves: do not cross sequential/port boundaries
+		}
+		for _, u := range c.Nodes[v].Fanin {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConeStats describes one capture flip-flop's input cone.
+type ConeStats struct {
+	FF     int // FF id
+	Gates  int // combinational gates in the cone
+	Leaves int // distinct launch FFs + PIs feeding the cone
+	Depth  int // longest gate path from any leaf to the D pin
+}
+
+// AllConeStats returns the input-cone statistics of every flip-flop,
+// ordered by FF id. Useful for understanding why some register pairs are
+// much more critical than others.
+func (c *Circuit) AllConeStats() ([]ConeStats, error) {
+	lvl, err := c.CombGraph().Levels()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ConeStats, 0, c.NumFFs())
+	for id, ffNode := range c.FFs() {
+		cone := c.FaninCone(ffNode)
+		st := ConeStats{FF: id}
+		for _, v := range cone {
+			switch {
+			case v == ffNode:
+			case c.Nodes[v].Kind == DFF || c.Nodes[v].Kind == Input:
+				st.Leaves++
+			case c.Nodes[v].Kind.IsGate():
+				st.Gates++
+			}
+		}
+		if len(c.Nodes[ffNode].Fanin) == 1 {
+			st.Depth = lvl[c.Nodes[ffNode].Fanin[0]]
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// FanoutHistogram returns counts[k] = number of non-port nodes driving
+// exactly k sinks (k capped at the final bucket).
+func (c *Circuit) FanoutHistogram(maxBucket int) []int {
+	if maxBucket < 1 {
+		maxBucket = 1
+	}
+	counts := make([]int, maxBucket+1)
+	for _, n := range c.Nodes {
+		if n.Kind == Input || n.Kind == Output {
+			continue
+		}
+		k := len(n.Fanout)
+		if k > maxBucket {
+			k = maxBucket
+		}
+		counts[k]++
+	}
+	return counts
+}
+
+// LevelHistogram returns the number of gates at each combinational depth.
+func (c *Circuit) LevelHistogram() ([]int, error) {
+	lvl, err := c.CombGraph().Levels()
+	if err != nil {
+		return nil, err
+	}
+	maxL := 0
+	for i, n := range c.Nodes {
+		if n.Kind.IsGate() && lvl[i] > maxL {
+			maxL = lvl[i]
+		}
+	}
+	counts := make([]int, maxL+1)
+	for i, n := range c.Nodes {
+		if n.Kind.IsGate() {
+			counts[lvl[i]]++
+		}
+	}
+	return counts, nil
+}
+
+// SequentialGraph returns the FF-to-FF reachability digraph: an edge i→j
+// when a combinational path runs from FF i's Q to FF j's D. Vertices are
+// FF ids. This is the structural skeleton the timing pair graph realizes.
+func (c *Circuit) SequentialGraph() (*graphx.Digraph, error) {
+	order, err := c.CombGraph().TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	// reach[v] = set of launch FF ids reaching node v (bitset by slice of
+	// sorted ids; circuits here have few launches per cone, so small maps
+	// are fine).
+	reach := make([]map[int]struct{}, len(c.Nodes))
+	for id, ffNode := range c.FFs() {
+		if reach[ffNode] == nil {
+			reach[ffNode] = map[int]struct{}{}
+		}
+		reach[ffNode][id] = struct{}{}
+	}
+	for _, v := range order {
+		n := &c.Nodes[v]
+		if n.Kind == DFF || n.Kind == Input {
+			continue
+		}
+		var acc map[int]struct{}
+		for _, u := range n.Fanin {
+			for id := range reach[u] {
+				if acc == nil {
+					acc = map[int]struct{}{}
+				}
+				acc[id] = struct{}{}
+			}
+		}
+		reach[v] = acc
+	}
+	g := graphx.NewDigraph(c.NumFFs())
+	for capID, ffNode := range c.FFs() {
+		fi := c.Nodes[ffNode].Fanin
+		if len(fi) != 1 {
+			continue
+		}
+		ids := make([]int, 0, len(reach[fi[0]]))
+		for id := range reach[fi[0]] {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, launchID := range ids {
+			g.AddEdge(launchID, capID)
+		}
+	}
+	return g, nil
+}
+
+// WriteDOT renders the netlist in Graphviz DOT format: flip-flops as
+// boxes, gates as ellipses, ports as diamonds. Intended for small circuits
+// (documentation figures, debugging).
+func WriteDOT(w io.Writer, c *Circuit) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", c.Name); err != nil {
+		return err
+	}
+	for _, n := range c.Nodes {
+		shape := "ellipse"
+		switch n.Kind {
+		case DFF:
+			shape = "box"
+		case Input, Output:
+			shape = "diamond"
+		}
+		if _, err := fmt.Fprintf(w, "  %q [shape=%s,label=\"%s\\n%s\"];\n", n.Name, shape, n.Name, n.Kind); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.Nodes {
+		for _, u := range n.Fanin {
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", c.Nodes[u].Name, n.Name); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,240 @@
+// ISCAS89 `.bench` format reader and writer.
+//
+// Grammar (as used by the ISCAS89 distribution and the TAU contests):
+//
+//	# comment
+//	INPUT(name)
+//	OUTPUT(name)
+//	name = DFF(other)
+//	name = AND(a, b, ...)
+//
+// OUTPUT lines declare that a signal is observed; we materialize each as an
+// Output node named "<signal>$po" fed by the signal, so that signal names
+// remain unique.
+package ckt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in .bench format. The circuit name is taken
+// from the first "# name" comment if present, else the provided fallback.
+func ParseBench(r io.Reader, fallbackName string) (*Circuit, error) {
+	type pendingGate struct {
+		out  string
+		kind Kind
+		ins  []string
+		line int
+	}
+	var (
+		inputs  []string
+		outputs []string
+		gates   []pendingGate
+	)
+	name := fallbackName
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	sawName := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !sawName {
+				cand := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+				if cand != "" && !strings.ContainsAny(cand, " \t") {
+					name = cand
+				}
+				sawName = true
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parseCall(line, "INPUT")
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parseCall(line, "OUTPUT")
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("line %d: expected assignment, got %q", lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.Index(rhs, "(")
+			cp := strings.LastIndex(rhs, ")")
+			if op < 0 || cp < op {
+				return nil, fmt.Errorf("line %d: malformed gate call %q", lineNo, rhs)
+			}
+			kindName := strings.ToUpper(strings.TrimSpace(rhs[:op]))
+			kind, ok := kindByName[kindName]
+			if !ok || kind == Input || kind == Output {
+				return nil, fmt.Errorf("line %d: unknown gate type %q", lineNo, kindName)
+			}
+			var ins []string
+			for _, part := range strings.Split(rhs[op+1:cp], ",") {
+				p := strings.TrimSpace(part)
+				if p == "" {
+					return nil, fmt.Errorf("line %d: empty operand in %q", lineNo, rhs)
+				}
+				ins = append(ins, p)
+			}
+			gates = append(gates, pendingGate{out: out, kind: kind, ins: ins, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	c := New(name)
+	for _, in := range inputs {
+		if _, err := c.AddNode(in, Input); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range gates {
+		if _, err := c.AddNode(g.out, g.kind); err != nil {
+			return nil, fmt.Errorf("line %d: %w", g.line, err)
+		}
+	}
+	for _, g := range gates {
+		to := c.byName[g.out]
+		for _, in := range g.ins {
+			from, ok := c.byName[in]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined signal %q", g.line, in)
+			}
+			if err := c.Connect(from, to); err != nil {
+				return nil, fmt.Errorf("line %d: %w", g.line, err)
+			}
+		}
+	}
+	for _, out := range outputs {
+		from, ok := c.byName[out]
+		if !ok {
+			return nil, fmt.Errorf("OUTPUT(%s): undefined signal", out)
+		}
+		po, err := c.AddNode(out+"$po", Output)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Connect(from, po); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseCall(line, keyword string) (string, error) {
+	op := strings.Index(line, "(")
+	cp := strings.LastIndex(line, ")")
+	if op < 0 || cp < op {
+		return "", fmt.Errorf("malformed %s line %q", keyword, line)
+	}
+	arg := strings.TrimSpace(line[op+1 : cp])
+	if arg == "" {
+		return "", fmt.Errorf("%s with empty argument", keyword)
+	}
+	return arg, nil
+}
+
+// WriteBench writes the circuit in .bench format. The node order of the
+// original circuit is preserved for gates; INPUT and OUTPUT declarations are
+// grouped at the top as is conventional.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d DFFs, %d gates\n",
+		len(c.Inputs()), len(c.Outputs()), c.NumFFs(), c.NumGates())
+	for _, i := range c.Inputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nodes[i].Name)
+	}
+	for _, o := range c.Outputs() {
+		n := c.Nodes[o]
+		if len(n.Fanin) != 1 {
+			return fmt.Errorf("ckt: output %q has fan-in %d", n.Name, len(n.Fanin))
+		}
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[n.Fanin[0]].Name)
+	}
+	fmt.Fprintln(bw)
+	for _, n := range c.Nodes {
+		if n.Kind == Input || n.Kind == Output {
+			continue
+		}
+		names := make([]string, len(n.Fanin))
+		for k, f := range n.Fanin {
+			names[k] = c.Nodes[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, n.Kind, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// ParseBenchString parses a .bench netlist held in a string.
+func ParseBenchString(s, fallbackName string) (*Circuit, error) {
+	return ParseBench(strings.NewReader(s), fallbackName)
+}
+
+// BenchString renders the circuit as .bench text.
+func BenchString(c *Circuit) (string, error) {
+	var b strings.Builder
+	if err := WriteBench(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Equal reports whether two circuits are structurally identical up to node
+// order: same node names with same kinds and same (unordered for symmetric
+// gates, ordered otherwise) fan-in names.
+func Equal(a, b *Circuit) bool {
+	if len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for _, na := range a.Nodes {
+		ib, ok := b.byName[na.Name]
+		if !ok {
+			return false
+		}
+		nb := b.Nodes[ib]
+		if na.Kind != nb.Kind || len(na.Fanin) != len(nb.Fanin) {
+			return false
+		}
+		fa := faninNames(a, na)
+		fb := faninNames(b, nb)
+		sort.Strings(fa)
+		sort.Strings(fb)
+		for i := range fa {
+			if fa[i] != fb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func faninNames(c *Circuit, n Node) []string {
+	out := make([]string, len(n.Fanin))
+	for i, f := range n.Fanin {
+		out[i] = c.Nodes[f].Name
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+// Package ckt models gate-level sequential circuits in the style of the
+// ISCAS89 benchmark set: primary inputs/outputs, D flip-flops, and
+// combinational gates. It provides the netlist data structure consumed by
+// the SSTA and insertion packages, plus a reader/writer for the `.bench`
+// format so generated benchmark circuits round-trip through files.
+package ckt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graphx"
+)
+
+// Kind enumerates node types in a netlist.
+type Kind int
+
+// Node kinds. Input and Output are circuit ports; DFF is a D flip-flop
+// (edge triggered, one data input); the rest are combinational gates.
+const (
+	Input Kind = iota
+	Output
+	DFF
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+)
+
+var kindNames = map[Kind]string{
+	Input:  "INPUT",
+	Output: "OUTPUT",
+	DFF:    "DFF",
+	Buf:    "BUF",
+	Not:    "NOT",
+	And:    "AND",
+	Nand:   "NAND",
+	Or:     "OR",
+	Nor:    "NOR",
+	Xor:    "XOR",
+	Xnor:   "XNOR",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	// Common .bench aliases.
+	m["BUFF"] = Buf
+	m["INV"] = Not
+	return m
+}()
+
+// String returns the canonical .bench name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsGate reports whether the kind is a combinational gate (not a port or FF).
+func (k Kind) IsGate() bool { return k >= Buf }
+
+// MinFanin returns the minimum legal fan-in of the kind.
+func (k Kind) MinFanin() int {
+	switch k {
+	case Input:
+		return 0
+	case Output, DFF, Buf, Not:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum legal fan-in (0 means unbounded).
+func (k Kind) MaxFanin() int {
+	switch k {
+	case Input:
+		return 0
+	case Output, DFF, Buf, Not:
+		return 1
+	default:
+		return 0 // multi-input gates are unbounded in .bench
+	}
+}
+
+// Node is one netlist element. Fanin/Fanout hold node indices into
+// Circuit.Nodes. For a DFF, Fanin[0] is the D input and Fanout lists the
+// nodes reading its Q output.
+type Node struct {
+	Name   string
+	Kind   Kind
+	Fanin  []int
+	Fanout []int
+}
+
+// Circuit is a gate-level netlist. Node order is construction order;
+// indices are stable identifiers used by every downstream package.
+type Circuit struct {
+	Name  string
+	Nodes []Node
+
+	byName map[string]int
+
+	// Cached index lists, rebuilt by Freeze.
+	inputs  []int
+	outputs []int
+	ffs     []int
+	gates   []int
+	frozen  bool
+}
+
+// New creates an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]int)}
+}
+
+// AddNode appends a node with the given name and kind and returns its index.
+// It returns an error when the name is already taken or empty.
+func (c *Circuit) AddNode(name string, kind Kind) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("ckt: empty node name")
+	}
+	if _, dup := c.byName[name]; dup {
+		return 0, fmt.Errorf("ckt: duplicate node %q", name)
+	}
+	idx := len(c.Nodes)
+	c.Nodes = append(c.Nodes, Node{Name: name, Kind: kind})
+	c.byName[name] = idx
+	c.frozen = false
+	return idx, nil
+}
+
+// MustAddNode is AddNode that panics on error, for generators and tests.
+func (c *Circuit) MustAddNode(name string, kind Kind) int {
+	idx, err := c.AddNode(name, kind)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Connect wires the output of node `from` into the next fan-in slot of node
+// `to`, updating both adjacency lists.
+func (c *Circuit) Connect(from, to int) error {
+	if from < 0 || from >= len(c.Nodes) || to < 0 || to >= len(c.Nodes) {
+		return fmt.Errorf("ckt: connect index out of range (%d→%d)", from, to)
+	}
+	if c.Nodes[to].Kind == Input {
+		return fmt.Errorf("ckt: node %q is a primary input and takes no fan-in", c.Nodes[to].Name)
+	}
+	c.Nodes[to].Fanin = append(c.Nodes[to].Fanin, from)
+	c.Nodes[from].Fanout = append(c.Nodes[from].Fanout, to)
+	c.frozen = false
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (c *Circuit) MustConnect(from, to int) {
+	if err := c.Connect(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Index returns the node index for a name.
+func (c *Circuit) Index(name string) (int, bool) {
+	i, ok := c.byName[name]
+	return i, ok
+}
+
+// Freeze rebuilds the cached index lists. It is called automatically by the
+// accessors, so explicit calls are only needed for determinism-sensitive
+// benchmarks.
+func (c *Circuit) Freeze() {
+	c.inputs = c.inputs[:0]
+	c.outputs = c.outputs[:0]
+	c.ffs = c.ffs[:0]
+	c.gates = c.gates[:0]
+	for i, n := range c.Nodes {
+		switch {
+		case n.Kind == Input:
+			c.inputs = append(c.inputs, i)
+		case n.Kind == Output:
+			c.outputs = append(c.outputs, i)
+		case n.Kind == DFF:
+			c.ffs = append(c.ffs, i)
+		default:
+			c.gates = append(c.gates, i)
+		}
+	}
+	c.frozen = true
+}
+
+func (c *Circuit) ensureFrozen() {
+	if !c.frozen {
+		c.Freeze()
+	}
+}
+
+// Inputs returns the primary input node indices in construction order.
+func (c *Circuit) Inputs() []int { c.ensureFrozen(); return c.inputs }
+
+// Outputs returns the primary output node indices.
+func (c *Circuit) Outputs() []int { c.ensureFrozen(); return c.outputs }
+
+// FFs returns the flip-flop node indices. The position of an FF in this
+// slice is its "FF id" used by the timing and insertion packages.
+func (c *Circuit) FFs() []int { c.ensureFrozen(); return c.ffs }
+
+// Gates returns the combinational gate node indices.
+func (c *Circuit) Gates() []int { c.ensureFrozen(); return c.gates }
+
+// NumFFs returns the flip-flop count (ns in the paper's Table I).
+func (c *Circuit) NumFFs() int { return len(c.FFs()) }
+
+// NumGates returns the combinational gate count (ng in Table I).
+func (c *Circuit) NumGates() int { return len(c.Gates()) }
+
+// FFID returns the FF id (position in FFs()) for a node index, or -1.
+func (c *Circuit) FFID(node int) int {
+	c.ensureFrozen()
+	// FFs are sorted by node index; binary search.
+	i := sort.SearchInts(c.ffs, node)
+	if i < len(c.ffs) && c.ffs[i] == node {
+		return i
+	}
+	return -1
+}
+
+// CombGraph returns the combinational propagation DAG: every fan-in edge
+// except those ending at a DFF's D pin. DFF nodes therefore appear only as
+// sources (their Q output drives fanout), never as intermediate vertices, so
+// the result is acyclic for any legal sequential circuit. Arrival times at a
+// DFF's D pin are read off the FF's fan-in node by the timing code.
+func (c *Circuit) CombGraph() *graphx.Digraph {
+	g := graphx.NewDigraph(len(c.Nodes))
+	for to, n := range c.Nodes {
+		if n.Kind == DFF {
+			continue
+		}
+		for _, from := range n.Fanin {
+			g.AddEdge(from, to)
+		}
+	}
+	return g
+}
+
+// Validate checks structural sanity: fan-in arities, dangling gates,
+// combinational cycles, and name table consistency.
+func (c *Circuit) Validate() error {
+	for i, n := range c.Nodes {
+		if got, want := c.byName[n.Name], i; got != want {
+			return fmt.Errorf("ckt: name table broken for %q", n.Name)
+		}
+		fi := len(n.Fanin)
+		if fi < n.Kind.MinFanin() {
+			return fmt.Errorf("ckt: node %q (%v) has fan-in %d < %d", n.Name, n.Kind, fi, n.Kind.MinFanin())
+		}
+		if mx := n.Kind.MaxFanin(); mx > 0 && fi > mx {
+			return fmt.Errorf("ckt: node %q (%v) has fan-in %d > %d", n.Name, n.Kind, fi, mx)
+		}
+		for _, f := range n.Fanin {
+			if f < 0 || f >= len(c.Nodes) {
+				return fmt.Errorf("ckt: node %q has out-of-range fan-in %d", n.Name, f)
+			}
+		}
+	}
+	// Combinational cycle check: graph over comb gates only (FF→gate edges
+	// are sources, gate→FF edges are sinks, so exclude FF-sourced traversal
+	// by checking the gate-induced subgraph).
+	g := graphx.NewDigraph(len(c.Nodes))
+	for to, n := range c.Nodes {
+		if n.Kind == DFF {
+			continue // edges into DFF cannot form comb cycles through it
+		}
+		for _, from := range n.Fanin {
+			if c.Nodes[from].Kind == DFF {
+				continue
+			}
+			g.AddEdge(from, to)
+		}
+	}
+	if g.HasCycle() {
+		return fmt.Errorf("ckt: circuit %q has a combinational cycle", c.Name)
+	}
+	return nil
+}
+
+// Stats summarizes a circuit for reporting.
+type Stats struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	FFs     int
+	Gates   int
+	Depth   int // max combinational logic depth
+}
+
+// ComputeStats returns the circuit statistics, including the maximum
+// combinational depth (gates on the longest register-to-register or
+// port-to-port path).
+func (c *Circuit) ComputeStats() (Stats, error) {
+	s := Stats{
+		Name:    c.Name,
+		Inputs:  len(c.Inputs()),
+		Outputs: len(c.Outputs()),
+		FFs:     c.NumFFs(),
+		Gates:   c.NumGates(),
+	}
+	lvl, err := c.CombGraph().Levels()
+	if err != nil {
+		return s, err
+	}
+	for i, n := range c.Nodes {
+		if n.Kind.IsGate() || n.Kind == Output || n.Kind == DFF {
+			// Depth counts gate stages; levels count edges from sources.
+			if lvl[i] > s.Depth {
+				s.Depth = lvl[i]
+			}
+		}
+	}
+	return s, nil
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.Name)
+	out.Nodes = make([]Node, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out.Nodes[i] = Node{
+			Name:   n.Name,
+			Kind:   n.Kind,
+			Fanin:  append([]int(nil), n.Fanin...),
+			Fanout: append([]int(nil), n.Fanout...),
+		}
+		out.byName[n.Name] = i
+	}
+	return out
+}
+
+// String returns a short human-readable summary.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s: %d inputs, %d outputs, %d FFs, %d gates",
+		c.Name, len(c.Inputs()), len(c.Outputs()), c.NumFFs(), c.NumGates())
+	return b.String()
+}

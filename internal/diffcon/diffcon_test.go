@@ -1,0 +1,382 @@
+package diffcon
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+func TestSimpleFeasible(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(0, 1, 3)  // x0 − x1 ≤ 3
+	s.Add(1, 0, -1) // x1 − x0 ≤ −1 → x0 ≥ x1 + 1
+	x, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Check(x, 1e-9); !ok {
+		t.Fatalf("solution violates constraints: %v", x)
+	}
+}
+
+func TestInfeasibleCycle(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(0, 1, 1)  // x0 ≤ x1 + 1
+	s.Add(1, 0, -2) // x1 ≤ x0 − 2 → cycle weight −1
+	if s.Feasible() {
+		t.Fatal("negative cycle must be infeasible")
+	}
+	if _, err := s.Solve(); err != ErrInfeasible {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOriginBounds(t *testing.T) {
+	s := NewSystem(1)
+	s.AddUpper(0, 5)
+	s.AddLower(0, 2)
+	x, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < 2-1e-9 || x[0] > 5+1e-9 {
+		t.Fatalf("x0 = %v outside [2,5]", x[0])
+	}
+	// Contradictory bounds.
+	s2 := NewSystem(1)
+	s2.AddUpper(0, 1)
+	s2.AddLower(0, 2)
+	if s2.Feasible() {
+		t.Fatal("x ≤ 1 and x ≥ 2 must be infeasible")
+	}
+}
+
+func TestTimingConstraintShape(t *testing.T) {
+	// Setup: xi + d ≤ xj + T − s  →  xi − xj ≤ T − s − d.
+	// Hold:  xi + dmin ≥ xj + h  →  xj − xi ≤ dmin − h.
+	// With T=10, s=1, d=12, dmin=5, h=1: xi − xj ≤ −3, xj − xi ≤ 4.
+	s := NewSystem(2)
+	s.Add(0, 1, -3)
+	s.Add(1, 0, 4)
+	// Windows: both in [−4, 4].
+	for v := 0; v < 2; v++ {
+		s.AddUpper(v, 4)
+		s.AddLower(v, -4)
+	}
+	x, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0]-x[1] > -3+1e-9 {
+		t.Fatalf("setup constraint violated: %v", x)
+	}
+	// Shrink windows so it becomes infeasible: need x0 ≤ x1 − 3 but both
+	// in [−1, 1] still allows x0=−1, x1=2? No: x1 ≤ 1, x0 ≥ −1 → x0−x1 ≥ −2 > −3.
+	s2 := NewSystem(2)
+	s2.Add(0, 1, -3)
+	s2.Add(1, 0, 4)
+	for v := 0; v < 2; v++ {
+		s2.AddUpper(v, 1)
+		s2.AddLower(v, -1)
+	}
+	if s2.Feasible() {
+		t.Fatal("tight windows must make the system infeasible")
+	}
+}
+
+func TestCheckReportsViolation(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(0, 1, 1)
+	bad := []float64{5, 0}
+	c, ok := s.Check(bad, 1e-9)
+	if ok {
+		t.Fatal("violation not detected")
+	}
+	if c.I != 0 || c.J != 1 {
+		t.Fatalf("wrong constraint reported: %+v", c)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"neg system":    func() { NewSystem(-1) },
+		"origin-origin": func() { NewSystem(1).Add(Origin, Origin, 1) },
+		"out of range":  func() { NewSystem(1).Add(0, 5, 1) },
+		"int neg":       func() { NewIntSystem(-1) },
+		"int oor":       func() { NewIntSystem(1).Add(3, 0, 1) },
+		"grid step":     func() { GridBound(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: diffcon feasibility agrees with LP feasibility on random
+// systems.
+func TestAgreesWithLP(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		n := 2 + rng.IntN(5)
+		m := 1 + rng.IntN(12)
+		s := NewSystem(n)
+		p := lp.NewProblem()
+		for v := 0; v < n; v++ {
+			p.AddVar(-lp.Inf, lp.Inf, 0, "x")
+		}
+		for k := 0; k < m; k++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i == j {
+				continue
+			}
+			b := float64(rng.IntN(9) - 4)
+			s.Add(i, j, b)
+			p.AddRow(lp.LE, b, lp.T(i, 1), lp.T(j, -1))
+		}
+		// A few origin bounds.
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.5 {
+				ub := float64(rng.IntN(6))
+				lb := ub - float64(rng.IntN(10))
+				s.AddUpper(v, ub)
+				s.AddLower(v, lb)
+				p.SetBounds(v, lb, ub)
+			}
+		}
+		sol, errLP := p.Solve()
+		if errLP != nil {
+			return false
+		}
+		return s.Feasible() == (sol.Status == lp.Optimal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any solution returned satisfies all constraints.
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 43))
+		n := 1 + rng.IntN(6)
+		s := NewSystem(n)
+		for k := 0; k < rng.IntN(15); k++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i == j {
+				continue
+			}
+			s.Add(i, j, rng.Float64()*8-2)
+		}
+		x, err := s.Solve()
+		if err != nil {
+			return true // infeasible is a legal outcome
+		}
+		_, ok := s.Check(x, 1e-9)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntSystemBasic(t *testing.T) {
+	s := NewIntSystem(2)
+	s.Add(0, 1, -3)
+	s.Add(1, 0, 5)
+	s.AddUpper(0, 10)
+	s.AddLower(0, -10)
+	s.AddUpper(1, 10)
+	s.AddLower(1, -10)
+	x, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Check(x) {
+		t.Fatalf("int solution violates constraints: %v", x)
+	}
+	if x[0]-x[1] > -3 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestIntSystemInfeasible(t *testing.T) {
+	s := NewIntSystem(2)
+	s.Add(0, 1, 0)
+	s.Add(1, 0, -1)
+	if s.Feasible() {
+		t.Fatal("must be infeasible")
+	}
+}
+
+func TestGridBound(t *testing.T) {
+	if GridBound(10, 3) != 3 {
+		t.Fatalf("GridBound(10,3) = %d", GridBound(10, 3))
+	}
+	if GridBound(-10, 3) != -4 {
+		t.Fatalf("GridBound(-10,3) = %d", GridBound(-10, 3))
+	}
+	// Exactly on grid: epsilon keeps it at the multiple.
+	if GridBound(9, 3) != 3 {
+		t.Fatalf("GridBound(9,3) = %d", GridBound(9, 3))
+	}
+	if GridBound(2.9999999999, 3) != 1 {
+		t.Fatalf("GridBound near multiple = %d", GridBound(2.9999999999, 3))
+	}
+}
+
+// Property: integer-grid feasibility equals discrete feasibility by brute
+// force on tiny systems: variables k ∈ [−3, 3], constraints step·kᵢ − step·kⱼ ≤ b.
+func TestGridExactness(t *testing.T) {
+	const step = 0.7
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 47))
+		n := 1 + rng.IntN(3)
+		type rcon struct {
+			i, j int
+			b    float64
+		}
+		var rcons []rcon
+		for k := 0; k < rng.IntN(6); k++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i == j {
+				continue
+			}
+			rcons = append(rcons, rcon{i, j, rng.Float64()*6 - 3})
+		}
+		s := NewIntSystem(n)
+		for _, c := range rcons {
+			s.Add(c.i, c.j, GridBound(c.b, step))
+		}
+		for v := 0; v < n; v++ {
+			s.AddUpper(v, 3)
+			s.AddLower(v, -3)
+		}
+		// Brute force over k ∈ [−3,3]^n.
+		var feasible bool
+		k := make([]int, n)
+		var rec func(v int) bool
+		rec = func(v int) bool {
+			if v == n {
+				for _, c := range rcons {
+					if step*float64(k[c.i])-step*float64(k[c.j]) > c.b+1e-12 {
+						return false
+					}
+				}
+				return true
+			}
+			for kk := -3; kk <= 3; kk++ {
+				k[v] = kk
+				if rec(v + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		feasible = rec(0)
+		return s.Feasible() == feasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := NewSystem(3)
+	s.Add(0, 1, 2)
+	if s.N() != 3 || s.NumConstraints() != 1 {
+		t.Fatal("counts")
+	}
+	if len(s.Constraints()) != 1 {
+		t.Fatal("constraints accessor")
+	}
+	is := NewIntSystem(2)
+	if is.N() != 2 {
+		t.Fatal("int N")
+	}
+}
+
+func TestLargeChainPerformance(t *testing.T) {
+	// A 2000-variable chain must solve quickly (SPFA linear-ish).
+	n := 2000
+	s := NewIntSystem(n)
+	for i := 1; i < n; i++ {
+		s.Add(i, i-1, 1)
+		s.Add(i-1, i, 0)
+	}
+	s.AddLower(0, 0)
+	s.AddUpper(n-1, int64(n))
+	x, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Check(x) {
+		t.Fatal("chain solution invalid")
+	}
+}
+
+func TestFloatCheckTolerance(t *testing.T) {
+	s := NewSystem(1)
+	s.AddUpper(0, 1)
+	if _, ok := s.Check([]float64{1 + 1e-12}, 1e-9); !ok {
+		t.Fatal("tolerance should absorb tiny violations")
+	}
+	if _, ok := s.Check([]float64{1.1}, 1e-9); ok {
+		t.Fatal("real violations must be caught")
+	}
+	_ = math.Pi
+}
+
+// Property: Solve is deterministic and its solution always passes Check;
+// adding a redundant constraint implied by the solution keeps the system
+// feasible.
+func TestSolveDeterministicAndConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 53))
+		n := 1 + rng.IntN(5)
+		build := func() *System {
+			r2 := rand.New(rand.NewPCG(seed, 53))
+			_ = r2
+			s := NewSystem(n)
+			rr := rand.New(rand.NewPCG(seed, 99))
+			for v := 0; v < n; v++ {
+				s.AddUpper(v, float64(rr.IntN(10)))
+				s.AddLower(v, float64(-rr.IntN(10)-1))
+			}
+			for k := 0; k < rr.IntN(8); k++ {
+				i, j := rr.IntN(n), rr.IntN(n)
+				if i != j {
+					s.Add(i, j, float64(rr.IntN(7)-2))
+				}
+			}
+			return s
+		}
+		s1, s2 := build(), build()
+		x1, err1 := s1.Solve()
+		x2, err2 := s2.Solve()
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		for v := range x1 {
+			if x1[v] != x2[v] {
+				return false
+			}
+		}
+		// Adding a constraint the solution satisfies keeps feasibility.
+		s1.Add(0, Origin, x1[0]+1)
+		return s1.Feasible()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package expt orchestrates the paper's experiments: it prepares benchmark
+// instances (circuit → SSTA → skewed timing graph → placement → period
+// distribution) and runs the Table I rows and the Fig. 4/5 data extraction.
+// The cmd/ binaries and the root bench harness are thin wrappers over this
+// package, so every reported number is produced by exactly one code path.
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/ckt"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/placement"
+	"repro/internal/ssta"
+	"repro/internal/timing"
+	"repro/internal/variation"
+	"repro/internal/yield"
+)
+
+// Bench is a fully prepared benchmark instance.
+type Bench struct {
+	Name      string
+	Circuit   *ckt.Circuit
+	Graph     *timing.Graph
+	Placement *placement.Placement
+	Period    mc.PeriodStats
+}
+
+// Options configure benchmark preparation.
+type Options struct {
+	// SkewFrac scales injected clock skews relative to the largest nominal
+	// pair delay (0 = default 0.03, negative = no skew).
+	SkewFrac float64
+	// PeriodSamples sets the Monte Carlo size for µT/σT (0 = 4000).
+	PeriodSamples int
+	// Seed offsets the skew/period sampling universes (0 = fixed default).
+	Seed uint64
+	// Regions splits the die into spatial correlation regions: process
+	// parameters are fully correlated within a region and independent
+	// across regions (the canonical model [3] supports this natively;
+	// the paper's setting is one region). 0 or 1 = single region.
+	Regions int
+}
+
+func (o *Options) fill() {
+	if o.SkewFrac == 0 {
+		o.SkewFrac = 0.03
+	}
+	if o.PeriodSamples == 0 {
+		o.PeriodSamples = 4000
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xBEEF
+	}
+}
+
+// Prepare builds a Bench from a circuit.
+func Prepare(c *ckt.Circuit, opt Options) (*Bench, error) {
+	opt.fill()
+	model := variation.NewModel(cells.Default())
+	if opt.Regions > 1 {
+		model.Space = variation.Space{Params: model.Space.Params, Regions: opt.Regions}
+		model.RegionOf = RegionAssigner(c, opt.Regions)
+	}
+	a, err := ssta.New(c, model)
+	if err != nil {
+		return nil, err
+	}
+	g := timing.Build(a, nil)
+	if opt.SkewFrac > 0 {
+		sk := g.HoldSafeSkews(timing.SkewSigma(g.Pairs, opt.SkewFrac), opt.Seed+1)
+		g = g.WithSkew(sk)
+	}
+	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
+	ps := mc.New(g, opt.Seed+2).PeriodDistribution(opt.PeriodSamples)
+	return &Bench{Name: c.Name, Circuit: c, Graph: g, Placement: pl, Period: ps}, nil
+}
+
+// RegionAssigner maps every netlist node to one of `regions` spatial
+// regions. Flip-flops partition by id blocks — generated circuits draw
+// launch/capture pairs from a locality window over ids, so id blocks are
+// physically coherent neighborhoods — and each gate inherits the region of
+// the capture flip-flop its fan-out cone feeds (gates sit next to the
+// registers they drive). Nodes reaching no flip-flop (output cones) land in
+// region 0.
+func RegionAssigner(c *ckt.Circuit, regions int) func(node int) int {
+	ns := c.NumFFs()
+	if ns == 0 || regions < 1 {
+		return func(int) int { return 0 }
+	}
+	memo := make([]int, len(c.Nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	ffRegion := func(ffid int) int {
+		r := ffid * regions / ns
+		if r >= regions {
+			r = regions - 1
+		}
+		return r
+	}
+	var regionOf func(node, depth int) int
+	regionOf = func(node, depth int) int {
+		if memo[node] >= 0 {
+			return memo[node]
+		}
+		if depth > len(c.Nodes) {
+			return 0 // cycle guard (illegal netlists only)
+		}
+		n := c.Nodes[node]
+		var r int
+		switch {
+		case n.Kind == ckt.DFF:
+			r = ffRegion(c.FFID(node))
+		case len(n.Fanout) == 0:
+			r = 0
+		default:
+			r = regionOf(n.Fanout[0], depth+1)
+		}
+		memo[node] = r
+		return r
+	}
+	return func(node int) int {
+		if node < 0 || node >= len(c.Nodes) {
+			return 0
+		}
+		return regionOf(node, 0)
+	}
+}
+
+// PreparePreset builds a Bench for one of the paper's Table I circuits.
+func PreparePreset(name string, opt Options) (*Bench, error) {
+	p, err := gen.PresetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(c, opt)
+}
+
+// Target identifies one of Table I's three clock-period settings.
+type Target int
+
+// Table I period targets.
+const (
+	MuT Target = iota
+	MuTPlusSigma
+	MuTPlus2Sigma
+)
+
+// String names the target as in the Table I column groups.
+func (t Target) String() string {
+	switch t {
+	case MuT:
+		return "muT"
+	case MuTPlusSigma:
+		return "muT+sigma"
+	case MuTPlus2Sigma:
+		return "muT+2sigma"
+	}
+	return "?"
+}
+
+// Period returns the target period for a bench.
+func (b *Bench) PeriodFor(t Target) float64 {
+	switch t {
+	case MuT:
+		return b.Period.Mu
+	case MuTPlusSigma:
+		return b.Period.Mu + b.Period.Sigma
+	case MuTPlus2Sigma:
+		return b.Period.Mu + 2*b.Period.Sigma
+	}
+	panic("expt: unknown target")
+}
+
+// Targets lists the three Table I settings.
+var Targets = []Target{MuT, MuTPlusSigma, MuTPlus2Sigma}
+
+// RowConfig sets sample budgets for one Table I row.
+type RowConfig struct {
+	// InsertSamples is |M| for the insertion flow (paper: 10 000).
+	InsertSamples int
+	// EvalSamples is the fresh-chip count for Yo/Y measurement.
+	EvalSamples int
+	// Seed for the insertion sampling universe (eval uses Seed+0x1000).
+	Seed uint64
+	// MaxBuffers optionally caps the physical buffer count.
+	MaxBuffers int
+	// Workers bounds parallelism (0 = all cores).
+	Workers int
+}
+
+func (rc *RowConfig) fill() {
+	if rc.InsertSamples == 0 {
+		rc.InsertSamples = 2000
+	}
+	if rc.EvalSamples == 0 {
+		rc.EvalSamples = 4000
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 0xF00D
+	}
+}
+
+// Row is one Table I entry: a circuit at one period target.
+type Row struct {
+	Circuit  string
+	NS, NG   int
+	Target   Target
+	T        float64
+	Nb       int     // physical buffers (after grouping)
+	Ab       float64 // average range in steps
+	Yo       float64 // original yield %
+	Y        float64 // yield with buffers %
+	Yi       float64 // improvement, percentage points
+	Runtime  time.Duration
+	Insert   *insertion.Result
+	YieldRep yield.Report
+}
+
+// RunRow executes the full flow + yield measurement for one target.
+func RunRow(b *Bench, target Target, rc RowConfig) (Row, error) {
+	rc.fill()
+	T := b.PeriodFor(target)
+	start := time.Now()
+	res, err := insertion.Run(b.Graph, b.Placement, insertion.Config{
+		T:          T,
+		Samples:    rc.InsertSamples,
+		Seed:       rc.Seed,
+		MaxBuffers: rc.MaxBuffers,
+		Workers:    rc.Workers,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("expt: insertion on %s@%v: %w", b.Name, target, err)
+	}
+	elapsed := time.Since(start)
+	ev, err := yield.NewEvaluator(b.Graph, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		return Row{}, err
+	}
+	eng := mc.New(b.Graph, rc.Seed+0x1000)
+	eng.Workers = rc.Workers
+	rep := yield.Evaluate(ev, eng, rc.EvalSamples, T)
+	return Row{
+		Circuit:  b.Name,
+		NS:       b.Graph.NS,
+		NG:       b.Circuit.NumGates(),
+		Target:   target,
+		T:        T,
+		Nb:       res.NumPhysicalBuffers(),
+		Ab:       res.AvgRangeSteps(),
+		Yo:       rep.Original.Percent(),
+		Y:        rep.Tuned.Percent(),
+		Yi:       rep.Improvement(),
+		Runtime:  elapsed,
+		Insert:   res,
+		YieldRep: rep,
+	}, nil
+}
+
+// Fig4Node is one node of the pruning illustration: an FF with its step-1
+// tuning count and whether pruning removed it.
+type Fig4Node struct {
+	FF     int
+	Count  int
+	Pruned bool
+}
+
+// Fig4Data extracts the pruning picture (paper Fig. 4) from a flow result:
+// every FF that was tuned at least once, its count, and its pruning fate.
+func Fig4Data(res *insertion.Result) []Fig4Node {
+	pruned := map[int]bool{}
+	for _, ff := range res.Stats.PrunedFFs {
+		pruned[ff] = true
+	}
+	var out []Fig4Node
+	for ff, n := range res.Stats.TuneCountStep1 {
+		if n == 0 {
+			continue
+		}
+		out = append(out, Fig4Node{FF: ff, Count: n, Pruned: pruned[ff]})
+	}
+	return out
+}
+
+// Fig5Series is the tuning-value histogram data of one buffer in one step.
+type Fig5Series struct {
+	FF     int
+	Step   int // 1 = after step-1 concentration, 2 = after step-2
+	Values []float64
+}
+
+// Fig5Data returns the tuning-value series for the most-used buffer (or
+// ff = −1 to select automatically), reproducing the three panels of Fig. 5:
+// the step-1 values (panel a/b: scattered, then window assignment) and the
+// step-2 values (panel c: concentrated around the average).
+func Fig5Data(res *insertion.Result, ff int) (s1, s2 Fig5Series, ok bool) {
+	if ff < 0 {
+		best := -1
+		for _, b := range res.Buffers {
+			if best < 0 || b.Uses > best {
+				best = b.Uses
+				ff = b.FF
+			}
+		}
+		if ff < 0 {
+			return s1, s2, false
+		}
+	}
+	v1, ok1 := res.Stats.ValuesStep1[ff]
+	v2, ok2 := res.Stats.ValuesStep2[ff]
+	if !ok1 && !ok2 {
+		return s1, s2, false
+	}
+	s1 = Fig5Series{FF: ff, Step: 1, Values: v1}
+	s2 = Fig5Series{FF: ff, Step: 2, Values: v2}
+	return s1, s2, true
+}

@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ckt"
+)
+
+// Preset describes one of the paper's benchmark circuits (Table I): the
+// exact flip-flop count ns and combinational gate count ng. The first four
+// are ISCAS89 circuits, the rest come from the TAU 2013 variation-aware
+// timing contest suite.
+type Preset struct {
+	Name  string
+	FFs   int // ns in Table I
+	Gates int // ng in Table I
+}
+
+// Presets lists the paper's eight benchmarks in Table I order.
+var Presets = []Preset{
+	{Name: "s9234", FFs: 211, Gates: 5597},
+	{Name: "s13207", FFs: 638, Gates: 7951},
+	{Name: "s15850", FFs: 534, Gates: 9772},
+	{Name: "s38584", FFs: 1426, Gates: 19253},
+	{Name: "mem_ctrl", FFs: 1065, Gates: 10327},
+	{Name: "usb_funct", FFs: 1746, Gates: 14381},
+	{Name: "ac97_ctrl", FFs: 2199, Gates: 9208},
+	{Name: "pci_bridge32", FFs: 3321, Gates: 12494},
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Presets))
+	for i, p := range Presets {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, names)
+}
+
+// Config returns the generator configuration for the preset. The seed is
+// fixed per benchmark so every run of the experiments sees the same
+// circuit, mirroring a fixed benchmark suite.
+func (p Preset) Config() Config {
+	// Distinct stable seed per benchmark, derived from the name.
+	var seed uint64 = 0xDA7E2016
+	for _, r := range p.Name {
+		seed = seed*131 + uint64(r)
+	}
+	return Config{
+		Name:     p.Name,
+		NumFFs:   p.FFs,
+		NumGates: p.Gates,
+		Seed:     seed,
+	}
+}
+
+// Build generates the preset's circuit.
+func (p Preset) Build() (*ckt.Circuit, error) {
+	return Generate(p.Config())
+}

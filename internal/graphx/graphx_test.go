@@ -1,0 +1,263 @@
+package graphx
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopoSortLinear(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i, v := range order {
+		if v != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if !g.HasCycle() {
+		t.Fatal("HasCycle should be true")
+	}
+}
+
+func TestTopoSortPropertyRandomDAG(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 2 + rng.IntN(30)
+		g := NewDigraph(n)
+		// Edges only from lower to higher ids: always a DAG.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := range g.Adj {
+			for _, v := range g.Adj[u] {
+				if pos[u] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	// Diamond: 0→1→3, 0→2→3, plus long path 0→1→2 makes 3 at level 3.
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 2)
+	lvl, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if lvl[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", lvl, want)
+		}
+	}
+}
+
+func TestLevelsCycle(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := g.Levels(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := NewDigraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	seen := g.ReachableFrom(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("reachable = %v", seen)
+		}
+	}
+	seen = g.ReachableFrom(0, 3)
+	for i, w := range []bool{true, true, true, true, true} {
+		if seen[i] != w {
+			t.Fatalf("multi-seed reachable = %v", seen)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.Reverse()
+	if r.EdgeCount() != 2 {
+		t.Fatalf("edge count = %d", r.EdgeCount())
+	}
+	seen := r.ReachableFrom(2)
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("reverse reachability broken: %v", seen)
+	}
+}
+
+func TestInDegreesEdgeCount(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	deg := g.InDegrees()
+	if deg[2] != 2 || deg[0] != 0 {
+		t.Fatalf("deg = %v", deg)
+	}
+	if g.EdgeCount() != 2 {
+		t.Fatalf("edges = %d", g.EdgeCount())
+	}
+}
+
+func TestUgraphComponents(t *testing.T) {
+	g := NewUgraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comps, compOf := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if compOf[0] != compOf[2] || compOf[0] == compOf[3] || compOf[5] == compOf[3] {
+		t.Fatalf("compOf = %v", compOf)
+	}
+}
+
+func TestUgraphComponentsOf(t *testing.T) {
+	g := NewUgraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	// Deactivate vertex 1: 0 separates from {2,3}.
+	active := []bool{true, false, true, true, true}
+	comps, compOf := g.ComponentsOf(active)
+	if len(comps) != 3 { // {0}, {2,3}, {4}
+		t.Fatalf("comps = %v", comps)
+	}
+	if compOf[1] != -1 {
+		t.Fatal("inactive vertex must have comp -1")
+	}
+	if compOf[2] != compOf[3] || compOf[0] == compOf[2] {
+		t.Fatalf("compOf = %v", compOf)
+	}
+}
+
+func TestUgraphSelfLoopIgnored(t *testing.T) {
+	g := NewUgraph(2)
+	g.AddEdge(0, 0)
+	if g.Degree(0) != 0 {
+		t.Fatal("self loop should be ignored")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 {
+		t.Fatalf("sets = %d", u.Sets())
+	}
+	if !u.Union(0, 1) || !u.Union(1, 2) {
+		t.Fatal("unions should merge")
+	}
+	if u.Union(0, 2) {
+		t.Fatal("already same set")
+	}
+	if u.Sets() != 3 {
+		t.Fatalf("sets = %d", u.Sets())
+	}
+	if !u.Same(0, 2) || u.Same(0, 3) {
+		t.Fatal("Same broken")
+	}
+	groups := u.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 5 {
+		t.Fatalf("groups must partition: %v", groups)
+	}
+}
+
+func TestUnionFindProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 2 + rng.IntN(40)
+		u := NewUnionFind(n)
+		// Mirror with a naive labeling.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(a, b int) {
+			la, lb := label[a], label[b]
+			if la == lb {
+				return
+			}
+			for i := range label {
+				if label[i] == lb {
+					label[i] = la
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.IntN(n), rng.IntN(n)
+			u.Union(a, b)
+			relabel(a, b)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if u.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		return u.Sets() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package insertion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/mc"
+	"repro/internal/placement"
+	"repro/internal/timing"
+)
+
+// Run executes the full three-step flow (paper Fig. 3) on a timing graph:
+// step 1 locates buffers and window lower bounds with floating-bound ILPs,
+// step 2 re-simulates with fixed discrete windows and concentrates values
+// toward their averages, step 3 groups correlated nearby buffers. pl may be
+// nil, in which case grouping uses correlation only (infinite distances are
+// never below the threshold, so buffers stay ungrouped unless pl is given —
+// matching a flow run before placement).
+func Run(g *timing.Graph, pl *placement.Placement, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	res := &Result{Cfg: cfg}
+	res.Stats.Samples = cfg.Samples
+	eng := mc.New(g, cfg.Seed)
+	eng.Workers = cfg.Workers
+
+	// ---------- Step 1: floating lower bounds (§III-A1, III-A3) ----------
+	s1 := runPass(g, eng, cfg, modeFloating, nil, nil, nil)
+	res.Stats.InfeasibleStep1 = s1.infeasible
+	res.Stats.SelfLoopFailures = s1.selfLoop
+	res.Stats.ZeroViolation = s1.zeroViolation
+	res.Stats.TruncatedComps = s1.truncated
+	res.Stats.TuneCountStep1 = s1.counts
+	res.Stats.ValuesStep1 = s1.values
+
+	// ---------- Pruning (§III-A2) ----------
+	var kept, pruned []int
+	if cfg.NoPruning {
+		for ff := 0; ff < g.NS; ff++ {
+			if s1.counts[ff] > 0 {
+				kept = append(kept, ff)
+			}
+		}
+	} else {
+		kept, pruned = prune(g, s1.counts, cfg)
+	}
+	res.Stats.KeptFFs = kept
+	res.Stats.PrunedFFs = pruned
+
+	// ---------- Window assignment (§III-A4) ----------
+	lower := assignWindows(g.NS, kept, s1.values, cfg.Spec)
+
+	// ---------- Step-2 skip rule (§III-B1) ----------
+	allowed := make([]bool, g.NS)
+	for _, ff := range kept {
+		allowed[ff] = true
+	}
+	missing := 0
+	for _, tns := range s1.perSample {
+		out := false
+		for _, tn := range tns {
+			if !allowed[tn.FF] {
+				out = true
+				break
+			}
+			lo := lower[tn.FF]
+			if tn.Val < lo-1e-9 || tn.Val > lo+cfg.Spec.MaxRange+1e-9 {
+				out = true
+				break
+			}
+		}
+		if out {
+			missing++
+		}
+	}
+	res.Stats.MissingFrac = float64(missing) / float64(max(1, cfg.Samples))
+	res.Stats.SkippedB1 = res.Stats.MissingFrac < cfg.SkipRerunFrac
+
+	// ---------- Step 2: fixed bounds (§III-B1, III-B2) ----------
+	// Concentration centers: average of the latest tuning values per FF.
+	var avgSource map[int][]float64
+	if res.Stats.SkippedB1 {
+		avgSource = s1.values
+	} else {
+		b1 := runPass(g, eng, cfg, modeFixed, allowed, lower, nil)
+		avgSource = b1.values
+	}
+	center := make([]float64, g.NS)
+	for ff, vals := range avgSource {
+		if len(vals) > 0 && allowed[ff] {
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			// Snap the target to the buffer's grid so concentration pulls
+			// toward an achievable value.
+			c := sum / float64(len(vals))
+			step := cfg.Spec.Step()
+			k := math.Round((c - lower[ff]) / step)
+			k = math.Max(0, math.Min(float64(cfg.Spec.Steps), k))
+			center[ff] = lower[ff] + k*step
+		}
+	}
+	s2 := runPass(g, eng, cfg, modeFixed, allowed, lower, center)
+	res.Stats.InfeasibleStep2 = s2.infeasible + s2.selfLoop
+	res.Stats.ValuesStep2 = s2.values
+
+	// ---------- Final ranges (§III-B2, Fig. 5c) ----------
+	step := cfg.Spec.Step()
+	for _, ff := range kept {
+		vals := s2.values[ff]
+		if len(vals) == 0 {
+			continue // never used with fixed windows: no buffer needed
+		}
+		lo, hi := vals[0], vals[0]
+		sum := 0.0
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			sum += v
+		}
+		// The range must allow the neutral setting x=0.
+		lo = math.Min(lo, 0)
+		hi = math.Max(hi, 0)
+		res.Buffers = append(res.Buffers, Buffer{
+			FF:         ff,
+			Lower:      lower[ff],
+			Lo:         lo,
+			Hi:         hi,
+			RangeSteps: int(math.Round((hi - lo) / step)),
+			Uses:       len(vals),
+			Avg:        sum / float64(len(vals)),
+		})
+	}
+	sort.Slice(res.Buffers, func(i, j int) bool { return res.Buffers[i].FF < res.Buffers[j].FF })
+
+	// ---------- Step 3: grouping (§III-C) ----------
+	if cfg.NoGrouping {
+		for _, b := range res.Buffers {
+			res.Groups = append(res.Groups, Group{FFs: []int{b.FF}, Lo: b.Lo, Hi: b.Hi, Uses: b.Uses})
+		}
+		res.Groups = capGroups(res.Groups, cfg.MaxBuffers)
+		return res, nil
+	}
+	// Sample-aligned tuning vectors for the correlation of §III-C.
+	dense := make(map[int][]float64, len(res.Buffers))
+	for _, b := range res.Buffers {
+		dense[b.FF] = make([]float64, cfg.Samples)
+	}
+	for k, tns := range s2.perSample {
+		for _, tn := range tns {
+			if v, ok := dense[tn.FF]; ok {
+				v[k] = tn.Val
+			}
+		}
+	}
+	res.Groups = groupBuffers(res.Buffers, dense, cfg, pl)
+	return res, nil
+}
+
+// passResult aggregates one sampling pass.
+type passResult struct {
+	counts        []int
+	values        map[int][]float64
+	perSample     [][]tuning
+	nk            []int
+	infeasible    int
+	selfLoop      int
+	zeroViolation int
+	truncated     int
+}
+
+// runPass runs one full Monte Carlo ILP pass in parallel. Per-sample
+// results land in arrays indexed by the sample id (each written exactly
+// once, so no locking) and are reduced sequentially afterward — the
+// aggregate statistics are bit-identical regardless of worker scheduling.
+func runPass(g *timing.Graph, eng *mc.Engine, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *passResult {
+	raw := make([]sampleOutcome, cfg.Samples)
+	var solverPool = sync.Pool{New: func() any {
+		return newSampleSolver(g, cfg, mode, allowed, lower, center)
+	}}
+	eng.ForEach(cfg.Samples, func(k int, ch *timing.Chip) {
+		sv := solverPool.Get().(*sampleSolver)
+		raw[k] = sv.solve(ch)
+		solverPool.Put(sv)
+	})
+	pr := &passResult{
+		counts:    make([]int, g.NS),
+		values:    make(map[int][]float64),
+		perSample: make([][]tuning, cfg.Samples),
+		nk:        make([]int, cfg.Samples),
+	}
+	for k := range raw {
+		out := &raw[k]
+		pr.nk[k] = out.nk
+		pr.truncated += out.truncated
+		switch {
+		case out.selfLoopFail:
+			pr.selfLoop++
+		case !out.feasible:
+			pr.infeasible++
+		case out.nk == 0:
+			pr.zeroViolation++
+		}
+		if out.feasible && len(out.tuned) > 0 {
+			pr.perSample[k] = out.tuned
+			for _, tn := range out.tuned {
+				pr.counts[tn.FF]++
+				pr.values[tn.FF] = append(pr.values[tn.FF], tn.Val)
+			}
+		}
+	}
+	return pr
+}
+
+// prune implements §III-A2: drop FFs tuned in at most PruneMax samples
+// unless adjacent (in the FF pair graph) to a critical FF tuned at least
+// CriticalMin times.
+func prune(g *timing.Graph, counts []int, cfg Config) (kept, pruned []int) {
+	adjPairs := g.PairAdjacency()
+	isCritical := func(ff int) bool { return counts[ff] >= cfg.CriticalMin }
+	for ff := 0; ff < g.NS; ff++ {
+		if counts[ff] == 0 {
+			continue // never tuned: not a buffer candidate at all
+		}
+		if counts[ff] > cfg.PruneMax || isCritical(ff) {
+			kept = append(kept, ff)
+			continue
+		}
+		nearCritical := false
+		for _, p := range adjPairs[ff] {
+			pr := &g.Pairs[p]
+			other := pr.Launch + pr.Capture - ff
+			if other != ff && isCritical(other) {
+				nearCritical = true
+				break
+			}
+		}
+		if nearCritical {
+			kept = append(kept, ff)
+		} else {
+			pruned = append(pruned, ff)
+		}
+	}
+	return kept, pruned
+}
+
+// assignWindows implements §III-A4: per kept FF, slide a window of width τ
+// (grid-aligned, covering 0 per constraint (13)) over the step-1 tuning
+// values and keep the left edge covering the most values.
+func assignWindows(ns int, kept []int, values map[int][]float64, spec BufferSpec) []float64 {
+	lower := make([]float64, ns)
+	step := spec.Step()
+	for _, ff := range kept {
+		vals := values[ff]
+		if len(vals) == 0 {
+			continue
+		}
+		bestCover := -1
+		bestLower := 0.0
+		// Candidate left edges: −m·s for m = 0..Steps (window always
+		// contains 0, satisfying r ≤ 0 ≤ r+τ).
+		for m := 0; m <= spec.Steps; m++ {
+			lo := -float64(m) * step
+			hi := lo + spec.MaxRange
+			cover := 0
+			for _, v := range vals {
+				if v >= lo-1e-9 && v <= hi+1e-9 {
+					cover++
+				}
+			}
+			if cover > bestCover {
+				bestCover = cover
+				bestLower = lo
+			}
+		}
+		lower[ff] = bestLower
+	}
+	return lower
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String summarizes a result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("insertion: %d buffers in %d groups (avg range %.2f steps), %d/%d samples unfixable",
+		len(r.Buffers), len(r.Groups), r.AvgRangeSteps(),
+		r.Stats.InfeasibleStep2, r.Stats.Samples)
+}

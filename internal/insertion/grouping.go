@@ -1,0 +1,108 @@
+package insertion
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/placement"
+	"repro/internal/stat"
+)
+
+// groupBuffers implements §III-C: buffers whose tuning values are mutually
+// correlated above rt and whose pairwise Manhattan distance is at most dt
+// share one physical buffer (greedy clique cover, highest-use buffers
+// first). When the group count still exceeds MaxBuffers, groups with the
+// fewest tunings are dropped. dense maps each buffer's FF to its
+// sample-aligned tuning vector (entry k = tuning in sample k, 0 when
+// untuned), which is what the correlation of §III-C is computed over.
+func groupBuffers(buffers []Buffer, dense map[int][]float64, cfg Config, pl *placement.Placement) []Group {
+	if len(buffers) == 0 {
+		return nil
+	}
+	series := make([][]float64, len(buffers))
+	for i, b := range buffers {
+		series[i] = dense[b.FF]
+	}
+	// Order by uses descending (most-used buffers seed groups first).
+	order := make([]int, len(buffers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if buffers[order[a]].Uses != buffers[order[b]].Uses {
+			return buffers[order[a]].Uses > buffers[order[b]].Uses
+		}
+		return buffers[order[a]].FF < buffers[order[b]].FF
+	})
+	corr := stat.CorrelationMatrix(series)
+	dist := func(i, j int) int {
+		if pl == nil {
+			return math.MaxInt32
+		}
+		return pl.Distance(buffers[i].FF, buffers[j].FF)
+	}
+	grouped := make([]bool, len(buffers))
+	var groups []Group
+	for _, i := range order {
+		if grouped[i] {
+			continue
+		}
+		members := []int{i}
+		grouped[i] = true
+		lo, hi := buffers[i].Lo, buffers[i].Hi
+		for _, j := range order {
+			if grouped[j] {
+				continue
+			}
+			// Joining requires mutual correlation ≥ rt with every member,
+			// distance ≤ dt to every member, and a merged window that
+			// still fits the physical buffer's maximum range τ.
+			if math.Min(lo, buffers[j].Lo)+cfg.Spec.MaxRange < math.Max(hi, buffers[j].Hi)-1e-9 {
+				continue
+			}
+			ok := true
+			for _, m := range members {
+				if corr[m][j] < cfg.CorrThreshold || dist(m, j) > cfg.DistThreshold*placement.MinSpacing {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				members = append(members, j)
+				grouped[j] = true
+				lo = math.Min(lo, buffers[j].Lo)
+				hi = math.Max(hi, buffers[j].Hi)
+			}
+		}
+		groups = append(groups, makeGroup(buffers, members))
+	}
+	return capGroups(groups, cfg.MaxBuffers)
+}
+
+// capGroups enforces the MaxBuffers cap (fewest tunings dropped first) and
+// deterministic output order (by first member FF).
+func capGroups(groups []Group, maxBuffers int) []Group {
+	if maxBuffers > 0 && len(groups) > maxBuffers {
+		sort.Slice(groups, func(a, b int) bool { return groups[a].Uses > groups[b].Uses })
+		groups = groups[:maxBuffers]
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].FFs[0] < groups[b].FFs[0] })
+	return groups
+}
+
+// makeGroup merges member buffers: the shared window spans the union of the
+// member ranges (still covering 0), and uses accumulate.
+func makeGroup(buffers []Buffer, members []int) Group {
+	g := Group{}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, m := range members {
+		b := buffers[m]
+		g.FFs = append(g.FFs, b.FF)
+		lo = math.Min(lo, b.Lo)
+		hi = math.Max(hi, b.Hi)
+		g.Uses += b.Uses
+	}
+	sort.Ints(g.FFs)
+	g.Lo, g.Hi = lo, hi
+	return g
+}

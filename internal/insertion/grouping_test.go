@@ -1,0 +1,179 @@
+package insertion
+
+import (
+	"testing"
+
+	"repro/internal/placement"
+)
+
+// mkDense builds sample-aligned tuning vectors.
+func mkDense(ffs []int, vecs [][]float64) map[int][]float64 {
+	m := map[int][]float64{}
+	for i, ff := range ffs {
+		m[ff] = vecs[i]
+	}
+	return m
+}
+
+func groupCfg(rt float64, dt int) Config {
+	cfg := Config{T: 100, Spec: BufferSpec{MaxRange: 10, Steps: 10}, Samples: 4,
+		CorrThreshold: rt, DistThreshold: dt}
+	if err := cfg.fill(); err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// linePlacement puts FF i at (i, 0).
+func linePlacement(n int) *placement.Placement {
+	pl := &placement.Placement{Coords: make([]placement.Point, n)}
+	for i := range pl.Coords {
+		pl.Coords[i] = placement.Point{X: i, Y: 0}
+	}
+	return pl
+}
+
+func TestGroupingMergesCorrelatedNeighbors(t *testing.T) {
+	buffers := []Buffer{
+		{FF: 0, Lo: -2, Hi: 4, Uses: 4},
+		{FF: 1, Lo: 0, Hi: 6, Uses: 4},
+		{FF: 2, Lo: -4, Hi: 2, Uses: 4},
+	}
+	// FFs 0 and 1 perfectly correlated; FF 2 anti-correlated.
+	dense := mkDense([]int{0, 1, 2}, [][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{-1, -2, -3, -4},
+	})
+	groups := groupBuffers(buffers, dense, groupCfg(0.8, 10), linePlacement(3))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	// The merged group contains FFs 0 and 1 with the union window.
+	var merged *Group
+	for i := range groups {
+		if len(groups[i].FFs) == 2 {
+			merged = &groups[i]
+		}
+	}
+	if merged == nil {
+		t.Fatalf("no merged group: %+v", groups)
+	}
+	if merged.FFs[0] != 0 || merged.FFs[1] != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if merged.Lo != -2 || merged.Hi != 6 {
+		t.Fatalf("union window [%v,%v], want [-2,6]", merged.Lo, merged.Hi)
+	}
+	if merged.Uses != 8 {
+		t.Fatalf("uses = %d", merged.Uses)
+	}
+}
+
+func TestGroupingDistanceBlocksMerge(t *testing.T) {
+	buffers := []Buffer{
+		{FF: 0, Lo: 0, Hi: 2, Uses: 3},
+		{FF: 1, Lo: 0, Hi: 2, Uses: 3},
+	}
+	dense := mkDense([]int{0, 1}, [][]float64{
+		{1, 2, 3, 4},
+		{1, 2, 3, 4},
+	})
+	// Place the FFs 50 apart: correlation 1 but distance > dt.
+	pl := &placement.Placement{Coords: []placement.Point{{X: 0, Y: 0}, {X: 50, Y: 0}}}
+	groups := groupBuffers(buffers, dense, groupCfg(0.8, 10), pl)
+	if len(groups) != 2 {
+		t.Fatalf("distant buffers must not merge: %+v", groups)
+	}
+}
+
+func TestGroupingNilPlacementKeepsSeparate(t *testing.T) {
+	buffers := []Buffer{
+		{FF: 0, Lo: 0, Hi: 2, Uses: 3},
+		{FF: 1, Lo: 0, Hi: 2, Uses: 3},
+	}
+	dense := mkDense([]int{0, 1}, [][]float64{
+		{1, 2, 3, 4},
+		{1, 2, 3, 4},
+	})
+	groups := groupBuffers(buffers, dense, groupCfg(0.8, 10), nil)
+	if len(groups) != 2 {
+		t.Fatalf("nil placement must block merging: %+v", groups)
+	}
+}
+
+func TestGroupingCliqueRequirement(t *testing.T) {
+	// A correlates with B, B with C, but A and C are uncorrelated:
+	// the paper requires mutual correlation, so {A,B,C} must not form one
+	// group.
+	buffers := []Buffer{
+		{FF: 0, Lo: 0, Hi: 2, Uses: 9},
+		{FF: 1, Lo: 0, Hi: 2, Uses: 5},
+		{FF: 2, Lo: 0, Hi: 2, Uses: 3},
+	}
+	// B = A + C (A ⟂ C): corr(A,B) ≈ corr(B,C) ≈ 0.7–0.9, corr(A,C) = 0.
+	a := []float64{1, -1, 1, -1, 2, -2, 1, -1}
+	c := []float64{1, 1, -1, -1, -2, 2, 1, -1}
+	bv := make([]float64, len(a))
+	for i := range a {
+		bv[i] = a[i] + c[i]
+	}
+	dense := mkDense([]int{0, 1, 2}, [][]float64{a, bv, c})
+	groups := groupBuffers(buffers, dense, groupCfg(0.5, 10), linePlacement(3))
+	for _, g := range groups {
+		if len(g.FFs) == 3 {
+			t.Fatalf("non-clique group formed: %+v", groups)
+		}
+	}
+}
+
+func TestCapGroups(t *testing.T) {
+	groups := []Group{
+		{FFs: []int{0}, Uses: 1},
+		{FFs: []int{1}, Uses: 9},
+		{FFs: []int{2}, Uses: 5},
+	}
+	capped := capGroups(groups, 2)
+	if len(capped) != 2 {
+		t.Fatalf("capped = %+v", capped)
+	}
+	// The least-used group (FF 0) is dropped; order by first FF.
+	if capped[0].FFs[0] != 1 || capped[1].FFs[0] != 2 {
+		t.Fatalf("wrong groups kept: %+v", capped)
+	}
+	// No cap: order normalized only.
+	all := capGroups(groups, 0)
+	if len(all) != 3 || all[0].FFs[0] != 0 {
+		t.Fatalf("no-cap = %+v", all)
+	}
+}
+
+func TestMakeGroupWindowUnion(t *testing.T) {
+	buffers := []Buffer{
+		{FF: 3, Lo: -5, Hi: 0, Uses: 2},
+		{FF: 1, Lo: -1, Hi: 7, Uses: 3},
+	}
+	g := makeGroup(buffers, []int{0, 1})
+	if g.Lo != -5 || g.Hi != 7 || g.Uses != 5 {
+		t.Fatalf("group = %+v", g)
+	}
+	if g.FFs[0] != 1 || g.FFs[1] != 3 {
+		t.Fatalf("FFs must be sorted: %+v", g.FFs)
+	}
+}
+
+func TestGroupingEmpty(t *testing.T) {
+	if g := groupBuffers(nil, nil, groupCfg(0.8, 10), nil); g != nil {
+		t.Fatalf("empty input: %+v", g)
+	}
+}
+
+func TestGroupRangeSteps(t *testing.T) {
+	g := Group{Lo: -10, Hi: 15}
+	if got := g.RangeSteps(5); got != 5 {
+		t.Fatalf("steps = %d", got)
+	}
+	if got := (Group{}).RangeSteps(5); got != 0 {
+		t.Fatalf("zero group steps = %d", got)
+	}
+}

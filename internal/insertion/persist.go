@@ -1,0 +1,100 @@
+package insertion
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Plan is the durable form of an insertion result: everything a downstream
+// tool (yield evaluation, post-silicon test program generation) needs,
+// without the Monte-Carlo diagnostics. Plans serialize to JSON so the
+// design-time flow and the tester flow can live in different programs.
+type Plan struct {
+	// Circuit names the netlist the plan was computed for.
+	Circuit string `json:"circuit"`
+	// T is the target clock period in ps.
+	T float64 `json:"target_period_ps"`
+	// Spec is the buffer hardware description.
+	Spec BufferSpec `json:"buffer_spec"`
+	// Groups are the physical buffers: member FF ids and discrete windows.
+	Groups []Group `json:"groups"`
+	// Buffers are the per-FF decisions before grouping (diagnostic; may be
+	// omitted).
+	Buffers []Buffer `json:"buffers,omitempty"`
+}
+
+// Plan extracts the durable plan from a flow result.
+func (r *Result) Plan(circuit string) Plan {
+	return Plan{
+		Circuit: circuit,
+		T:       r.Cfg.T,
+		Spec:    r.Cfg.Spec,
+		Groups:  append([]Group(nil), r.Groups...),
+		Buffers: append([]Buffer(nil), r.Buffers...),
+	}
+}
+
+// Validate checks the structural invariants every consumer relies on:
+// positive spec, grid-aligned windows covering zero, disjoint groups.
+func (p *Plan) Validate() error {
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if p.T <= 0 {
+		return fmt.Errorf("insertion: plan has non-positive period %v", p.T)
+	}
+	step := p.Spec.Step()
+	seen := map[int]bool{}
+	for gi, g := range p.Groups {
+		if len(g.FFs) == 0 {
+			return fmt.Errorf("insertion: group %d has no members", gi)
+		}
+		if g.Lo > 0 || g.Hi < 0 {
+			return fmt.Errorf("insertion: group %d window [%v,%v] must cover 0", gi, g.Lo, g.Hi)
+		}
+		for _, edge := range []float64{g.Lo, g.Hi} {
+			if k := edge / step; math.Abs(k-math.Round(k)) > 1e-6 {
+				return fmt.Errorf("insertion: group %d window edge %v not on the %v grid", gi, edge, step)
+			}
+		}
+		if g.Hi-g.Lo > p.Spec.MaxRange+1e-9 {
+			return fmt.Errorf("insertion: group %d range %v exceeds τ=%v", gi, g.Hi-g.Lo, p.Spec.MaxRange)
+		}
+		for _, ff := range g.FFs {
+			if ff < 0 {
+				return fmt.Errorf("insertion: group %d has negative FF id", gi)
+			}
+			if seen[ff] {
+				return fmt.Errorf("insertion: FF %d appears in two groups", ff)
+			}
+			seen[ff] = true
+		}
+	}
+	return nil
+}
+
+// Save writes the plan as indented JSON.
+func (p *Plan) Save(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadPlan reads and validates a plan.
+func LoadPlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("insertion: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

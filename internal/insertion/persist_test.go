@@ -1,0 +1,136 @@
+package insertion
+
+import (
+	"strings"
+	"testing"
+)
+
+func validPlan() Plan {
+	return Plan{
+		Circuit: "demo",
+		T:       800,
+		Spec:    BufferSpec{MaxRange: 100, Steps: 20},
+		Groups: []Group{
+			{FFs: []int{3, 7}, Lo: -50, Hi: 50, Uses: 12},
+			{FFs: []int{9}, Lo: 0, Hi: 25, Uses: 4},
+		},
+		Buffers: []Buffer{{FF: 3, Lower: -50, Lo: -50, Hi: 50, RangeSteps: 20, Uses: 8, Avg: -5}},
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := validPlan()
+	var b strings.Builder
+	if err := p.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPlan(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Circuit != "demo" || back.T != 800 || len(back.Groups) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Groups[0].FFs[1] != 7 || back.Groups[0].Lo != -50 {
+		t.Fatalf("group content: %+v", back.Groups[0])
+	}
+	if len(back.Buffers) != 1 || back.Buffers[0].Avg != -5 {
+		t.Fatalf("buffers: %+v", back.Buffers)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	mutations := map[string]func(*Plan){
+		"bad spec":     func(p *Plan) { p.Spec.Steps = 0 },
+		"bad period":   func(p *Plan) { p.T = 0 },
+		"empty group":  func(p *Plan) { p.Groups[0].FFs = nil },
+		"window off 0": func(p *Plan) { p.Groups[0].Lo = 5; p.Groups[0].Hi = 50 },
+		"off grid":     func(p *Plan) { p.Groups[0].Lo = -51.3 },
+		"over tau":     func(p *Plan) { p.Groups[0].Lo = -100; p.Groups[0].Hi = 100 },
+		"negative ff":  func(p *Plan) { p.Groups[0].FFs = []int{-1} },
+		"duplicate ff": func(p *Plan) { p.Groups[1].FFs = []int{3} },
+	}
+	for name, mutate := range mutations {
+		p := validPlan()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", name)
+		}
+		var b strings.Builder
+		if err := p.Save(&b); err == nil {
+			t.Fatalf("%s: Save must refuse invalid plans", name)
+		}
+	}
+}
+
+func TestLoadPlanErrors(t *testing.T) {
+	if _, err := LoadPlan(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Fatal("unknown fields must fail")
+	}
+	// Valid JSON, invalid plan.
+	if _, err := LoadPlan(strings.NewReader(`{"circuit":"x","target_period_ps":0,"buffer_spec":{"MaxRange":1,"Steps":1}}`)); err == nil {
+		t.Fatal("invalid plan must fail validation")
+	}
+}
+
+func TestResultPlanExtraction(t *testing.T) {
+	r := &Result{
+		Cfg: Config{T: 500, Spec: BufferSpec{MaxRange: 62.5, Steps: 20}},
+		Groups: []Group{
+			{FFs: []int{1}, Lo: -12.5, Hi: 12.5, Uses: 3},
+		},
+		Buffers: []Buffer{{FF: 1, Uses: 3}},
+	}
+	p := r.Plan("c1")
+	if p.Circuit != "c1" || p.T != 500 || len(p.Groups) != 1 || len(p.Buffers) != 1 {
+		t.Fatalf("plan: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The plan owns copies: mutating it must not touch the result.
+	p.Groups[0].Lo = -999
+	if r.Groups[0].Lo == -999 {
+		t.Fatal("plan aliases result groups")
+	}
+}
+
+func TestFlowPlansValidate(t *testing.T) {
+	// End-to-end: every plan the flow emits passes validation (this is
+	// what caught the union-window-over-τ grouping bug).
+	g, muT, pl := buildBench(t, 30, 150, 21)
+	res, err := Run(g, pl, Config{T: muT, Samples: 250, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Plan("bench")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("flow emitted invalid plan: %v", err)
+	}
+}
+
+func TestGroupUnionRespectsTau(t *testing.T) {
+	// Two perfectly correlated buffers whose union would exceed τ must not
+	// merge.
+	buffers := []Buffer{
+		{FF: 0, Lo: -8, Hi: 0, Uses: 3},
+		{FF: 1, Lo: 0, Hi: 8, Uses: 3},
+	}
+	dense := mkDense([]int{0, 1}, [][]float64{
+		{1, 2, 3, 4},
+		{1, 2, 3, 4},
+	})
+	cfg := groupCfg(0.8, 10) // MaxRange 10 < union 16
+	groups := groupBuffers(buffers, dense, cfg, linePlacement(2))
+	if len(groups) != 2 {
+		t.Fatalf("union over τ must block merge: %+v", groups)
+	}
+	for _, g := range groups {
+		if g.Hi-g.Lo > cfg.Spec.MaxRange {
+			t.Fatalf("group range exceeds τ: %+v", g)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package insertion
+
+import (
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/timing"
+)
+
+// tuning is one buffer adjustment in one sample.
+type tuning struct {
+	FF  int
+	Val float64
+}
+
+// sampleOutcome is the per-sample result of the min-count + concentration
+// ILP pair.
+type sampleOutcome struct {
+	feasible     bool
+	selfLoopFail bool
+	truncated    int // components cut at MaxComponent
+	nk           int // minimum tuning count (csum over all components)
+	tuned        []tuning
+}
+
+// solverMode selects the step-1 (floating continuous) or step-2 (fixed
+// discrete) formulation.
+type solverMode int
+
+const (
+	modeFloating solverMode = iota // step 1: x ∈ [−τ, τ] continuous
+	modeFixed                      // step 2: x ∈ {lowerᵢ + k·s} discrete
+)
+
+// sampleSolver carries the per-flow configuration plus per-worker scratch.
+// Not safe for concurrent use; create one per worker.
+type sampleSolver struct {
+	g    *timing.Graph
+	T    float64
+	spec BufferSpec
+	mode solverMode
+
+	// allowed[ff] reports whether ff may carry a buffer (step 2 restricts
+	// to the pruned survivor set; step 1 allows every FF).
+	allowed []bool
+	// lower[ff] is the fixed window lower bound (step 2 only; grid-aligned).
+	lower []float64
+	// center[ff] is the concentration target: 0 in step 1, the average
+	// tuning value in step 2 (paper (15) vs (19)).
+	center []float64
+
+	maxComp       int
+	concentration bool
+
+	adj [][]int // FF id → pair indices (from Graph.PairAdjacency)
+
+	// scratch
+	setupB []float64
+	holdB  []float64
+	active []bool
+	compID []int
+	queue  []int
+}
+
+func newSampleSolver(g *timing.Graph, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *sampleSolver {
+	s := &sampleSolver{
+		g:             g,
+		T:             cfg.T,
+		spec:          cfg.Spec,
+		mode:          mode,
+		allowed:       allowed,
+		lower:         lower,
+		center:        center,
+		maxComp:       cfg.MaxComponent,
+		concentration: !cfg.NoConcentration,
+		adj:           g.PairAdjacency(),
+		setupB:        make([]float64, len(g.Pairs)),
+		holdB:         make([]float64, len(g.Pairs)),
+		active:        make([]bool, g.NS),
+		compID:        make([]int, g.NS),
+	}
+	if s.allowed == nil {
+		s.allowed = make([]bool, g.NS)
+		for i := range s.allowed {
+			s.allowed[i] = true
+		}
+	}
+	if s.center == nil {
+		s.center = make([]float64, g.NS)
+	}
+	return s
+}
+
+// windowOf returns the tuning window [lo, hi] of a buffer at ff.
+func (s *sampleSolver) windowOf(ff int) (lo, hi float64) {
+	tau := s.spec.MaxRange
+	if s.mode == modeFloating {
+		// Floating lower bound r with r ≤ 0 ≤ r+τ and x ∈ [r, r+τ]
+		// collapses to x ∈ [−τ, τ] (see DESIGN.md).
+		return -tau, tau
+	}
+	return s.lower[ff], s.lower[ff] + tau
+}
+
+// solve runs the two-ILP sequence for one chip.
+func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
+	g := s.g
+	// 1. Realize constraint bounds; find violations.
+	violated := false
+	for p := range g.Pairs {
+		s.setupB[p] = g.SetupBound(ch, p, s.T)
+		s.holdB[p] = g.HoldBound(ch, p)
+		if s.setupB[p] < 0 || s.holdB[p] < 0 {
+			pr := &g.Pairs[p]
+			if pr.Launch == pr.Capture {
+				// Self-loop: x cancels; unfixable by clock tuning.
+				return sampleOutcome{selfLoopFail: true}
+			}
+			violated = true
+		}
+	}
+	if !violated {
+		return sampleOutcome{feasible: true}
+	}
+	// 2. Seed active set with allowed endpoints of violated pairs; a
+	// violated pair with no allowed endpoint is unfixable.
+	for i := range s.active {
+		s.active[i] = false
+	}
+	s.queue = s.queue[:0]
+	mark := func(ff int) {
+		if s.allowed[ff] && !s.active[ff] {
+			s.active[ff] = true
+			s.queue = append(s.queue, ff)
+		}
+	}
+	for p := range g.Pairs {
+		if s.setupB[p] < 0 || s.holdB[p] < 0 {
+			pr := &g.Pairs[p]
+			if !s.allowed[pr.Launch] && !s.allowed[pr.Capture] {
+				return sampleOutcome{}
+			}
+			mark(pr.Launch)
+			mark(pr.Capture)
+		}
+	}
+	// 3. Closure: pull in neighbor FFs that may need to move when the seed
+	// FFs are tuned. A passive neighbor (x=0) is only ever forced to move
+	// across a *setup-tight* edge (bound < τ): a single moving endpoint
+	// cannot violate a bound ≥ τ because |x| ≤ τ, and hold-repair chains
+	// do not propagate at hold-safe skews. Constraints with larger bounds
+	// still enter the ILP as rows (with the passive side fixed at 0), so
+	// the restriction is conservative — it can cost an extra buffer in
+	// rare cascades but never produces an infeasible-marked sample that a
+	// wider closure could fix... except through the MaxComponent cap,
+	// which is counted in Stats.TruncatedComps.
+	truncated := 0
+	activeCount := len(s.queue)
+	for qi := 0; qi < len(s.queue); qi++ {
+		u := s.queue[qi]
+		for _, p := range s.adj[u] {
+			if !s.expands(p) {
+				continue
+			}
+			pr := &g.Pairs[p]
+			v := pr.Launch + pr.Capture - u
+			if pr.Launch == pr.Capture {
+				continue
+			}
+			if !s.allowed[v] || s.active[v] {
+				continue
+			}
+			if activeCount >= s.maxComp {
+				truncated++
+				continue
+			}
+			s.active[v] = true
+			s.queue = append(s.queue, v)
+			activeCount++
+		}
+	}
+	// 4. Component split over active FFs via interacting pairs.
+	for i := range s.compID {
+		s.compID[i] = -1
+	}
+	var comps [][]int
+	for _, seed := range s.queue {
+		if s.compID[seed] != -1 {
+			continue
+		}
+		id := len(comps)
+		comp := []int{seed}
+		s.compID[seed] = id
+		for ci := 0; ci < len(comp); ci++ {
+			u := comp[ci]
+			for _, p := range s.adj[u] {
+				if !s.interacting(p) {
+					continue
+				}
+				pr := &g.Pairs[p]
+				v := pr.Launch + pr.Capture - u
+				if v == u || !s.active[v] || s.compID[v] != -1 {
+					continue
+				}
+				s.compID[v] = id
+				comp = append(comp, v)
+			}
+		}
+		comps = append(comps, comp)
+	}
+	// 5. Solve each component.
+	out := sampleOutcome{feasible: true, truncated: truncated}
+	for _, comp := range comps {
+		nk, tuned, ok := s.solveComponent(comp)
+		if !ok {
+			return sampleOutcome{truncated: truncated}
+		}
+		out.nk += nk
+		out.tuned = append(out.tuned, tuned...)
+	}
+	return out
+}
+
+// interacting reports whether pair p can constrain any feasible tuning
+// assignment (bound below the maximum relative movement 2τ), or is
+// violated outright. Used for component merging and row inclusion.
+func (s *sampleSolver) interacting(p int) bool {
+	lim := 2 * s.spec.MaxRange
+	return s.setupB[p] < lim || s.holdB[p] < lim
+}
+
+// expands reports whether pair p propagates the active-set closure: only
+// setup-tight or violated edges do (see the closure comment in solve).
+func (s *sampleSolver) expands(p int) bool {
+	return s.setupB[p] < s.spec.MaxRange || s.holdB[p] < 0
+}
+
+// solveComponent builds and solves the two ILPs for one component.
+// Returns the minimum count nk, the tuning values, and feasibility.
+func (s *sampleSolver) solveComponent(comp []int) (int, []tuning, bool) {
+	prob, xVar, _ := s.buildProblem(comp)
+	solA, err := prob.Solve(milp.Options{})
+	if err != nil || solA.Status != lp.Optimal {
+		return 0, nil, false
+	}
+	nk := int(math.Round(solA.Obj))
+	if nk == 0 {
+		// No tuning needed within this component (can happen when the
+		// violated constraints were all fixed by... impossible: violations
+		// seed the component. Defensive: accept as zero tunings.)
+		return 0, nil, true
+	}
+	// Concentration ILP: same constraints + csum ≤ nk, minimize Σ|x−center|
+	// (skipped under the NoConcentration ablation).
+	solB, xVar2 := solA, xVar
+	if s.concentration {
+		prob2, xv2, cVar2 := s.buildProblem(comp)
+		var csum []lp.Term
+		for _, c := range cVar2 {
+			prob2.LP.SetObj(c, 0)
+			csum = append(csum, lp.T(c, 1))
+		}
+		prob2.AddRow(lp.LE, float64(nk), csum...)
+		for idx, ff := range comp {
+			prob2.AbsLinearization(xv2[idx], s.center[ff], 1, "t")
+		}
+		sol2, err := prob2.Solve(milp.Options{})
+		if err == nil && sol2.Status == lp.Optimal {
+			solB, xVar2 = sol2, xv2
+		}
+	}
+	var tuned []tuning
+	for idx, ff := range comp {
+		v := solB.X[xVar2[idx]]
+		if s.mode == modeFixed {
+			// Snap to the grid exactly.
+			step := s.spec.Step()
+			k := math.Round((v - s.lower[ff]) / step)
+			v = s.lower[ff] + k*step
+		}
+		if math.Abs(v) > 1e-7 {
+			tuned = append(tuned, tuning{FF: ff, Val: v})
+		}
+	}
+	return nk, tuned, true
+}
+
+// buildProblem assembles the component MILP shared by both objectives:
+// variables x (tuning) and c (usage binaries with the Γ=τ indicator),
+// all setup/hold rows touching the component, and — in step 2 — the
+// discrete grid coupling x = lower + s·k.
+func (s *sampleSolver) buildProblem(comp []int) (prob *milp.Problem, xVar, cVar []int) {
+	g := s.g
+	tau := s.spec.MaxRange
+	prob = milp.NewProblem()
+	xVar = make([]int, len(comp))
+	cVar = make([]int, len(comp))
+	pos := make(map[int]int, len(comp)) // ff → index in comp
+	for idx, ff := range comp {
+		pos[ff] = idx
+		lo, hi := s.windowOf(ff)
+		xVar[idx] = prob.AddVar(milp.Continuous, lo, hi, 0, "x")
+		cVar[idx] = prob.AddVar(milp.Binary, 0, 1, 1, "c")
+		prob.Indicator(xVar[idx], cVar[idx], tau)
+		if s.mode == modeFixed {
+			// x − s·k = lower, k ∈ [0, Steps] integer.
+			k := prob.AddVar(milp.Integer, 0, float64(s.spec.Steps), 0, "k")
+			prob.AddRow(lp.EQ, s.lower[ff], lp.T(xVar[idx], 1), lp.T(k, -s.spec.Step()))
+		}
+	}
+	// Rows: every pair touching the component that can interact.
+	seen := make(map[int]bool)
+	for _, ff := range comp {
+		for _, p := range s.adj[ff] {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if !s.interacting(p) {
+				continue
+			}
+			pr := &g.Pairs[p]
+			li, lok := pos[pr.Launch]
+			ci, cok := pos[pr.Capture]
+			switch {
+			case lok && cok && pr.Launch != pr.Capture:
+				// setup: x_l − x_c ≤ setupB; hold: x_c − x_l ≤ holdB.
+				prob.AddRow(lp.LE, s.setupB[p], lp.T(xVar[li], 1), lp.T(xVar[ci], -1))
+				prob.AddRow(lp.LE, s.holdB[p], lp.T(xVar[ci], 1), lp.T(xVar[li], -1))
+			case lok && !cok:
+				// Capture fixed at 0.
+				prob.AddRow(lp.LE, s.setupB[p], lp.T(xVar[li], 1))
+				prob.AddRow(lp.LE, s.holdB[p], lp.T(xVar[li], -1))
+			case cok && !lok:
+				// Launch fixed at 0.
+				prob.AddRow(lp.LE, s.setupB[p], lp.T(xVar[ci], -1))
+				prob.AddRow(lp.LE, s.holdB[p], lp.T(xVar[ci], 1))
+			}
+		}
+	}
+	return prob, xVar, cVar
+}

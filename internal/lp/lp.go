@@ -1,0 +1,490 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs with general rows and variable bounds. It is the LP engine under
+// the branch-and-bound MILP solver (internal/milp) that stands in for the
+// commercial ILP solver used in the paper. Problem sizes in this system are
+// small — per-sample ILPs decompose into connected components of a few dozen
+// variables — so a dense tableau with Bland anti-cycling is both simple and
+// fast enough.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a row relation.
+type Rel int
+
+// Row relations.
+const (
+	LE Rel = iota // Σ aᵢxᵢ ≤ b
+	GE            // Σ aᵢxᵢ ≥ b
+	EQ            // Σ aᵢxᵢ = b
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Inf is the bound value meaning "no bound".
+var Inf = math.Inf(1)
+
+// Term is one coefficient of a row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// T builds a Term.
+func T(v int, c float64) Term { return Term{Var: v, Coef: c} }
+
+type row struct {
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Problem is a linear program under construction. Minimization only; flip
+// objective signs for maximization.
+type Problem struct {
+	obj    []float64
+	lo, hi []float64
+	names  []string
+	rows   []row
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar adds a variable with bounds [lo, hi] (use ±Inf for free sides) and
+// objective coefficient obj, returning its index. Name is for diagnostics.
+func (p *Problem) AddVar(lo, hi, obj float64, name string) int {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %v > hi %v", name, lo, hi))
+	}
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.names = append(p.names, name)
+	return len(p.obj) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetObj overwrites the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, c float64) { p.obj[v] = c }
+
+// Bounds returns the current bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lo[v], p.hi[v] }
+
+// SetBounds replaces the bounds of variable v.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	if lo > hi {
+		// Deliberately allowed: branch-and-bound creates empty boxes to
+		// signal infeasible children. The solver reports Infeasible.
+		p.lo[v], p.hi[v] = lo, hi
+		return
+	}
+	p.lo[v], p.hi[v] = lo, hi
+}
+
+// AddRow appends the constraint Σ terms {rel} rhs and returns its index.
+// Terms may repeat a variable; coefficients accumulate.
+func (p *Problem) AddRow(rel Rel, rhs float64, terms ...Term) int {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			panic(fmt.Sprintf("lp: row references unknown variable %d", t.Var))
+		}
+	}
+	p.rows = append(p.rows, row{terms: append([]Term(nil), terms...), rel: rel, rhs: rhs})
+	return len(p.rows) - 1
+}
+
+// Obj returns the objective coefficient of variable v.
+func (p *Problem) Obj(v int) float64 { return p.obj[v] }
+
+// Row returns row i's relation, right-hand side and terms. The returned
+// slice aliases internal storage and must not be modified.
+func (p *Problem) Row(i int) (Rel, float64, []Term) {
+	r := p.rows[i]
+	return r.rel, r.rhs, r.terms
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	Obj    float64
+	X      []float64 // values of the structural variables
+}
+
+// ErrIterLimit is returned when the simplex exceeds its iteration budget,
+// which indicates a degenerate cycling pathology beyond Bland's protection
+// or an unexpectedly large problem.
+var ErrIterLimit = errors.New("lp: simplex iteration limit exceeded")
+
+const (
+	eps       = 1e-9
+	iterScale = 200 // iteration budget multiplier (× rows+cols)
+)
+
+// Solve runs the two-phase simplex. The problem is not modified.
+func (p *Problem) Solve() (Solution, error) {
+	n := len(p.obj)
+	// Quick bound sanity: empty boxes are infeasible outright.
+	for j := 0; j < n; j++ {
+		if p.lo[j] > p.hi[j] {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+
+	// --- Normalize to standard form ---
+	// Each structural variable x with bounds [lo, hi]:
+	//   finite lo: x = lo + x', x' ≥ 0, upper row x' ≤ hi−lo when hi finite
+	//   free (lo=−inf): x = x⁺ − x⁻ (two columns); finite hi handled by row.
+	//   lo=−inf, hi finite: x = hi − x', x' ≥ 0.
+	type mapping struct {
+		plus, minus int     // column indices (minus = −1 when unused)
+		shift       float64 // x = shift + x_plus − x_minus   (or shift − x_plus when negated)
+		negate      bool
+	}
+	maps := make([]mapping, n)
+	ncols := 0
+	var upperRows []row // extra rows for two-sided finite bounds
+	for j := 0; j < n; j++ {
+		lo, hi := p.lo[j], p.hi[j]
+		switch {
+		case !math.IsInf(lo, -1):
+			maps[j] = mapping{plus: ncols, minus: -1, shift: lo}
+			ncols++
+			if !math.IsInf(hi, 1) {
+				upperRows = append(upperRows, row{terms: []Term{T(j, 1)}, rel: LE, rhs: hi})
+			}
+		case !math.IsInf(hi, 1): // lo = −inf, hi finite
+			maps[j] = mapping{plus: ncols, minus: -1, shift: hi, negate: true}
+			ncols++
+		default: // free
+			maps[j] = mapping{plus: ncols, minus: ncols + 1}
+			ncols += 2
+		}
+	}
+
+	allRows := make([]row, 0, len(p.rows)+len(upperRows))
+	allRows = append(allRows, p.rows...)
+	allRows = append(allRows, upperRows...)
+	m := len(allRows)
+
+	// Expand a structural-variable term into standard columns, accumulating
+	// into a dense row vector, and return the rhs shift contribution.
+	expand := func(dst []float64, t Term) float64 {
+		mp := maps[t.Var]
+		if mp.negate {
+			dst[mp.plus] -= t.Coef
+		} else {
+			dst[mp.plus] += t.Coef
+			if mp.minus >= 0 {
+				dst[mp.minus] -= t.Coef
+			}
+		}
+		return t.Coef * mp.shift
+	}
+
+	// Count slack columns.
+	nslack := 0
+	for _, r := range allRows {
+		if r.rel != EQ {
+			nslack++
+		}
+	}
+	total := ncols + nslack + m // structural' + slacks + artificials
+	// Tableau: m rows × (total+1); last column is RHS.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	artStart := ncols + nslack
+	slackIdx := ncols
+	for i, r := range allRows {
+		tr := make([]float64, total+1)
+		rhs := r.rhs
+		for _, t := range r.terms {
+			rhs -= expand(tr[:ncols], t)
+		}
+		switch r.rel {
+		case LE:
+			tr[slackIdx] = 1
+			slackIdx++
+		case GE:
+			tr[slackIdx] = -1
+			slackIdx++
+		case EQ:
+			// no slack
+		}
+		// Make RHS non-negative.
+		if rhs < 0 {
+			for k := range tr {
+				tr[k] = -tr[k]
+			}
+			rhs = -rhs
+		}
+		tr[total] = rhs
+		// Artificial for this row: needed unless an LE slack with +1 sign
+		// survived the potential negation above.
+		art := artStart + i
+		tr[art] = 1
+		basis[i] = art
+		tab[i] = tr
+	}
+
+	// Use slack as initial basis where it has coefficient +1 (avoids an
+	// artificial): scan each row for a usable slack column.
+	for i := range tab {
+		for j := ncols; j < artStart; j++ {
+			if tab[i][j] == 1 {
+				// Only if this slack appears in no other row.
+				solo := true
+				for k := range tab {
+					if k != i && tab[k][j] != 0 {
+						solo = false
+						break
+					}
+				}
+				if solo {
+					// Zero out the artificial column for this row.
+					tab[i][artStart+i] = 0
+					basis[i] = j
+					break
+				}
+			}
+		}
+	}
+
+	maxIter := iterScale * (m + total + 1)
+
+	// --- Phase 1: minimize sum of artificials ---
+	needPhase1 := false
+	for i := range basis {
+		if basis[i] >= artStart {
+			needPhase1 = true
+			break
+		}
+	}
+	if needPhase1 {
+		cost := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			cost[j] = 1
+		}
+		obj, status, err := runSimplex(tab, basis, cost, total, maxIter, artStart)
+		if err != nil {
+			return Solution{}, err
+		}
+		if status == Unbounded {
+			return Solution{}, errors.New("lp: phase 1 unbounded (internal error)")
+		}
+		if obj > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive remaining artificials out of the basis when possible.
+		for i := range basis {
+			if basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all-zero over real columns: redundant constraint;
+				// the artificial stays basic at value 0, which is harmless
+				// as long as it never increases — its column is excluded
+				// from entering in phase 2.
+				_ = pivoted
+			}
+		}
+	}
+
+	// --- Phase 2: original objective over standard columns ---
+	cost := make([]float64, total)
+	constShift := 0.0
+	for j := 0; j < n; j++ {
+		c := p.obj[j]
+		if c == 0 {
+			continue
+		}
+		mp := maps[j]
+		constShift += c * mp.shift
+		if mp.negate {
+			cost[mp.plus] -= c
+		} else {
+			cost[mp.plus] += c
+			if mp.minus >= 0 {
+				cost[mp.minus] -= c
+			}
+		}
+	}
+	obj, status, err := runSimplex(tab, basis, cost, total, maxIter, artStart)
+	if err != nil {
+		return Solution{}, err
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	// Recover structural values.
+	colVal := make([]float64, total)
+	for i, b := range basis {
+		colVal[b] = tab[i][total]
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		mp := maps[j]
+		v := colVal[mp.plus]
+		if mp.minus >= 0 {
+			v -= colVal[mp.minus]
+		}
+		if mp.negate {
+			x[j] = mp.shift - v
+		} else {
+			x[j] = mp.shift + v
+		}
+	}
+	return Solution{Status: Optimal, Obj: obj + constShift, X: x}, nil
+}
+
+// runSimplex minimizes cost over the current tableau/basis. Columns with
+// index ≥ artLimit are barred from entering the basis when artLimit < total
+// and the cost vector gives them zero cost (phase 2). Returns the objective
+// value reached.
+func runSimplex(tab [][]float64, basis []int, cost []float64, total, maxIter, artLimit int) (float64, Status, error) {
+	m := len(tab)
+	// Reduced costs: red[j] = cost[j] − Σ_i cost[basis[i]]·tab[i][j],
+	// recomputed per iteration but accumulated row-wise so only rows with a
+	// non-zero basic cost contribute (most basic variables are slacks with
+	// zero cost, making this near-linear in practice).
+	red := make([]float64, total)
+	iter := 0
+	blandFrom := maxIter / 2
+	for {
+		iter++
+		if iter > maxIter {
+			return 0, Optimal, ErrIterLimit
+		}
+		copy(red, cost)
+		for i := 0; i < m; i++ {
+			cb := cost[basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := tab[i]
+			for j := 0; j < total; j++ {
+				red[j] -= cb * row[j]
+			}
+		}
+		enter := -1
+		bestRed := -eps
+		for j := 0; j < total; j++ {
+			if cost[j] == 0 && j >= artLimit && artLimit < total {
+				// Artificial column in phase 2: never re-enters.
+				continue
+			}
+			if red[j] < bestRed {
+				if iter >= blandFrom {
+					// Bland: choose the lowest eligible index.
+					enter = j
+					break
+				}
+				bestRed = red[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			// Optimal: objective = Σ cost[basis[i]]·rhs_i.
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				if c := cost[basis[i]]; c != 0 {
+					obj += c * tab[i][total]
+				}
+			}
+			return obj, Optimal, nil
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, Unbounded, nil
+		}
+		pivot(tab, basis, leave, enter)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func pivot(tab [][]float64, basis []int, row, col int) {
+	pr := tab[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for k := range pr {
+		pr[k] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := tab[i]
+		for k := range ri {
+			ri[k] -= f * pr[k]
+		}
+		ri[col] = 0 // exact
+	}
+	basis[row] = col
+}

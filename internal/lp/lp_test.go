@@ -1,0 +1,384 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func mustSolve(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimple2D(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+	// (classic: optimum x=2, y=6, obj=36) — minimize the negative.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -3, "x")
+	y := p.AddVar(0, Inf, -5, "y")
+	p.AddRow(LE, 4, T(x, 1))
+	p.AddRow(LE, 12, T(y, 2))
+	p.AddRow(LE, 18, T(x, 3), T(y, 2))
+	s := mustSolve(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !almost(s.Obj, -36, 1e-6) || !almost(s.X[x], 2, 1e-6) || !almost(s.X[y], 6, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + y s.t. x + y = 10, x ≥ 3, y ≥ 2  → obj 10.
+	p := NewProblem()
+	x := p.AddVar(3, Inf, 1, "x")
+	y := p.AddVar(2, Inf, 1, "y")
+	p.AddRow(EQ, 10, T(x, 1), T(y, 1))
+	s := mustSolve(t, p)
+	if s.Status != Optimal || !almost(s.Obj, 10, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+	if !almost(s.X[x]+s.X[y], 10, 1e-6) {
+		t.Fatalf("x+y = %v", s.X[x]+s.X[y])
+	}
+}
+
+func TestGERow(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 4, x ≥ 0, y ≥ 0 → x=4, y=0, obj 8.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 2, "x")
+	y := p.AddVar(0, Inf, 3, "y")
+	p.AddRow(GE, 4, T(x, 1), T(y, 1))
+	s := mustSolve(t, p)
+	if !almost(s.Obj, 8, 1e-6) || !almost(s.X[x], 4, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1, "x")
+	p.AddRow(LE, 1, T(x, 1))
+	p.AddRow(GE, 2, T(x, 1))
+	s := mustSolve(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 5, 1, "x")
+	p.SetBounds(x, 7, 3) // empty box from branch-and-bound
+	s := mustSolve(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(0, Inf, -1, "x") // maximize x, no constraint
+	s := mustSolve(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min |shape|: free variable driven negative.
+	// min x s.t. x ≥ −7 via row (not bound), x free.
+	p := NewProblem()
+	x := p.AddVar(-Inf, Inf, 1, "x")
+	p.AddRow(GE, -7, T(x, 1))
+	s := mustSolve(t, p)
+	if s.Status != Optimal || !almost(s.X[x], -7, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestUpperBoundedOnly(t *testing.T) {
+	// min −x with x ≤ 5 (lo = −inf): optimum x = 5.
+	p := NewProblem()
+	x := p.AddVar(-Inf, 5, -1, "x")
+	s := mustSolve(t, p)
+	if s.Status != Optimal || !almost(s.X[x], 5, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestTwoSidedBounds(t *testing.T) {
+	// min x + y, x ∈ [−2, 3], y ∈ [1, 4], x + y ≥ 0 → x=−1, y=1.
+	p := NewProblem()
+	x := p.AddVar(-2, 3, 1, "x")
+	y := p.AddVar(1, 4, 1, "y")
+	p.AddRow(GE, 0, T(x, 1), T(y, 1))
+	s := mustSolve(t, p)
+	if s.Status != Optimal || !almost(s.Obj, 0, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+	if s.X[x]+s.X[y] < -1e-9 {
+		t.Fatalf("constraint violated: %v", s.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. −x ≤ −3 (i.e. x ≥ 3).
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1, "x")
+	p.AddRow(LE, -3, T(x, -1))
+	s := mustSolve(t, p)
+	if !almost(s.X[x], 3, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestDuplicateTermsAccumulate(t *testing.T) {
+	// x + x ≤ 4 means 2x ≤ 4.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -1, "x")
+	p.AddRow(LE, 4, T(x, 1), T(x, 1))
+	s := mustSolve(t, p)
+	if !almost(s.X[x], 2, 1e-6) {
+		t.Fatalf("x = %v", s.X[x])
+	}
+}
+
+func TestDegenerateDiet(t *testing.T) {
+	// Stigler-style small diet problem.
+	// min 0.6a + 0.35b s.t. 5a + 7b ≥ 8, 4a + 2b ≥ 15, a,b ≥ 0.
+	p := NewProblem()
+	a := p.AddVar(0, Inf, 0.6, "a")
+	b := p.AddVar(0, Inf, 0.35, "b")
+	p.AddRow(GE, 8, T(a, 5), T(b, 7))
+	p.AddRow(GE, 15, T(a, 4), T(b, 2))
+	s := mustSolve(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	// Verify feasibility and optimality value via direct check of vertices.
+	if 5*s.X[a]+7*s.X[b] < 8-1e-6 || 4*s.X[a]+2*s.X[b] < 15-1e-6 {
+		t.Fatalf("infeasible point %v", s.X)
+	}
+}
+
+func TestDifferenceConstraintsShape(t *testing.T) {
+	// The shape used by the buffer-insertion ILPs:
+	// xi − xj ≤ 3, xj − xi ≤ 2, xi,xj ∈ [−5, 5], min xi − 2xj.
+	p := NewProblem()
+	xi := p.AddVar(-5, 5, 1, "xi")
+	xj := p.AddVar(-5, 5, -2, "xj")
+	p.AddRow(LE, 3, T(xi, 1), T(xj, -1))
+	p.AddRow(LE, 2, T(xj, 1), T(xi, -1))
+	s := mustSolve(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	// Optimum: xj as large as possible (5), xi as small as allowed
+	// (xj − xi ≤ 2 → xi ≥ 3). Obj = 3 − 10 = −7.
+	if !almost(s.Obj, -7, 1e-6) {
+		t.Fatalf("obj = %v, x = %v", s.Obj, s.X)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicated equality rows leave a basic artificial at zero; the solve
+	// must still succeed.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1, "x")
+	y := p.AddVar(0, Inf, 1, "y")
+	p.AddRow(EQ, 4, T(x, 1), T(y, 1))
+	p.AddRow(EQ, 4, T(x, 1), T(y, 1))
+	s := mustSolve(t, p)
+	if s.Status != Optimal || !almost(s.Obj, 4, 1e-6) {
+		t.Fatalf("sol = %+v", s)
+	}
+}
+
+func TestSolveDoesNotMutateProblem(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 10, 1, "x")
+	p.AddRow(GE, 4, T(x, 1))
+	s1 := mustSolve(t, p)
+	s2 := mustSolve(t, p)
+	if s1.Obj != s2.Obj || s1.Status != s2.Status {
+		t.Fatal("repeat solve differs: problem mutated")
+	}
+	if lo, hi := p.Bounds(x); lo != 0 || hi != 10 {
+		t.Fatal("bounds changed")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, 2, "x")
+	if p.NumVars() != 1 || p.NumRows() != 0 {
+		t.Fatal("counts")
+	}
+	p.SetObj(x, 5)
+	p.AddRow(LE, 1, T(x, 1))
+	if p.NumRows() != 1 {
+		t.Fatal("rows")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" || Rel(9).String() != "?" {
+		t.Fatal("rel strings")
+	}
+	for _, c := range []struct {
+		s    Status
+		want string
+	}{{Optimal, "optimal"}, {Infeasible, "infeasible"}, {Unbounded, "unbounded"}, {Status(9), "unknown"}} {
+		if c.s.String() != c.want {
+			t.Fatalf("%v", c.s)
+		}
+	}
+}
+
+func TestAddVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProblem().AddVar(2, 1, 0, "bad")
+}
+
+func TestAddRowPanicsOnUnknownVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProblem().AddRow(LE, 1, T(3, 1))
+}
+
+// TestRandomLPsFeasibilityInvariant generates random LPs with a known
+// feasible point and checks that (a) the solver never reports Infeasible,
+// and (b) any Optimal solution satisfies all rows and bounds and is no worse
+// than the known point.
+func TestRandomLPsFeasibilityInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := 1 + rng.IntN(6)
+		m := 1 + rng.IntN(8)
+		p := NewProblem()
+		// Known point inside [0, 10]^n.
+		point := make([]float64, n)
+		for j := 0; j < n; j++ {
+			point[j] = rng.Float64() * 10
+			p.AddVar(0, 10, rng.NormFloat64(), "v")
+		}
+		for i := 0; i < m; i++ {
+			var terms []Term
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					c := rng.NormFloat64() * 3
+					terms = append(terms, T(j, c))
+					lhs += c * point[j]
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// Slack the row so `point` is feasible.
+			if rng.Float64() < 0.5 {
+				p.AddRow(LE, lhs+rng.Float64()*5, terms...)
+			} else {
+				p.AddRow(GE, lhs-rng.Float64()*5, terms...)
+			}
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Check feasibility of the returned point.
+		for j := 0; j < n; j++ {
+			if s.X[j] < -1e-6 || s.X[j] > 10+1e-6 {
+				return false
+			}
+		}
+		for i := 0; i < p.NumRows(); i++ {
+			r := p.rows[i]
+			lhs := 0.0
+			for _, tm := range r.terms {
+				lhs += tm.Coef * s.X[tm.Var]
+			}
+			switch r.rel {
+			case LE:
+				if lhs > r.rhs+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < r.rhs-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-r.rhs) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// Objective no worse than the known feasible point.
+		known := 0.0
+		for j := 0; j < n; j++ {
+			known += p.obj[j] * point[j]
+		}
+		return s.Obj <= known+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomEqualitySystems solves random square-ish equality systems with a
+// known solution and checks the optimum satisfies them.
+func TestRandomEqualitySystems(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		n := 2 + rng.IntN(4)
+		p := NewProblem()
+		point := make([]float64, n)
+		for j := 0; j < n; j++ {
+			point[j] = rng.Float64()*8 - 4
+			p.AddVar(-10, 10, 1, "v")
+		}
+		for i := 0; i < n-1; i++ {
+			var terms []Term
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				c := rng.NormFloat64()
+				terms = append(terms, T(j, c))
+				rhs += c * point[j]
+			}
+			p.AddRow(EQ, rhs, terms...)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if s.Status != Optimal {
+			return false
+		}
+		for _, r := range p.rows {
+			lhs := 0.0
+			for _, tm := range r.terms {
+				lhs += tm.Coef * s.X[tm.Var]
+			}
+			if math.Abs(lhs-r.rhs) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package mc is the Monte Carlo engine of the flow: it streams
+// deterministic, independently-seeded virtual chips (samples of the timing
+// graph) to per-sample workers in parallel, the way the paper's method
+// emulates manufactured chips. Chips are generated on the fly and never
+// retained — at 10⁴ samples on the larger benchmarks the realized delay
+// vectors would not fit in memory.
+package mc
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/stat"
+	"repro/internal/timing"
+)
+
+// Engine streams chip samples from a timing graph.
+type Engine struct {
+	G *timing.Graph
+	// Seed selects the sample universe; chip k is deterministic in
+	// (Seed, k) regardless of worker scheduling.
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Antithetic pairs the sample universe: chip 2k+1 uses the negated
+	// random deviates of chip 2k. Die-level quantities (required period,
+	// yield indicators) become negatively correlated within a pair, which
+	// reduces the variance of population estimates at the same sample
+	// count — a classic Monte Carlo variance-reduction technique.
+	Antithetic bool
+}
+
+// New creates an engine.
+func New(g *timing.Graph, seed uint64) *Engine {
+	return &Engine{G: g, Seed: seed}
+}
+
+// rngFor returns the deterministic normal-deviate stream of chip k. Under
+// Antithetic, chips 2k and 2k+1 share the base stream with opposite signs.
+func (e *Engine) rngFor(k int) timing.NormSource {
+	base := k
+	flip := false
+	if e.Antithetic {
+		base = k / 2
+		flip = k%2 == 1
+	}
+	rng := rand.New(rand.NewPCG(e.Seed, uint64(base)*0x9E3779B97F4A7C15+0xD1B54A32D192ED03))
+	if flip {
+		return negSource{rng}
+	}
+	return rng
+}
+
+// negSource mirrors a normal stream (antithetic pairing).
+type negSource struct{ r *rand.Rand }
+
+func (n negSource) NormFloat64() float64 { return -n.r.NormFloat64() }
+
+// Chip materializes sample k (deterministic; mostly for tests and
+// debugging — bulk work should use ForEach).
+func (e *Engine) Chip(k int) *timing.Chip {
+	ch := e.G.NewChip()
+	e.G.RealizeInto(e.rngFor(k), ch)
+	return ch
+}
+
+// ForEach runs fn for samples 0..n-1 in parallel. Each worker owns one
+// reusable chip buffer; fn must not retain ch. fn is called exactly once
+// per sample, in arbitrary order, concurrently.
+func (e *Engine) ForEach(n int, fn func(k int, ch *timing.Chip)) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= n {
+			return -1
+		}
+		k := int(next)
+		next++
+		return k
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := e.G.NewChip()
+			for {
+				k := take()
+				if k < 0 {
+					return
+				}
+				e.G.RealizeInto(e.rngFor(k), ch)
+				fn(k, ch)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// PeriodStats is the clock-period distribution of the unmodified circuit.
+type PeriodStats struct {
+	Mu, Sigma float64
+	// HoldViolRate is the fraction of chips with at least one hold
+	// violation at zero tuning (period independent).
+	HoldViolRate float64
+	Samples      int
+}
+
+// PeriodDistribution estimates µT and σT of the required clock period over
+// n samples (the quantities Table I's three target periods are built from).
+func (e *Engine) PeriodDistribution(n int) PeriodStats {
+	periods := make([]float64, n)
+	holds := make([]bool, n)
+	e.ForEach(n, func(k int, ch *timing.Chip) {
+		periods[k] = e.G.RequiredPeriod(ch)
+		holds[k] = e.G.HoldViolationsAtZero(ch) > 0
+	})
+	mu, sigma := stat.MeanStd(periods)
+	hv := 0
+	for _, h := range holds {
+		if h {
+			hv++
+		}
+	}
+	return PeriodStats{Mu: mu, Sigma: sigma, HoldViolRate: float64(hv) / float64(max(1, n)), Samples: n}
+}
+
+// YieldAtZero returns the fraction of chips meeting period T with no
+// tuning buffers — the paper's original yield Yo.
+func (e *Engine) YieldAtZero(n int, T float64) stat.Yield {
+	pass := make([]bool, n)
+	e.ForEach(n, func(k int, ch *timing.Chip) {
+		pass[k] = e.G.FeasibleAtZero(ch, T)
+	})
+	y := stat.Yield{Total: n}
+	for _, p := range pass {
+		if p {
+			y.Pass++
+		}
+	}
+	return y
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package mc
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/gen"
+	"repro/internal/ssta"
+	"repro/internal/stat"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+func buildEngine(t *testing.T, ffs, gates int, seed uint64) *Engine {
+	t.Helper()
+	c, err := gen.Generate(gen.Config{NumFFs: ffs, NumGates: gates, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ssta.New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := timing.Build(a, nil)
+	return New(g, 12345)
+}
+
+func TestChipDeterministicAcrossScheduling(t *testing.T) {
+	e := buildEngine(t, 20, 100, 1)
+	// Chip k from the direct API.
+	direct := e.Chip(7)
+	// Same chip observed through ForEach with varying worker counts.
+	for _, workers := range []int{1, 4} {
+		e.Workers = workers
+		var got []float64
+		e.ForEach(10, func(k int, ch *timing.Chip) {
+			if k == 7 {
+				got = append([]float64(nil), ch.DMax...)
+			}
+		})
+		for p := range direct.DMax {
+			if got[p] != direct.DMax[p] {
+				t.Fatalf("workers=%d: chip 7 differs at pair %d", workers, p)
+			}
+		}
+	}
+}
+
+func TestForEachCoversAllSamplesOnce(t *testing.T) {
+	e := buildEngine(t, 10, 40, 2)
+	n := 500
+	var count int64
+	seen := make([]int32, n)
+	e.ForEach(n, func(k int, ch *timing.Chip) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&seen[k], 1)
+	})
+	if count != int64(n) {
+		t.Fatalf("count = %d", count)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("sample %d seen %d times", k, c)
+		}
+	}
+}
+
+func TestForEachZeroSamples(t *testing.T) {
+	e := buildEngine(t, 5, 10, 3)
+	called := false
+	e.ForEach(0, func(k int, ch *timing.Chip) { called = true })
+	if called {
+		t.Fatal("fn must not be called for n=0")
+	}
+}
+
+func TestPeriodDistributionSane(t *testing.T) {
+	e := buildEngine(t, 40, 250, 4)
+	ps := e.PeriodDistribution(2000)
+	if ps.Mu <= 0 || ps.Sigma <= 0 {
+		t.Fatalf("stats = %+v", ps)
+	}
+	// Sigma should be a plausible fraction of the mean for this model.
+	rel := ps.Sigma / ps.Mu
+	if rel < 0.01 || rel > 0.5 {
+		t.Fatalf("relative sigma %v implausible", rel)
+	}
+	if ps.Samples != 2000 {
+		t.Fatalf("samples = %d", ps.Samples)
+	}
+}
+
+func TestYieldMatchesPeriodQuantiles(t *testing.T) {
+	// Yo at µT must be ≈50 %, at µT+σ ≈84 %, at µT+2σ ≈97.7 % when the
+	// period distribution is near normal and hold violations are rare —
+	// exactly the paper's construction of Table I's three targets.
+	e := buildEngine(t, 60, 400, 5)
+	ps := e.PeriodDistribution(4000)
+	if ps.HoldViolRate > 0.02 {
+		t.Fatalf("hold violations too common: %v", ps.HoldViolRate)
+	}
+	for _, tc := range []struct {
+		T    float64
+		want float64
+		tol  float64
+	}{
+		{ps.Mu, 0.50, 0.06},
+		{ps.Mu + ps.Sigma, 0.8413, 0.05},
+		{ps.Mu + 2*ps.Sigma, 0.9772, 0.03},
+	} {
+		y := e.YieldAtZero(4000, tc.T)
+		if math.Abs(y.Rate()-tc.want) > tc.tol {
+			t.Fatalf("yield at T=%v: %v, want ≈%v", tc.T, y.Rate(), tc.want)
+		}
+	}
+}
+
+func TestYieldAtZeroMonotoneInT(t *testing.T) {
+	e := buildEngine(t, 30, 150, 6)
+	ps := e.PeriodDistribution(1000)
+	y1 := e.YieldAtZero(1000, ps.Mu-ps.Sigma)
+	y2 := e.YieldAtZero(1000, ps.Mu)
+	y3 := e.YieldAtZero(1000, ps.Mu+2*ps.Sigma)
+	if !(y1.Pass <= y2.Pass && y2.Pass <= y3.Pass) {
+		t.Fatalf("yield not monotone: %d %d %d", y1.Pass, y2.Pass, y3.Pass)
+	}
+}
+
+func TestSeedChangesUniverse(t *testing.T) {
+	e1 := buildEngine(t, 15, 80, 7)
+	e2 := New(e1.G, e1.Seed+1)
+	c1 := e1.Chip(0)
+	c2 := e2.Chip(0)
+	same := true
+	for p := range c1.DMax {
+		if c1.DMax[p] != c2.DMax[p] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different chips")
+	}
+}
+
+func TestYieldType(t *testing.T) {
+	y := stat.Yield{Pass: 3, Total: 4}
+	if y.Percent() != 75 {
+		t.Fatal("stat.Yield wiring")
+	}
+}
+
+func TestAntitheticPairsMirror(t *testing.T) {
+	e := buildEngine(t, 15, 80, 8)
+	e.Antithetic = true
+	g := e.G
+	// Chips 0 and 1 are an antithetic pair: a slow die pairs with a fast
+	// die — their required periods straddle the nominal one.
+	c0 := e.Chip(0)
+	c1 := e.Chip(1)
+	nominal := g.RequiredPeriod(g.NominalChip())
+	p0 := g.RequiredPeriod(c0)
+	p1 := g.RequiredPeriod(c1)
+	if (p0 > nominal) == (p1 > nominal) && math.Abs(p0-nominal) > 1 && math.Abs(p1-nominal) > 1 {
+		t.Fatalf("pair not mirrored: %v and %v around nominal %v", p0, p1, nominal)
+	}
+	// Deterministic.
+	c0b := e.Chip(0)
+	for p := range c0.DMax {
+		if c0.DMax[p] != c0b.DMax[p] {
+			t.Fatal("antithetic chips must stay deterministic")
+		}
+	}
+}
+
+func TestAntitheticReducesVariance(t *testing.T) {
+	// Estimate µT repeatedly with small budgets; the antithetic estimator
+	// must have a visibly smaller spread across replications.
+	e := buildEngine(t, 20, 120, 9)
+	variance := func(anti bool) float64 {
+		var means []float64
+		for rep := 0; rep < 30; rep++ {
+			e2 := New(e.G, uint64(1000+rep))
+			e2.Antithetic = anti
+			ps := e2.PeriodDistribution(64)
+			means = append(means, ps.Mu)
+		}
+		return stat.Variance(means)
+	}
+	vPlain := variance(false)
+	vAnti := variance(true)
+	if vAnti > vPlain {
+		t.Fatalf("antithetic variance %v above plain %v", vAnti, vPlain)
+	}
+}

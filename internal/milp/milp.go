@@ -1,0 +1,368 @@
+// Package milp implements a branch-and-bound mixed-integer linear solver on
+// top of the simplex in internal/lp. It is the engine behind the per-sample
+// ILPs of the buffer-insertion flow: binary buffer-usage indicators cᵢ with
+// big-M coupling to tuning values, and (in step 2) integer grid positions
+// kᵢ of the discrete tuning delays. Sub-problems are small after the
+// violation-component decomposition, so plain best-first branch-and-bound
+// with most-fractional branching solves them exactly.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+)
+
+// VarKind distinguishes continuous from integral variables.
+type VarKind int
+
+// Variable kinds.
+const (
+	Continuous VarKind = iota
+	Integer            // integral within its bounds
+	Binary             // shorthand for Integer with bounds [0,1]
+)
+
+// Problem is a MILP under construction. It wraps an lp.Problem plus
+// integrality marks.
+type Problem struct {
+	LP   *lp.Problem
+	kind []VarKind
+}
+
+// NewProblem returns an empty MILP.
+func NewProblem() *Problem {
+	return &Problem{LP: lp.NewProblem()}
+}
+
+// AddVar adds a variable of the given kind with bounds [lo,hi] and objective
+// coefficient obj. Binary forces bounds to [0,1].
+func (p *Problem) AddVar(kind VarKind, lo, hi, obj float64, name string) int {
+	if kind == Binary {
+		lo, hi = 0, 1
+	}
+	v := p.LP.AddVar(lo, hi, obj, name)
+	p.kind = append(p.kind, kind)
+	return v
+}
+
+// AddRow forwards to the underlying LP.
+func (p *Problem) AddRow(rel lp.Rel, rhs float64, terms ...lp.Term) int {
+	return p.LP.AddRow(rel, rhs, terms...)
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.LP.NumVars() }
+
+// Kind returns the kind of variable v.
+func (p *Problem) Kind(v int) VarKind { return p.kind[v] }
+
+// Solution of a MILP solve.
+type Solution struct {
+	Status lp.Status
+	Obj    float64
+	X      []float64
+	Nodes  int // branch-and-bound nodes explored
+}
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the search tree size; 0 means DefaultMaxNodes.
+	MaxNodes int
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops; 0 = exact.
+	Gap float64
+}
+
+// DefaultMaxNodes bounds the B&B tree for callers that pass Options{}.
+const DefaultMaxNodes = 200000
+
+// ErrNodeLimit reports that branch-and-bound exhausted its node budget
+// before proving optimality.
+var ErrNodeLimit = errors.New("milp: node limit exceeded")
+
+type node struct {
+	bound  float64 // LP relaxation value (lower bound for minimization)
+	lo, hi []float64
+	depth  int
+}
+
+// Solve runs branch-and-bound and returns an optimal solution, Infeasible
+// when no integral point exists, or Unbounded when the relaxation is
+// unbounded (treated as unbounded MILP; our formulations are always
+// bounded).
+func (p *Problem) Solve(opt Options) (Solution, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	tol := opt.IntTol
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	n := p.LP.NumVars()
+	rootLo := make([]float64, n)
+	rootHi := make([]float64, n)
+	for v := 0; v < n; v++ {
+		rootLo[v], rootHi[v] = p.LP.Bounds(v)
+		if p.kind[v] != Continuous {
+			// Tighten integral bounds immediately.
+			if !math.IsInf(rootLo[v], -1) {
+				rootLo[v] = math.Ceil(rootLo[v] - tol)
+			}
+			if !math.IsInf(rootHi[v], 1) {
+				rootHi[v] = math.Floor(rootHi[v] + tol)
+			}
+		}
+	}
+
+	// solveWith temporarily installs bounds, solves, and restores.
+	origLo := make([]float64, n)
+	origHi := make([]float64, n)
+	for v := 0; v < n; v++ {
+		origLo[v], origHi[v] = p.LP.Bounds(v)
+	}
+	solveWith := func(lo, hi []float64) (lp.Solution, error) {
+		for v := 0; v < n; v++ {
+			p.LP.SetBounds(v, lo[v], hi[v])
+		}
+		s, err := p.LP.Solve()
+		for v := 0; v < n; v++ {
+			p.LP.SetBounds(v, origLo[v], origHi[v])
+		}
+		return s, err
+	}
+
+	root, err := solveWith(rootLo, rootHi)
+	if err != nil {
+		return Solution{}, err
+	}
+	switch root.Status {
+	case lp.Infeasible:
+		return Solution{Status: lp.Infeasible, Nodes: 1}, nil
+	case lp.Unbounded:
+		return Solution{Status: lp.Unbounded, Nodes: 1}, nil
+	}
+
+	best := Solution{Status: lp.Infeasible, Obj: math.Inf(1)}
+	nodes := 0
+
+	// Best-first queue (sorted slice is fine at our sizes: heap semantics
+	// with deterministic tie-breaking on insertion order).
+	queue := []node{{bound: root.Obj, lo: rootLo, hi: rootHi, depth: 0}}
+	relax := root // reuse root solve for the first pop
+
+	pop := func() node {
+		// Smallest bound first; ties broken by depth (deeper first → dive).
+		bi := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].bound < queue[bi].bound-1e-12 ||
+				(math.Abs(queue[i].bound-queue[bi].bound) <= 1e-12 && queue[i].depth > queue[bi].depth) {
+				bi = i
+			}
+		}
+		nd := queue[bi]
+		queue = append(queue[:bi], queue[bi+1:]...)
+		return nd
+	}
+
+	firstPop := true
+	for len(queue) > 0 {
+		nd := pop()
+		nodes++
+		if nodes > maxNodes {
+			return best, ErrNodeLimit
+		}
+		// Bound pruning.
+		if nd.bound >= best.Obj-1e-9 {
+			continue
+		}
+		var rel lp.Solution
+		if firstPop {
+			rel = relax
+			firstPop = false
+		} else {
+			var err error
+			rel, err = solveWith(nd.lo, nd.hi)
+			if err != nil {
+				return best, err
+			}
+			if rel.Status != lp.Optimal {
+				continue
+			}
+			if rel.Obj >= best.Obj-1e-9 {
+				continue
+			}
+		}
+		// Find the most fractional integral variable.
+		branchVar := -1
+		worstFrac := tol
+		for v := 0; v < n; v++ {
+			if p.kind[v] == Continuous {
+				continue
+			}
+			f := math.Abs(rel.X[v] - math.Round(rel.X[v]))
+			if f > worstFrac {
+				// Most-fractional: distance to 0.5 of the fractional part.
+				worstFrac = f
+				branchVar = v
+			}
+		}
+		if branchVar == -1 {
+			// Integral solution: snap and accept.
+			x := append([]float64(nil), rel.X...)
+			for v := 0; v < n; v++ {
+				if p.kind[v] != Continuous {
+					x[v] = math.Round(x[v])
+				}
+			}
+			if rel.Obj < best.Obj {
+				best = Solution{Status: lp.Optimal, Obj: rel.Obj, X: x}
+			}
+			if opt.Gap > 0 && gapClosed(queue, best.Obj, opt.Gap) {
+				break
+			}
+			continue
+		}
+		// Branch.
+		fv := rel.X[branchVar]
+		down := node{bound: rel.Obj, depth: nd.depth + 1,
+			lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		down.hi[branchVar] = math.Floor(fv)
+		up := node{bound: rel.Obj, depth: nd.depth + 1,
+			lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		up.lo[branchVar] = math.Ceil(fv)
+		queue = append(queue, down, up)
+	}
+	best.Nodes = nodes
+	return best, nil
+}
+
+func gapClosed(queue []node, incumbent float64, gap float64) bool {
+	lb := math.Inf(1)
+	for _, nd := range queue {
+		if nd.bound < lb {
+			lb = nd.bound
+		}
+	}
+	if math.IsInf(lb, 1) {
+		return true
+	}
+	den := math.Max(1, math.Abs(incumbent))
+	return (incumbent-lb)/den <= gap
+}
+
+// AbsLinearization adds variables and rows expressing t ≥ |expr − center|
+// and returns the index of t, whose objective coefficient is set to weight.
+// Used for the concentration objectives Σ|xᵢ| and Σ|xᵢ − x̄ᵢ| (paper
+// (15), (19)): minimize t with t ≥ expr − center and t ≥ −(expr − center).
+func (p *Problem) AbsLinearization(exprVar int, center, weight float64, name string) int {
+	t := p.AddVar(Continuous, 0, lp.Inf, weight, name)
+	// t ≥ x − center  ⇔  x − t ≤ center
+	p.AddRow(lp.LE, center, lp.T(exprVar, 1), lp.T(t, -1))
+	// t ≥ center − x  ⇔  −x − t ≤ −center
+	p.AddRow(lp.LE, -center, lp.T(exprVar, -1), lp.T(t, -1))
+	return t
+}
+
+// Indicator couples a continuous variable x ∈ [−gamma, gamma] to a binary c
+// so that x ≠ 0 forces c = 1 (paper constraints (5)–(6)): x ≤ γ·c and
+// −x ≤ γ·c. gamma must be a valid bound on |x| — the tightest valid choice
+// is the buffer range, which keeps the relaxation strong.
+func (p *Problem) Indicator(x, c int, gamma float64) {
+	if gamma <= 0 {
+		panic(fmt.Sprintf("milp: indicator gamma must be positive, got %v", gamma))
+	}
+	p.AddRow(lp.LE, 0, lp.T(x, 1), lp.T(c, -gamma))
+	p.AddRow(lp.LE, 0, lp.T(x, -1), lp.T(c, -gamma))
+}
+
+// BruteForce enumerates all integral assignments (for tests): it requires
+// every variable to be integral with finite bounds and a small search space.
+// Returns the best objective and an argmin, or Infeasible.
+func (p *Problem) BruteForce(limit int) (Solution, error) {
+	n := p.LP.NumVars()
+	type rng struct{ lo, hi int }
+	ranges := make([]rng, n)
+	space := 1
+	for v := 0; v < n; v++ {
+		if p.kind[v] == Continuous {
+			return Solution{}, errors.New("milp: brute force needs all-integral problems")
+		}
+		lo, hi := p.LP.Bounds(v)
+		if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+			return Solution{}, errors.New("milp: brute force needs finite bounds")
+		}
+		ranges[v] = rng{int(math.Ceil(lo - 1e-9)), int(math.Floor(hi + 1e-9))}
+		width := ranges[v].hi - ranges[v].lo + 1
+		if width <= 0 {
+			return Solution{Status: lp.Infeasible}, nil
+		}
+		if space > limit/width {
+			return Solution{}, fmt.Errorf("milp: brute force space exceeds %d", limit)
+		}
+		space *= width
+	}
+	best := Solution{Status: lp.Infeasible, Obj: math.Inf(1)}
+	x := make([]float64, n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			if !p.feasible(x) {
+				return
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				obj += p.objCoef(j) * x[j]
+			}
+			if obj < best.Obj {
+				best = Solution{Status: lp.Optimal, Obj: obj, X: append([]float64(nil), x...)}
+			}
+			return
+		}
+		for k := ranges[v].lo; k <= ranges[v].hi; k++ {
+			x[v] = float64(k)
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// feasible checks all rows at the point x (used by BruteForce).
+func (p *Problem) feasible(x []float64) bool {
+	for i := 0; i < p.LP.NumRows(); i++ {
+		rel, rhs, terms := p.LP.Row(i)
+		lhs := 0.0
+		for _, t := range terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch rel {
+		case lp.LE:
+			if lhs > rhs+1e-9 {
+				return false
+			}
+		case lp.GE:
+			if lhs < rhs-1e-9 {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(lhs-rhs) > 1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *Problem) objCoef(v int) float64 { return p.LP.Obj(v) }
+
+// SortSolutionsByObj is a helper for tests comparing solution pools.
+func SortSolutionsByObj(sols []Solution) {
+	sort.Slice(sols, func(i, j int) bool { return sols[i].Obj < sols[j].Obj })
+}

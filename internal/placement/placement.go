@@ -1,0 +1,122 @@
+// Package placement assigns flip-flops physical coordinates on a unit grid.
+// The buffer-grouping step (paper §III-C, Fig. 6) merges buffers only when
+// their tuning values correlate strongly AND they are physically close —
+// within ten times the minimum flip-flop spacing. A full placer is outside
+// the paper's scope; this connectivity-aware grid placement reproduces the
+// property grouping depends on: flip-flops that talk to each other sit near
+// each other.
+package placement
+
+import (
+	"math"
+
+	"repro/internal/graphx"
+)
+
+// Point is a grid coordinate.
+type Point struct {
+	X, Y int
+}
+
+// Manhattan returns the L1 distance between two points, in units of the
+// minimum flip-flop spacing (grid pitch 1).
+func Manhattan(a, b Point) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Placement holds one coordinate per flip-flop id.
+type Placement struct {
+	Coords []Point
+}
+
+// Distance returns the Manhattan distance between FFs i and j.
+func (p *Placement) Distance(i, j int) int {
+	return Manhattan(p.Coords[i], p.Coords[j])
+}
+
+// MinSpacing is the grid pitch (always 1 for this placer); exported so the
+// grouping threshold "ten times the minimum distance between flip-flops"
+// reads literally at call sites.
+const MinSpacing = 1
+
+// Grid places n flip-flops on a ⌈√n⌉×⌈√n⌉ grid in BFS order over the
+// adjacency lists: neighbors in the connectivity graph receive nearby grid
+// slots (row-major snake order), so connected FFs end up physically close.
+// adj[i] lists the FF ids connected to i by a combinational path (either
+// direction); it may be nil for an order-only placement.
+func Grid(n int, adj [][]int) *Placement {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	order := bfsOrder(n, adj)
+	coords := make([]Point, n)
+	for slot, ff := range order {
+		row := slot / side
+		col := slot % side
+		if row%2 == 1 {
+			col = side - 1 - col // snake: keeps consecutive slots adjacent
+		}
+		coords[ff] = Point{X: col, Y: row}
+	}
+	return &Placement{Coords: coords}
+}
+
+// bfsOrder returns a BFS ordering of 0..n-1 over adj, starting new
+// components at the lowest unvisited id.
+func bfsOrder(n int, adj [][]int) []int {
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			if adj == nil || v >= len(adj) {
+				continue
+			}
+			for _, w := range adj[v] {
+				if w >= 0 && w < n && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// AdjFromPairs builds FF adjacency lists from launch/capture id pairs.
+func AdjFromPairs(n int, pairs [][2]int) [][]int {
+	g := graphx.NewUgraph(n)
+	seen := make(map[[2]int]bool)
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.AddEdge(a, b)
+	}
+	return g.Adj
+}

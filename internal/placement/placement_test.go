@@ -1,0 +1,98 @@
+package placement
+
+import (
+	"testing"
+)
+
+func TestManhattan(t *testing.T) {
+	if d := Manhattan(Point{0, 0}, Point{3, 4}); d != 7 {
+		t.Fatalf("d = %d", d)
+	}
+	if d := Manhattan(Point{5, 2}, Point{1, 9}); d != 4+7 {
+		t.Fatalf("d = %d", d)
+	}
+	if d := Manhattan(Point{1, 1}, Point{1, 1}); d != 0 {
+		t.Fatalf("d = %d", d)
+	}
+}
+
+func TestGridDistinctCoords(t *testing.T) {
+	p := Grid(10, nil)
+	if len(p.Coords) != 10 {
+		t.Fatalf("coords = %d", len(p.Coords))
+	}
+	seen := map[Point]bool{}
+	for _, c := range p.Coords {
+		if seen[c] {
+			t.Fatalf("duplicate coordinate %+v", c)
+		}
+		seen[c] = true
+		if c.X < 0 || c.Y < 0 || c.X >= 4 || c.Y >= 4 {
+			t.Fatalf("coordinate %+v outside 4x4 grid", c)
+		}
+	}
+}
+
+func TestGridConnectivityLocality(t *testing.T) {
+	// A chain 0-1-2-...-n: BFS order keeps neighbors adjacent in snake
+	// order, so chain neighbors must be at distance 1.
+	n := 16
+	adj := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = append(adj[i], i+1)
+		adj[i+1] = append(adj[i+1], i)
+	}
+	p := Grid(n, adj)
+	for i := 0; i < n-1; i++ {
+		if d := p.Distance(i, i+1); d != 1 {
+			t.Fatalf("chain neighbors %d,%d at distance %d", i, i+1, d)
+		}
+	}
+}
+
+func TestGridSingleAndEmpty(t *testing.T) {
+	p := Grid(1, nil)
+	if len(p.Coords) != 1 {
+		t.Fatal("single")
+	}
+	p0 := Grid(0, nil)
+	if len(p0.Coords) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestGridDisconnected(t *testing.T) {
+	// Two components; all FFs still get distinct coordinates.
+	adj := [][]int{{1}, {0}, {3}, {2}}
+	p := Grid(4, adj)
+	seen := map[Point]bool{}
+	for _, c := range p.Coords {
+		if seen[c] {
+			t.Fatal("duplicate coordinate")
+		}
+		seen[c] = true
+	}
+	if p.Distance(0, 1) != 1 || p.Distance(2, 3) != 1 {
+		t.Fatalf("component pairs should be adjacent: %+v", p.Coords)
+	}
+}
+
+func TestAdjFromPairs(t *testing.T) {
+	adj := AdjFromPairs(4, [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 2}})
+	if len(adj[0]) != 1 || adj[0][0] != 1 {
+		t.Fatalf("adj[0] = %v", adj[0])
+	}
+	// Duplicate edge 0-1/1-0 deduplicated; self loop 2-2 dropped.
+	if len(adj[1]) != 2 {
+		t.Fatalf("adj[1] = %v", adj[1])
+	}
+	if len(adj[3]) != 0 {
+		t.Fatalf("adj[3] = %v", adj[3])
+	}
+}
+
+func TestMinSpacing(t *testing.T) {
+	if MinSpacing != 1 {
+		t.Fatal("grid pitch must be 1")
+	}
+}

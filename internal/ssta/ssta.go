@@ -1,0 +1,295 @@
+// Package ssta implements block-based statistical static timing analysis
+// over the canonical delay model: per launch flip-flop, it propagates
+// canonical arrival forms through the combinational DAG and extracts, for
+// every reachable capture flip-flop, the canonical maximum and minimum
+// register-to-register delay (the d̄ij and d_ij of the paper's constraints
+// (1)–(2), with the launch clk→Q folded in). These canonical pair delays
+// are what the Monte Carlo engine samples to emulate manufactured chips.
+//
+// Only register-to-register paths are modeled: the paper's tuning
+// constraints are FF pairs, and port paths are unaffected by relative clock
+// tuning between internal FFs.
+package ssta
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/ckt"
+	"repro/internal/variation"
+)
+
+// Pair is the canonical timing view of one launch→capture FF pair.
+type Pair struct {
+	Launch  int // FF id (index into Circuit.FFs())
+	Capture int // FF id
+	Max     variation.Canonical
+	Min     variation.Canonical
+}
+
+// Analyzer caches everything needed to run per-launch propagations.
+type Analyzer struct {
+	C *ckt.Circuit
+	M *variation.Model
+
+	gateDelay []variation.Canonical // per node: gate delay (DFF = clk→Q)
+	order     []int                 // topological order of the comb graph
+	ffOfNode  []int                 // node → FF id, −1 otherwise
+	setup     []variation.Canonical // per FF id
+	hold      []variation.Canonical // per FF id
+}
+
+// New builds an analyzer, precomputing per-node canonical delays and the
+// propagation order.
+func New(c *ckt.Circuit, m *variation.Model) (*Analyzer, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g := c.CombGraph()
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("ssta: %w", err)
+	}
+	a := &Analyzer{C: c, M: m, order: order}
+	a.gateDelay = make([]variation.Canonical, len(c.Nodes))
+	for i, n := range c.Nodes {
+		switch n.Kind {
+		case ckt.DFF:
+			a.gateDelay[i] = m.ClkToQ(c, i)
+		default:
+			d, err := m.GateDelay(c, i)
+			if err != nil {
+				return nil, err
+			}
+			a.gateDelay[i] = d
+		}
+	}
+	ffs := c.FFs()
+	a.ffOfNode = make([]int, len(c.Nodes))
+	for i := range a.ffOfNode {
+		a.ffOfNode[i] = -1
+	}
+	a.setup = make([]variation.Canonical, len(ffs))
+	a.hold = make([]variation.Canonical, len(ffs))
+	for id, node := range ffs {
+		a.ffOfNode[node] = id
+		a.setup[id] = m.Setup(c, node)
+		a.hold[id] = m.Hold(c, node)
+	}
+	return a, nil
+}
+
+// Setup returns the canonical setup time of FF id.
+func (a *Analyzer) Setup(id int) variation.Canonical { return a.setup[id] }
+
+// Hold returns the canonical hold time of FF id.
+func (a *Analyzer) Hold(id int) variation.Canonical { return a.hold[id] }
+
+// GateDelay returns the canonical delay of a node (clk→Q for DFFs).
+func (a *Analyzer) GateDelay(node int) variation.Canonical { return a.gateDelay[node] }
+
+// scratch holds per-worker propagation state, reused across launches.
+type scratch struct {
+	arrMax  []variation.Canonical
+	arrMin  []variation.Canonical
+	reached []bool
+}
+
+func (a *Analyzer) newScratch() *scratch {
+	n := len(a.C.Nodes)
+	return &scratch{
+		arrMax:  make([]variation.Canonical, n),
+		arrMin:  make([]variation.Canonical, n),
+		reached: make([]bool, n),
+	}
+}
+
+// pairsFromLaunch computes the canonical pair delays for one launch FF.
+func (a *Analyzer) pairsFromLaunch(launchID int, sc *scratch) []Pair {
+	c := a.C
+	launchNode := c.FFs()[launchID]
+	for i := range sc.reached {
+		sc.reached[i] = false
+	}
+	sc.reached[launchNode] = true
+	cq := a.gateDelay[launchNode]
+	sc.arrMax[launchNode] = cq
+	sc.arrMin[launchNode] = cq
+
+	var pairs []Pair
+	for _, v := range a.order {
+		n := &c.Nodes[v]
+		if n.Kind == ckt.DFF {
+			if v == launchNode {
+				continue
+			}
+			// Capture endpoint: the comb graph has no edge into DFFs, so
+			// handle arrival via the D fan-in directly below.
+			continue
+		}
+		if n.Kind == ckt.Input {
+			continue
+		}
+		// Gate or Output: combine reached fanins.
+		first := true
+		var mx, mn variation.Canonical
+		for _, u := range n.Fanin {
+			if !sc.reached[u] {
+				continue
+			}
+			if first {
+				mx = sc.arrMax[u]
+				mn = sc.arrMin[u]
+				first = false
+			} else {
+				mx = mx.Max(sc.arrMax[u])
+				mn = mn.Min(sc.arrMin[u])
+			}
+		}
+		if first {
+			continue // not reached from this launch
+		}
+		d := a.gateDelay[v]
+		sc.reached[v] = true
+		sc.arrMax[v] = mx.Add(d)
+		sc.arrMin[v] = mn.Add(d)
+	}
+	// Collect captures: every DFF whose D fan-in is reached.
+	for capID, capNode := range c.FFs() {
+		fi := c.Nodes[capNode].Fanin
+		if len(fi) == 0 || !sc.reached[fi[0]] {
+			continue
+		}
+		u := fi[0]
+		pairs = append(pairs, Pair{
+			Launch:  launchID,
+			Capture: capID,
+			Max:     sc.arrMax[u].Clone(),
+			Min:     sc.arrMin[u].Clone(),
+		})
+	}
+	return pairs
+}
+
+// PairDelays computes canonical pair delays for every launch FF, in
+// parallel across CPU cores. The result is ordered by (launch, capture).
+func (a *Analyzer) PairDelays() []Pair {
+	ffs := a.C.FFs()
+	results := make([][]Pair, len(ffs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ffs) {
+		workers = len(ffs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(ffs))
+	for id := range ffs {
+		next <- id
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := a.newScratch()
+			for id := range next {
+				results[id] = a.pairsFromLaunch(id, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Pair
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// ExactPairValue is a sampled (deterministic) pair delay, used by the exact
+// gate-level Monte Carlo mode and by cross-validation tests.
+type ExactPairValue struct {
+	Launch, Capture int
+	Max, Min        float64
+}
+
+// ExactPairDelays propagates concrete per-node delay values (delays[node];
+// DFF entries are clk→Q) and returns per-pair max/min delays. This is the
+// brute-force counterpart of PairDelays for one sampled chip.
+func (a *Analyzer) ExactPairDelays(delays []float64) []ExactPairValue {
+	c := a.C
+	n := len(c.Nodes)
+	arrMax := make([]float64, n)
+	arrMin := make([]float64, n)
+	reached := make([]bool, n)
+	var out []ExactPairValue
+	for launchID, launchNode := range c.FFs() {
+		for i := range reached {
+			reached[i] = false
+		}
+		reached[launchNode] = true
+		arrMax[launchNode] = delays[launchNode]
+		arrMin[launchNode] = delays[launchNode]
+		for _, v := range a.order {
+			nd := &c.Nodes[v]
+			if nd.Kind == ckt.DFF || nd.Kind == ckt.Input {
+				continue
+			}
+			first := true
+			var mx, mn float64
+			for _, u := range nd.Fanin {
+				if !reached[u] {
+					continue
+				}
+				if first {
+					mx, mn = arrMax[u], arrMin[u]
+					first = false
+				} else {
+					if arrMax[u] > mx {
+						mx = arrMax[u]
+					}
+					if arrMin[u] < mn {
+						mn = arrMin[u]
+					}
+				}
+			}
+			if first {
+				continue
+			}
+			reached[v] = true
+			arrMax[v] = mx + delays[v]
+			arrMin[v] = mn + delays[v]
+		}
+		for capID, capNode := range c.FFs() {
+			fi := c.Nodes[capNode].Fanin
+			if len(fi) == 0 || !reached[fi[0]] {
+				continue
+			}
+			out = append(out, ExactPairValue{
+				Launch:  launchID,
+				Capture: capID,
+				Max:     arrMax[fi[0]],
+				Min:     arrMin[fi[0]],
+			})
+		}
+	}
+	return out
+}
+
+// CriticalPair returns the pair with the largest mean max-delay, a cheap
+// indicator of the nominal critical path. Returns false when the circuit
+// has no register-to-register paths.
+func CriticalPair(pairs []Pair) (Pair, bool) {
+	if len(pairs) == 0 {
+		return Pair{}, false
+	}
+	best := pairs[0]
+	for _, p := range pairs[1:] {
+		if p.Max.Mean > best.Max.Mean {
+			best = p
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,120 @@
+// Package tabular renders fixed-width text tables for the experiment
+// binaries, matching the row/column structure of the paper's Table I so
+// outputs can be compared side by side.
+package tabular
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of string cells under a header.
+type Table struct {
+	header []string
+	rows   [][]string
+	title  string
+}
+
+// New creates a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// SetTitle sets an optional title line printed above the table.
+func (t *Table) SetTitle(title string) { t.title = title }
+
+// AddRow appends a row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row built from formatted values.
+func (t *Table) AddRowf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			s[i] = v
+		case float64:
+			s[i] = fmt.Sprintf("%.2f", v)
+		case int:
+			s[i] = fmt.Sprintf("%d", v)
+		default:
+			s[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(s...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes not needed for
+// our numeric content; commas in cells are replaced with semicolons).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	for i, h := range t.header {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package tabular
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Circuit", "Nb", "Yi(%)")
+	tb.SetTitle("Table I")
+	tb.AddRow("s9234", "2", "27.11")
+	tb.AddRow("s13207", "5", "22.37")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Table I\n") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "Circuit") || !strings.Contains(lines[1], "Yi(%)") {
+		t.Fatalf("header: %q", lines[1])
+	}
+	// Columns aligned: every row has the same length.
+	if len(lines[3]) != len(lines[4]) || len(lines[1]) != len(lines[3]) {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatal("NumRows")
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tb := New("a", "b", "c")
+	tb.AddRow("1")                    // short row padded
+	tb.AddRow("1", "2", "3", "extra") // long row truncated
+	out := tb.String()
+	if strings.Contains(out, "extra") {
+		t.Fatalf("extra cell not dropped:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("name", "int", "float", "other")
+	tb.AddRowf("x", 42, 3.14159, []int{1})
+	out := tb.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "3.14") {
+		t.Fatalf("formatting:\n%s", out)
+	}
+	if strings.Contains(out, "3.14159") {
+		t.Fatal("floats should render with 2 decimals")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow("1,5", "2")
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if lines[1] != "1;5,2" {
+		t.Fatalf("comma escaping: %q", lines[1])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Fatal("header must render even with no rows")
+	}
+}

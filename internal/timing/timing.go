@@ -1,0 +1,304 @@
+// Package timing turns SSTA pair delays into the setup/hold constraint
+// system of the paper's formulation (1)–(3), including the per-flip-flop
+// clock skews the authors inject to create additional critical paths.
+//
+// For tuning delays x and skews q, the constraints at clock period T are
+//
+//	setup: (qᵢ+xᵢ) + d̄ᵢⱼ ≤ (qⱼ+xⱼ) + T − sⱼ   ⇔  xᵢ − xⱼ ≤ T − sⱼ − d̄ᵢⱼ + qⱼ − qᵢ
+//	hold:  (qᵢ+xᵢ) + dᵢⱼ ≥ (qⱼ+xⱼ) + hⱼ       ⇔  xⱼ − xᵢ ≤ dᵢⱼ − hⱼ + qᵢ − qⱼ
+//
+// A Chip is one Monte-Carlo realization of all random quantities; the
+// Graph provides the constraint bounds for any chip and period.
+package timing
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ssta"
+	"repro/internal/variation"
+)
+
+// Pair is one launch→capture constraint arc with canonical delays.
+type Pair struct {
+	Launch, Capture int
+	Max, Min        variation.Canonical
+}
+
+// Graph is the timing constraint structure of a circuit.
+type Graph struct {
+	NS    int       // number of flip-flops
+	Skew  []float64 // deterministic per-FF clock skew (ps)
+	Pairs []Pair
+
+	setup []variation.Canonical // per FF
+	hold  []variation.Canonical // per FF
+	dim   int                   // global source dimension
+}
+
+// Build assembles the constraint graph from an SSTA analyzer and optional
+// skews (nil = zero skew).
+func Build(a *ssta.Analyzer, skew []float64) *Graph {
+	ns := a.C.NumFFs()
+	if skew == nil {
+		skew = make([]float64, ns)
+	}
+	if len(skew) != ns {
+		panic("timing: skew length mismatch")
+	}
+	g := &Graph{NS: ns, Skew: skew, dim: a.M.Space.Dim()}
+	for _, p := range a.PairDelays() {
+		g.Pairs = append(g.Pairs, Pair{Launch: p.Launch, Capture: p.Capture, Max: p.Max, Min: p.Min})
+	}
+	g.setup = make([]variation.Canonical, ns)
+	g.hold = make([]variation.Canonical, ns)
+	for id := 0; id < ns; id++ {
+		g.setup[id] = a.Setup(id)
+		g.hold[id] = a.Hold(id)
+	}
+	return g
+}
+
+// Dim returns the global variation source dimension.
+func (g *Graph) Dim() int { return g.dim }
+
+// Chip is one sampled (virtual) chip: realized pair delays and FF timing.
+type Chip struct {
+	DMax  []float64 // per pair: realized maximum combinational delay
+	DMin  []float64 // per pair: realized minimum combinational delay
+	Setup []float64 // per FF
+	Hold  []float64 // per FF
+}
+
+// NewChip allocates a chip buffer for the graph.
+func (g *Graph) NewChip() *Chip {
+	return &Chip{
+		DMax:  make([]float64, len(g.Pairs)),
+		DMin:  make([]float64, len(g.Pairs)),
+		Setup: make([]float64, g.NS),
+		Hold:  make([]float64, g.NS),
+	}
+}
+
+// NormSource yields standard-normal deviates. *rand.Rand satisfies it; the
+// Monte Carlo engine also passes sign-flipped (antithetic) sources.
+type NormSource interface {
+	NormFloat64() float64
+}
+
+// RealizeInto samples one chip into ch using rng: one shared global-source
+// vector, one independent deviate per pair (shared between its max and min,
+// which are the same physical paths), and one per FF timing pair. DMin is
+// clamped to DMax.
+func (g *Graph) RealizeInto(rng NormSource, ch *Chip) {
+	gvec := make([]float64, g.dim)
+	for i := range gvec {
+		gvec[i] = rng.NormFloat64()
+	}
+	g.RealizeWithGlobals(rng, gvec, ch)
+}
+
+// RealizeWithGlobals samples a chip with a caller-provided global vector
+// (used by tests that pin the die-level variation).
+func (g *Graph) RealizeWithGlobals(rng NormSource, gvec []float64, ch *Chip) {
+	for p := range g.Pairs {
+		r := rng.NormFloat64()
+		pr := &g.Pairs[p]
+		mx := pr.Max.Eval(gvec, r)
+		mn := pr.Min.Eval(gvec, r)
+		if mn > mx {
+			mn = mx
+		}
+		ch.DMax[p] = mx
+		ch.DMin[p] = mn
+	}
+	for f := 0; f < g.NS; f++ {
+		r := rng.NormFloat64()
+		s := g.setup[f].Eval(gvec, r)
+		h := g.hold[f].Eval(gvec, r)
+		if s < 0 {
+			s = 0
+		}
+		if h < 0 {
+			h = 0
+		}
+		ch.Setup[f] = s
+		ch.Hold[f] = h
+	}
+}
+
+// Realize allocates and samples a fresh chip.
+func (g *Graph) Realize(rng *rand.Rand) *Chip {
+	ch := g.NewChip()
+	g.RealizeInto(rng, ch)
+	return ch
+}
+
+// SetupBound returns b in the constraint x_launch − x_capture ≤ b for pair
+// p at period T on chip ch.
+func (g *Graph) SetupBound(ch *Chip, p int, T float64) float64 {
+	pr := &g.Pairs[p]
+	return T - ch.Setup[pr.Capture] - ch.DMax[p] + g.Skew[pr.Capture] - g.Skew[pr.Launch]
+}
+
+// HoldBound returns b in the constraint x_capture − x_launch ≤ b for pair
+// p on chip ch (period independent).
+func (g *Graph) HoldBound(ch *Chip, p int) float64 {
+	pr := &g.Pairs[p]
+	return ch.DMin[p] - ch.Hold[pr.Capture] + g.Skew[pr.Launch] - g.Skew[pr.Capture]
+}
+
+// RequiredPeriod returns the smallest T at which all setup constraints hold
+// with zero tuning (x = 0): max over pairs of d̄ᵢⱼ + sⱼ + qᵢ − qⱼ.
+func (g *Graph) RequiredPeriod(ch *Chip) float64 {
+	T := 0.0
+	for p := range g.Pairs {
+		pr := &g.Pairs[p]
+		need := ch.DMax[p] + ch.Setup[pr.Capture] + g.Skew[pr.Launch] - g.Skew[pr.Capture]
+		if need > T {
+			T = need
+		}
+	}
+	return T
+}
+
+// HoldViolationsAtZero counts hold constraints violated with zero tuning.
+func (g *Graph) HoldViolationsAtZero(ch *Chip) int {
+	n := 0
+	for p := range g.Pairs {
+		if g.HoldBound(ch, p) < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FeasibleAtZero reports whether the chip meets period T with zero tuning
+// (all setup and hold constraints satisfied).
+func (g *Graph) FeasibleAtZero(ch *Chip, T float64) bool {
+	for p := range g.Pairs {
+		if g.SetupBound(ch, p, T) < 0 || g.HoldBound(ch, p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NominalChip returns the deterministic chip (all sources at their means).
+func (g *Graph) NominalChip() *Chip {
+	ch := g.NewChip()
+	for p := range g.Pairs {
+		ch.DMax[p] = g.Pairs[p].Max.Mean
+		mn := g.Pairs[p].Min.Mean
+		if mn > ch.DMax[p] {
+			mn = ch.DMax[p]
+		}
+		ch.DMin[p] = mn
+	}
+	for f := 0; f < g.NS; f++ {
+		ch.Setup[f] = g.setup[f].Mean
+		ch.Hold[f] = g.hold[f].Mean
+	}
+	return ch
+}
+
+// GenerateSkews draws per-FF clock skews from N(0, sigma), deterministic in
+// the seed. The paper adds skews to its benchmarks "so that they have more
+// critical paths"; sigma is typically a small fraction of the nominal
+// critical path delay (see SkewSigma).
+func GenerateSkews(ns int, sigma float64, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x5ce3))
+	out := make([]float64, ns)
+	for i := range out {
+		out[i] = rng.NormFloat64() * sigma
+	}
+	return out
+}
+
+// SkewSigma derives the skew standard deviation from the pair delays:
+// frac × (largest nominal pair delay). frac ≈ 0.02–0.03 spreads criticality
+// across many pairs while keeping nominal hold slack positive for the
+// bulk of direct register-to-register connections.
+func SkewSigma(pairs []Pair, frac float64) float64 {
+	worst := 0.0
+	for _, p := range pairs {
+		if p.Max.Mean > worst {
+			worst = p.Max.Mean
+		}
+	}
+	return frac * worst
+}
+
+// WithSkew returns a graph sharing this graph's pair delays but using the
+// given skews (cheap: no SSTA re-run).
+func (g *Graph) WithSkew(skew []float64) *Graph {
+	if len(skew) != g.NS {
+		panic("timing: skew length mismatch")
+	}
+	out := *g
+	out.Skew = skew
+	return &out
+}
+
+// HoldSafeSkews draws skews from N(0, sigma) and then scales them down
+// until every pair keeps a nominal hold slack of at least its local 3-sigma
+// variation margin. Real designs guarantee hold by construction (min-delay
+// padding at nominal corner); emulating that here keeps the original yield
+// a function of the clock period, as in the paper's Table I, rather than of
+// period-independent hold failures.
+func (g *Graph) HoldSafeSkews(sigma float64, seed uint64) []float64 {
+	sk := GenerateSkews(g.NS, sigma, seed)
+	// Per-pair margin: 3σ of the hold-slack randomness (min delay + hold).
+	margins := make([]float64, len(g.Pairs))
+	for p := range g.Pairs {
+		pr := &g.Pairs[p]
+		v := pr.Min.Variance() + g.hold[pr.Capture].Variance()
+		margins[p] = 3 * math.Sqrt(v)
+	}
+	holdSafe := func() bool {
+		for p := range g.Pairs {
+			pr := &g.Pairs[p]
+			slack := pr.Min.Mean - g.hold[pr.Capture].Mean + sk[pr.Launch] - sk[pr.Capture]
+			if slack < margins[p] {
+				return false
+			}
+		}
+		return true
+	}
+	for iter := 0; iter < 60 && !holdSafe(); iter++ {
+		for i := range sk {
+			sk[i] *= 0.85
+		}
+	}
+	if !holdSafe() {
+		// Zero-skew circuits may themselves violate the margin (very short
+		// nominal min paths); fall back to zero skews, which is the closest
+		// to "hold met by construction" the structure allows.
+		for i := range sk {
+			sk[i] = 0
+		}
+	}
+	return sk
+}
+
+// PairAdjacency returns, for each FF id, the pair indices touching it.
+func (g *Graph) PairAdjacency() [][]int {
+	adj := make([][]int, g.NS)
+	for p := range g.Pairs {
+		pr := &g.Pairs[p]
+		adj[pr.Launch] = append(adj[pr.Launch], p)
+		if pr.Capture != pr.Launch {
+			adj[pr.Capture] = append(adj[pr.Capture], p)
+		}
+	}
+	return adj
+}
+
+// FFPairIDs returns the (launch, capture) id pairs, for placement adjacency.
+func (g *Graph) FFPairIDs() [][2]int {
+	out := make([][2]int, len(g.Pairs))
+	for p := range g.Pairs {
+		out[p] = [2]int{g.Pairs[p].Launch, g.Pairs[p].Capture}
+	}
+	return out
+}

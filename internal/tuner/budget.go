@@ -1,0 +1,146 @@
+package tuner
+
+import (
+	"math"
+
+	"repro/internal/timing"
+)
+
+// Budgeted configures the chip while touching at most maxConfigured
+// buffers — the test-cost constraint of the paper's closing discussion:
+// each configured buffer costs tester time (scan-chain writes, re-test), so
+// a fab may cap the per-chip configuration effort and accept the residual
+// yield loss.
+//
+// Strategy: try the greedy repair; if it exceeds the budget, re-try with
+// the exact solution restricted to the |budget| most-promising buffer
+// subsets is exponential, so instead the exact solution is post-processed:
+// buffers are zeroed smallest-|delay| first while the chip stays feasible.
+// Returns ErrBudget when no assignment within budget is found.
+func (t *Tuner) Budgeted(ch *timing.Chip, T float64, maxConfigured int) (Assignment, error) {
+	if t.G.FeasibleAtZero(ch, T) {
+		return t.assignment(make([]float64, len(t.Groups))), nil
+	}
+	a, err := t.GreedyMinimal(ch, T)
+	if err != nil {
+		return Assignment{}, err
+	}
+	if a.Configured <= maxConfigured {
+		return a, nil
+	}
+	// Sparsify: repeatedly zero the smallest non-zero delay whose removal
+	// keeps the chip feasible.
+	vals := append([]float64(nil), a.GroupVals...)
+	for t.configuredOf(vals) > maxConfigured {
+		best := -1
+		for {
+			// Candidate: smallest |delay| not yet tried this round.
+			idx := -1
+			small := math.Inf(1)
+			for i, v := range vals {
+				if v != 0 && math.Abs(v) < small && i != best {
+					// best marks the last failed candidate to avoid
+					// retrying it immediately; a full tried-set is
+					// unnecessary because feasibility is monotone in the
+					// removal set only per attempt.
+					idx = i
+					small = math.Abs(v)
+				}
+			}
+			if idx == -1 {
+				return Assignment{}, ErrBudget
+			}
+			saved := vals[idx]
+			vals[idx] = 0
+			if t.feasibleWith(ch, T, vals) {
+				break // keep the removal, continue sparsifying
+			}
+			vals[idx] = saved
+			best = idx
+			// Try the next-smallest once; if both smallest fail, give up —
+			// deeper search rarely pays and keeps this O(groups²).
+			idx2 := -1
+			small2 := math.Inf(1)
+			for i, v := range vals {
+				if v != 0 && i != idx && math.Abs(v) < small2 {
+					idx2 = i
+					small2 = math.Abs(v)
+				}
+			}
+			if idx2 == -1 {
+				return Assignment{}, ErrBudget
+			}
+			saved2 := vals[idx2]
+			vals[idx2] = 0
+			if t.feasibleWith(ch, T, vals) {
+				break
+			}
+			vals[idx2] = saved2
+			return Assignment{}, ErrBudget
+		}
+	}
+	return t.assignment(vals), nil
+}
+
+// ErrBudget reports that the chip cannot be rescued within the
+// configuration budget.
+var ErrBudget = errBudget{}
+
+type errBudget struct{}
+
+func (errBudget) Error() string { return "tuner: configuration budget exhausted" }
+
+func (t *Tuner) configuredOf(vals []float64) int {
+	n := 0
+	for _, v := range vals {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// feasibleWith checks all constraints under a specific group assignment.
+func (t *Tuner) feasibleWith(ch *timing.Chip, T float64, vals []float64) bool {
+	x := t.Ev.TuningOf(vals)
+	for p := range t.G.Pairs {
+		pr := &t.G.Pairs[p]
+		if x[pr.Launch]-x[pr.Capture] > t.G.SetupBound(ch, p, T)+1e-9 {
+			return false
+		}
+		if x[pr.Capture]-x[pr.Launch] > t.G.HoldBound(ch, p)+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// BudgetCurve measures rescued-chip counts across configuration budgets,
+// quantifying the test-cost / yield trade-off on a chip population.
+func (t *Tuner) BudgetCurve(chips []*timing.Chip, T float64, budgets []int) []CostReport {
+	out := make([]CostReport, len(budgets))
+	for bi, budget := range budgets {
+		rep := CostReport{Chips: len(chips)}
+		totB, totS := 0, 0
+		for _, ch := range chips {
+			if t.G.FeasibleAtZero(ch, T) {
+				rep.PassOutright++
+				continue
+			}
+			a, err := t.Budgeted(ch, T, budget)
+			if err != nil {
+				rep.Unfixable++
+				continue
+			}
+			rep.Rescued++
+			totB += a.Configured
+			totS += a.TotalSteps
+		}
+		if rep.Rescued > 0 {
+			rep.AvgBuffers = float64(totB) / float64(rep.Rescued)
+			rep.AvgSteps = float64(totS) / float64(rep.Rescued)
+		}
+		out[bi] = rep
+	}
+	return out
+}

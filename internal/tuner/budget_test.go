@@ -1,0 +1,88 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/timing"
+)
+
+func TestBudgetedLegalWithinBudget(t *testing.T) {
+	b := buildBench(t, 221)
+	eng := mc.New(b.g, 777111)
+	budget := 2
+	checked := 0
+	for k := 0; k < 200 && checked < 40; k++ {
+		ch := eng.Chip(k)
+		if b.g.FeasibleAtZero(ch, b.mu) {
+			continue
+		}
+		a, err := b.tn.Budgeted(ch, b.mu, budget)
+		if err != nil {
+			continue // over budget or unfixable: allowed
+		}
+		checked++
+		if a.Configured > budget {
+			t.Fatalf("budget exceeded: %d > %d", a.Configured, budget)
+		}
+		checkLegal(t, b, ch, a)
+	}
+	if checked == 0 {
+		t.Skip("no in-budget rescues in this universe")
+	}
+}
+
+func TestBudgetedPassingChip(t *testing.T) {
+	b := buildBench(t, 223)
+	eng := mc.New(b.g, 3)
+	for k := 0; k < 200; k++ {
+		ch := eng.Chip(k)
+		if !b.g.FeasibleAtZero(ch, b.mu) {
+			continue
+		}
+		a, err := b.tn.Budgeted(ch, b.mu, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Configured != 0 {
+			t.Fatal("passing chip must stay untouched even at budget 0")
+		}
+		return
+	}
+	t.Skip("no passing chips")
+}
+
+func TestBudgetCurveMonotone(t *testing.T) {
+	b := buildBench(t, 225)
+	chips := make([]*timing.Chip, 150)
+	eng := mc.New(b.g, 515253)
+	for k := range chips {
+		chips[k] = eng.Chip(k)
+	}
+	budgets := []int{0, 1, 2, 100}
+	curve := b.tn.BudgetCurve(chips, b.mu, budgets)
+	if len(curve) != len(budgets) {
+		t.Fatal("curve length")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Rescued < curve[i-1].Rescued {
+			t.Fatalf("rescues must grow with budget: %v", curve)
+		}
+	}
+	// Budget 0 rescues nothing (failing chips need ≥1 configured buffer).
+	if curve[0].Rescued != 0 {
+		t.Fatalf("budget 0 rescued %d chips", curve[0].Rescued)
+	}
+	// Unlimited budget matches the unbudgeted population run.
+	full := b.tn.Population(chips, b.mu, true)
+	if curve[len(curve)-1].Rescued < full.Rescued {
+		t.Fatalf("unlimited budget (%d) below greedy population (%d)",
+			curve[len(curve)-1].Rescued, full.Rescued)
+	}
+}
+
+func TestErrBudgetMessage(t *testing.T) {
+	if ErrBudget.Error() == "" {
+		t.Fatal("error message")
+	}
+}

@@ -1,0 +1,221 @@
+// Package tuner implements the post-silicon side of the story — the
+// paper's stated future work: after manufacturing, each chip's tester
+// measures its timing and the tuning buffers must be configured to reach
+// the target period. Two configuration strategies are provided:
+//
+//   - Exact: a shortest-path solve of the grid difference system (always
+//     finds a legal configuration when one exists).
+//   - GreedyMinimal: prefers the all-zero setting and adjusts as few
+//     buffers as possible, in the spirit of reducing test/configuration
+//     cost; it walks violated constraints and repairs them by the smallest
+//     grid move, falling back to Exact when the walk stalls.
+//
+// The package also estimates configuration cost (number of configured
+// buffers, total steps shifted) to support the paper's closing discussion
+// on balancing testing cost against yield.
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/insertion"
+	"repro/internal/timing"
+	"repro/internal/yield"
+)
+
+// Tuner configures chips for a fixed buffer plan.
+type Tuner struct {
+	G    *timing.Graph
+	Spec insertion.BufferSpec
+	Ev   *yield.Evaluator
+	// Groups as inserted.
+	Groups []insertion.Group
+}
+
+// New creates a tuner for the buffer plan.
+func New(g *timing.Graph, spec insertion.BufferSpec, groups []insertion.Group) (*Tuner, error) {
+	ev, err := yield.NewEvaluator(g, spec, groups)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{G: g, Spec: spec, Ev: ev, Groups: groups}, nil
+}
+
+// Assignment is a configured chip.
+type Assignment struct {
+	// GroupVals is the delay per physical buffer (ps, grid values).
+	GroupVals []float64
+	// Configured counts buffers set to a non-zero delay.
+	Configured int
+	// TotalSteps is the sum of |delay|/step over buffers — a proxy for
+	// configuration/test effort.
+	TotalSteps int
+}
+
+func (t *Tuner) assignment(vals []float64) Assignment {
+	a := Assignment{GroupVals: vals}
+	step := t.Spec.Step()
+	for _, v := range vals {
+		if math.Abs(v) > 1e-9 {
+			a.Configured++
+			a.TotalSteps += int(math.Round(math.Abs(v) / step))
+		}
+	}
+	return a
+}
+
+// Exact configures the chip via the shortest-path solution of the grid
+// difference system. Returns yield.ErrUnfixable when the chip cannot be
+// rescued.
+func (t *Tuner) Exact(ch *timing.Chip, T float64) (Assignment, error) {
+	vals, err := t.Ev.Configure(ch, T)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return t.assignment(vals), nil
+}
+
+// GreedyMinimal configures the chip trying to touch as few buffers as
+// possible: starting from all zeros it repeatedly repairs the most violated
+// constraint by the smallest legal move of one endpoint buffer. When the
+// repair loop stalls it falls back to Exact.
+func (t *Tuner) GreedyMinimal(ch *timing.Chip, T float64) (Assignment, error) {
+	if t.G.FeasibleAtZero(ch, T) {
+		return t.assignment(make([]float64, len(t.Groups))), nil
+	}
+	vals := make([]float64, len(t.Groups))
+	step := t.Spec.Step()
+	varOf := t.varMap()
+	const maxMoves = 2000
+	for move := 0; move < maxMoves; move++ {
+		p, excess, tuneCapture := t.worstViolation(ch, T, vals, varOf)
+		if p < 0 {
+			return t.assignment(vals), nil
+		}
+		// Repair by shifting one endpoint. Choose the endpoint with a
+		// buffer; prefer the suggested direction.
+		pr := &t.G.Pairs[p]
+		var v int
+		var dir float64
+		if tuneCapture {
+			v = varOf[pr.Capture]
+			dir = +1 // delay capture clock: more setup slack
+		} else {
+			v = varOf[pr.Launch]
+			dir = -1 // advance launch clock
+		}
+		if v < 0 {
+			// Suggested endpoint unbuffered; try the other one.
+			if tuneCapture {
+				v = varOf[pr.Launch]
+				dir = -1
+			} else {
+				v = varOf[pr.Capture]
+				dir = +1
+			}
+		}
+		if v < 0 {
+			break // neither endpoint tunable: fall back
+		}
+		steps := math.Ceil(excess/step - 1e-9)
+		next := vals[v] + dir*steps*step
+		lo, hi := t.groupWindow(v)
+		if next < lo-1e-9 || next > hi+1e-9 {
+			break // window exhausted: fall back to the exact solver
+		}
+		vals[v] = next
+	}
+	return t.Exact(ch, T)
+}
+
+// worstViolation returns the index of the most violated constraint at the
+// current assignment, the violation amount, and whether delaying the
+// capture side is the natural repair (setup) or not (hold). Returns -1
+// when feasible.
+func (t *Tuner) worstViolation(ch *timing.Chip, T float64, vals []float64, varOf []int) (int, float64, bool) {
+	worst, worstP := 1e-9, -1
+	tuneCapture := true
+	xOf := func(ff int) float64 {
+		if v := varOf[ff]; v >= 0 {
+			return vals[v]
+		}
+		return 0
+	}
+	for p := range t.G.Pairs {
+		pr := &t.G.Pairs[p]
+		xl, xc := xOf(pr.Launch), xOf(pr.Capture)
+		if ex := (xl - xc) - t.G.SetupBound(ch, p, T); ex > worst {
+			worst, worstP, tuneCapture = ex, p, true
+		}
+		if ex := (xc - xl) - t.G.HoldBound(ch, p); ex > worst {
+			worst, worstP, tuneCapture = ex, p, false
+		}
+	}
+	return worstP, worst, tuneCapture
+}
+
+func (t *Tuner) varMap() []int {
+	varOf := make([]int, t.G.NS)
+	for i := range varOf {
+		varOf[i] = -1
+	}
+	for gi, g := range t.Groups {
+		for _, ff := range g.FFs {
+			varOf[ff] = gi
+		}
+	}
+	return varOf
+}
+
+func (t *Tuner) groupWindow(v int) (lo, hi float64) {
+	return t.Groups[v].Lo, t.Groups[v].Hi
+}
+
+// CostReport aggregates configuration effort across a chip population.
+type CostReport struct {
+	Chips        int
+	Rescued      int // failing chips fixed by configuration
+	Unfixable    int
+	AvgBuffers   float64 // configured buffers per rescued chip
+	AvgSteps     float64 // total shifted steps per rescued chip
+	PassOutright int
+}
+
+// String renders the report.
+func (r CostReport) String() string {
+	return fmt.Sprintf("chips=%d passOutright=%d rescued=%d unfixable=%d avgConfiguredBuffers=%.2f avgSteps=%.2f",
+		r.Chips, r.PassOutright, r.Rescued, r.Unfixable, r.AvgBuffers, r.AvgSteps)
+}
+
+// Population configures n chips from the sampler and reports cost
+// statistics. greedy selects the strategy.
+func (t *Tuner) Population(chips []*timing.Chip, T float64, greedy bool) CostReport {
+	rep := CostReport{Chips: len(chips)}
+	totB, totS := 0, 0
+	for _, ch := range chips {
+		if t.G.FeasibleAtZero(ch, T) {
+			rep.PassOutright++
+			continue
+		}
+		var a Assignment
+		var err error
+		if greedy {
+			a, err = t.GreedyMinimal(ch, T)
+		} else {
+			a, err = t.Exact(ch, T)
+		}
+		if err != nil {
+			rep.Unfixable++
+			continue
+		}
+		rep.Rescued++
+		totB += a.Configured
+		totS += a.TotalSteps
+	}
+	if rep.Rescued > 0 {
+		rep.AvgBuffers = float64(totB) / float64(rep.Rescued)
+		rep.AvgSteps = float64(totS) / float64(rep.Rescued)
+	}
+	return rep
+}

@@ -1,0 +1,190 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/placement"
+	"repro/internal/ssta"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+type bench struct {
+	g   *timing.Graph
+	mu  float64
+	res *insertion.Result
+	tn  *Tuner
+}
+
+func buildBench(t *testing.T, seed uint64) *bench {
+	t.Helper()
+	c, err := gen.Generate(gen.Config{NumFFs: 30, NumGates: 160, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ssta.New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := timing.Build(a, nil)
+	g = g.WithSkew(g.HoldSafeSkews(timing.SkewSigma(g.Pairs, 0.03), seed+77))
+	ps := mc.New(g, 555).PeriodDistribution(1000)
+	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
+	res, err := insertion.Run(g, pl, insertion.Config{T: ps.Mu, Samples: 300, Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Skip("bench produced no buffers")
+	}
+	tn, err := New(g, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bench{g: g, mu: ps.Mu, res: res, tn: tn}
+}
+
+// checkLegal asserts an assignment satisfies all constraints of a chip.
+func checkLegal(t *testing.T, b *bench, ch *timing.Chip, a Assignment) {
+	t.Helper()
+	x := b.tn.Ev.TuningOf(a.GroupVals)
+	for p := range b.g.Pairs {
+		pr := &b.g.Pairs[p]
+		if x[pr.Launch]-x[pr.Capture] > b.g.SetupBound(ch, p, b.mu)+1e-6 {
+			t.Fatalf("setup violated at pair %d", p)
+		}
+		if x[pr.Capture]-x[pr.Launch] > b.g.HoldBound(ch, p)+1e-6 {
+			t.Fatalf("hold violated at pair %d", p)
+		}
+	}
+	// Window containment.
+	for gi, v := range a.GroupVals {
+		if v < b.res.Groups[gi].Lo-1e-9 || v > b.res.Groups[gi].Hi+1e-9 {
+			t.Fatalf("group %d value %v outside window", gi, v)
+		}
+	}
+}
+
+func TestExactRescuesFailingChips(t *testing.T) {
+	b := buildBench(t, 201)
+	eng := mc.New(b.g, 4242)
+	rescued := 0
+	for k := 0; k < 200; k++ {
+		ch := eng.Chip(k)
+		if b.g.FeasibleAtZero(ch, b.mu) {
+			continue
+		}
+		a, err := b.tn.Exact(ch, b.mu)
+		if err != nil {
+			continue
+		}
+		rescued++
+		checkLegal(t, b, ch, a)
+	}
+	if rescued == 0 {
+		t.Fatal("exact tuner rescued nothing")
+	}
+}
+
+func TestGreedyLegalAndCheaper(t *testing.T) {
+	b := buildBench(t, 203)
+	eng := mc.New(b.g, 555111)
+	var gBuf, eBuf int
+	compared := 0
+	for k := 0; k < 200; k++ {
+		ch := eng.Chip(k)
+		if b.g.FeasibleAtZero(ch, b.mu) {
+			continue
+		}
+		ga, gerr := b.tn.GreedyMinimal(ch, b.mu)
+		ea, eerr := b.tn.Exact(ch, b.mu)
+		if (gerr == nil) != (eerr == nil) {
+			t.Fatalf("chip %d: greedy err %v vs exact err %v", k, gerr, eerr)
+		}
+		if gerr != nil {
+			continue
+		}
+		checkLegal(t, b, ch, ga)
+		compared++
+		gBuf += ga.Configured
+		eBuf += ea.Configured
+	}
+	if compared == 0 {
+		t.Skip("no fixable failing chips in this universe")
+	}
+	// Greedy should not configure more buffers on average than exact
+	// (shortest-path solutions push everything to extremes).
+	if gBuf > eBuf {
+		t.Logf("greedy=%d exact=%d configured buffers (greedy may exceed on fallbacks)", gBuf, eBuf)
+	}
+}
+
+func TestPassingChipNeedsNoConfiguration(t *testing.T) {
+	b := buildBench(t, 205)
+	eng := mc.New(b.g, 31)
+	for k := 0; k < 300; k++ {
+		ch := eng.Chip(k)
+		if !b.g.FeasibleAtZero(ch, b.mu) {
+			continue
+		}
+		a, err := b.tn.GreedyMinimal(ch, b.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Configured != 0 || a.TotalSteps != 0 {
+			t.Fatalf("passing chip configured %d buffers", a.Configured)
+		}
+		return
+	}
+	t.Skip("no passing chip found")
+}
+
+func TestPopulationReport(t *testing.T) {
+	b := buildBench(t, 207)
+	eng := mc.New(b.g, 99)
+	chips := make([]*timing.Chip, 150)
+	for k := range chips {
+		chips[k] = eng.Chip(k)
+	}
+	for _, greedy := range []bool{false, true} {
+		rep := b.tn.Population(chips, b.mu, greedy)
+		if rep.Chips != 150 {
+			t.Fatalf("chips = %d", rep.Chips)
+		}
+		if rep.PassOutright+rep.Rescued+rep.Unfixable != 150 {
+			t.Fatalf("partition broken: %+v", rep)
+		}
+		if rep.Rescued > 0 && rep.AvgBuffers <= 0 {
+			t.Fatalf("rescued chips must configure buffers: %+v", rep)
+		}
+		if rep.String() == "" {
+			t.Fatal("String")
+		}
+	}
+}
+
+func TestTunerMatchesYieldEvaluator(t *testing.T) {
+	// Exact tuner success must coincide with evaluator feasibility.
+	b := buildBench(t, 209)
+	eng := mc.New(b.g, 12321)
+	for k := 0; k < 150; k++ {
+		ch := eng.Chip(k)
+		feasible := b.g.FeasibleAtZero(ch, b.mu) || b.tn.Ev.ChipFeasible(ch, b.mu)
+		_, err := b.tn.Exact(ch, b.mu)
+		if feasible != (err == nil) {
+			t.Fatalf("chip %d: evaluator=%v tuner err=%v", k, feasible, err)
+		}
+	}
+}
+
+func TestNewRejectsBadGroups(t *testing.T) {
+	b := buildBench(t, 211)
+	bad := []insertion.Group{{FFs: []int{0}, Lo: 1, Hi: 2}} // excludes 0
+	if _, err := New(b.g, b.res.Cfg.Spec, bad); err == nil {
+		t.Fatal("bad groups must be rejected")
+	}
+}

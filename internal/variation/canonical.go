@@ -1,0 +1,245 @@
+// Package variation implements the canonical first-order delay model of
+// Visweswariah et al. (DAC 2004, the paper's reference [3]):
+//
+//	d = a0 + Σᵢ aᵢ·ΔGᵢ + aᵣ·ΔR
+//
+// where the ΔGᵢ are shared (globally correlated) standard-normal sources —
+// here one per process parameter (L, Tox, Vth), optionally refined by
+// spatial region — and ΔR is a standard-normal source independent per form.
+// The package provides the arithmetic the SSTA engine needs (add, scale,
+// max/min via Clark's approximation) and sampling support for Monte Carlo.
+package variation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stat"
+)
+
+// Canonical is one first-order form. Sens has one entry per global source;
+// all Canonical values participating in one analysis must share the same
+// source dimensionality (enforced by Space).
+type Canonical struct {
+	Mean float64
+	Sens []float64
+	Rand float64 // coefficient of the independent source (≥ 0)
+}
+
+// Space defines the global variation sources of an analysis: the number of
+// process parameters times the number of spatial regions.
+type Space struct {
+	Params  int // number of process parameters (3 in the paper)
+	Regions int // spatial correlation regions (1 = fully correlated die)
+}
+
+// DefaultSpace is the paper's setting: three parameters, one region.
+func DefaultSpace() Space { return Space{Params: 3, Regions: 1} }
+
+// Dim returns the number of global sources.
+func (s Space) Dim() int { return s.Params * s.Regions }
+
+// SourceIndex returns the global-source index of parameter p in region r.
+func (s Space) SourceIndex(p, r int) int {
+	if p < 0 || p >= s.Params || r < 0 || r >= s.Regions {
+		panic(fmt.Sprintf("variation: source (%d,%d) outside space %+v", p, r, s))
+	}
+	return r*s.Params + p
+}
+
+// Zero returns the zero form in an n-source space.
+func Zero(n int) Canonical {
+	return Canonical{Sens: make([]float64, n)}
+}
+
+// Const returns a deterministic form with the given mean.
+func Const(n int, mean float64) Canonical {
+	c := Zero(n)
+	c.Mean = mean
+	return c
+}
+
+// Clone returns a deep copy.
+func (c Canonical) Clone() Canonical {
+	return Canonical{Mean: c.Mean, Sens: append([]float64(nil), c.Sens...), Rand: c.Rand}
+}
+
+// Variance returns the total variance of the form.
+func (c Canonical) Variance() float64 {
+	v := c.Rand * c.Rand
+	for _, a := range c.Sens {
+		v += a * a
+	}
+	return v
+}
+
+// Std returns the standard deviation.
+func (c Canonical) Std() float64 { return math.Sqrt(c.Variance()) }
+
+// Covariance returns Cov(c, d), which is the dot product of the shared
+// sensitivities (the independent parts never correlate).
+func (c Canonical) Covariance(d Canonical) float64 {
+	if len(c.Sens) != len(d.Sens) {
+		panic("variation: covariance across different spaces")
+	}
+	s := 0.0
+	for i := range c.Sens {
+		s += c.Sens[i] * d.Sens[i]
+	}
+	return s
+}
+
+// Correlation returns the correlation coefficient between the forms, zero
+// when either is deterministic.
+func (c Canonical) Correlation(d Canonical) float64 {
+	sc, sd := c.Std(), d.Std()
+	if sc == 0 || sd == 0 {
+		return 0
+	}
+	return c.Covariance(d) / (sc * sd)
+}
+
+// Add returns c + d. Independent parts add in quadrature (RSS) because the
+// two ΔR sources are distinct and a sum of independent normals is normal.
+func (c Canonical) Add(d Canonical) Canonical {
+	if len(c.Sens) != len(d.Sens) {
+		panic("variation: add across different spaces")
+	}
+	out := Zero(len(c.Sens))
+	out.Mean = c.Mean + d.Mean
+	for i := range out.Sens {
+		out.Sens[i] = c.Sens[i] + d.Sens[i]
+	}
+	out.Rand = math.Hypot(c.Rand, d.Rand)
+	return out
+}
+
+// AddConst returns c + k.
+func (c Canonical) AddConst(k float64) Canonical {
+	out := c.Clone()
+	out.Mean += k
+	return out
+}
+
+// Scale returns k·c. Negative k flips sensitivities; Rand stays ≥ 0.
+func (c Canonical) Scale(k float64) Canonical {
+	out := Zero(len(c.Sens))
+	out.Mean = k * c.Mean
+	for i := range out.Sens {
+		out.Sens[i] = k * c.Sens[i]
+	}
+	out.Rand = math.Abs(k) * c.Rand
+	return out
+}
+
+// Neg returns −c.
+func (c Canonical) Neg() Canonical { return c.Scale(-1) }
+
+// Max returns a canonical approximation of max(c, d) using Clark's
+// moment-matching: the result's mean and variance match the exact first two
+// moments of the max of the bivariate normal pair, and the sensitivities are
+// the probability-weighted blend Tc·aᵢ + (1−Tc)·bᵢ, with the residual
+// variance assigned to the independent term. This is the standard canonical
+// max of block-based SSTA [3].
+func (c Canonical) Max(d Canonical) Canonical {
+	if len(c.Sens) != len(d.Sens) {
+		panic("variation: max across different spaces")
+	}
+	va, vb := c.Variance(), d.Variance()
+	cov := c.Covariance(d)
+	// θ² = Var(c−d) ≥ 0 up to rounding.
+	theta2 := va + vb - 2*cov
+	if theta2 <= 1e-18 {
+		// The difference is (numerically) deterministic: pick the larger mean.
+		if c.Mean >= d.Mean {
+			return c.Clone()
+		}
+		return d.Clone()
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (c.Mean - d.Mean) / theta
+	t := stat.NormalCDF(alpha) // P(c > d)
+	phi := normPDF(alpha)
+	// Exact first two moments of max (Clark 1961).
+	m1 := c.Mean*t + d.Mean*(1-t) + theta*phi
+	m2 := (va+c.Mean*c.Mean)*t + (vb+d.Mean*d.Mean)*(1-t) + (c.Mean+d.Mean)*theta*phi
+	variance := m2 - m1*m1
+	if variance < 0 {
+		variance = 0
+	}
+	out := Zero(len(c.Sens))
+	out.Mean = m1
+	for i := range out.Sens {
+		out.Sens[i] = t*c.Sens[i] + (1-t)*d.Sens[i]
+	}
+	// Residual variance to the independent source.
+	explained := 0.0
+	for _, a := range out.Sens {
+		explained += a * a
+	}
+	resid := variance - explained
+	if resid < 0 {
+		// Clamp and renormalize sensitivities so total variance matches.
+		if explained > 0 {
+			k := math.Sqrt(variance / explained)
+			for i := range out.Sens {
+				out.Sens[i] *= k
+			}
+		}
+		resid = 0
+	}
+	out.Rand = math.Sqrt(resid)
+	return out
+}
+
+// Min returns the canonical min via −max(−c, −d).
+func (c Canonical) Min(d Canonical) Canonical {
+	return c.Neg().Max(d.Neg()).Neg()
+}
+
+func normPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// Eval evaluates the form at a sampled global-source vector g and an
+// independent deviate r (both standard normal).
+func (c Canonical) Eval(g []float64, r float64) float64 {
+	if len(g) != len(c.Sens) {
+		panic("variation: eval with wrong source dimension")
+	}
+	v := c.Mean
+	for i, a := range c.Sens {
+		v += a * g[i]
+	}
+	return v + c.Rand*r
+}
+
+// MaxAll folds Max over a non-empty slice.
+func MaxAll(forms []Canonical) Canonical {
+	if len(forms) == 0 {
+		panic("variation: MaxAll of empty slice")
+	}
+	out := forms[0].Clone()
+	for _, f := range forms[1:] {
+		out = out.Max(f)
+	}
+	return out
+}
+
+// MinAll folds Min over a non-empty slice.
+func MinAll(forms []Canonical) Canonical {
+	if len(forms) == 0 {
+		panic("variation: MinAll of empty slice")
+	}
+	out := forms[0].Clone()
+	for _, f := range forms[1:] {
+		out = out.Min(f)
+	}
+	return out
+}
+
+// QuantileNormal returns the q-quantile of the form treating it as normal
+// (exact for a single canonical form).
+func (c Canonical) QuantileNormal(q float64) float64 {
+	return c.Mean + c.Std()*stat.NormalQuantile(q)
+}

@@ -1,0 +1,89 @@
+package variation
+
+import (
+	"repro/internal/cells"
+	"repro/internal/ckt"
+)
+
+// Model maps netlist nodes to canonical delay forms over a variation space.
+// It is the bridge between the cell library's per-parameter sensitivities
+// and the SSTA/Monte-Carlo machinery.
+type Model struct {
+	Space Space
+	Lib   *cells.Library
+	// RegionOf assigns each node to a spatial correlation region. Nil means
+	// region 0 for every node (fully correlated die, the paper's setting).
+	RegionOf func(node int) int
+}
+
+// NewModel creates a model over the default (3-parameter) space.
+func NewModel(lib *cells.Library) *Model {
+	return &Model{Space: DefaultSpace(), Lib: lib}
+}
+
+// region returns the spatial region of a node.
+func (m *Model) region(node int) int {
+	if m.RegionOf == nil {
+		return 0
+	}
+	return m.RegionOf(node)
+}
+
+// GateDelay returns the canonical delay of node `idx` of circuit c:
+// nominal intrinsic+load delay, per-parameter sensitivities placed in the
+// node's region sources, and an independent within-die term.
+func (m *Model) GateDelay(c *ckt.Circuit, idx int) (Canonical, error) {
+	n := c.Nodes[idx]
+	cell, err := m.Lib.Cell(n.Kind)
+	if err != nil {
+		return Canonical{}, err
+	}
+	load := len(n.Fanout)
+	return m.cellDelay(cell, load, m.region(idx)), nil
+}
+
+// cellDelay builds the canonical form for a cell at a fan-out load in a
+// region. Sensitivities scale with the full nominal delay (intrinsic and
+// load-dependent parts vary together, a first-order approximation).
+func (m *Model) cellDelay(cell cells.Cell, load, region int) Canonical {
+	nom := cell.Nominal(load)
+	out := Zero(m.Space.Dim())
+	out.Mean = nom
+	if nom == 0 {
+		return out
+	}
+	for p := 0; p < cells.NumParams && p < m.Space.Params; p++ {
+		src := m.Space.SourceIndex(p, region)
+		out.Sens[src] = cell.Sens[p] * nom
+	}
+	out.Rand = cell.RandFrac * nom
+	return out
+}
+
+// ClkToQ returns the canonical clock-to-Q delay of a flip-flop node.
+func (m *Model) ClkToQ(c *ckt.Circuit, ffNode int) Canonical {
+	load := len(c.Nodes[ffNode].Fanout)
+	return m.cellDelay(m.Lib.ClkToQ, load, m.region(ffNode))
+}
+
+// Setup returns the canonical setup time of a flip-flop node. Setup/hold
+// vary with the same parameters as the clk→Q stage but with a smaller
+// magnitude; we model them at 40 % of the clk→Q sensitivities, anchored at
+// the library's nominal setup time.
+func (m *Model) Setup(c *ckt.Circuit, ffNode int) Canonical {
+	base := m.cellDelay(m.Lib.ClkToQ, 1, m.region(ffNode))
+	k := 0.4 * m.Lib.SetupTime / base.Mean
+	out := base.Scale(k)
+	out.Mean = m.Lib.SetupTime
+	return out
+}
+
+// Hold returns the canonical hold time of a flip-flop node (same model as
+// Setup, anchored at the nominal hold time).
+func (m *Model) Hold(c *ckt.Circuit, ffNode int) Canonical {
+	base := m.cellDelay(m.Lib.ClkToQ, 1, m.region(ffNode))
+	k := 0.4 * m.Lib.HoldTime / base.Mean
+	out := base.Scale(k)
+	out.Mean = m.Lib.HoldTime
+	return out
+}

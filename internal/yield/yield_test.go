@@ -1,0 +1,250 @@
+package yield
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/placement"
+	"repro/internal/ssta"
+	"repro/internal/stat"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+func buildBench(t *testing.T, ffs, gates int, seed uint64) (*timing.Graph, mc.PeriodStats, *placement.Placement) {
+	t.Helper()
+	c, err := gen.Generate(gen.Config{NumFFs: ffs, NumGates: gates, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ssta.New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := timing.Build(a, nil)
+	sk := g.HoldSafeSkews(timing.SkewSigma(g.Pairs, 0.03), seed+77)
+	g = g.WithSkew(sk)
+	ps := mc.New(g, 555).PeriodDistribution(2000)
+	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
+	return g, ps, pl
+}
+
+func TestYieldImprovementAtMu(t *testing.T) {
+	// The paper's headline: at T = µT the original yield is ≈50 % and the
+	// inserted buffers lift it substantially (17–36 points in Table I).
+	g, ps, pl := buildBench(t, 40, 220, 101)
+	cfg := insertion.Config{T: ps.Mu, Samples: 400, Seed: 777}
+	res, err := insertion.Run(g, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(g, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh out-of-sample chips (different seed universe).
+	testEng := mc.New(g, 20202)
+	rep := Evaluate(ev, testEng, 3000, ps.Mu)
+	if math.Abs(rep.Original.Rate()-0.5) > 0.06 {
+		t.Fatalf("Yo at µT = %v, want ≈0.5", rep.Original.Rate())
+	}
+	if rep.Improvement() < 8 {
+		t.Fatalf("yield improvement %.2f points too small (Y=%v Yo=%v, %d buffers)",
+			rep.Improvement(), rep.Tuned.Percent(), rep.Original.Percent(), len(res.Groups))
+	}
+	t.Logf("Yo=%.2f%% Y=%.2f%% Yi=%.2f points with %d buffers (avg range %.1f steps)",
+		rep.Original.Percent(), rep.Tuned.Percent(), rep.Improvement(),
+		res.NumPhysicalBuffers(), res.AvgRangeSteps())
+}
+
+func TestYieldNeverDecreases(t *testing.T) {
+	// Buffers can only add feasibility: Y ≥ Yo on every sample set.
+	g, ps, pl := buildBench(t, 25, 120, 103)
+	res, err := insertion.Run(g, pl, insertion.Config{T: ps.Mu, Samples: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(g, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []float64{ps.Mu - ps.Sigma, ps.Mu, ps.Mu + ps.Sigma} {
+		rep := Evaluate(ev, mc.New(g, 42), 800, T)
+		if rep.Tuned.Pass < rep.Original.Pass {
+			t.Fatalf("tuned yield below original at T=%v", T)
+		}
+	}
+}
+
+func TestEvaluatorNoBuffers(t *testing.T) {
+	// With no groups the evaluator reduces to the zero-tuning check.
+	g, ps, _ := buildBench(t, 15, 70, 105)
+	ev, err := NewEvaluator(g, insertion.DefaultSpec(ps.Mu), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NumVars() != 0 {
+		t.Fatal("no groups, no vars")
+	}
+	eng := mc.New(g, 9)
+	rep := Evaluate(ev, eng, 500, ps.Mu)
+	if rep.Tuned.Pass != rep.Original.Pass {
+		t.Fatalf("no buffers: Y (%d) must equal Yo (%d)", rep.Tuned.Pass, rep.Original.Pass)
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	g, ps, _ := buildBench(t, 10, 40, 107)
+	spec := insertion.DefaultSpec(ps.Mu)
+	s := spec.Step()
+	// Misaligned window.
+	if _, err := NewEvaluator(g, spec, []insertion.Group{{FFs: []int{0}, Lo: -s / 3, Hi: s}}); err == nil {
+		t.Fatal("misaligned window must fail")
+	}
+	// Window not covering 0.
+	if _, err := NewEvaluator(g, spec, []insertion.Group{{FFs: []int{0}, Lo: s, Hi: 2 * s}}); err == nil {
+		t.Fatal("window excluding 0 must fail")
+	}
+	// FF in two groups.
+	gs := []insertion.Group{
+		{FFs: []int{0}, Lo: -s, Hi: s},
+		{FFs: []int{0}, Lo: -s, Hi: s},
+	}
+	if _, err := NewEvaluator(g, spec, gs); err == nil {
+		t.Fatal("duplicate FF must fail")
+	}
+	// FF out of range.
+	if _, err := NewEvaluator(g, spec, []insertion.Group{{FFs: []int{999}, Lo: -s, Hi: s}}); err == nil {
+		t.Fatal("out-of-range FF must fail")
+	}
+	// Bad spec.
+	if _, err := NewEvaluator(g, insertion.BufferSpec{}, nil); err == nil {
+		t.Fatal("invalid spec must fail")
+	}
+}
+
+func TestConfigureProducesLegalTuning(t *testing.T) {
+	g, ps, pl := buildBench(t, 30, 150, 109)
+	res, err := insertion.Run(g, pl, insertion.Config{T: ps.Mu, Samples: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Skip("no buffers inserted on this bench")
+	}
+	ev, err := NewEvaluator(g, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mc.New(g, 31337)
+	fixed, failed := 0, 0
+	for k := 0; k < 300; k++ {
+		ch := eng.Chip(k)
+		if g.FeasibleAtZero(ch, ps.Mu) {
+			continue
+		}
+		vals, err := ev.Configure(ch, ps.Mu)
+		if err != nil {
+			failed++
+			continue
+		}
+		fixed++
+		// The returned configuration must satisfy every constraint.
+		x := ev.TuningOf(vals)
+		for p := range g.Pairs {
+			pr := &g.Pairs[p]
+			if x[pr.Launch]-x[pr.Capture] > g.SetupBound(ch, p, ps.Mu)+1e-6 {
+				t.Fatalf("configure: setup violated on pair %d", p)
+			}
+			if x[pr.Capture]-x[pr.Launch] > g.HoldBound(ch, p)+1e-6 {
+				t.Fatalf("configure: hold violated on pair %d", p)
+			}
+		}
+		// Values on the grid and inside windows.
+		step := res.Cfg.Spec.Step()
+		for gi, v := range vals {
+			if k := v / step; math.Abs(k-math.Round(k)) > 1e-6 {
+				t.Fatalf("tuning %v off grid", v)
+			}
+			if v < res.Groups[gi].Lo-1e-9 || v > res.Groups[gi].Hi+1e-9 {
+				t.Fatalf("tuning %v outside window [%v,%v]", v, res.Groups[gi].Lo, res.Groups[gi].Hi)
+			}
+		}
+	}
+	if fixed == 0 {
+		t.Fatal("no failing chip could be configured")
+	}
+	t.Logf("configured %d chips, %d unfixable", fixed, failed)
+}
+
+func TestChipFeasibleAgainstBruteForce(t *testing.T) {
+	// Exactness of the grid difference system: compare against exhaustive
+	// enumeration of the buffer settings on a small bench with ≤2 groups.
+	g, ps, pl := buildBench(t, 12, 50, 111)
+	res, err := insertion.Run(g, pl, insertion.Config{
+		T: ps.Mu, Samples: 150, Seed: 13, MaxBuffers: 2,
+		Spec: insertion.BufferSpec{MaxRange: ps.Mu / 8, Steps: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Skip("no buffers inserted")
+	}
+	ev, err := NewEvaluator(g, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := res.Cfg.Spec.Step()
+	eng := mc.New(g, 515)
+	for k := 0; k < 120; k++ {
+		ch := eng.Chip(k)
+		got := ev.ChipFeasible(ch, ps.Mu)
+		// Brute force over all grid settings of all groups.
+		var x []float64
+		var rec func(gi int) bool
+		x = make([]float64, len(res.Groups))
+		rec = func(gi int) bool {
+			if gi == len(res.Groups) {
+				tune := ev.TuningOf(x)
+				for p := range g.Pairs {
+					pr := &g.Pairs[p]
+					if tune[pr.Launch]-tune[pr.Capture] > g.SetupBound(ch, p, ps.Mu)+1e-9 {
+						return false
+					}
+					if tune[pr.Capture]-tune[pr.Launch] > g.HoldBound(ch, p)+1e-9 {
+						return false
+					}
+				}
+				return true
+			}
+			lo := int(math.Round(res.Groups[gi].Lo / step))
+			hi := int(math.Round(res.Groups[gi].Hi / step))
+			for kk := lo; kk <= hi; kk++ {
+				x[gi] = float64(kk) * step
+				if rec(gi + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		want := rec(0)
+		if got != want {
+			t.Fatalf("chip %d: evaluator %v, brute force %v", k, got, want)
+		}
+	}
+}
+
+func TestReportImprovement(t *testing.T) {
+	r := Report{
+		Original: stat.Yield{Pass: 500, Total: 1000},
+		Tuned:    stat.Yield{Pass: 800, Total: 1000},
+	}
+	if math.Abs(r.Improvement()-30) > 1e-9 {
+		t.Fatalf("Yi = %v", r.Improvement())
+	}
+}
