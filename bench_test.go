@@ -408,6 +408,31 @@ func BenchmarkLPSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkLPSolveWarm measures the simplex on the same LP through a reused
+// workspace — the steady-state path of the Monte Carlo solve loop.
+func BenchmarkLPSolveWarm(b *testing.B) {
+	p := lp.NewProblem()
+	n := 12
+	for v := 0; v < n; v++ {
+		p.AddVar(-100, 100, 1, "x")
+	}
+	for v := 0; v < n-1; v++ {
+		p.AddRow(lp.LE, float64(5*v-20), lp.T(v, 1), lp.T(v+1, -1))
+		p.AddRow(lp.LE, float64(30-v), lp.T(v+1, 1), lp.T(v, -1))
+	}
+	var ws lp.Workspace
+	if _, err := p.SolveWS(&ws); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveWS(&ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMILPMinCount measures the per-sample min-buffer ILP shape.
 func BenchmarkMILPMinCount(b *testing.B) {
 	build := func() *milp.Problem {
@@ -428,6 +453,39 @@ func BenchmarkMILPMinCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := build()
 		if _, err := p.Solve(milp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMILPMinCountWarm measures the same ILP rebuilt into a resettable
+// problem and solved through a reused arena — exactly how sampleSolver
+// treats each violation component in steady state.
+func BenchmarkMILPMinCountWarm(b *testing.B) {
+	p := milp.NewProblem()
+	var arena milp.Arena
+	build := func() {
+		p.Reset()
+		const n = 8
+		var xs, cs [n]int
+		for v := 0; v < n; v++ {
+			xs[v] = p.AddVar(milp.Continuous, -50, 50, 0, "x")
+			cs[v] = p.AddVar(milp.Binary, 0, 1, 1, "c")
+			p.Indicator(xs[v], cs[v], 50)
+		}
+		for v := 0; v < n-1; v++ {
+			p.AddRow(lp.LE, float64(-10+v), lp.T(xs[v], 1), lp.T(xs[v+1], -1))
+		}
+	}
+	build()
+	if _, err := p.SolveArena(&arena, milp.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build()
+		if _, err := p.SolveArena(&arena, milp.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

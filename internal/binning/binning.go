@@ -156,10 +156,3 @@ func Compare(g *timing.Graph, ev *yield.Evaluator, bins Bins, eng *mc.Engine, n 
 	}
 	return base.Population(eng, n), with.Population(eng, n), nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -262,10 +262,3 @@ func buildCone(rng *rand.Rand, c *ckt.Circuit, cfg Config, budget int, srcNodes,
 	}
 	return out
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -184,7 +184,13 @@ func runPass(g *timing.Graph, eng *mc.Engine, cfg Config, mode solverMode, allow
 	}}
 	eng.ForEach(cfg.Samples, func(k int, ch *timing.Chip) {
 		sv := solverPool.Get().(*sampleSolver)
-		raw[k] = sv.solve(ch)
+		out := sv.solve(ch)
+		if len(out.tuned) > 0 {
+			// out.tuned aliases solver scratch that the next sample on this
+			// worker overwrites; keep an exact-size copy.
+			out.tuned = append([]tuning(nil), out.tuned...)
+		}
+		raw[k] = out
 		solverPool.Put(sv)
 	})
 	pr := &passResult{
@@ -280,13 +286,6 @@ func assignWindows(ns int, kept []int, values map[int][]float64, spec BufferSpec
 		lower[ff] = bestLower
 	}
 	return lower
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // String summarizes a result for logs.

@@ -15,7 +15,8 @@ type tuning struct {
 }
 
 // sampleOutcome is the per-sample result of the min-count + concentration
-// ILP pair.
+// ILP pair. tuned aliases solver-owned scratch: it is valid until the next
+// solve call on the same sampleSolver, and callers that retain it must copy.
 type sampleOutcome struct {
 	feasible     bool
 	selfLoopFail bool
@@ -33,8 +34,11 @@ const (
 	modeFixed                      // step 2: x ∈ {lowerᵢ + k·s} discrete
 )
 
-// sampleSolver carries the per-flow configuration plus per-worker scratch.
-// Not safe for concurrent use; create one per worker.
+// sampleSolver carries the per-flow configuration plus per-worker scratch:
+// a resettable MILP problem, a branch-and-bound arena, and epoch-stamped
+// index maps, so solving a component in steady state reuses worker-owned
+// memory and performs no heap allocations. Not safe for concurrent use;
+// create one per worker.
 type sampleSolver struct {
 	g    *timing.Graph
 	T    float64
@@ -55,12 +59,31 @@ type sampleSolver struct {
 
 	adj [][]int // FF id → pair indices (from Graph.PairAdjacency)
 
-	// scratch
-	setupB []float64
-	holdB  []float64
-	active []bool
-	compID []int
-	queue  []int
+	// per-sample scratch
+	setupB  []float64
+	holdB   []float64
+	active  []bool
+	compID  []int
+	queue   []int
+	compBuf []int // active FFs grouped by component (flattened)
+	compOff []int // start offset of each component in compBuf
+	tuned   []tuning
+
+	// per-component scratch
+	prob  *milp.Problem // resettable; rebuilt for every component
+	arena milp.Arena
+	xVar  []int
+	cVar  []int
+	csum  []lp.Term
+	xSol  []float64 // per-comp tuning values surviving across the 2nd solve
+
+	// epoch-stamped maps replacing per-build allocations: posIdx[ff] is the
+	// index of ff in the current component iff posEpoch[ff] == epoch, and a
+	// pair's rows are already added iff seenEpoch[p] == epoch.
+	epoch     uint64
+	posIdx    []int
+	posEpoch  []uint64
+	seenEpoch []uint64
 }
 
 func newSampleSolver(g *timing.Graph, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *sampleSolver {
@@ -79,6 +102,10 @@ func newSampleSolver(g *timing.Graph, cfg Config, mode solverMode, allowed []boo
 		holdB:         make([]float64, len(g.Pairs)),
 		active:        make([]bool, g.NS),
 		compID:        make([]int, g.NS),
+		prob:          milp.NewProblem(),
+		posIdx:        make([]int, g.NS),
+		posEpoch:      make([]uint64, g.NS),
+		seenEpoch:     make([]uint64, len(g.Pairs)),
 	}
 	if s.allowed == nil {
 		s.allowed = make([]bool, g.NS)
@@ -103,7 +130,8 @@ func (s *sampleSolver) windowOf(ff int) (lo, hi float64) {
 	return s.lower[ff], s.lower[ff] + tau
 }
 
-// solve runs the two-ILP sequence for one chip.
+// solve runs the two-ILP sequence for one chip. The returned outcome's
+// tuned slice aliases solver scratch (see sampleOutcome).
 func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
 	g := s.g
 	// 1. Realize constraint bounds; find violations.
@@ -180,20 +208,24 @@ func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
 			activeCount++
 		}
 	}
-	// 4. Component split over active FFs via interacting pairs.
+	// 4. Component split over active FFs via interacting pairs, flattened
+	// into compBuf with per-component offsets in compOff.
 	for i := range s.compID {
 		s.compID[i] = -1
 	}
-	var comps [][]int
+	s.compBuf = s.compBuf[:0]
+	s.compOff = s.compOff[:0]
 	for _, seed := range s.queue {
 		if s.compID[seed] != -1 {
 			continue
 		}
-		id := len(comps)
-		comp := []int{seed}
+		id := len(s.compOff)
+		start := len(s.compBuf)
+		s.compOff = append(s.compOff, start)
+		s.compBuf = append(s.compBuf, seed)
 		s.compID[seed] = id
-		for ci := 0; ci < len(comp); ci++ {
-			u := comp[ci]
+		for ci := start; ci < len(s.compBuf); ci++ {
+			u := s.compBuf[ci]
 			for _, p := range s.adj[u] {
 				if !s.interacting(p) {
 					continue
@@ -204,21 +236,25 @@ func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
 					continue
 				}
 				s.compID[v] = id
-				comp = append(comp, v)
+				s.compBuf = append(s.compBuf, v)
 			}
 		}
-		comps = append(comps, comp)
 	}
 	// 5. Solve each component.
+	s.tuned = s.tuned[:0]
 	out := sampleOutcome{feasible: true, truncated: truncated}
-	for _, comp := range comps {
-		nk, tuned, ok := s.solveComponent(comp)
+	for c := range s.compOff {
+		end := len(s.compBuf)
+		if c+1 < len(s.compOff) {
+			end = s.compOff[c+1]
+		}
+		nk, ok := s.solveComponent(s.compBuf[s.compOff[c]:end])
 		if !ok {
 			return sampleOutcome{truncated: truncated}
 		}
 		out.nk += nk
-		out.tuned = append(out.tuned, tuned...)
 	}
+	out.tuned = s.tuned
 	return out
 }
 
@@ -236,43 +272,57 @@ func (s *sampleSolver) expands(p int) bool {
 	return s.setupB[p] < s.spec.MaxRange || s.holdB[p] < 0
 }
 
-// solveComponent builds and solves the two ILPs for one component.
-// Returns the minimum count nk, the tuning values, and feasibility.
-func (s *sampleSolver) solveComponent(comp []int) (int, []tuning, bool) {
-	prob, xVar, _ := s.buildProblem(comp)
-	solA, err := prob.Solve(milp.Options{})
+// solveComponent builds and solves the two ILPs for one component,
+// appending the resulting tunings to s.tuned. Returns the minimum count nk
+// and feasibility.
+func (s *sampleSolver) solveComponent(comp []int) (int, bool) {
+	xVar, cVar := s.buildProblem(comp)
+	prob := s.prob
+	solA, err := prob.SolveArena(&s.arena, milp.Options{})
 	if err != nil || solA.Status != lp.Optimal {
-		return 0, nil, false
+		return 0, false
 	}
 	nk := int(math.Round(solA.Obj))
 	if nk == 0 {
-		// No tuning needed within this component (can happen when the
-		// violated constraints were all fixed by... impossible: violations
-		// seed the component. Defensive: accept as zero tunings.)
-		return 0, nil, true
+		// Reachable, but only for hairline violations: every component
+		// contains an endpoint of a violated pair (components grow from
+		// violated-pair seeds through interacting edges), and that pair's
+		// row forces a non-zero tuning — yet when the violated bound is
+		// within the solver's feasibility tolerance of zero (|b| ≲ 1e-7),
+		// the LP accepts x = 0 and no usage binary is charged. Such a
+		// sample needs no physically meaningful repair; accept it as zero
+		// tunings. See TestSolveComponentHairlineViolation.
+		return 0, true
+	}
+	// Keep step-A tuning values: solA.X aliases arena memory that the
+	// concentration solve below reuses.
+	s.xSol = s.xSol[:0]
+	for idx := range comp {
+		s.xSol = append(s.xSol, solA.X[xVar[idx]])
 	}
 	// Concentration ILP: same constraints + csum ≤ nk, minimize Σ|x−center|
-	// (skipped under the NoConcentration ablation).
-	solB, xVar2 := solA, xVar
+	// (skipped under the NoConcentration ablation). Rather than rebuilding,
+	// mutate the problem in place: the count objective moves into a row cap
+	// and |x − center| terms take over the objective.
 	if s.concentration {
-		prob2, xv2, cVar2 := s.buildProblem(comp)
-		var csum []lp.Term
-		for _, c := range cVar2 {
-			prob2.LP.SetObj(c, 0)
-			csum = append(csum, lp.T(c, 1))
+		s.csum = s.csum[:0]
+		for _, c := range cVar {
+			prob.LP.SetObj(c, 0)
+			s.csum = append(s.csum, lp.T(c, 1))
 		}
-		prob2.AddRow(lp.LE, float64(nk), csum...)
+		prob.AddRow(lp.LE, float64(nk), s.csum...)
 		for idx, ff := range comp {
-			prob2.AbsLinearization(xv2[idx], s.center[ff], 1, "t")
+			prob.AbsLinearization(xVar[idx], s.center[ff], 1, "t")
 		}
-		sol2, err := prob2.Solve(milp.Options{})
+		sol2, err := prob.SolveArena(&s.arena, milp.Options{})
 		if err == nil && sol2.Status == lp.Optimal {
-			solB, xVar2 = sol2, xv2
+			for idx := range comp {
+				s.xSol[idx] = sol2.X[xVar[idx]]
+			}
 		}
 	}
-	var tuned []tuning
 	for idx, ff := range comp {
-		v := solB.X[xVar2[idx]]
+		v := s.xSol[idx]
 		if s.mode == modeFixed {
 			// Snap to the grid exactly.
 			step := s.spec.Step()
@@ -280,64 +330,73 @@ func (s *sampleSolver) solveComponent(comp []int) (int, []tuning, bool) {
 			v = s.lower[ff] + k*step
 		}
 		if math.Abs(v) > 1e-7 {
-			tuned = append(tuned, tuning{FF: ff, Val: v})
+			s.tuned = append(s.tuned, tuning{FF: ff, Val: v})
 		}
 	}
-	return nk, tuned, true
+	return nk, true
 }
 
-// buildProblem assembles the component MILP shared by both objectives:
-// variables x (tuning) and c (usage binaries with the Γ=τ indicator),
-// all setup/hold rows touching the component, and — in step 2 — the
-// discrete grid coupling x = lower + s·k.
-func (s *sampleSolver) buildProblem(comp []int) (prob *milp.Problem, xVar, cVar []int) {
+// buildProblem assembles the component MILP shared by both objectives into
+// the solver's resettable problem: variables x (tuning) and c (usage
+// binaries with the Γ=τ indicator), all setup/hold rows touching the
+// component, and — in step 2 — the discrete grid coupling x = lower + s·k.
+// The returned slices alias solver scratch.
+func (s *sampleSolver) buildProblem(comp []int) (xVar, cVar []int) {
 	g := s.g
 	tau := s.spec.MaxRange
-	prob = milp.NewProblem()
-	xVar = make([]int, len(comp))
-	cVar = make([]int, len(comp))
-	pos := make(map[int]int, len(comp)) // ff → index in comp
+	prob := s.prob
+	prob.Reset()
+	s.epoch++
+	ep := s.epoch
+	s.xVar = s.xVar[:0]
+	s.cVar = s.cVar[:0]
 	for idx, ff := range comp {
-		pos[ff] = idx
+		s.posIdx[ff] = idx
+		s.posEpoch[ff] = ep
 		lo, hi := s.windowOf(ff)
-		xVar[idx] = prob.AddVar(milp.Continuous, lo, hi, 0, "x")
-		cVar[idx] = prob.AddVar(milp.Binary, 0, 1, 1, "c")
-		prob.Indicator(xVar[idx], cVar[idx], tau)
+		x := prob.AddVar(milp.Continuous, lo, hi, 0, "x")
+		c := prob.AddVar(milp.Binary, 0, 1, 1, "c")
+		s.xVar = append(s.xVar, x)
+		s.cVar = append(s.cVar, c)
+		prob.Indicator(x, c, tau)
 		if s.mode == modeFixed {
 			// x − s·k = lower, k ∈ [0, Steps] integer.
 			k := prob.AddVar(milp.Integer, 0, float64(s.spec.Steps), 0, "k")
-			prob.AddRow(lp.EQ, s.lower[ff], lp.T(xVar[idx], 1), lp.T(k, -s.spec.Step()))
+			prob.AddRow(lp.EQ, s.lower[ff], lp.T(x, 1), lp.T(k, -s.spec.Step()))
 		}
 	}
+	xVar, cVar = s.xVar, s.cVar
 	// Rows: every pair touching the component that can interact.
-	seen := make(map[int]bool)
 	for _, ff := range comp {
 		for _, p := range s.adj[ff] {
-			if seen[p] {
+			if s.seenEpoch[p] == ep {
 				continue
 			}
-			seen[p] = true
+			s.seenEpoch[p] = ep
 			if !s.interacting(p) {
 				continue
 			}
 			pr := &g.Pairs[p]
-			li, lok := pos[pr.Launch]
-			ci, cok := pos[pr.Capture]
+			lok := s.posEpoch[pr.Launch] == ep
+			cok := s.posEpoch[pr.Capture] == ep
 			switch {
 			case lok && cok && pr.Launch != pr.Capture:
+				li, ci := s.posIdx[pr.Launch], s.posIdx[pr.Capture]
 				// setup: x_l − x_c ≤ setupB; hold: x_c − x_l ≤ holdB.
 				prob.AddRow(lp.LE, s.setupB[p], lp.T(xVar[li], 1), lp.T(xVar[ci], -1))
 				prob.AddRow(lp.LE, s.holdB[p], lp.T(xVar[ci], 1), lp.T(xVar[li], -1))
 			case lok && !cok:
+				li := s.posIdx[pr.Launch]
 				// Capture fixed at 0.
 				prob.AddRow(lp.LE, s.setupB[p], lp.T(xVar[li], 1))
 				prob.AddRow(lp.LE, s.holdB[p], lp.T(xVar[li], -1))
 			case cok && !lok:
+				ci := s.posIdx[pr.Capture]
 				// Launch fixed at 0.
 				prob.AddRow(lp.LE, s.setupB[p], lp.T(xVar[ci], -1))
 				prob.AddRow(lp.LE, s.holdB[p], lp.T(xVar[ci], 1))
 			}
 		}
 	}
-	return prob, xVar, cVar
+	return xVar, cVar
 }

@@ -269,3 +269,49 @@ func TestNoConcentrationStillFeasible(t *testing.T) {
 		t.Fatalf("tuned = %+v", out.tuned)
 	}
 }
+
+func TestSolveComponentHairlineViolation(t *testing.T) {
+	// A pair violated by less than the LP feasibility tolerance (~1e-7):
+	// the solver counts it as a violation and builds a component, but the
+	// min-count ILP legitimately returns nk = 0 because x = 0 satisfies the
+	// row within tolerance. This is the one reachable path to the nk == 0
+	// branch of solveComponent — the sample must come back feasible with
+	// zero tunings, not be marked unfixable.
+	pairs := []timing.Pair{
+		{Launch: 0, Capture: 1},
+		{Launch: 1, Capture: 2},
+	}
+	g := synthGraph(3, pairs)
+	ch := chipWith(g, []float64{200 + 1e-9, 100}, 0, 0)
+	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
+	out := s.solve(ch)
+	if !out.feasible {
+		t.Fatalf("hairline violation must stay feasible: %+v", out)
+	}
+	if out.nk != 0 || len(out.tuned) != 0 {
+		t.Fatalf("hairline violation needs no repair, got nk=%d tuned=%v", out.nk, out.tuned)
+	}
+}
+
+func TestSolveWarmZeroAllocs(t *testing.T) {
+	// A warm per-sample solve — including component discovery, both ILP
+	// builds and all branch-and-bound LP relaxations — must run entirely
+	// out of solver-owned scratch.
+	pairs := []timing.Pair{
+		{Launch: 0, Capture: 1},
+		{Launch: 1, Capture: 2},
+		{Launch: 2, Capture: 3},
+		{Launch: 3, Capture: 4},
+	}
+	g := synthGraph(5, pairs)
+	ch := chipWith(g, []float64{230, 100, 225, 120}, 0, 0)
+	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
+	for i := 0; i < 3; i++ { // warm all scratch to steady-state capacity
+		if out := s.solve(ch); !out.feasible || out.nk != 2 {
+			t.Fatalf("unexpected outcome: %+v", out)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() { s.solve(ch) }); avg != 0 {
+		t.Fatalf("warm solve allocates %v times per run, want 0", avg)
+	}
+}

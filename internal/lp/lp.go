@@ -5,6 +5,14 @@
 // small — per-sample ILPs decompose into connected components of a few dozen
 // variables — so a dense tableau with Bland anti-cycling is both simple and
 // fast enough.
+//
+// The solver is built for a hot Monte Carlo loop: it is a bounded-variable
+// simplex (upper bounds live in the ratio test as bound flips, not as extra
+// rows, which roughly halves the tableau in both dimensions for the
+// all-two-sided problems of the buffer flow), the tableau is one flat,
+// stride-indexed []float64, and all solver memory comes from a reusable
+// Workspace so a warm SolveWS performs no heap allocations (see DESIGN.md,
+// "Performance architecture").
 package lp
 
 import (
@@ -69,23 +77,38 @@ type Term struct {
 // T builds a Term.
 func T(v int, c float64) Term { return Term{Var: v, Coef: c} }
 
+// row references a span of the problem's shared term arena. Rows do not own
+// term storage: keeping one arena lets Reset reuse all of it.
 type row struct {
-	terms []Term
-	rel   Rel
-	rhs   float64
+	off, n int
+	rel    Rel
+	rhs    float64
 }
 
 // Problem is a linear program under construction. Minimization only; flip
-// objective signs for maximization.
+// objective signs for maximization. A Problem can be Reset and rebuilt
+// without releasing its storage, which keeps steady-state problem assembly
+// allocation-free once capacities have warmed up.
 type Problem struct {
 	obj    []float64
 	lo, hi []float64
 	names  []string
 	rows   []row
+	terms  []Term // shared arena backing all rows
 }
 
 // NewProblem returns an empty problem.
 func NewProblem() *Problem { return &Problem{} }
+
+// Reset empties the problem for reuse, retaining all allocated capacity.
+func (p *Problem) Reset() {
+	p.obj = p.obj[:0]
+	p.lo = p.lo[:0]
+	p.hi = p.hi[:0]
+	p.names = p.names[:0]
+	p.rows = p.rows[:0]
+	p.terms = p.terms[:0]
+}
 
 // AddVar adds a variable with bounds [lo, hi] (use ±Inf for free sides) and
 // objective coefficient obj, returning its index. Name is for diagnostics.
@@ -131,7 +154,9 @@ func (p *Problem) AddRow(rel Rel, rhs float64, terms ...Term) int {
 			panic(fmt.Sprintf("lp: row references unknown variable %d", t.Var))
 		}
 	}
-	p.rows = append(p.rows, row{terms: append([]Term(nil), terms...), rel: rel, rhs: rhs})
+	off := len(p.terms)
+	p.terms = append(p.terms, terms...)
+	p.rows = append(p.rows, row{off: off, n: len(terms), rel: rel, rhs: rhs})
 	return len(p.rows) - 1
 }
 
@@ -142,7 +167,7 @@ func (p *Problem) Obj(v int) float64 { return p.obj[v] }
 // slice aliases internal storage and must not be modified.
 func (p *Problem) Row(i int) (Rel, float64, []Term) {
 	r := p.rows[i]
-	return r.rel, r.rhs, r.terms
+	return r.rel, r.rhs, p.terms[r.off : r.off+r.n : r.off+r.n]
 }
 
 // Solution is the result of a solve.
@@ -162,8 +187,56 @@ const (
 	iterScale = 200 // iteration budget multiplier (× rows+cols)
 )
 
-// Solve runs the two-phase simplex. The problem is not modified.
+// mapping describes how one structural variable expands into standard-form
+// columns: x = shift + x⁺ − x⁻ (minus = −1 when unused), or x = shift − x⁺
+// when negate is set. Standard columns are non-negative with an optional
+// finite upper bound handled implicitly by the simplex.
+type mapping struct {
+	plus, minus int
+	shift       float64
+	negate      bool
+}
+
+// Workspace holds every buffer a solve needs: the flat tableau, basic
+// values, bounds and state flags per standard column, cost/reduced-cost
+// vectors, column values, the solution vector, and the per-variable
+// expansion mappings. A zero Workspace is ready to use; buffers grow on
+// demand and are retained across solves, so a warm SolveWS performs no heap
+// allocations. A Workspace is not safe for concurrent use.
+type Workspace struct {
+	maps    []mapping
+	tab     []float64 // m × total flat tableau (basis inverse applied)
+	xB      []float64 // m: current values of the basic variables
+	ub      []float64 // total: upper bounds of standard columns (+Inf = none)
+	atUpper []bool    // total: non-basic column rests at its upper bound
+	inBasis []bool    // total
+	basis   []int
+	cost    []float64
+	red     []float64
+	colVal  []float64
+	x       []float64
+}
+
+// grow returns s resized to n, reusing capacity when possible. Contents are
+// unspecified; callers overwrite or clear.
+func grow[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	return s[:n]
+}
+
+// Solve runs the two-phase simplex with a throwaway workspace. The problem
+// is not modified. Hot paths should use SolveWS with a reused Workspace.
 func (p *Problem) Solve() (Solution, error) {
+	return p.SolveWS(new(Workspace))
+}
+
+// SolveWS runs the two-phase simplex borrowing all memory from ws. The
+// problem is not modified. The returned Solution.X aliases ws and is only
+// valid until the next SolveWS call on the same workspace; callers that
+// retain it must copy.
+func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 	n := len(p.obj)
 	// Quick bound sanity: empty boxes are infeasible outright.
 	for j := 0; j < n; j++ {
@@ -172,28 +245,23 @@ func (p *Problem) Solve() (Solution, error) {
 		}
 	}
 
-	// --- Normalize to standard form ---
+	// --- Normalize to standard form: columns y ∈ [0, u] ---
 	// Each structural variable x with bounds [lo, hi]:
-	//   finite lo: x = lo + x', x' ≥ 0, upper row x' ≤ hi−lo when hi finite
-	//   free (lo=−inf): x = x⁺ − x⁻ (two columns); finite hi handled by row.
-	//   lo=−inf, hi finite: x = hi − x', x' ≥ 0.
-	type mapping struct {
-		plus, minus int     // column indices (minus = −1 when unused)
-		shift       float64 // x = shift + x_plus − x_minus   (or shift − x_plus when negated)
-		negate      bool
-	}
-	maps := make([]mapping, n)
+	//   finite lo: x = lo + y, y ∈ [0, hi−lo] (u = ∞ when hi = ∞)
+	//   lo=−inf, hi finite: x = hi − y, y ≥ 0.
+	//   free: x = y⁺ − y⁻ (two columns, both unbounded).
+	ws.maps = grow(ws.maps, n)
+	maps := ws.maps
+	m := len(p.rows)
+	// Upper-bound slots are assigned after slack/artificial counting; first
+	// pass only lays out columns.
 	ncols := 0
-	var upperRows []row // extra rows for two-sided finite bounds
 	for j := 0; j < n; j++ {
 		lo, hi := p.lo[j], p.hi[j]
 		switch {
 		case !math.IsInf(lo, -1):
 			maps[j] = mapping{plus: ncols, minus: -1, shift: lo}
 			ncols++
-			if !math.IsInf(hi, 1) {
-				upperRows = append(upperRows, row{terms: []Term{T(j, 1)}, rel: LE, rhs: hi})
-			}
 		case !math.IsInf(hi, 1): // lo = −inf, hi finite
 			maps[j] = mapping{plus: ncols, minus: -1, shift: hi, negate: true}
 			ncols++
@@ -202,45 +270,51 @@ func (p *Problem) Solve() (Solution, error) {
 			ncols += 2
 		}
 	}
-
-	allRows := make([]row, 0, len(p.rows)+len(upperRows))
-	allRows = append(allRows, p.rows...)
-	allRows = append(allRows, upperRows...)
-	m := len(allRows)
-
-	// Expand a structural-variable term into standard columns, accumulating
-	// into a dense row vector, and return the rhs shift contribution.
-	expand := func(dst []float64, t Term) float64 {
-		mp := maps[t.Var]
-		if mp.negate {
-			dst[mp.plus] -= t.Coef
-		} else {
-			dst[mp.plus] += t.Coef
-			if mp.minus >= 0 {
-				dst[mp.minus] -= t.Coef
-			}
-		}
-		return t.Coef * mp.shift
-	}
-
-	// Count slack columns.
 	nslack := 0
-	for _, r := range allRows {
-		if r.rel != EQ {
+	for i := range p.rows {
+		if p.rows[i].rel != EQ {
 			nslack++
 		}
 	}
 	total := ncols + nslack + m // structural' + slacks + artificials
-	// Tableau: m rows × (total+1); last column is RHS.
-	tab := make([][]float64, m)
-	basis := make([]int, m)
+	stride := total
+
+	ws.ub = grow(ws.ub, total)
+	ub := ws.ub
+	for j := range ub {
+		ub[j] = Inf
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := p.lo[j], p.hi[j]
+		if !math.IsInf(lo, -1) && !math.IsInf(hi, 1) {
+			ub[maps[j].plus] = hi - lo
+		}
+	}
+
+	ws.tab = grow(ws.tab, m*stride)
+	clear(ws.tab)
+	tab := ws.tab
+	ws.xB = grow(ws.xB, m)
+	xB := ws.xB
+	ws.basis = grow(ws.basis, m)
+	basis := ws.basis
 	artStart := ncols + nslack
 	slackIdx := ncols
-	for i, r := range allRows {
-		tr := make([]float64, total+1)
+	for i := range p.rows {
+		r := &p.rows[i]
+		tr := tab[i*stride : i*stride+stride]
 		rhs := r.rhs
-		for _, t := range r.terms {
-			rhs -= expand(tr[:ncols], t)
+		for _, t := range p.terms[r.off : r.off+r.n] {
+			mp := &maps[t.Var]
+			if mp.negate {
+				tr[mp.plus] -= t.Coef
+			} else {
+				tr[mp.plus] += t.Coef
+				if mp.minus >= 0 {
+					tr[mp.minus] -= t.Coef
+				}
+			}
+			rhs -= t.Coef * mp.shift
 		}
 		switch r.rel {
 		case LE:
@@ -252,38 +326,36 @@ func (p *Problem) Solve() (Solution, error) {
 		case EQ:
 			// no slack
 		}
-		// Make RHS non-negative.
+		// Make RHS non-negative so the artificial start is feasible.
 		if rhs < 0 {
 			for k := range tr {
 				tr[k] = -tr[k]
 			}
 			rhs = -rhs
 		}
-		tr[total] = rhs
-		// Artificial for this row: needed unless an LE slack with +1 sign
-		// survived the potential negation above.
-		art := artStart + i
-		tr[art] = 1
-		basis[i] = art
-		tab[i] = tr
+		// Artificial for this row; a usable slack may replace it below.
+		tr[artStart+i] = 1
+		basis[i] = artStart + i
+		xB[i] = rhs
 	}
 
 	// Use slack as initial basis where it has coefficient +1 (avoids an
 	// artificial): scan each row for a usable slack column.
-	for i := range tab {
+	for i := 0; i < m; i++ {
+		ri := i * stride
 		for j := ncols; j < artStart; j++ {
-			if tab[i][j] == 1 {
+			if tab[ri+j] == 1 {
 				// Only if this slack appears in no other row.
 				solo := true
-				for k := range tab {
-					if k != i && tab[k][j] != 0 {
+				for k := 0; k < m; k++ {
+					if k != i && tab[k*stride+j] != 0 {
 						solo = false
 						break
 					}
 				}
 				if solo {
 					// Zero out the artificial column for this row.
-					tab[i][artStart+i] = 0
+					tab[ri+artStart+i] = 0
 					basis[i] = j
 					break
 				}
@@ -291,22 +363,33 @@ func (p *Problem) Solve() (Solution, error) {
 		}
 	}
 
+	ws.atUpper = grow(ws.atUpper, total)
+	clear(ws.atUpper)
+	ws.inBasis = grow(ws.inBasis, total)
+	clear(ws.inBasis)
+	for i := 0; i < m; i++ {
+		ws.inBasis[basis[i]] = true
+	}
+
 	maxIter := iterScale * (m + total + 1)
+	ws.cost = grow(ws.cost, total)
+	ws.red = grow(ws.red, total)
+	cost := ws.cost
 
 	// --- Phase 1: minimize sum of artificials ---
 	needPhase1 := false
-	for i := range basis {
+	for i := 0; i < m; i++ {
 		if basis[i] >= artStart {
 			needPhase1 = true
 			break
 		}
 	}
 	if needPhase1 {
-		cost := make([]float64, total)
+		clear(cost)
 		for j := artStart; j < total; j++ {
 			cost[j] = 1
 		}
-		obj, status, err := runSimplex(tab, basis, cost, total, maxIter, artStart)
+		obj, status, err := ws.runSimplex(m, stride, total, maxIter)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -316,38 +399,42 @@ func (p *Problem) Solve() (Solution, error) {
 		if obj > 1e-7 {
 			return Solution{Status: Infeasible}, nil
 		}
-		// Drive remaining artificials out of the basis when possible.
-		for i := range basis {
+		// Drive remaining artificials out of the basis when possible. Each
+		// such artificial is basic at value 0, so the pivot is degenerate
+		// and leaves xB unchanged — but only for replacement columns
+		// resting at zero: a column sitting at a positive upper bound
+		// already contributes ub[j] to the row sums, and pivoting it in at
+		// value 0 would silently shift every basic value by that bound.
+		for i := 0; i < m; i++ {
 			if basis[i] < artStart {
 				continue
 			}
-			pivoted := false
 			for j := 0; j < artStart; j++ {
-				if math.Abs(tab[i][j]) > eps {
-					pivot(tab, basis, i, j)
-					pivoted = true
+				if !ws.inBasis[j] && !(ws.atUpper[j] && ub[j] > 0) && math.Abs(tab[i*stride+j]) > eps {
+					ws.inBasis[basis[i]] = false
+					ws.pivotTo(m, stride, artStart, i, j)
 					break
 				}
 			}
-			if !pivoted {
-				// Row is all-zero over real columns: redundant constraint;
-				// the artificial stays basic at value 0, which is harmless
-				// as long as it never increases — its column is excluded
-				// from entering in phase 2.
-				_ = pivoted
-			}
+			// If no pivot column exists the row is all-zero over real
+			// columns: a redundant constraint; the artificial stays basic
+			// at value 0, which is harmless because phase 2 restricts the
+			// working width to the real columns and a basic artificial at
+			// zero contributes nothing.
 		}
 	}
 
-	// --- Phase 2: original objective over standard columns ---
-	cost := make([]float64, total)
+	// --- Phase 2: original objective over real columns only. Artificial
+	// columns are excluded from the working width: they are never read
+	// again, so pivots stop maintaining them. ---
+	clear(cost)
 	constShift := 0.0
 	for j := 0; j < n; j++ {
 		c := p.obj[j]
 		if c == 0 {
 			continue
 		}
-		mp := maps[j]
+		mp := &maps[j]
 		constShift += c * mp.shift
 		if mp.negate {
 			cost[mp.plus] -= c
@@ -358,7 +445,7 @@ func (p *Problem) Solve() (Solution, error) {
 			}
 		}
 	}
-	obj, status, err := runSimplex(tab, basis, cost, total, maxIter, artStart)
+	obj, status, err := ws.runSimplex(m, stride, artStart, maxIter)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -366,14 +453,24 @@ func (p *Problem) Solve() (Solution, error) {
 		return Solution{Status: Unbounded}, nil
 	}
 
-	// Recover structural values.
-	colVal := make([]float64, total)
-	for i, b := range basis {
-		colVal[b] = tab[i][total]
+	// Recover structural values: basic columns from xB, non-basic columns
+	// from the bound they rest at.
+	ws.colVal = grow(ws.colVal, total)
+	colVal := ws.colVal
+	for j := 0; j < total; j++ {
+		if ws.atUpper[j] && !ws.inBasis[j] {
+			colVal[j] = ub[j]
+		} else {
+			colVal[j] = 0
+		}
 	}
-	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		colVal[basis[i]] = xB[i]
+	}
+	ws.x = grow(ws.x, n)
+	x := ws.x
 	for j := 0; j < n; j++ {
-		mp := maps[j]
+		mp := &maps[j]
 		v := colVal[mp.plus]
 		if mp.minus >= 0 {
 			v -= colVal[mp.minus]
@@ -387,17 +484,18 @@ func (p *Problem) Solve() (Solution, error) {
 	return Solution{Status: Optimal, Obj: obj + constShift, X: x}, nil
 }
 
-// runSimplex minimizes cost over the current tableau/basis. Columns with
-// index ≥ artLimit are barred from entering the basis when artLimit < total
-// and the cost vector gives them zero cost (phase 2). Returns the objective
+// runSimplex minimizes ws.cost over the current tableau/basis with the
+// bounded-variable rules: a non-basic column enters rising from its lower
+// bound (negative reduced cost) or falling from its upper bound (positive
+// reduced cost), and the ratio test picks the first of (a) a basic variable
+// hitting zero, (b) a basic variable hitting its upper bound, (c) the
+// entering column reaching its opposite bound — case (c) is a bound flip
+// with no pivot at all. Only columns < width participate (phase 2 passes
+// the real-column width, excluding artificials). Returns the objective
 // value reached.
-func runSimplex(tab [][]float64, basis []int, cost []float64, total, maxIter, artLimit int) (float64, Status, error) {
-	m := len(tab)
-	// Reduced costs: red[j] = cost[j] − Σ_i cost[basis[i]]·tab[i][j],
-	// recomputed per iteration but accumulated row-wise so only rows with a
-	// non-zero basic cost contribute (most basic variables are slacks with
-	// zero cost, making this near-linear in practice).
-	red := make([]float64, total)
+func (ws *Workspace) runSimplex(m, stride, width, maxIter int) (float64, Status, error) {
+	tab, xB, ub, basis := ws.tab, ws.xB, ws.ub, ws.basis
+	cost, red := ws.cost, ws.red
 	iter := 0
 	blandFrom := maxIter / 2
 	for {
@@ -405,86 +503,176 @@ func runSimplex(tab [][]float64, basis []int, cost []float64, total, maxIter, ar
 		if iter > maxIter {
 			return 0, Optimal, ErrIterLimit
 		}
-		copy(red, cost)
+		// Reduced costs: red[j] = cost[j] − Σ_i cost[basis[i]]·tab[i][j],
+		// recomputed per iteration but accumulated row-wise so only rows
+		// with a non-zero basic cost contribute (most basic variables are
+		// slacks with zero cost, making this near-linear in practice).
+		copy(red[:width], cost[:width])
 		for i := 0; i < m; i++ {
 			cb := cost[basis[i]]
 			if cb == 0 {
 				continue
 			}
-			row := tab[i]
-			for j := 0; j < total; j++ {
-				red[j] -= cb * row[j]
+			row := tab[i*stride : i*stride+width]
+			for j, a := range row {
+				red[j] -= cb * a
 			}
 		}
+		// Entering column: most-improving score (Dantzig), or the lowest
+		// eligible index once Bland's rule engages.
 		enter := -1
-		bestRed := -eps
-		for j := 0; j < total; j++ {
-			if cost[j] == 0 && j >= artLimit && artLimit < total {
-				// Artificial column in phase 2: never re-enters.
+		dir := 1.0
+		bestScore := eps
+		for j := 0; j < width; j++ {
+			if ws.inBasis[j] {
 				continue
 			}
-			if red[j] < bestRed {
-				if iter >= blandFrom {
-					// Bland: choose the lowest eligible index.
-					enter = j
-					break
+			var score, d float64
+			if ws.atUpper[j] {
+				if d = red[j]; d <= eps {
+					continue
 				}
-				bestRed = red[j]
+				score = d
+			} else {
+				if d = red[j]; d >= -eps {
+					continue
+				}
+				score = -d
+			}
+			if score > bestScore {
 				enter = j
+				if ws.atUpper[j] {
+					dir = -1
+				} else {
+					dir = 1
+				}
+				if iter >= blandFrom {
+					break // Bland: first eligible index
+				}
+				bestScore = score
 			}
 		}
 		if enter == -1 {
-			// Optimal: objective = Σ cost[basis[i]]·rhs_i.
+			// Optimal: basic values plus the non-basic columns resting at
+			// their upper bounds.
 			obj := 0.0
 			for i := 0; i < m; i++ {
 				if c := cost[basis[i]]; c != 0 {
-					obj += c * tab[i][total]
+					obj += c * xB[i]
+				}
+			}
+			for j := 0; j < width; j++ {
+				if ws.atUpper[j] && !ws.inBasis[j] && cost[j] != 0 {
+					obj += cost[j] * ub[j]
 				}
 			}
 			return obj, Optimal, nil
 		}
-		// Ratio test.
+		// Ratio test over the entering direction.
+		flipLimit := ub[enter]
 		leave := -1
-		bestRatio := math.Inf(1)
+		leaveToUpper := false
+		bestT := flipLimit
 		for i := 0; i < m; i++ {
-			a := tab[i][enter]
+			a := dir * tab[i*stride+enter]
 			if a > eps {
-				ratio := tab[i][total] / a
-				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
-					bestRatio = ratio
+				// Basic variable decreases toward 0.
+				t := xB[i] / a
+				if t < 0 {
+					t = 0
+				}
+				if t < bestT-eps || (t < bestT+eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestT = t
 					leave = i
+					leaveToUpper = false
+				}
+			} else if a < -eps {
+				// Basic variable increases toward its upper bound. A basic
+				// artificial (only possible in phase 2, where the working
+				// width excludes the artificial columns) must never rise
+				// above zero — that would silently violate its row — so it
+				// is capped at 0 and forced out by a degenerate pivot.
+				u := ub[basis[i]]
+				if basis[i] >= width {
+					u = 0
+				}
+				if math.IsInf(u, 1) {
+					continue
+				}
+				t := (u - xB[i]) / -a
+				if t < 0 {
+					t = 0
+				}
+				if t < bestT-eps || (t < bestT+eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestT = t
+					leave = i
+					leaveToUpper = true
 				}
 			}
 		}
 		if leave == -1 {
-			return 0, Unbounded, nil
+			if math.IsInf(flipLimit, 1) {
+				return 0, Unbounded, nil
+			}
+			// Bound flip: the entering column crosses to its other bound;
+			// basic values absorb the move, the basis is unchanged.
+			if flipLimit > 0 {
+				for i := 0; i < m; i++ {
+					xB[i] -= dir * tab[i*stride+enter] * flipLimit
+				}
+			}
+			ws.atUpper[enter] = !ws.atUpper[enter]
+			continue
 		}
-		pivot(tab, basis, leave, enter)
+		// Pivot: move the entering column by t, then exchange it with the
+		// leaving basic variable.
+		t := bestT
+		if t > 0 {
+			for i := 0; i < m; i++ {
+				if i != leave {
+					xB[i] -= dir * tab[i*stride+enter] * t
+				}
+			}
+		}
+		enterVal := t
+		if dir < 0 {
+			enterVal = ub[enter] - t
+		}
+		lv := basis[leave]
+		ws.inBasis[lv] = false
+		ws.atUpper[lv] = leaveToUpper
+		ws.pivotTo(m, stride, width, leave, enter)
+		xB[leave] = enterVal
+		ws.atUpper[enter] = false
 	}
 }
 
-// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
-func pivot(tab [][]float64, basis []int, row, col int) {
-	pr := tab[row]
+// pivotTo performs a Gauss-Jordan pivot on (row, col) over the first width
+// columns of the flat tableau and installs col into the basis. Basic values
+// are maintained by the caller.
+func (ws *Workspace) pivotTo(m, stride, width, row, col int) {
+	tab := ws.tab
+	pr := tab[row*stride : row*stride+width]
 	pv := pr[col]
 	inv := 1 / pv
 	for k := range pr {
 		pr[k] *= inv
 	}
 	pr[col] = 1 // exact
-	for i := range tab {
+	for i := 0; i < m; i++ {
 		if i == row {
 			continue
 		}
-		f := tab[i][col]
+		ri := tab[i*stride : i*stride+width]
+		f := ri[col]
 		if f == 0 {
 			continue
 		}
-		ri := tab[i]
-		for k := range ri {
-			ri[k] -= f * pr[k]
+		for k, v := range pr {
+			ri[k] -= f * v
 		}
 		ri[col] = 0 // exact
 	}
-	basis[row] = col
+	ws.basis[row] = col
+	ws.inBasis[col] = true
 }

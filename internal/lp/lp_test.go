@@ -306,22 +306,22 @@ func TestRandomLPsFeasibilityInvariant(t *testing.T) {
 			}
 		}
 		for i := 0; i < p.NumRows(); i++ {
-			r := p.rows[i]
+			rel, rhs, terms := p.Row(i)
 			lhs := 0.0
-			for _, tm := range r.terms {
+			for _, tm := range terms {
 				lhs += tm.Coef * s.X[tm.Var]
 			}
-			switch r.rel {
+			switch rel {
 			case LE:
-				if lhs > r.rhs+1e-6 {
+				if lhs > rhs+1e-6 {
 					return false
 				}
 			case GE:
-				if lhs < r.rhs-1e-6 {
+				if lhs < rhs-1e-6 {
 					return false
 				}
 			case EQ:
-				if math.Abs(lhs-r.rhs) > 1e-6 {
+				if math.Abs(lhs-rhs) > 1e-6 {
 					return false
 				}
 			}
@@ -367,12 +367,13 @@ func TestRandomEqualitySystems(t *testing.T) {
 		if s.Status != Optimal {
 			return false
 		}
-		for _, r := range p.rows {
+		for i := 0; i < p.NumRows(); i++ {
+			_, rhs, terms := p.Row(i)
 			lhs := 0.0
-			for _, tm := range r.terms {
+			for _, tm := range terms {
 				lhs += tm.Coef * s.X[tm.Var]
 			}
-			if math.Abs(lhs-r.rhs) > 1e-5 {
+			if math.Abs(lhs-rhs) > 1e-5 {
 				return false
 			}
 		}
@@ -380,5 +381,29 @@ func TestRandomEqualitySystems(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDriveOutRespectsAtUpperColumns(t *testing.T) {
+	// Regression: minimize 0 s.t. z+y=12, 2z+y=22, z ∈ [0,10], y ≥ 0 has the
+	// unique solution (z,y) = (10,2). Phase 1 bound-flips z to its upper
+	// bound and can leave an artificial basic at value 0 in a row where z
+	// has a non-zero coefficient; the artificial-driveout cleanup must not
+	// pivot z in as if it were resting at zero — that silently shifts every
+	// basic value by z's bound and returns an infeasible point as Optimal.
+	p := NewProblem()
+	z := p.AddVar(0, 10, 0, "z")
+	y := p.AddVar(0, Inf, 0, "y")
+	p.AddRow(EQ, 12, T(z, 1), T(y, 1))
+	p.AddRow(EQ, 22, T(z, 2), T(y, 1))
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.X[z]-10) > 1e-6 || math.Abs(s.X[y]-2) > 1e-6 {
+		t.Fatalf("x = %v, want [10 2]", s.X)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stat"
 	"repro/internal/timing"
@@ -36,16 +37,22 @@ func New(g *timing.Graph, seed uint64) *Engine {
 	return &Engine{G: g, Seed: seed}
 }
 
-// rngFor returns the deterministic normal-deviate stream of chip k. Under
-// Antithetic, chips 2k and 2k+1 share the base stream with opposite signs.
-func (e *Engine) rngFor(k int) timing.NormSource {
+// streamParams returns the PCG seed pair and antithetic sign of chip k.
+// Under Antithetic, chips 2k and 2k+1 share the base stream with opposite
+// signs. Chip k is deterministic in (Seed, k) by construction.
+func (e *Engine) streamParams(k int) (s1, s2 uint64, flip bool) {
 	base := k
-	flip := false
 	if e.Antithetic {
 		base = k / 2
 		flip = k%2 == 1
 	}
-	rng := rand.New(rand.NewPCG(e.Seed, uint64(base)*0x9E3779B97F4A7C15+0xD1B54A32D192ED03))
+	return e.Seed, uint64(base)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03, flip
+}
+
+// rngFor returns the deterministic normal-deviate stream of chip k.
+func (e *Engine) rngFor(k int) timing.NormSource {
+	s1, s2, flip := e.streamParams(k)
+	rng := rand.New(rand.NewPCG(s1, s2))
 	if flip {
 		return negSource{rng}
 	}
@@ -65,45 +72,57 @@ func (e *Engine) Chip(k int) *timing.Chip {
 	return ch
 }
 
+// chunk is the batch size of the work distributor: large enough that the
+// atomic claim is negligible next to even the cheapest per-sample work, and
+// small enough to balance tails across workers at typical sample budgets.
+const chunk = 64
+
 // ForEach runs fn for samples 0..n-1 in parallel. Each worker owns one
 // reusable chip buffer; fn must not retain ch. fn is called exactly once
 // per sample, in arbitrary order, concurrently.
+//
+// Work is handed out lock-free in chunks of contiguous sample indices via a
+// single atomic counter, and each worker re-seeds one owned PCG per sample
+// instead of allocating a generator — so the steady-state sampling loop
+// performs no locking and no heap allocations. Chip k remains deterministic
+// in (Seed, k) regardless of worker count or scheduling.
 func (e *Engine) ForEach(n int, fn func(k int, ch *timing.Chip)) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > (n+chunk-1)/chunk {
+		workers = (n + chunk - 1) / chunk
 	}
 	if workers < 1 {
 		return
 	}
 	var wg sync.WaitGroup
-	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if int(next) >= n {
-			return -1
-		}
-		k := int(next)
-		next++
-		return k
-	}
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			ch := e.G.NewChip()
+			src := rand.NewPCG(0, 0)
+			rng := rand.New(src)
+			neg := negSource{rng}
 			for {
-				k := take()
-				if k < 0 {
+				start := int(next.Add(chunk)) - chunk
+				if start >= n {
 					return
 				}
-				e.G.RealizeInto(e.rngFor(k), ch)
-				fn(k, ch)
+				end := min(start+chunk, n)
+				for k := start; k < end; k++ {
+					s1, s2, flip := e.streamParams(k)
+					src.Seed(s1, s2)
+					var ns timing.NormSource = rng
+					if flip {
+						ns = neg
+					}
+					e.G.RealizeInto(ns, ch)
+					fn(k, ch)
+				}
 			}
 		}()
 	}
@@ -152,11 +171,4 @@ func (e *Engine) YieldAtZero(n int, T float64) stat.Yield {
 		}
 	}
 	return y
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

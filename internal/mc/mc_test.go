@@ -195,3 +195,27 @@ func TestAntitheticReducesVariance(t *testing.T) {
 		t.Fatalf("antithetic variance %v above plain %v", vAnti, vPlain)
 	}
 }
+
+func TestStatsByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	// The chunked lock-free distributor must not change any population
+	// statistic: chip k is deterministic in (Seed, k), results land in
+	// k-indexed arrays, and reductions run sequentially — so yield and
+	// period statistics are byte-identical for any worker count.
+	for _, anti := range []bool{false, true} {
+		e := buildEngine(t, 25, 120, 11)
+		e.Antithetic = anti
+		e.Workers = 1
+		ref := e.PeriodDistribution(300)
+		refY := e.YieldAtZero(300, ref.Mu)
+		for _, workers := range []int{2, 3, 8} {
+			e.Workers = workers
+			ps := e.PeriodDistribution(300)
+			if ps != ref {
+				t.Fatalf("anti=%v workers=%d: period stats %+v != %+v", anti, workers, ps, ref)
+			}
+			if y := e.YieldAtZero(300, ref.Mu); y != refY {
+				t.Fatalf("anti=%v workers=%d: yield %+v != %+v", anti, workers, y, refY)
+			}
+		}
+	}
+}

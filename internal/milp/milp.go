@@ -38,6 +38,13 @@ func NewProblem() *Problem {
 	return &Problem{LP: lp.NewProblem()}
 }
 
+// Reset empties the problem for reuse, retaining all allocated capacity in
+// both the MILP and its underlying LP.
+func (p *Problem) Reset() {
+	p.LP.Reset()
+	p.kind = p.kind[:0]
+}
+
 // AddVar adds a variable of the given kind with bounds [lo,hi] and objective
 // coefficient obj. Binary forces bounds to [0,1].
 func (p *Problem) AddVar(kind VarKind, lo, hi, obj float64, name string) int {
@@ -91,11 +98,61 @@ type node struct {
 	depth  int
 }
 
-// Solve runs branch-and-bound and returns an optimal solution, Infeasible
-// when no integral point exists, or Unbounded when the relaxation is
-// unbounded (treated as unbounded MILP; our formulations are always
-// bounded).
+// Arena holds all reusable branch-and-bound memory: the simplex workspace
+// shared by every node's LP relaxation, a freelist for the per-node bound
+// copies, the node queue, and the incumbent buffer. A zero Arena is ready to
+// use; buffers grow on demand and are retained, so warm solves on the same
+// arena perform no heap allocations. Not safe for concurrent use.
+type Arena struct {
+	ws             lp.Workspace
+	rootLo, rootHi []float64
+	origLo, origHi []float64
+	pool           [][]float64 // freelist of bound vectors
+	queue          []node
+	bestX          []float64
+}
+
+// grow returns s resized to n, reusing capacity when possible. Contents are
+// unspecified; callers overwrite them.
+func grow[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	return s[:n]
+}
+
+// getBounds returns a pooled copy of src.
+func (a *Arena) getBounds(src []float64) []float64 {
+	var s []float64
+	if k := len(a.pool); k > 0 {
+		s = grow(a.pool[k-1], len(src))
+		a.pool = a.pool[:k-1]
+	} else {
+		s = make([]float64, len(src))
+	}
+	copy(s, src)
+	return s
+}
+
+// putBounds returns a bound vector to the freelist.
+func (a *Arena) putBounds(s []float64) {
+	if s != nil {
+		a.pool = append(a.pool, s)
+	}
+}
+
+// Solve runs branch-and-bound with a throwaway arena and returns an optimal
+// solution, Infeasible when no integral point exists, or Unbounded when the
+// relaxation is unbounded (treated as unbounded MILP; our formulations are
+// always bounded). Hot paths should use SolveArena with a reused Arena.
 func (p *Problem) Solve(opt Options) (Solution, error) {
+	return p.SolveArena(new(Arena), opt)
+}
+
+// SolveArena runs branch-and-bound borrowing all memory from a. The
+// returned Solution.X aliases the arena and is only valid until the next
+// SolveArena call on the same arena; callers that retain it must copy.
+func (p *Problem) SolveArena(a *Arena, opt Options) (Solution, error) {
 	maxNodes := opt.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = DefaultMaxNodes
@@ -106,8 +163,9 @@ func (p *Problem) Solve(opt Options) (Solution, error) {
 	}
 
 	n := p.LP.NumVars()
-	rootLo := make([]float64, n)
-	rootHi := make([]float64, n)
+	a.rootLo = grow(a.rootLo, n)
+	a.rootHi = grow(a.rootHi, n)
+	rootLo, rootHi := a.rootLo, a.rootHi
 	for v := 0; v < n; v++ {
 		rootLo[v], rootHi[v] = p.LP.Bounds(v)
 		if p.kind[v] != Continuous {
@@ -122,8 +180,9 @@ func (p *Problem) Solve(opt Options) (Solution, error) {
 	}
 
 	// solveWith temporarily installs bounds, solves, and restores.
-	origLo := make([]float64, n)
-	origHi := make([]float64, n)
+	a.origLo = grow(a.origLo, n)
+	a.origHi = grow(a.origHi, n)
+	origLo, origHi := a.origLo, a.origHi
 	for v := 0; v < n; v++ {
 		origLo[v], origHi[v] = p.LP.Bounds(v)
 	}
@@ -131,7 +190,7 @@ func (p *Problem) Solve(opt Options) (Solution, error) {
 		for v := 0; v < n; v++ {
 			p.LP.SetBounds(v, lo[v], hi[v])
 		}
-		s, err := p.LP.Solve()
+		s, err := p.LP.SolveWS(&a.ws)
 		for v := 0; v < n; v++ {
 			p.LP.SetBounds(v, origLo[v], origHi[v])
 		}
@@ -153,33 +212,48 @@ func (p *Problem) Solve(opt Options) (Solution, error) {
 	nodes := 0
 
 	// Best-first queue (sorted slice is fine at our sizes: heap semantics
-	// with deterministic tie-breaking on insertion order).
-	queue := []node{{bound: root.Obj, lo: rootLo, hi: rootHi, depth: 0}}
+	// with deterministic tie-breaking on insertion order). Node bound
+	// vectors come from the arena freelist and return to it when the node
+	// is discarded.
+	a.queue = append(a.queue[:0], node{bound: root.Obj, lo: a.getBounds(rootLo), hi: a.getBounds(rootHi), depth: 0})
 	relax := root // reuse root solve for the first pop
+	defer func() {
+		for i := range a.queue {
+			a.putBounds(a.queue[i].lo)
+			a.putBounds(a.queue[i].hi)
+			a.queue[i].lo, a.queue[i].hi = nil, nil
+		}
+		a.queue = a.queue[:0]
+	}()
 
 	pop := func() node {
 		// Smallest bound first; ties broken by depth (deeper first → dive).
+		q := a.queue
 		bi := 0
-		for i := 1; i < len(queue); i++ {
-			if queue[i].bound < queue[bi].bound-1e-12 ||
-				(math.Abs(queue[i].bound-queue[bi].bound) <= 1e-12 && queue[i].depth > queue[bi].depth) {
+		for i := 1; i < len(q); i++ {
+			if q[i].bound < q[bi].bound-1e-12 ||
+				(math.Abs(q[i].bound-q[bi].bound) <= 1e-12 && q[i].depth > q[bi].depth) {
 				bi = i
 			}
 		}
-		nd := queue[bi]
-		queue = append(queue[:bi], queue[bi+1:]...)
+		nd := q[bi]
+		a.queue = append(q[:bi], q[bi+1:]...)
 		return nd
 	}
 
 	firstPop := true
-	for len(queue) > 0 {
+	for len(a.queue) > 0 {
 		nd := pop()
 		nodes++
 		if nodes > maxNodes {
+			a.putBounds(nd.lo)
+			a.putBounds(nd.hi)
 			return best, ErrNodeLimit
 		}
 		// Bound pruning.
 		if nd.bound >= best.Obj-1e-9 {
+			a.putBounds(nd.lo)
+			a.putBounds(nd.hi)
 			continue
 		}
 		var rel lp.Solution
@@ -190,12 +264,13 @@ func (p *Problem) Solve(opt Options) (Solution, error) {
 			var err error
 			rel, err = solveWith(nd.lo, nd.hi)
 			if err != nil {
+				a.putBounds(nd.lo)
+				a.putBounds(nd.hi)
 				return best, err
 			}
-			if rel.Status != lp.Optimal {
-				continue
-			}
-			if rel.Obj >= best.Obj-1e-9 {
+			if rel.Status != lp.Optimal || rel.Obj >= best.Obj-1e-9 {
+				a.putBounds(nd.lo)
+				a.putBounds(nd.hi)
 				continue
 			}
 		}
@@ -215,29 +290,33 @@ func (p *Problem) Solve(opt Options) (Solution, error) {
 		}
 		if branchVar == -1 {
 			// Integral solution: snap and accept.
-			x := append([]float64(nil), rel.X...)
-			for v := 0; v < n; v++ {
-				if p.kind[v] != Continuous {
-					x[v] = math.Round(x[v])
-				}
-			}
 			if rel.Obj < best.Obj {
-				best = Solution{Status: lp.Optimal, Obj: rel.Obj, X: x}
+				a.bestX = grow(a.bestX, len(rel.X))
+				copy(a.bestX, rel.X)
+				for v := 0; v < n; v++ {
+					if p.kind[v] != Continuous {
+						a.bestX[v] = math.Round(a.bestX[v])
+					}
+				}
+				best = Solution{Status: lp.Optimal, Obj: rel.Obj, X: a.bestX}
 			}
-			if opt.Gap > 0 && gapClosed(queue, best.Obj, opt.Gap) {
+			a.putBounds(nd.lo)
+			a.putBounds(nd.hi)
+			if opt.Gap > 0 && gapClosed(a.queue, best.Obj, opt.Gap) {
 				break
 			}
 			continue
 		}
-		// Branch.
+		// Branch: children copy the parent's box with one bound tightened;
+		// the parent's vectors go back to the freelist.
 		fv := rel.X[branchVar]
-		down := node{bound: rel.Obj, depth: nd.depth + 1,
-			lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		down := node{bound: rel.Obj, depth: nd.depth + 1, lo: a.getBounds(nd.lo), hi: a.getBounds(nd.hi)}
 		down.hi[branchVar] = math.Floor(fv)
-		up := node{bound: rel.Obj, depth: nd.depth + 1,
-			lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		up := node{bound: rel.Obj, depth: nd.depth + 1, lo: a.getBounds(nd.lo), hi: a.getBounds(nd.hi)}
 		up.lo[branchVar] = math.Ceil(fv)
-		queue = append(queue, down, up)
+		a.putBounds(nd.lo)
+		a.putBounds(nd.hi)
+		a.queue = append(a.queue, down, up)
 	}
 	best.Nodes = nodes
 	return best, nil

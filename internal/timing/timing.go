@@ -34,6 +34,13 @@ type Graph struct {
 	setup []variation.Canonical // per FF
 	hold  []variation.Canonical // per FF
 	dim   int                   // global source dimension
+
+	// Sparse evaluation forms precomputed by Build (nil on hand-assembled
+	// graphs, which fall back to the dense canonical forms). Realization is
+	// the innermost Monte Carlo loop; skipping zero sensitivities there is
+	// a measurable win once the source space has spatial regions.
+	maxSp, minSp    []variation.Sparse // per pair
+	setupSp, holdSp []variation.Sparse // per FF
 }
 
 // Build assembles the constraint graph from an SSTA analyzer and optional
@@ -56,6 +63,18 @@ func Build(a *ssta.Analyzer, skew []float64) *Graph {
 		g.setup[id] = a.Setup(id)
 		g.hold[id] = a.Hold(id)
 	}
+	g.maxSp = make([]variation.Sparse, len(g.Pairs))
+	g.minSp = make([]variation.Sparse, len(g.Pairs))
+	for p := range g.Pairs {
+		g.maxSp[p] = g.Pairs[p].Max.Sparsify()
+		g.minSp[p] = g.Pairs[p].Min.Sparsify()
+	}
+	g.setupSp = make([]variation.Sparse, ns)
+	g.holdSp = make([]variation.Sparse, ns)
+	for id := 0; id < ns; id++ {
+		g.setupSp[id] = g.setup[id].Sparsify()
+		g.holdSp[id] = g.hold[id].Sparsify()
+	}
 	return g
 }
 
@@ -68,6 +87,10 @@ type Chip struct {
 	DMin  []float64 // per pair: realized minimum combinational delay
 	Setup []float64 // per FF
 	Hold  []float64 // per FF
+
+	// gvec is the chip-owned scratch for the global source draw, so
+	// realizing into a reused chip performs no heap allocations.
+	gvec []float64
 }
 
 // NewChip allocates a chip buffer for the graph.
@@ -77,6 +100,7 @@ func (g *Graph) NewChip() *Chip {
 		DMin:  make([]float64, len(g.Pairs)),
 		Setup: make([]float64, g.NS),
 		Hold:  make([]float64, g.NS),
+		gvec:  make([]float64, g.dim),
 	}
 }
 
@@ -87,11 +111,15 @@ type NormSource interface {
 }
 
 // RealizeInto samples one chip into ch using rng: one shared global-source
-// vector, one independent deviate per pair (shared between its max and min,
-// which are the same physical paths), and one per FF timing pair. DMin is
-// clamped to DMax.
+// vector (drawn into chip-owned scratch), one independent deviate per pair
+// (shared between its max and min, which are the same physical paths), and
+// one per FF timing pair. DMin is clamped to DMax. A warm call performs no
+// heap allocations.
 func (g *Graph) RealizeInto(rng NormSource, ch *Chip) {
-	gvec := make([]float64, g.dim)
+	if cap(ch.gvec) < g.dim {
+		ch.gvec = make([]float64, g.dim)
+	}
+	gvec := ch.gvec[:g.dim]
 	for i := range gvec {
 		gvec[i] = rng.NormFloat64()
 	}
@@ -99,13 +127,22 @@ func (g *Graph) RealizeInto(rng NormSource, ch *Chip) {
 }
 
 // RealizeWithGlobals samples a chip with a caller-provided global vector
-// (used by tests that pin the die-level variation).
+// (used by tests that pin the die-level variation). Graphs assembled by
+// Build evaluate through their precomputed sparse forms; hand-built graphs
+// use the dense canonical forms.
 func (g *Graph) RealizeWithGlobals(rng NormSource, gvec []float64, ch *Chip) {
+	sparse := g.maxSp != nil
 	for p := range g.Pairs {
 		r := rng.NormFloat64()
-		pr := &g.Pairs[p]
-		mx := pr.Max.Eval(gvec, r)
-		mn := pr.Min.Eval(gvec, r)
+		var mx, mn float64
+		if sparse {
+			mx = g.maxSp[p].Eval(gvec, r)
+			mn = g.minSp[p].Eval(gvec, r)
+		} else {
+			pr := &g.Pairs[p]
+			mx = pr.Max.Eval(gvec, r)
+			mn = pr.Min.Eval(gvec, r)
+		}
 		if mn > mx {
 			mn = mx
 		}
@@ -114,8 +151,14 @@ func (g *Graph) RealizeWithGlobals(rng NormSource, gvec []float64, ch *Chip) {
 	}
 	for f := 0; f < g.NS; f++ {
 		r := rng.NormFloat64()
-		s := g.setup[f].Eval(gvec, r)
-		h := g.hold[f].Eval(gvec, r)
+		var s, h float64
+		if sparse {
+			s = g.setupSp[f].Eval(gvec, r)
+			h = g.holdSp[f].Eval(gvec, r)
+		} else {
+			s = g.setup[f].Eval(gvec, r)
+			h = g.hold[f].Eval(gvec, r)
+		}
 		if s < 0 {
 			s = 0
 		}

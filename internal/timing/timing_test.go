@@ -279,3 +279,38 @@ func TestTinyHandBuiltConstraintValues(t *testing.T) {
 		t.Fatalf("hold bound = %v want %v", got, wantHold)
 	}
 }
+
+func TestSparseEvalMatchesDense(t *testing.T) {
+	// Graphs assembled by Build realize through precomputed sparse forms;
+	// the result must be bit-identical to evaluating the dense canonical
+	// forms (skipping zero sensitivities never changes an IEEE sum).
+	g := buildGraph(t, 20, 100, 21, 0.02)
+	dense := &Graph{NS: g.NS, Skew: g.Skew, Pairs: g.Pairs, setup: g.setup, hold: g.hold, dim: g.dim}
+	chS := g.NewChip()
+	chD := dense.NewChip()
+	for k := 0; k < 10; k++ {
+		g.RealizeInto(rand.New(rand.NewPCG(7, uint64(k))), chS)
+		dense.RealizeInto(rand.New(rand.NewPCG(7, uint64(k))), chD)
+		for p := range g.Pairs {
+			if chS.DMax[p] != chD.DMax[p] || chS.DMin[p] != chD.DMin[p] {
+				t.Fatalf("sample %d pair %d: sparse (%v,%v) vs dense (%v,%v)",
+					k, p, chS.DMax[p], chS.DMin[p], chD.DMax[p], chD.DMin[p])
+			}
+		}
+		for f := 0; f < g.NS; f++ {
+			if chS.Setup[f] != chD.Setup[f] || chS.Hold[f] != chD.Hold[f] {
+				t.Fatalf("sample %d FF %d: sparse FF timing diverges", k, f)
+			}
+		}
+	}
+}
+
+func TestRealizeIntoZeroAllocs(t *testing.T) {
+	g := buildGraph(t, 20, 100, 23, 0)
+	rng := rand.New(rand.NewPCG(3, 4))
+	ch := g.NewChip()
+	g.RealizeInto(rng, ch) // warm the chip-owned scratch
+	if avg := testing.AllocsPerRun(100, func() { g.RealizeInto(rng, ch) }); avg != 0 {
+		t.Fatalf("warm RealizeInto allocates %v times per run, want 0", avg)
+	}
+}

@@ -214,6 +214,44 @@ func (c Canonical) Eval(g []float64, r float64) float64 {
 	return v + c.Rand*r
 }
 
+// Sparse is a precomputed evaluation form of a Canonical holding only the
+// non-zero sensitivities. Local pair delays on large circuits depend on a
+// handful of the global sources (often none beyond the die-wide parameters),
+// so evaluating through the sparse form skips the zero entries that dominate
+// a dense Eval. Sparse values are immutable snapshots: they do not track
+// later mutation of the originating Canonical.
+type Sparse struct {
+	Mean float64
+	Rand float64
+	Idx  []int32
+	Coef []float64
+}
+
+// Sparsify extracts the sparse evaluation form of c.
+func (c Canonical) Sparsify() Sparse {
+	s := Sparse{Mean: c.Mean, Rand: c.Rand}
+	for i, a := range c.Sens {
+		if a != 0 {
+			s.Idx = append(s.Idx, int32(i))
+			s.Coef = append(s.Coef, a)
+		}
+	}
+	return s
+}
+
+// Eval evaluates the sparse form at a sampled global-source vector g and an
+// independent deviate r. It returns exactly the same value as Eval on the
+// originating Canonical (skipping a zero sensitivity never changes an IEEE
+// sum). g must cover the originating space; only the non-zero indices are
+// read.
+func (s *Sparse) Eval(g []float64, r float64) float64 {
+	v := s.Mean
+	for k, i := range s.Idx {
+		v += s.Coef[k] * g[i]
+	}
+	return v + s.Rand*r
+}
+
 // MaxAll folds Max over a non-empty slice.
 func MaxAll(forms []Canonical) Canonical {
 	if len(forms) == 0 {

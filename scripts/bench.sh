@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench.sh — run the substrate microbenchmarks and emit machine-readable
+# JSON lines, one object per benchmark:
+#   {"name": ..., "iterations": N, "ns_per_op": ..., "b_per_op": ..., "allocs_per_op": ...}
+# (b_per_op / allocs_per_op are null for benchmarks that don't report them.)
+#
+# Usage: scripts/bench.sh [output.json]
+# Default output: BENCH_<utc-date>.json in the repo root. Tune the pattern
+# and time budget with BENCH_PATTERN / BENCH_TIME.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date -u +%Y%m%d).json}"
+pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization}"
+benchtime="${BENCH_TIME:-1s}"
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . |
+    awk '
+    /^Benchmark/ {
+        name = $1; iters = $2
+        ns = "null"; bytes = "null"; allocs = "null"
+        for (i = 3; i < NF; i++) {
+            if ($(i+1) == "ns/op") ns = $i
+            if ($(i+1) == "B/op") bytes = $i
+            if ($(i+1) == "allocs/op") allocs = $i
+        }
+        printf "{\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"b_per_op\":%s,\"allocs_per_op\":%s}\n", \
+            name, iters, ns, bytes, allocs
+    }' >"$out"
+
+echo "wrote $out:"
+cat "$out"

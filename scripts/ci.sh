@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification gate: format, vet, build, tests, and a
+# one-iteration smoke of the substrate microbenchmarks. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files need gofmt:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke (substrates, 1 iteration) =="
+go test -run '^$' \
+    -bench 'LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization' \
+    -benchtime=1x .
+
+echo "CI OK"
