@@ -510,6 +510,90 @@ func BenchmarkDiffconFeasibility(b *testing.B) {
 	}
 }
 
+// BenchmarkDiffconFeasibilityWarm measures the same check through a
+// resettable system and a reused solver — the sweep-probe steady state.
+func BenchmarkDiffconFeasibilityWarm(b *testing.B) {
+	sys := diffcon.NewIntSystem(20)
+	for i := 0; i < 20; i++ {
+		sys.AddUpper(i, 10)
+		sys.AddLower(i, -10)
+	}
+	base := sys.NumConstraints()
+	fill := func() {
+		sys.Truncate(base)
+		for i := 0; i < 19; i++ {
+			sys.Add(i, i+1, int64(3+i%5))
+			sys.Add(i+1, i, 2)
+		}
+	}
+	var sv diffcon.IntSolver
+	fill()
+	if !sv.Feasible(sys) {
+		b.Fatal("should be feasible")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+		if !sv.Feasible(sys) {
+			b.Fatal("should be feasible")
+		}
+	}
+}
+
+// yieldSweepSetup prepares the sweep-vs-per-period comparison: the s9234
+// flow's evaluator and a 10-point period grid across [µT, µT+2σ].
+func yieldSweepSetup(b *testing.B) (*yield.Evaluator, *expt.Bench, []float64) {
+	b.Helper()
+	bench := prepared(b, "s9234")
+	T := bench.PeriodFor(expt.MuTPlusSigma)
+	res, err := insertion.Run(bench.Graph, bench.Placement, insertion.Config{T: T, Samples: 400, Seed: 0xF00D})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := yield.NewEvaluator(bench.Graph, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := bench.PeriodFor(expt.MuT), bench.PeriodFor(expt.MuTPlus2Sigma)
+	Ts := make([]float64, 10)
+	for i := range Ts {
+		Ts[i] = lo + (hi-lo)*float64(i)/float64(len(Ts)-1)
+	}
+	return ev, bench, Ts
+}
+
+// BenchmarkYieldSweep measures the batched sweep: 2000 chips realized once
+// answer all 10 periods.
+func BenchmarkYieldSweep(b *testing.B) {
+	ev, bench, Ts := yieldSweepSetup(b)
+	b.ResetTimer()
+	var rep yield.SweepReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = yield.EvaluateSweep(ev, mc.New(bench.Graph, 0x1F00D), 2000, Ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.At(0).Improvement(), "Yi_at_muT_points")
+}
+
+// BenchmarkYieldPerPeriod is the pre-batching baseline: one Evaluate call —
+// and one fresh chip population — per period. BenchmarkYieldSweep must beat
+// it by ≥2×; the two report byte-identical yields.
+func BenchmarkYieldPerPeriod(b *testing.B) {
+	ev, bench, Ts := yieldSweepSetup(b)
+	b.ResetTimer()
+	var rep yield.Report
+	for i := 0; i < b.N; i++ {
+		for _, T := range Ts {
+			rep = yield.Evaluate(ev, mc.New(bench.Graph, 0x1F00D), 2000, T)
+		}
+	}
+	b.ReportMetric(rep.Improvement(), "Yi_at_last_T_points")
+}
+
 // BenchmarkSSTAPairDelays measures the canonical SSTA pass on s9234.
 func BenchmarkSSTAPairDelays(b *testing.B) {
 	p, _ := gen.PresetByName("s9234")

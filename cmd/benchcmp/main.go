@@ -1,0 +1,119 @@
+// Command benchcmp compares two scripts/bench.sh JSON-line files and fails
+// on performance regressions — the CI gate that keeps the repo's committed
+// BENCH_*.json trajectory honest:
+//
+//   - ns/op regressions beyond -max-ns-regress (default 30 %) on any
+//     benchmark present in both files;
+//   - any allocs/op regression on the warm benchmarks (names containing
+//     "Warm" and benchmarks that were allocation-free in the baseline —
+//     the zero-allocation steady states DESIGN.md promises).
+//
+// Usage:
+//
+//	benchcmp [-max-ns-regress 0.30] old.json new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type entry struct {
+	Name       string   `json:"name"`
+	Iterations int64    `json:"iterations"`
+	NsPerOp    *float64 `json:"ns_per_op"`
+	BPerOp     *float64 `json:"b_per_op"`
+	AllocsOp   *float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]entry{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("%s: %w (line %q)", path, err, line)
+		}
+		out[e.Name] = e
+	}
+	return out, sc.Err()
+}
+
+// warm reports whether a benchmark is held to the zero-regression allocs
+// gate: the explicitly warm (reused-scratch) benchmarks, plus anything that
+// was already allocation-free in the baseline.
+func warm(name string, old entry) bool {
+	if strings.Contains(name, "Warm") {
+		return true
+	}
+	return old.AllocsOp != nil && *old.AllocsOp == 0
+}
+
+func main() {
+	maxNs := flag.Float64("max-ns-regress", 0.30, "tolerated fractional ns/op regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-ns-regress f] old.json new.json")
+		os.Exit(2)
+	}
+	oldSet, err := load(flag.Arg(0))
+	if err == nil {
+		var newSet map[string]entry
+		if newSet, err = load(flag.Arg(1)); err == nil {
+			os.Exit(compare(oldSet, newSet, *maxNs))
+		}
+	}
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(2)
+}
+
+func compare(oldSet, newSet map[string]entry, maxNs float64) int {
+	failures := 0
+	compared := 0
+	for name, o := range oldSet {
+		n, ok := newSet[name]
+		if !ok {
+			fmt.Printf("%-40s missing from new run (skipped)\n", name)
+			continue
+		}
+		compared++
+		status := "ok"
+		if o.NsPerOp != nil && n.NsPerOp != nil && *o.NsPerOp > 0 {
+			ratio := *n.NsPerOp / *o.NsPerOp
+			if ratio > 1+maxNs {
+				status = fmt.Sprintf("FAIL ns/op regressed %.0f%% (> %.0f%% budget)", (ratio-1)*100, maxNs*100)
+				failures++
+			}
+			fmt.Printf("%-40s ns/op %12.1f -> %12.1f (%+5.1f%%)  %s\n",
+				name, *o.NsPerOp, *n.NsPerOp, (ratio-1)*100, status)
+		}
+		if warm(name, o) && o.AllocsOp != nil && n.AllocsOp != nil && *n.AllocsOp > *o.AllocsOp {
+			fmt.Printf("%-40s FAIL allocs/op regressed %.0f -> %.0f (warm benchmark)\n",
+				name, *o.AllocsOp, *n.AllocsOp)
+			failures++
+		}
+	}
+	if compared == 0 {
+		fmt.Println("benchcmp: no common benchmarks to compare")
+		return 1
+	}
+	if failures > 0 {
+		fmt.Printf("benchcmp: %d regression(s)\n", failures)
+		return 1
+	}
+	fmt.Printf("benchcmp: %d benchmark(s) within budget\n", compared)
+	return 0
+}

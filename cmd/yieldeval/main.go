@@ -4,9 +4,15 @@
 // "where does the paper's method sit between no tuning and unlimited
 // tuning?" for any circuit.
 //
+// All (period, strategy) queries of a run are answered from one batched
+// evaluation pass: each fresh chip is realized exactly once and handed to
+// every strategy's sweep evaluator (yield.EvaluateMany), so a 10-period ×
+// 4-strategy sweep costs one chip population, not forty.
+//
 // Usage:
 //
 //	yieldeval -preset s13207 -samples 1000 -eval 4000
+//	yieldeval -preset s9234 -periods 10     # fine period sweep, one insertion
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"repro/internal/insertion"
 	"repro/internal/mc"
 	"repro/internal/tabular"
+	"repro/internal/timing"
 	"repro/internal/yield"
 )
 
@@ -30,6 +37,7 @@ func main() {
 		samples  = flag.Int("samples", 1000, "insertion samples")
 		evalN    = flag.Int("eval", 4000, "fresh chips per yield measurement")
 		seed     = flag.Uint64("seed", 0xF00D, "insertion seed")
+		periods  = flag.Int("periods", 0, "sweep this many periods across [µT, µT+2σ] with one insertion at µT+σ (0 = classic three-target table)")
 		planFile = flag.String("plan", "", "evaluate a saved buffer plan (JSON from bufins -saveplan) instead of running the flow")
 	)
 	flag.Parse()
@@ -81,9 +89,22 @@ func main() {
 		return
 	}
 
-	tb := tabular.New("T", "Yo(%)", "sampling Y(%)", "Nb", "topk Y(%)", "randk Y(%)", "everyFF Y(%)")
-	tb.SetTitle("Yield vs strategy (equal buffer budget for topk/randk):")
 	g := sys.Graph()
+	if *periods > 0 {
+		sweepMode(sys, *periods, *samples, *evalN, *seed)
+		return
+	}
+
+	// Classic mode: three period targets, each with its own insertion run,
+	// every (target, strategy) yield measured in one shared pass. The table
+	// columns derive from the baseline.Strategies set, whatever its size.
+	type targetRow struct {
+		k, T float64
+		nb   int
+	}
+	var rows []targetRow
+	var names []string
+	var all []*yield.SweepEvaluator // one strategy-set block per target row
 	for _, k := range []float64{0, 1, 2} {
 		T := sys.TargetPeriod(k)
 		res, err := sys.Insert(T, insertion.Config{Samples: *samples, Seed: *seed})
@@ -91,24 +112,82 @@ func main() {
 			fmt.Fprintln(os.Stderr, "yieldeval:", err)
 			os.Exit(1)
 		}
-		spec := res.Cfg.Spec
-		nb := len(res.Groups)
-		eng := mc.New(g, *seed+0x1000)
-		measure := func(groups []insertion.Group) yield.Report {
-			ev, err := yield.NewEvaluator(g, spec, groups)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "yieldeval:", err)
-				os.Exit(1)
-			}
-			return yield.Evaluate(ev, eng, *evalN, T)
+		rows = append(rows, targetRow{k: k, T: T, nb: len(res.Groups)})
+		names = names[:0]
+		for _, st := range baseline.Strategies(g, res.Cfg.Spec, T, res.Groups, 5) {
+			names = append(names, st.Name)
+			all = append(all, mustSweep(g, res.Cfg.Spec, st.Groups, []float64{T}))
 		}
-		rSamp := measure(res.Groups)
-		rTop := measure(baseline.TopK(g, spec, T, nb))
-		rRand := measure(baseline.RandomK(g, spec, nb, 5))
-		rAll := measure(baseline.EveryFF(g, spec))
-		tb.AddRowf(fmt.Sprintf("%.1f (µ+%0.0fσ)", T, k),
-			rSamp.Original.Percent(), rSamp.Tuned.Percent(), nb,
-			rTop.Tuned.Percent(), rRand.Tuned.Percent(), rAll.Tuned.Percent())
+	}
+	reps := yield.EvaluateMany(mc.New(g, *seed+0x1000), *evalN, all...)
+	header := []string{"T", "Yo(%)", "Nb"}
+	for _, name := range names {
+		header = append(header, name+" Y(%)")
+	}
+	tb := tabular.New(header...)
+	tb.SetTitle("Yield vs strategy (equal buffer budget for topk/randk):")
+	for i, row := range rows {
+		block := reps[len(names)*i : len(names)*(i+1)]
+		cells := []any{fmt.Sprintf("%.1f (µ+%0.0fσ)", row.T, row.k),
+			block[0].Original[0].Percent(), row.nb}
+		for _, rep := range block {
+			cells = append(cells, rep.Tuned[0].Percent())
+		}
+		tb.AddRowf(cells...)
+	}
+	fmt.Println(tb)
+}
+
+// mustSweep builds a strategy's sweep evaluator or exits.
+func mustSweep(g *timing.Graph, spec insertion.BufferSpec, groups []insertion.Group, Ts []float64) *yield.SweepEvaluator {
+	ev, err := yield.NewEvaluator(g, spec, groups)
+	if err == nil {
+		var sw *yield.SweepEvaluator
+		if sw, err = yield.NewSweepEvaluator(ev, Ts); err == nil {
+			return sw
+		}
+	}
+	fmt.Fprintln(os.Stderr, "yieldeval:", err)
+	os.Exit(1)
+	return nil
+}
+
+// sweepMode runs the insertion once at µT+σ and evaluates every strategy
+// across a fine period sweep in a single chip-realization pass.
+func sweepMode(sys *core.System, periods, samples, evalN int, seed uint64) {
+	g := sys.Graph()
+	T1 := sys.TargetPeriod(1)
+	res, err := sys.Insert(T1, insertion.Config{Samples: samples, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yieldeval:", err)
+		os.Exit(1)
+	}
+	Ts := make([]float64, periods)
+	if periods == 1 {
+		Ts[0] = T1 // single-point sweep: just the insertion target
+	} else {
+		lo, hi := sys.TargetPeriod(0), sys.TargetPeriod(2)
+		for i := range Ts {
+			Ts[i] = lo + (hi-lo)*float64(i)/float64(periods-1)
+		}
+	}
+	strategies := baseline.Strategies(g, res.Cfg.Spec, T1, res.Groups, 5)
+	sweeps := make([]*yield.SweepEvaluator, len(strategies))
+	header := []string{"T", "Yo(%)"}
+	for i, st := range strategies {
+		sweeps[i] = mustSweep(g, res.Cfg.Spec, st.Groups, Ts)
+		header = append(header, st.Name+" Y(%)")
+	}
+	reps := yield.EvaluateMany(mc.New(g, seed+0x1000), evalN, sweeps...)
+	tb := tabular.New(header...)
+	tb.SetTitle(fmt.Sprintf("Yield sweep, %d periods, insertion at µT+σ (Nb=%d), %d chips realized once:",
+		periods, len(res.Groups), evalN))
+	for i := range Ts {
+		cells := []any{fmt.Sprintf("%.1f", Ts[i]), reps[0].Original[i].Percent()}
+		for _, rep := range reps {
+			cells = append(cells, rep.Tuned[i].Percent())
+		}
+		tb.AddRowf(cells...)
 	}
 	fmt.Println(tb)
 }

@@ -102,6 +102,28 @@ func TopK(g *timing.Graph, spec insertion.BufferSpec, T float64, k int) []insert
 	return groups
 }
 
+// Named labels one comparison strategy's buffer groups.
+type Named struct {
+	Name   string
+	Groups []insertion.Group
+}
+
+// Strategies assembles the paper's comparison set around a sampling-flow
+// result: the flow's own groups plus the three baselines at the same
+// physical-buffer budget (everyFF is deliberately unbounded — it is the
+// upper bound). All four share one BufferSpec, so a single batched
+// evaluation pass (yield.EvaluateMany over one mc.Source) measures them
+// against the same chips, apples-to-apples.
+func Strategies(g *timing.Graph, spec insertion.BufferSpec, T float64, sampling []insertion.Group, seed uint64) []Named {
+	nb := len(sampling)
+	return []Named{
+		{Name: "sampling", Groups: sampling},
+		{Name: "topk", Groups: TopK(g, spec, T, nb)},
+		{Name: "randk", Groups: RandomK(g, spec, nb, seed)},
+		{Name: "everyFF", Groups: EveryFF(g, spec)},
+	}
+}
+
 // RandomK places k symmetric full-range buffers uniformly at random
 // (deterministic in seed).
 func RandomK(g *timing.Graph, spec insertion.BufferSpec, k int, seed uint64) []insertion.Group {

@@ -29,6 +29,45 @@ func buildBench(t *testing.T, seed uint64) (*timing.Graph, float64) {
 	return g, ps.Mu
 }
 
+func TestStrategies(t *testing.T) {
+	g, T := buildBench(t, 61)
+	spec := insertion.DefaultSpec(T)
+	sampling := []insertion.Group{
+		{FFs: []int{3}, Lo: -spec.Step(), Hi: spec.Step()},
+		{FFs: []int{8}, Lo: -spec.Step(), Hi: 2 * spec.Step()},
+	}
+	sts := Strategies(g, spec, T, sampling, 5)
+	names := []string{"sampling", "topk", "randk", "everyFF"}
+	if len(sts) != len(names) {
+		t.Fatalf("got %d strategies", len(sts))
+	}
+	for i, st := range sts {
+		if st.Name != names[i] {
+			t.Fatalf("strategy %d named %q, want %q", i, st.Name, names[i])
+		}
+	}
+	if &sts[0].Groups[0] != &sampling[0] {
+		t.Fatal("sampling strategy must alias the flow's groups")
+	}
+	// Budget parity: topk and randk get exactly len(sampling) buffers
+	// (topk may stop early only when criticality mass runs out — not here).
+	if len(sts[2].Groups) != len(sampling) {
+		t.Fatalf("randk budget %d, want %d", len(sts[2].Groups), len(sampling))
+	}
+	if len(sts[1].Groups) != len(sampling) {
+		t.Fatalf("topk budget %d, want %d", len(sts[1].Groups), len(sampling))
+	}
+	if len(sts[3].Groups) != g.NS {
+		t.Fatal("everyFF must cover every flip-flop")
+	}
+	// Every strategy must produce evaluator-legal groups.
+	for _, st := range sts {
+		if _, err := yield.NewEvaluator(g, spec, st.Groups); err != nil {
+			t.Fatalf("strategy %q groups rejected: %v", st.Name, err)
+		}
+	}
+}
+
 func TestEveryFF(t *testing.T) {
 	g, mu := buildBench(t, 301)
 	spec := insertion.DefaultSpec(mu)

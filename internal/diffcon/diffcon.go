@@ -183,6 +183,30 @@ func NewIntSystem(n int) *IntSystem {
 // N returns the variable count.
 func (s *IntSystem) N() int { return s.n }
 
+// NumConstraints returns the number of constraints added.
+func (s *IntSystem) NumConstraints() int { return len(s.cons) }
+
+// Reset clears the system for reuse over n variables, retaining the
+// constraint capacity — the hot-loop counterpart of NewIntSystem.
+func (s *IntSystem) Reset(n int) {
+	if n < 0 {
+		panic("diffcon: negative variable count")
+	}
+	s.n = n
+	s.cons = s.cons[:0]
+}
+
+// Truncate drops every constraint after the first m, restoring an earlier
+// snapshot (taken with NumConstraints). Probe loops that share a fixed
+// constraint prefix — e.g. the T-independent hold side of a period sweep —
+// truncate back to the prefix instead of rebuilding it.
+func (s *IntSystem) Truncate(m int) {
+	if m < 0 || m > len(s.cons) {
+		panic("diffcon: truncate length out of range")
+	}
+	s.cons = s.cons[:m]
+}
+
 // Add appends xᵢ − xⱼ ≤ b over the integers.
 func (s *IntSystem) Add(i, j int, b int64) {
 	if i == Origin && j == Origin {
@@ -217,63 +241,131 @@ func GridBound(b, step float64) int64 {
 
 // Solve returns an integral solution with origin 0, or ErrInfeasible.
 func (s *IntSystem) Solve() ([]int64, error) {
-	n := s.n
-	org := n
-	total := n + 1
-	dist := make([]int64, total)
-	inQueue := make([]bool, total)
-	relaxCount := make([]int, total)
-	queue := make([]int, 0, total)
-	for v := 0; v < total; v++ {
-		queue = append(queue, v)
-		inQueue[v] = true
-	}
-	type edge struct {
-		to int
-		w  int64
-	}
-	edges := make([][]edge, total)
-	node := func(v int) int {
-		if v == Origin {
-			return org
-		}
-		return v
-	}
-	for _, c := range s.cons {
-		f, t := node(c.j), node(c.i)
-		edges[f] = append(edges[f], edge{to: t, w: c.b})
-	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		inQueue[u] = false
-		du := dist[u]
-		for _, e := range edges[u] {
-			if nd := du + e.w; nd < dist[e.to] {
-				dist[e.to] = nd
-				relaxCount[e.to]++
-				if relaxCount[e.to] > total+1 {
-					return nil, ErrInfeasible
-				}
-				if !inQueue[e.to] {
-					queue = append(queue, e.to)
-					inQueue[e.to] = true
-				}
-			}
-		}
-	}
-	shift := dist[org]
-	out := make([]int64, n)
-	for v := 0; v < n; v++ {
-		out[v] = dist[v] - shift
-	}
-	return out, nil
+	var sv IntSolver
+	return sv.SolveInto(nil, s)
 }
 
 // Feasible reports whether an integral solution exists.
 func (s *IntSystem) Feasible() bool {
-	_, err := s.Solve()
-	return err == nil
+	var sv IntSolver
+	return sv.Feasible(s)
+}
+
+// IntSolver is reusable SPFA (queue-based Bellman-Ford) scratch for
+// IntSystem solves. The 10⁴-chip yield sweep answers one feasibility
+// question per probe; routing them through one per-worker solver makes the
+// steady state allocation-free. The zero value is ready to use; a solver
+// must not be shared between goroutines.
+type IntSolver struct {
+	dist  []int64
+	cnt   []int32 // edges on the current shortest path (cycle detection)
+	inQ   []bool
+	queue []int32 // ring buffer; holds at most one entry per node
+	head  []int32 // per-node first edge index, −1 = none
+	next  []int32 // edge → next edge of the same from-node
+	eTo   []int32
+	eW    []int64
+}
+
+func (sv *IntSolver) grow(total, m int) {
+	if cap(sv.dist) < total {
+		sv.dist = make([]int64, total)
+		sv.cnt = make([]int32, total)
+		sv.inQ = make([]bool, total)
+		sv.queue = make([]int32, total)
+		sv.head = make([]int32, total)
+	}
+	if cap(sv.eTo) < m {
+		sv.next = make([]int32, m)
+		sv.eTo = make([]int32, m)
+		sv.eW = make([]int64, m)
+	}
+}
+
+// Feasible reports whether s has a solution. Allocation-free once the
+// solver's scratch has grown to the system's size.
+func (sv *IntSolver) Feasible(s *IntSystem) bool {
+	return sv.run(s) == nil
+}
+
+// SolveInto returns a solution with origin 0 appended to out[:0] (pass nil
+// to allocate), or ErrInfeasible.
+func (sv *IntSolver) SolveInto(out []int64, s *IntSystem) ([]int64, error) {
+	if err := sv.run(s); err != nil {
+		return nil, err
+	}
+	shift := sv.dist[s.n]
+	out = out[:0]
+	for v := 0; v < s.n; v++ {
+		out = append(out, sv.dist[v]-shift)
+	}
+	return out, nil
+}
+
+// run computes shortest-path distances under a virtual source (all nodes
+// start at 0), leaving them in sv.dist. A node whose shortest path reaches
+// `total` edges witnesses a negative cycle: the system is infeasible.
+func (sv *IntSolver) run(s *IntSystem) error {
+	n := s.n
+	org := n
+	total := n + 1
+	m := len(s.cons)
+	sv.grow(total, m)
+	dist, cnt, inQ := sv.dist[:total], sv.cnt[:total], sv.inQ[:total]
+	queue, head := sv.queue[:total], sv.head[:total]
+	next, eTo, eW := sv.next[:m], sv.eTo[:m], sv.eW[:m]
+	for v := 0; v < total; v++ {
+		dist[v] = 0
+		cnt[v] = 0
+		inQ[v] = true
+		queue[v] = int32(v)
+		head[v] = -1
+	}
+	// Constraint xi − xj ≤ b is edge j → i with weight b.
+	for c := range s.cons {
+		f, t := s.cons[c].j, s.cons[c].i
+		if f == Origin {
+			f = org
+		}
+		if t == Origin {
+			t = org
+		}
+		eTo[c] = int32(t)
+		eW[c] = s.cons[c].b
+		next[c] = head[f]
+		head[f] = int32(c)
+	}
+	qh, qn := 0, total // ring head and occupancy; tail = (qh+qn) mod total
+	for qn > 0 {
+		u := queue[qh]
+		qh++
+		if qh == total {
+			qh = 0
+		}
+		qn--
+		inQ[u] = false
+		du := dist[u]
+		for e := head[u]; e >= 0; e = next[e] {
+			to := eTo[e]
+			if nd := du + eW[e]; nd < dist[to] {
+				dist[to] = nd
+				cnt[to] = cnt[u] + 1
+				if cnt[to] >= int32(total) {
+					return ErrInfeasible
+				}
+				if !inQ[to] {
+					tail := qh + qn
+					if tail >= total {
+						tail -= total
+					}
+					queue[tail] = to
+					qn++
+					inQ[to] = true
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Check verifies an integral assignment (origin 0) against all constraints.

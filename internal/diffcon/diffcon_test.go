@@ -288,6 +288,125 @@ func TestGridExactness(t *testing.T) {
 	}
 }
 
+// Property: a reused IntSolver agrees with fresh Solve calls across a
+// stream of random systems, and SolveInto's assignments pass Check.
+func TestIntSolverReuseAgreesWithSolve(t *testing.T) {
+	var sv IntSolver
+	var out []int64
+	rng := rand.New(rand.NewPCG(2024, 61))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(6)
+		s := NewIntSystem(n)
+		for k := 0; k < rng.IntN(12); k++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i == j {
+				continue
+			}
+			s.Add(i, j, int64(rng.IntN(9)-4))
+		}
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.7 {
+				s.AddUpper(v, int64(rng.IntN(6)))
+				s.AddLower(v, int64(-rng.IntN(6)-1))
+			}
+		}
+		want, wantErr := s.Solve()
+		if got := sv.Feasible(s); got != (wantErr == nil) {
+			t.Fatalf("trial %d: solver feasible %v, Solve err %v", trial, got, wantErr)
+		}
+		var err error
+		out, err = sv.SolveInto(out, s)
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d: SolveInto err %v, Solve err %v", trial, err, wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if !s.Check(out) {
+			t.Fatalf("trial %d: SolveInto assignment %v violates a constraint", trial, out)
+		}
+		for v := range want {
+			if out[v] != want[v] {
+				t.Fatalf("trial %d: SolveInto %v != Solve %v", trial, out, want)
+			}
+		}
+	}
+}
+
+func TestIntSystemResetTruncate(t *testing.T) {
+	s := NewIntSystem(3)
+	s.AddUpper(0, 5)
+	s.AddLower(0, -5)
+	base := s.NumConstraints()
+	s.Add(0, 1, -10) // tight extra constraint
+	s.Add(1, 0, 4)
+	s.AddUpper(1, 2)
+	s.AddLower(1, -2)
+	if s.Feasible() {
+		t.Fatal("x0 ≤ x1 − 10 with both in [−5,5]∩[−2,2] must be infeasible")
+	}
+	s.Truncate(base)
+	if s.NumConstraints() != base || !s.Feasible() {
+		t.Fatal("truncating back to the bounds must restore feasibility")
+	}
+	s.Reset(1)
+	if s.N() != 1 || s.NumConstraints() != 0 {
+		t.Fatal("reset must clear constraints and resize")
+	}
+	s.AddUpper(0, 1)
+	s.AddLower(0, 0)
+	x, err := s.Solve()
+	if err != nil || x[0] < 0 || x[0] > 1 {
+		t.Fatalf("rebuilt system: x=%v err=%v", x, err)
+	}
+	for _, fn := range map[string]func(){
+		"neg reset":    func() { s.Reset(-1) },
+		"truncate oob": func() { s.Truncate(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestIntSolverWarmZeroAllocs pins the sweep-probe steady state: rebuilding
+// the T-dependent suffix of a system and re-running a warm solver must not
+// touch the heap.
+func TestIntSolverWarmZeroAllocs(t *testing.T) {
+	s := NewIntSystem(16)
+	for v := 0; v < 16; v++ {
+		s.AddUpper(v, 10)
+		s.AddLower(v, -10)
+	}
+	base := s.NumConstraints()
+	var sv IntSolver
+	fill := func() {
+		s.Truncate(base)
+		for i := 0; i < 15; i++ {
+			s.Add(i, i+1, int64(3+i%4))
+			s.Add(i+1, i, 2)
+		}
+	}
+	fill()
+	if !sv.Feasible(s) {
+		t.Fatal("system should be feasible")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		fill()
+		if !sv.Feasible(s) {
+			t.Fatal("system should be feasible")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm probe allocates %v times per run", allocs)
+	}
+}
+
 func TestAccessors(t *testing.T) {
 	s := NewSystem(3)
 	s.Add(0, 1, 2)

@@ -1,0 +1,79 @@
+package diffcon
+
+import (
+	"testing"
+)
+
+// decodeIntSystem interprets fuzz bytes as an integer difference system:
+// the first byte picks the variable count (1..8), then each 3-byte record
+// adds one constraint — two variable selectors (a value ≥ n·16 maps to the
+// origin) and a signed bound. The encoding can express every shape the
+// yield evaluator builds: var–var setup/hold edges, origin bounds, and
+// dense window boxes.
+func decodeIntSystem(data []byte) *IntSystem {
+	if len(data) == 0 {
+		return NewIntSystem(1)
+	}
+	n := 1 + int(data[0])%8
+	s := NewIntSystem(n)
+	sel := func(b byte) int {
+		v := int(b)
+		if v >= n*16 {
+			return Origin
+		}
+		return v % n
+	}
+	for rec := data[1:]; len(rec) >= 3; rec = rec[3:] {
+		i, j := sel(rec[0]), sel(rec[1])
+		if i == j {
+			continue // same node (or origin–origin, which would panic)
+		}
+		s.Add(i, j, int64(int8(rec[2])))
+	}
+	return s
+}
+
+// FuzzIntSystem checks the solver invariants on arbitrary systems:
+// Feasible() ⟺ Solve() succeeds, every returned assignment satisfies every
+// constraint and bound, and the reusable IntSolver agrees with the
+// allocating entry points. The seed corpus mirrors the yield system shapes
+// (window boxes, setup/hold edge pairs, infeasible cycles).
+func FuzzIntSystem(f *testing.F) {
+	// Window box: 2 vars in [−3, 4] (origin selector: byte ≥ n·16).
+	f.Add([]byte{1, 0, 0xFF, 4, 0xFF, 0, 3, 1, 0xFF, 4, 0xFF, 1, 3})
+	// Setup/hold edge pair between two grouped FFs, plus bounds.
+	f.Add([]byte{1, 0, 1, 0xFE, 1, 0, 2, 0, 0xFF, 5, 0xFF, 0, 5})
+	// Unbuffered capture: only origin bounds on the launch variable.
+	f.Add([]byte{0, 0, 0xFF, 1, 0xFF, 0, 2})
+	// Infeasible 2-cycle (x0 ≤ x1, x1 ≤ x0 − 1).
+	f.Add([]byte{1, 0, 1, 0, 1, 0, 0xFF})
+	// Longer chain with mixed signs across 5 variables.
+	f.Add([]byte{4, 0, 1, 2, 1, 2, 0xFE, 2, 3, 1, 3, 4, 0xFD, 4, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := decodeIntSystem(data)
+		x, err := s.Solve()
+		if feasible := s.Feasible(); feasible != (err == nil) {
+			t.Fatalf("Feasible()=%v but Solve err=%v", feasible, err)
+		}
+		var sv IntSolver
+		if got := sv.Feasible(s); got != (err == nil) {
+			t.Fatalf("IntSolver.Feasible=%v but Solve err=%v", got, err)
+		}
+		if err != nil {
+			return
+		}
+		if len(x) != s.N() {
+			t.Fatalf("solution length %d, want %d", len(x), s.N())
+		}
+		if !s.Check(x) {
+			t.Fatalf("assignment %v violates a constraint", x)
+		}
+		y, err2 := sv.SolveInto(nil, s)
+		if err2 != nil {
+			t.Fatalf("IntSolver.SolveInto failed on a feasible system: %v", err2)
+		}
+		if !s.Check(y) {
+			t.Fatalf("solver assignment %v violates a constraint", y)
+		}
+	})
+}

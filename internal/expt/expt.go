@@ -228,42 +228,66 @@ type Row struct {
 
 // RunRow executes the full flow + yield measurement for one target.
 func RunRow(b *Bench, target Target, rc RowConfig) (Row, error) {
-	rc.fill()
-	T := b.PeriodFor(target)
-	start := time.Now()
-	res, err := insertion.Run(b.Graph, b.Placement, insertion.Config{
-		T:          T,
-		Samples:    rc.InsertSamples,
-		Seed:       rc.Seed,
-		MaxBuffers: rc.MaxBuffers,
-		Workers:    rc.Workers,
-	})
-	if err != nil {
-		return Row{}, fmt.Errorf("expt: insertion on %s@%v: %w", b.Name, target, err)
-	}
-	elapsed := time.Since(start)
-	ev, err := yield.NewEvaluator(b.Graph, res.Cfg.Spec, res.Groups)
+	rows, err := RunRows(b, []Target{target}, rc)
 	if err != nil {
 		return Row{}, err
 	}
+	return rows[0], nil
+}
+
+// RunRows executes the flow for several period targets and then measures
+// every row's yield in one shared evaluation pass: all rows draw their
+// fresh chips from the same universe (Seed+0x1000), so the pass realizes
+// each chip exactly once and hands it to every row's evaluator. Reported
+// yields are byte-identical to running the rows separately; only the
+// repeated realization cost is gone.
+func RunRows(b *Bench, targets []Target, rc RowConfig) ([]Row, error) {
+	rc.fill()
+	rows := make([]Row, len(targets))
+	sweeps := make([]*yield.SweepEvaluator, len(targets))
+	for i, target := range targets {
+		T := b.PeriodFor(target)
+		start := time.Now()
+		res, err := insertion.Run(b.Graph, b.Placement, insertion.Config{
+			T:          T,
+			Samples:    rc.InsertSamples,
+			Seed:       rc.Seed,
+			MaxBuffers: rc.MaxBuffers,
+			Workers:    rc.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expt: insertion on %s@%v: %w", b.Name, target, err)
+		}
+		elapsed := time.Since(start)
+		ev, err := yield.NewEvaluator(b.Graph, res.Cfg.Spec, res.Groups)
+		if err != nil {
+			return nil, err
+		}
+		if sweeps[i], err = yield.NewSweepEvaluator(ev, []float64{T}); err != nil {
+			return nil, err
+		}
+		rows[i] = Row{
+			Circuit: b.Name,
+			NS:      b.Graph.NS,
+			NG:      b.Circuit.NumGates(),
+			Target:  target,
+			T:       T,
+			Nb:      res.NumPhysicalBuffers(),
+			Ab:      res.AvgRangeSteps(),
+			Runtime: elapsed,
+			Insert:  res,
+		}
+	}
 	eng := mc.New(b.Graph, rc.Seed+0x1000)
 	eng.Workers = rc.Workers
-	rep := yield.Evaluate(ev, eng, rc.EvalSamples, T)
-	return Row{
-		Circuit:  b.Name,
-		NS:       b.Graph.NS,
-		NG:       b.Circuit.NumGates(),
-		Target:   target,
-		T:        T,
-		Nb:       res.NumPhysicalBuffers(),
-		Ab:       res.AvgRangeSteps(),
-		Yo:       rep.Original.Percent(),
-		Y:        rep.Tuned.Percent(),
-		Yi:       rep.Improvement(),
-		Runtime:  elapsed,
-		Insert:   res,
-		YieldRep: rep,
-	}, nil
+	for i, srep := range yield.EvaluateMany(eng, rc.EvalSamples, sweeps...) {
+		rep := srep.At(0)
+		rows[i].Yo = rep.Original.Percent()
+		rows[i].Y = rep.Tuned.Percent()
+		rows[i].Yi = rep.Improvement()
+		rows[i].YieldRep = rep
+	}
+	return rows, nil
 }
 
 // Fig4Node is one node of the pruning illustration: an FF with its step-1

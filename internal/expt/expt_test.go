@@ -114,6 +114,39 @@ func TestRunRow(t *testing.T) {
 	}
 }
 
+// TestRunRowsSharedEvalMatchesRunRow: batching every target's yield
+// measurement into one realization pass reports the same numbers as the
+// row-at-a-time path.
+func TestRunRowsSharedEvalMatchesRunRow(t *testing.T) {
+	b := smallBench(t)
+	rc := RowConfig{InsertSamples: 150, EvalSamples: 600, Seed: 3}
+	rows, err := RunRows(b, Targets, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Targets) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, tgt := range Targets {
+		solo, err := RunRow(b, tgt, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := rows[i], solo
+		if got.Yo != want.Yo || got.Y != want.Y || got.Yi != want.Yi ||
+			got.Nb != want.Nb || got.Ab != want.Ab || got.T != want.T ||
+			got.YieldRep != want.YieldRep {
+			t.Fatalf("target %v: shared-pass row %+v != solo row %+v", tgt, got, want)
+		}
+	}
+	// Yields must not decrease across the µT, µT+σ, µT+2σ targets.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Yo < rows[i-1].Yo {
+			t.Fatalf("Yo not monotone across targets: %v", rows)
+		}
+	}
+}
+
 func TestRegionAssigner(t *testing.T) {
 	c, _ := gen.Generate(gen.Config{NumFFs: 40, NumGates: 200, Seed: 4})
 	regions := 4

@@ -26,9 +26,18 @@ func Run(g *timing.Graph, pl *placement.Placement, cfg Config) (*Result, error) 
 	res.Stats.Samples = cfg.Samples
 	eng := mc.New(g, cfg.Seed)
 	eng.Workers = cfg.Workers
+	eng.OnRealize = cfg.onRealize
+	// The step-1/step-2 passes iterate the same (Seed, k) sample stream, so
+	// when the realized population fits the configured budget it is
+	// materialized once and every pass replays the cache — byte-identical
+	// results, one realization per chip for the whole flow.
+	var src mc.Source = eng
+	if cfg.ChipCacheMB > 0 && eng.PopulationBytes(cfg.Samples) <= int64(cfg.ChipCacheMB)<<20 {
+		src = eng.Materialize(cfg.Samples)
+	}
 
 	// ---------- Step 1: floating lower bounds (§III-A1, III-A3) ----------
-	s1 := runPass(g, eng, cfg, modeFloating, nil, nil, nil)
+	s1 := runPass(g, src, cfg, modeFloating, nil, nil, nil)
 	res.Stats.InfeasibleStep1 = s1.infeasible
 	res.Stats.SelfLoopFailures = s1.selfLoop
 	res.Stats.ZeroViolation = s1.zeroViolation
@@ -85,7 +94,7 @@ func Run(g *timing.Graph, pl *placement.Placement, cfg Config) (*Result, error) 
 	if res.Stats.SkippedB1 {
 		avgSource = s1.values
 	} else {
-		b1 := runPass(g, eng, cfg, modeFixed, allowed, lower, nil)
+		b1 := runPass(g, src, cfg, modeFixed, allowed, lower, nil)
 		avgSource = b1.values
 	}
 	center := make([]float64, g.NS)
@@ -104,7 +113,7 @@ func Run(g *timing.Graph, pl *placement.Placement, cfg Config) (*Result, error) 
 			center[ff] = lower[ff] + k*step
 		}
 	}
-	s2 := runPass(g, eng, cfg, modeFixed, allowed, lower, center)
+	s2 := runPass(g, src, cfg, modeFixed, allowed, lower, center)
 	res.Stats.InfeasibleStep2 = s2.infeasible + s2.selfLoop
 	res.Stats.ValuesStep2 = s2.values
 
@@ -177,12 +186,12 @@ type passResult struct {
 // results land in arrays indexed by the sample id (each written exactly
 // once, so no locking) and are reduced sequentially afterward — the
 // aggregate statistics are bit-identical regardless of worker scheduling.
-func runPass(g *timing.Graph, eng *mc.Engine, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *passResult {
+func runPass(g *timing.Graph, src mc.Source, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *passResult {
 	raw := make([]sampleOutcome, cfg.Samples)
 	var solverPool = sync.Pool{New: func() any {
 		return newSampleSolver(g, cfg, mode, allowed, lower, center)
 	}}
-	eng.ForEach(cfg.Samples, func(k int, ch *timing.Chip) {
+	src.ForEachBatch(cfg.Samples, func(k int, ch *timing.Chip) {
 		sv := solverPool.Get().(*sampleSolver)
 		out := sv.solve(ch)
 		if len(out.tuned) > 0 {

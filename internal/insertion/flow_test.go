@@ -2,6 +2,8 @@ package insertion
 
 import (
 	"math"
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cells"
@@ -32,6 +34,71 @@ func buildBench(t *testing.T, ffs, gates int, seed uint64) (*timing.Graph, float
 	ps := eng.PeriodDistribution(1500)
 	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
 	return g, ps.Mu, pl
+}
+
+// TestChipCacheByteIdentical: materializing the sample stream once and
+// replaying it through the step-1/step-2 passes must not change a single
+// output of the flow.
+func TestChipCacheByteIdentical(t *testing.T) {
+	g, T, pl := buildBench(t, 25, 120, 31)
+	run := func(cacheMB int) *Result {
+		res, err := Run(g, pl, Config{T: T, Samples: 200, Seed: 9, ChipCacheMB: cacheMB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cached, uncached := run(256), run(-1)
+	if !reflect.DeepEqual(cached.Buffers, uncached.Buffers) {
+		t.Fatalf("buffers differ:\ncached:   %+v\nuncached: %+v", cached.Buffers, uncached.Buffers)
+	}
+	if !reflect.DeepEqual(cached.Groups, uncached.Groups) {
+		t.Fatalf("groups differ:\ncached:   %+v\nuncached: %+v", cached.Groups, uncached.Groups)
+	}
+	if !reflect.DeepEqual(cached.Stats, uncached.Stats) {
+		t.Fatalf("stats differ:\ncached:   %+v\nuncached: %+v", cached.Stats, uncached.Stats)
+	}
+}
+
+// TestRunSharesRealizationAcrossPasses: with the chip cache active the
+// whole flow realizes each sample exactly once; disabled, every pass pays
+// its own realization of the same stream.
+func TestRunSharesRealizationAcrossPasses(t *testing.T) {
+	g, T, pl := buildBench(t, 25, 120, 31)
+	count := func(cacheMB int) int64 {
+		var realized atomic.Int64
+		cfg := Config{T: T, Samples: 200, Seed: 9, ChipCacheMB: cacheMB,
+			onRealize: func(k int) { realized.Add(1) }}
+		if _, err := Run(g, pl, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return realized.Load()
+	}
+	if got := count(256); got != 200 {
+		t.Fatalf("cached flow realized %d chips, want exactly 200", got)
+	}
+	if got := count(-1); got < 2*200 {
+		t.Fatalf("uncached flow realized %d chips; expected at least two full passes", got)
+	}
+}
+
+// TestChipCacheBudget: a budget smaller than the population falls back to
+// per-pass realization (still correct, just uncached).
+func TestChipCacheBudget(t *testing.T) {
+	g, T, pl := buildBench(t, 25, 120, 31)
+	const samples = 900
+	if mc.New(g, 9).PopulationBytes(samples) <= 1<<20 {
+		t.Fatal("fixture too small: population must exceed the 1 MiB budget")
+	}
+	var realized atomic.Int64
+	cfg := Config{T: T, Samples: samples, Seed: 9, ChipCacheMB: 1,
+		onRealize: func(k int) { realized.Add(1) }}
+	if _, err := Run(g, pl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if realized.Load() < 2*samples {
+		t.Fatalf("over-budget cache should fall back to per-pass realization; realized %d", realized.Load())
+	}
 }
 
 func TestSpecAndConfig(t *testing.T) {

@@ -87,6 +87,12 @@ type Config struct {
 	MaxComponent int
 	// Workers bounds sampling parallelism (0 = GOMAXPROCS).
 	Workers int
+	// ChipCacheMB caps the memory spent caching realized chips so the
+	// step-1/step-2 passes — which iterate the same (Seed, k) sample
+	// stream — realize each chip once instead of once per pass
+	// (0 = default 256 MiB, negative = never cache). Caching never changes
+	// results: chip k is deterministic in (Seed, k) either way.
+	ChipCacheMB int
 
 	// Ablation switches (all false = the paper's flow).
 
@@ -99,6 +105,10 @@ type Config struct {
 	NoPruning bool
 	// NoGrouping skips §III-C: every buffer stays physical.
 	NoGrouping bool
+
+	// onRealize forwards to mc.Engine.OnRealize — a test hook for asserting
+	// how many chip realizations a flow run performs.
+	onRealize func(k int)
 }
 
 func (cfg *Config) fill() error {
@@ -132,6 +142,9 @@ func (cfg *Config) fill() error {
 	}
 	if cfg.MaxComponent <= 0 {
 		cfg.MaxComponent = 64
+	}
+	if cfg.ChipCacheMB == 0 {
+		cfg.ChipCacheMB = 256
 	}
 	return nil
 }

@@ -30,6 +30,19 @@ type Engine struct {
 	// reduces the variance of population estimates at the same sample
 	// count — a classic Monte Carlo variance-reduction technique.
 	Antithetic bool
+	// OnRealize, when set, is called once per chip realization, possibly
+	// concurrently from worker goroutines. It is a diagnostic hook: tests
+	// use it to assert how many times a pass materializes chips (batched
+	// evaluation must realize each chip exactly once per pass).
+	OnRealize func(k int)
+}
+
+// Source streams a deterministic chip universe to one or more consumers.
+// Engine realizes chips on the fly; Population replays a realized cache.
+// Each consumer fn must not retain ch and is called exactly once per
+// (sample, consumer), concurrently across samples.
+type Source interface {
+	ForEachBatch(n int, fns ...func(k int, ch *timing.Chip))
 }
 
 // New creates an engine.
@@ -80,14 +93,54 @@ const chunk = 64
 // ForEach runs fn for samples 0..n-1 in parallel. Each worker owns one
 // reusable chip buffer; fn must not retain ch. fn is called exactly once
 // per sample, in arbitrary order, concurrently.
+func (e *Engine) ForEach(n int, fn func(k int, ch *timing.Chip)) {
+	e.ForEachBatch(n, fn)
+}
+
+// ForEachBatch runs a multi-consumer pass over samples 0..n-1 in parallel:
+// each chip is realized exactly once and handed to every fn in argument
+// order before the worker moves on. This is how multiple evaluation
+// consumers (the original-yield check, the paper's strategy, the baseline
+// strategies) share one sample stream instead of re-realizing the same
+// population per query.
 //
 // Work is handed out lock-free in chunks of contiguous sample indices via a
 // single atomic counter, and each worker re-seeds one owned PCG per sample
 // instead of allocating a generator — so the steady-state sampling loop
 // performs no locking and no heap allocations. Chip k remains deterministic
 // in (Seed, k) regardless of worker count or scheduling.
-func (e *Engine) ForEach(n int, fn func(k int, ch *timing.Chip)) {
-	workers := e.Workers
+func (e *Engine) ForEachBatch(n int, fns ...func(k int, ch *timing.Chip)) {
+	if len(fns) == 0 {
+		return
+	}
+	forEachChunked(n, e.Workers, func() func(k int) {
+		ch := e.G.NewChip()
+		src := rand.NewPCG(0, 0)
+		rng := rand.New(src)
+		neg := negSource{rng}
+		return func(k int) {
+			s1, s2, flip := e.streamParams(k)
+			src.Seed(s1, s2)
+			var ns timing.NormSource = rng
+			if flip {
+				ns = neg
+			}
+			e.G.RealizeInto(ns, ch)
+			if e.OnRealize != nil {
+				e.OnRealize(k)
+			}
+			for _, fn := range fns {
+				fn(k, ch)
+			}
+		}
+	})
+}
+
+// forEachChunked is the work distributor shared by Engine and Population:
+// samples 0..n-1 are claimed lock-free in chunks of contiguous indices via
+// one atomic counter. Each worker goroutine calls newWorker once for its
+// per-worker state and then runs the returned body per sample.
+func forEachChunked(n, workers int, newWorker func() func(k int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -103,10 +156,7 @@ func (e *Engine) ForEach(n int, fn func(k int, ch *timing.Chip)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ch := e.G.NewChip()
-			src := rand.NewPCG(0, 0)
-			rng := rand.New(src)
-			neg := negSource{rng}
+			body := newWorker()
 			for {
 				start := int(next.Add(chunk)) - chunk
 				if start >= n {
@@ -114,19 +164,81 @@ func (e *Engine) ForEach(n int, fn func(k int, ch *timing.Chip)) {
 				}
 				end := min(start+chunk, n)
 				for k := start; k < end; k++ {
-					s1, s2, flip := e.streamParams(k)
-					src.Seed(s1, s2)
-					var ns timing.NormSource = rng
-					if flip {
-						ns = neg
-					}
-					e.G.RealizeInto(ns, ch)
-					fn(k, ch)
+					body(k)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// PopulationBytes estimates the memory Materialize(n) would retain: the
+// four realized vectors of every chip.
+func (e *Engine) PopulationBytes(n int) int64 {
+	return int64(n) * int64(2*len(e.G.Pairs)+2*e.G.NS) * 8
+}
+
+// Population is a materialized sample universe: chips realized once and
+// retained for multi-pass workloads whose budget fits in memory (the
+// insertion flow's step-1/step-2 passes iterate the same (Seed, k) stream
+// two or three times). Replaying the cache is byte-identical to
+// re-realizing — chip k is deterministic in (Seed, k) either way — it just
+// skips the per-pass realization cost.
+type Population struct {
+	workers int
+	chips   []timing.Chip
+}
+
+// Materialize realizes chips 0..n-1 in parallel and retains them. The
+// realized vectors live in four flat slabs (one per field) so replay walks
+// memory contiguously.
+func (e *Engine) Materialize(n int) *Population {
+	np, ns := len(e.G.Pairs), e.G.NS
+	dmax := make([]float64, n*np)
+	dmin := make([]float64, n*np)
+	setup := make([]float64, n*ns)
+	hold := make([]float64, n*ns)
+	p := &Population{workers: e.Workers, chips: make([]timing.Chip, n)}
+	for k := 0; k < n; k++ {
+		p.chips[k] = timing.Chip{
+			DMax:  dmax[k*np : (k+1)*np : (k+1)*np],
+			DMin:  dmin[k*np : (k+1)*np : (k+1)*np],
+			Setup: setup[k*ns : (k+1)*ns : (k+1)*ns],
+			Hold:  hold[k*ns : (k+1)*ns : (k+1)*ns],
+		}
+	}
+	e.ForEach(n, func(k int, ch *timing.Chip) {
+		copy(p.chips[k].DMax, ch.DMax)
+		copy(p.chips[k].DMin, ch.DMin)
+		copy(p.chips[k].Setup, ch.Setup)
+		copy(p.chips[k].Hold, ch.Hold)
+	})
+	return p
+}
+
+// N returns the number of materialized chips.
+func (p *Population) N() int { return len(p.chips) }
+
+// Chip returns materialized chip k (aliased; do not modify).
+func (p *Population) Chip(k int) *timing.Chip { return &p.chips[k] }
+
+// ForEachBatch replays the cached chips through every fn, with the same
+// contract and chunked parallel distribution as Engine.ForEachBatch.
+// n must not exceed N().
+func (p *Population) ForEachBatch(n int, fns ...func(k int, ch *timing.Chip)) {
+	if n > len(p.chips) {
+		panic("mc: population smaller than requested sample count")
+	}
+	if len(fns) == 0 {
+		return
+	}
+	forEachChunked(n, p.workers, func() func(k int) {
+		return func(k int) {
+			for _, fn := range fns {
+				fn(k, &p.chips[k])
+			}
+		}
+	})
 }
 
 // PeriodStats is the clock-period distribution of the unmodified circuit.

@@ -152,6 +152,104 @@ func TestYieldType(t *testing.T) {
 	}
 }
 
+func TestForEachBatchRealizesOncePerChip(t *testing.T) {
+	// The batched pass must realize each chip exactly once and hand the
+	// same realization to every consumer.
+	e := buildEngine(t, 15, 80, 21)
+	n := 300
+	var realized atomic.Int64
+	e.OnRealize = func(k int) { realized.Add(1) }
+	sig1 := make([]float64, n)
+	sig2 := make([]float64, n)
+	calls1 := make([]int32, n)
+	calls2 := make([]int32, n)
+	e.ForEachBatch(n,
+		func(k int, ch *timing.Chip) {
+			sig1[k] = ch.DMax[0] + ch.Setup[0]
+			atomic.AddInt32(&calls1[k], 1)
+		},
+		func(k int, ch *timing.Chip) {
+			sig2[k] = ch.DMax[0] + ch.Setup[0]
+			atomic.AddInt32(&calls2[k], 1)
+		})
+	if got := realized.Load(); got != int64(n) {
+		t.Fatalf("realized %d chips for an n=%d batch pass", got, n)
+	}
+	for k := 0; k < n; k++ {
+		if calls1[k] != 1 || calls2[k] != 1 {
+			t.Fatalf("chip %d: consumer calls %d/%d, want 1/1", k, calls1[k], calls2[k])
+		}
+		if sig1[k] != sig2[k] {
+			t.Fatalf("chip %d: consumers saw different realizations", k)
+		}
+	}
+	// Zero consumers: no work, no realizations.
+	realized.Store(0)
+	e.ForEachBatch(n)
+	if realized.Load() != 0 {
+		t.Fatal("a pass with no consumers must not realize chips")
+	}
+}
+
+func TestAntitheticDeviatesExactNegation(t *testing.T) {
+	// Chip 2k+1 must consume the exact negation of chip 2k's deviate
+	// stream — not merely a mirrored summary statistic.
+	e := buildEngine(t, 10, 40, 22)
+	e.Antithetic = true
+	for _, pair := range []int{0, 1, 7} {
+		even := e.rngFor(2 * pair)
+		odd := e.rngFor(2*pair + 1)
+		for i := 0; i < 200; i++ {
+			a, b := even.NormFloat64(), odd.NormFloat64()
+			if b != -a {
+				t.Fatalf("pair %d deviate %d: %v is not the exact negation of %v", pair, i, b, a)
+			}
+		}
+	}
+}
+
+func TestPopulationMatchesEngine(t *testing.T) {
+	e := buildEngine(t, 20, 100, 23)
+	n := 150
+	pop := e.Materialize(n)
+	if pop.N() != n {
+		t.Fatalf("N = %d", pop.N())
+	}
+	// Cached chips are byte-identical to on-the-fly realization.
+	for _, k := range []int{0, 1, 63, 64, n - 1} {
+		direct := e.Chip(k)
+		got := pop.Chip(k)
+		for p := range direct.DMax {
+			if got.DMax[p] != direct.DMax[p] || got.DMin[p] != direct.DMin[p] {
+				t.Fatalf("chip %d differs from engine at pair %d", k, p)
+			}
+		}
+		for f := range direct.Setup {
+			if got.Setup[f] != direct.Setup[f] || got.Hold[f] != direct.Hold[f] {
+				t.Fatalf("chip %d differs from engine at FF %d", k, f)
+			}
+		}
+	}
+	// Replay covers every sample once, for full and partial n.
+	for _, m := range []int{n, 70} {
+		seen := make([]int32, m)
+		pop.ForEachBatch(m, func(k int, ch *timing.Chip) {
+			atomic.AddInt32(&seen[k], 1)
+		})
+		for k, c := range seen {
+			if c != 1 {
+				t.Fatalf("replay(%d): sample %d seen %d times", m, k, c)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("replaying beyond the materialized count must panic")
+		}
+	}()
+	pop.ForEachBatch(n+1, func(k int, ch *timing.Chip) {})
+}
+
 func TestAntitheticPairsMirror(t *testing.T) {
 	e := buildEngine(t, 15, 80, 8)
 	e.Antithetic = true

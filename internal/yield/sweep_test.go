@@ -1,0 +1,202 @@
+package yield
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/timing"
+)
+
+// sweepFixture builds a bench, runs the insertion flow, and returns the
+// evaluator, its groups, and a 10-point period sweep spanning the yield
+// curve.
+func sweepFixture(t *testing.T) (*Evaluator, *timing.Graph, []float64, []insertion.Group) {
+	t.Helper()
+	g, ps, pl := buildBench(t, 30, 160, 121)
+	res, err := insertion.Run(g, pl, insertion.Config{T: ps.Mu, Samples: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(g, res.Cfg.Spec, res.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Ts := make([]float64, 10)
+	for i := range Ts {
+		Ts[i] = ps.Mu + (float64(i)-3)*0.5*ps.Sigma
+	}
+	return ev, g, Ts, res.Groups
+}
+
+// TestSweepMatchesPerPeriodEvaluate is the core equivalence claim: a sweep
+// report is byte-identical to running today's per-period Evaluate at every
+// sweep point on the same sample universe.
+func TestSweepMatchesPerPeriodEvaluate(t *testing.T) {
+	ev, g, Ts, _ := sweepFixture(t)
+	const n, seed = 1200, 909
+	rep, err := EvaluateSweep(ev, mc.New(g, seed), n, Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, T := range Ts {
+		want := Evaluate(ev, mc.New(g, seed), n, T)
+		got := rep.At(i)
+		if got != want {
+			t.Fatalf("sweep point %d (T=%v): %+v != per-period %+v", i, T, got, want)
+		}
+	}
+}
+
+// TestSweepMonotoneInT: both yield curves are nondecreasing in the period.
+func TestSweepMonotoneInT(t *testing.T) {
+	ev, g, Ts, _ := sweepFixture(t)
+	rep, err := EvaluateSweep(ev, mc.New(g, 910), 800, Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(Ts); i++ {
+		if rep.Original[i].Pass < rep.Original[i-1].Pass {
+			t.Fatalf("Yo not monotone at %d: %d < %d", i, rep.Original[i].Pass, rep.Original[i-1].Pass)
+		}
+		if rep.Tuned[i].Pass < rep.Tuned[i-1].Pass {
+			t.Fatalf("Y not monotone at %d: %d < %d", i, rep.Tuned[i].Pass, rep.Tuned[i-1].Pass)
+		}
+		if rep.Tuned[i].Pass < rep.Original[i].Pass {
+			t.Fatalf("tuned yield below original at %d", i)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers: Evaluate and the sweep produce
+// byte-identical reports for Workers ∈ {1, 2, 8}, with and without
+// antithetic pairing.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	ev, g, Ts, _ := sweepFixture(t)
+	for _, anti := range []bool{false, true} {
+		mkEng := func(workers int) *mc.Engine {
+			e := mc.New(g, 911)
+			e.Workers = workers
+			e.Antithetic = anti
+			return e
+		}
+		refSweep, err := EvaluateSweep(ev, mkEng(1), 600, Ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refEval := Evaluate(ev, mkEng(1), 600, Ts[4])
+		for _, workers := range []int{2, 8} {
+			rep, err := EvaluateSweep(ev, mkEng(workers), 600, Ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range Ts {
+				if rep.At(i) != refSweep.At(i) {
+					t.Fatalf("anti=%v workers=%d: sweep point %d differs", anti, workers, i)
+				}
+			}
+			if got := Evaluate(ev, mkEng(workers), 600, Ts[4]); got != refEval {
+				t.Fatalf("anti=%v workers=%d: Evaluate %+v != %+v", anti, workers, got, refEval)
+			}
+		}
+	}
+}
+
+// TestEvaluateManyRealizesEachChipOnce pins the acceptance criterion: a
+// multi-period, multi-strategy evaluation realizes each chip exactly once,
+// and its reports match independent single-strategy passes.
+func TestEvaluateManyRealizesEachChipOnce(t *testing.T) {
+	ev, g, Ts, groups := sweepFixture(t)
+	var evs []*Evaluator
+	var sweeps []*SweepEvaluator
+	for _, st := range baseline.Strategies(g, ev.Spec, Ts[len(Ts)-1], groups, 5) {
+		sev, err := NewEvaluator(g, ev.Spec, st.Groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssw, err := NewSweepEvaluator(sev, Ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, sev)
+		sweeps = append(sweeps, ssw)
+	}
+	const n, seed = 500, 912
+	eng := mc.New(g, seed)
+	var realized atomic.Int64
+	eng.OnRealize = func(k int) { realized.Add(1) }
+	reps := EvaluateMany(eng, n, sweeps...)
+	if got := realized.Load(); got != n {
+		t.Fatalf("batched pass realized %d chips; want exactly %d (%d strategies × %d periods share one stream)",
+			got, n, len(sweeps), len(Ts))
+	}
+	for si, sev := range evs {
+		solo, err := EvaluateSweep(sev, mc.New(g, seed), n, Ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range Ts {
+			if reps[si].At(i) != solo.At(i) {
+				t.Fatalf("strategy %d point %d: batched %+v != solo %+v", si, i, reps[si].At(i), solo.At(i))
+			}
+		}
+	}
+}
+
+// TestChipSweepWarmZeroAllocs: the warm per-chip sweep must not allocate —
+// it is the steady state of every batched evaluation pass.
+func TestChipSweepWarmZeroAllocs(t *testing.T) {
+	ev, g, Ts, _ := sweepFixture(t)
+	sw, err := NewSweepEvaluator(ev, Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sw.NewScratch()
+	eng := mc.New(g, 913)
+	chips := []*timing.Chip{eng.Chip(0), eng.Chip(1), eng.Chip(2), eng.Chip(3)}
+	for _, ch := range chips { // warm the scratch
+		sw.ChipSweep(ch, sc)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		sw.ChipSweep(chips[i%len(chips)], sc)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ChipSweep allocates %v times per run", allocs)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	ev, _, Ts, _ := sweepFixture(t)
+	if _, err := NewSweepEvaluator(ev, nil); err == nil {
+		t.Fatal("empty sweep must fail")
+	}
+	if _, err := NewSweepEvaluator(ev, []float64{Ts[1], Ts[0]}); err == nil {
+		t.Fatal("unsorted sweep must fail")
+	}
+	if _, err := NewSweepEvaluator(ev, []float64{Ts[0]}); err != nil {
+		t.Fatalf("single-point sweep: %v", err)
+	}
+}
+
+// TestSweepNoBuffers: with no groups the tuned curve equals the original.
+func TestSweepNoBuffers(t *testing.T) {
+	g, ps, _ := buildBench(t, 15, 70, 123)
+	ev, err := NewEvaluator(g, insertion.DefaultSpec(ps.Mu), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Ts := []float64{ps.Mu - ps.Sigma, ps.Mu, ps.Mu + ps.Sigma}
+	rep, err := EvaluateSweep(ev, mc.New(g, 914), 400, Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range Ts {
+		if rep.Tuned[i] != rep.Original[i] {
+			t.Fatalf("no buffers: Y must equal Yo at point %d", i)
+		}
+	}
+}

@@ -73,9 +73,18 @@ func (e *Evaluator) NumVars() int { return len(e.kLo) }
 // The boolean result is false when a constraint is unsatisfiable outright
 // (no system needed).
 func (e *Evaluator) system(ch *timing.Chip, T float64) (*diffcon.IntSystem, bool) {
+	sys := diffcon.NewIntSystem(len(e.kLo))
+	if !e.fillSystem(sys, ch, T) {
+		return nil, false
+	}
+	return sys, true
+}
+
+// fillSystem populates sys (already sized to NumVars) with the chip's
+// system at period T; false means a constraint is unsatisfiable outright.
+func (e *Evaluator) fillSystem(sys *diffcon.IntSystem, ch *timing.Chip, T float64) bool {
 	g := e.G
 	step := e.Spec.Step()
-	sys := diffcon.NewIntSystem(len(e.kLo))
 	for v := range e.kLo {
 		sys.AddUpper(v, e.kHi[v])
 		sys.AddLower(v, e.kLo[v])
@@ -89,7 +98,7 @@ func (e *Evaluator) system(ch *timing.Chip, T float64) (*diffcon.IntSystem, bool
 		switch {
 		case a == b: // both unbuffered, same group, or self-loop
 			if sB < 0 || hB < 0 {
-				return nil, false
+				return false
 			}
 		case a >= 0 && b >= 0:
 			sys.Add(a, b, diffcon.GridBound(sB, step))
@@ -102,7 +111,7 @@ func (e *Evaluator) system(ch *timing.Chip, T float64) (*diffcon.IntSystem, bool
 			sys.AddUpper(b, diffcon.GridBound(hB, step))
 		}
 	}
-	return sys, true
+	return true
 }
 
 // ChipFeasible reports whether the chip can be rescued (or passes outright)

@@ -239,6 +239,103 @@ func TestChipFeasibleAgainstBruteForce(t *testing.T) {
 	}
 }
 
+// TestOracleFeasibleConfigureBruteForce is the oracle-grade exactness test:
+// on small generated circuits with hand-built groups (up to 4 groups, one
+// shared by two FFs, few grid steps) it enumerates every discrete buffer
+// setting per chip and asserts exact agreement with the Bellman-Ford
+// answer, and that Configure succeeds exactly when a setting exists and
+// returns a legal one.
+func TestOracleFeasibleConfigureBruteForce(t *testing.T) {
+	for _, seed := range []uint64{201, 202, 203} {
+		g, ps, _ := buildBench(t, 10, 45, seed)
+		spec := insertion.BufferSpec{MaxRange: ps.Mu / 10, Steps: 4}
+		s := spec.Step()
+		// Four groups over six FFs; group 2 shares one physical buffer
+		// between two flip-flops (§III-C). Windows are grid-aligned, cover
+		// 0, and differ in asymmetry to exercise both bound directions.
+		groups := []insertion.Group{
+			{FFs: []int{0}, Lo: -2 * s, Hi: 2 * s},
+			{FFs: []int{1}, Lo: -4 * s, Hi: 0},
+			{FFs: []int{2, 5}, Lo: -s, Hi: 3 * s},
+			{FFs: []int{7}, Lo: 0, Hi: 4 * s},
+		}
+		ev, err := NewEvaluator(g, spec, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(ch *timing.Chip, x []float64, T float64) bool {
+			tune := ev.TuningOf(x)
+			for p := range g.Pairs {
+				pr := &g.Pairs[p]
+				if tune[pr.Launch]-tune[pr.Capture] > g.SetupBound(ch, p, T) {
+					return false
+				}
+				if tune[pr.Capture]-tune[pr.Launch] > g.HoldBound(ch, p) {
+					return false
+				}
+			}
+			return true
+		}
+		eng := mc.New(g, seed*7+1)
+		agreeFeasible, agreeConfigure := 0, 0
+		for k := 0; k < 100; k++ {
+			ch := eng.Chip(k)
+			// Stress both sides of the curve: alternate a tight and a
+			// loose period so pass and fail outcomes both occur.
+			T := ps.Mu - 0.6*ps.Sigma
+			if k%2 == 1 {
+				T = ps.Mu + 0.5*ps.Sigma
+			}
+			x := make([]float64, len(groups))
+			var rec func(gi int) bool
+			rec = func(gi int) bool {
+				if gi == len(groups) {
+					return check(ch, x, T)
+				}
+				lo := int(math.Round(groups[gi].Lo / s))
+				hi := int(math.Round(groups[gi].Hi / s))
+				for kk := lo; kk <= hi; kk++ {
+					x[gi] = float64(kk) * s
+					if rec(gi + 1) {
+						return true
+					}
+				}
+				return false
+			}
+			want := rec(0)
+			if got := ev.ChipFeasible(ch, T); got != want {
+				t.Fatalf("seed %d chip %d: ChipFeasible=%v, brute force=%v", seed, k, got, want)
+			}
+			agreeFeasible++
+			vals, err := ev.Configure(ch, T)
+			if (err == nil) != want {
+				t.Fatalf("seed %d chip %d: Configure err=%v, brute force=%v", seed, k, err, want)
+			}
+			if err != nil {
+				continue
+			}
+			agreeConfigure++
+			// The returned configuration must be on-grid, inside its
+			// window, and satisfy every constraint.
+			for gi, v := range vals {
+				if kk := v / s; math.Abs(kk-math.Round(kk)) > 1e-9 {
+					t.Fatalf("seed %d chip %d: tuning %v off grid", seed, k, v)
+				}
+				if v < groups[gi].Lo-1e-9 || v > groups[gi].Hi+1e-9 {
+					t.Fatalf("seed %d chip %d: tuning %v outside [%v,%v]", seed, k, v, groups[gi].Lo, groups[gi].Hi)
+				}
+			}
+			if !check(ch, vals, T) {
+				t.Fatalf("seed %d chip %d: Configure returned a violating assignment", seed, k)
+			}
+		}
+		if agreeConfigure == 0 || agreeConfigure == agreeFeasible {
+			t.Fatalf("seed %d: degenerate oracle coverage (%d/%d configurable) — adjust periods",
+				seed, agreeConfigure, agreeFeasible)
+		}
+	}
+}
+
 func TestReportImprovement(t *testing.T) {
 	r := Report{
 		Original: stat.Yield{Pass: 500, Total: 1000},

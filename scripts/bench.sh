@@ -11,13 +11,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date -u +%Y%m%d).json}"
-pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization}"
+pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep|YieldPerPeriod}"
 benchtime="${BENCH_TIME:-1s}"
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . |
     awk '
     /^Benchmark/ {
         name = $1; iters = $2
+        # Strip the -GOMAXPROCS suffix so files from machines with
+        # different core counts stay comparable.
+        sub(/-[0-9]+$/, "", name)
         ns = "null"; bytes = "null"; allocs = "null"
         for (i = 3; i < NF; i++) {
             if ($(i+1) == "ns/op") ns = $i

@@ -23,7 +23,26 @@ go test ./...
 
 echo "== bench smoke (substrates, 1 iteration) =="
 go test -run '^$' \
-    -bench 'LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization' \
+    -bench 'LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
     -benchtime=1x .
+
+echo "== bench gate (vs committed BENCH_*.json) =="
+# Compare a fresh benchmark run against the latest committed numbers and
+# fail on ns/op regressions beyond BENCH_GATE_NS (default 0.30 = 30 %) or
+# any allocs/op regression in the warm benchmarks. BENCH_GATE=off skips
+# entirely; machines unlike the one that produced the committed file should
+# widen BENCH_GATE_NS instead (the allocs gate stays meaningful anywhere).
+# BENCH_GATE_TIME tunes the per-benchmark time budget.
+baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n1 || true)
+if [ "${BENCH_GATE:-on}" = "off" ]; then
+    echo "skipped (BENCH_GATE=off)"
+elif [ -z "$baseline" ]; then
+    echo "no committed BENCH_*.json; skipping"
+else
+    fresh=$(mktemp)
+    trap 'rm -f "$fresh"' EXIT
+    BENCH_TIME="${BENCH_GATE_TIME:-0.3s}" scripts/bench.sh "$fresh" >/dev/null
+    go run ./cmd/benchcmp -max-ns-regress "${BENCH_GATE_NS:-0.30}" "$baseline" "$fresh"
+fi
 
 echo "CI OK"
