@@ -491,6 +491,28 @@ func BenchmarkMILPMinCountWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkSampleSolve measures one full step-1 + step-2 per-sample solve —
+// component discovery plus the min-count and concentration ILP pairs — on a
+// prepared s9234 preset, i.e. the actual unit of work the Monte Carlo loop
+// repeats ~10⁴ times per Table-I row.
+func BenchmarkSampleSolve(b *testing.B) {
+	bench := prepared(b, "s9234")
+	sb, err := insertion.NewSampleBench(bench.Graph, insertion.Config{
+		T: bench.PeriodFor(expt.MuT), Samples: 400, Seed: 0xF00D,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sb.Solve() // warm all solver scratch and pools to steady state
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Solve()
+	}
+}
+
 // BenchmarkDiffconFeasibility measures the per-chip yield check.
 func BenchmarkDiffconFeasibility(b *testing.B) {
 	sys := diffcon.NewIntSystem(20)

@@ -8,6 +8,12 @@
 //     "Warm" and benchmarks that were allocation-free in the baseline —
 //     the zero-allocation steady states DESIGN.md promises).
 //
+// Benchmarks present in only one file are informational, never fatal:
+// baseline entries missing from the new run are reported as skipped, and
+// new-run entries without a baseline are printed with their numbers — so
+// adding a benchmark lands in the same PR that regenerates BENCH_*.json
+// without a two-step gate dance.
+//
 // Usage:
 //
 //	benchcmp [-max-ns-regress 0.30] old.json new.json
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -105,6 +112,27 @@ func compare(oldSet, newSet map[string]entry, maxNs float64) int {
 				name, *o.AllocsOp, *n.AllocsOp)
 			failures++
 		}
+	}
+	// New benchmarks without a baseline: print them (they become gated once
+	// a regenerated BENCH_*.json lands), but never fail on them.
+	var added []string
+	for name := range newSet {
+		if _, ok := oldSet[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		n := newSet[name]
+		ns, allocs := "?", "?"
+		if n.NsPerOp != nil {
+			ns = fmt.Sprintf("%.1f", *n.NsPerOp)
+		}
+		if n.AllocsOp != nil {
+			allocs = fmt.Sprintf("%.0f", *n.AllocsOp)
+		}
+		fmt.Printf("%-40s new benchmark: ns/op %s, allocs/op %s (informational, no baseline)\n",
+			name, ns, allocs)
 	}
 	if compared == 0 {
 		fmt.Println("benchcmp: no common benchmarks to compare")

@@ -45,75 +45,17 @@ func Run(g *timing.Graph, pl *placement.Placement, cfg Config) (*Result, error) 
 	res.Stats.TuneCountStep1 = s1.counts
 	res.Stats.ValuesStep1 = s1.values
 
-	// ---------- Pruning (§III-A2) ----------
-	var kept, pruned []int
-	if cfg.NoPruning {
-		for ff := 0; ff < g.NS; ff++ {
-			if s1.counts[ff] > 0 {
-				kept = append(kept, ff)
-			}
-		}
-	} else {
-		kept, pruned = prune(g, s1.counts, cfg)
-	}
-	res.Stats.KeptFFs = kept
-	res.Stats.PrunedFFs = pruned
-
-	// ---------- Window assignment (§III-A4) ----------
-	lower := assignWindows(g.NS, kept, s1.values, cfg.Spec)
-
-	// ---------- Step-2 skip rule (§III-B1) ----------
-	allowed := make([]bool, g.NS)
-	for _, ff := range kept {
-		allowed[ff] = true
-	}
-	missing := 0
-	for _, tns := range s1.perSample {
-		out := false
-		for _, tn := range tns {
-			if !allowed[tn.FF] {
-				out = true
-				break
-			}
-			lo := lower[tn.FF]
-			if tn.Val < lo-1e-9 || tn.Val > lo+cfg.Spec.MaxRange+1e-9 {
-				out = true
-				break
-			}
-		}
-		if out {
-			missing++
-		}
-	}
-	res.Stats.MissingFrac = float64(missing) / float64(max(1, cfg.Samples))
-	res.Stats.SkippedB1 = res.Stats.MissingFrac < cfg.SkipRerunFrac
+	// ---------- Pruning through step-2 inputs (§III-A2 … §III-B1) ----------
+	st2 := deriveStepTwo(g, src, cfg, s1)
+	kept := st2.kept
+	lower := st2.lower
+	res.Stats.KeptFFs = st2.kept
+	res.Stats.PrunedFFs = st2.pruned
+	res.Stats.MissingFrac = st2.missingFrac
+	res.Stats.SkippedB1 = st2.skippedB1
 
 	// ---------- Step 2: fixed bounds (§III-B1, III-B2) ----------
-	// Concentration centers: average of the latest tuning values per FF.
-	var avgSource map[int][]float64
-	if res.Stats.SkippedB1 {
-		avgSource = s1.values
-	} else {
-		b1 := runPass(g, src, cfg, modeFixed, allowed, lower, nil)
-		avgSource = b1.values
-	}
-	center := make([]float64, g.NS)
-	for ff, vals := range avgSource {
-		if len(vals) > 0 && allowed[ff] {
-			sum := 0.0
-			for _, v := range vals {
-				sum += v
-			}
-			// Snap the target to the buffer's grid so concentration pulls
-			// toward an achievable value.
-			c := sum / float64(len(vals))
-			step := cfg.Spec.Step()
-			k := math.Round((c - lower[ff]) / step)
-			k = math.Max(0, math.Min(float64(cfg.Spec.Steps), k))
-			center[ff] = lower[ff] + k*step
-		}
-	}
-	s2 := runPass(g, src, cfg, modeFixed, allowed, lower, center)
+	s2 := runPass(g, src, cfg, modeFixed, st2.allowed, st2.lower, st2.center)
 	res.Stats.InfeasibleStep2 = s2.infeasible + s2.selfLoop
 	res.Stats.ValuesStep2 = s2.values
 
@@ -229,6 +171,90 @@ func runPass(g *timing.Graph, src mc.Source, cfg Config, mode solverMode, allowe
 		}
 	}
 	return pr
+}
+
+// stepTwoState is everything the fixed-window pass needs, derived from the
+// step-1 results. Shared by Run and the SampleBench benchmark hook so the
+// benchmark exercises exactly the configuration the flow would.
+type stepTwoState struct {
+	kept, pruned []int
+	allowed      []bool
+	lower        []float64
+	center       []float64
+	missingFrac  float64
+	skippedB1    bool
+}
+
+// deriveStepTwo turns a step-1 pass into the step-2 inputs: §III-A2 pruning
+// (or the NoPruning passthrough), §III-A4 window assignment, the §III-B1
+// skip rule — when too many samples tuned outside their assigned windows,
+// an intermediate fixed-window pass recomputes the tuning averages — and
+// the grid-snapped concentration centers.
+func deriveStepTwo(g *timing.Graph, src mc.Source, cfg Config, s1 *passResult) stepTwoState {
+	var st stepTwoState
+	if cfg.NoPruning {
+		for ff := 0; ff < g.NS; ff++ {
+			if s1.counts[ff] > 0 {
+				st.kept = append(st.kept, ff)
+			}
+		}
+	} else {
+		st.kept, st.pruned = prune(g, s1.counts, cfg)
+	}
+	st.lower = assignWindows(g.NS, st.kept, s1.values, cfg.Spec)
+	st.allowed = make([]bool, g.NS)
+	for _, ff := range st.kept {
+		st.allowed[ff] = true
+	}
+	missing := 0
+	for _, tns := range s1.perSample {
+		out := false
+		for _, tn := range tns {
+			if !st.allowed[tn.FF] {
+				out = true
+				break
+			}
+			lo := st.lower[tn.FF]
+			if tn.Val < lo-1e-9 || tn.Val > lo+cfg.Spec.MaxRange+1e-9 {
+				out = true
+				break
+			}
+		}
+		if out {
+			missing++
+		}
+	}
+	st.missingFrac = float64(missing) / float64(max(1, cfg.Samples))
+	st.skippedB1 = st.missingFrac < cfg.SkipRerunFrac
+	// Concentration centers: average of the latest tuning values per FF.
+	avgSource := s1.values
+	if !st.skippedB1 {
+		b1 := runPass(g, src, cfg, modeFixed, st.allowed, st.lower, nil)
+		avgSource = b1.values
+	}
+	st.center = gridCenters(g.NS, st.allowed, st.lower, avgSource, cfg.Spec)
+	return st
+}
+
+// gridCenters computes the per-FF concentration targets for step 2: the
+// average of the latest tuning values, snapped to the buffer's grid so
+// concentration pulls toward an achievable value.
+func gridCenters(ns int, allowed []bool, lower []float64, values map[int][]float64, spec BufferSpec) []float64 {
+	center := make([]float64, ns)
+	step := spec.Step()
+	for ff, vals := range values {
+		if len(vals) > 0 && allowed[ff] {
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			c := sum / float64(len(vals))
+			k := math.Round((c - lower[ff]) / step)
+			k = math.Max(0, math.Min(float64(spec.Steps), k))
+			center[ff] = lower[ff] + k*step
+		}
+	}
+	return center
 }
 
 // prune implements §III-A2: drop FFs tuned in at most PruneMax samples

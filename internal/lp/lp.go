@@ -1,18 +1,27 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs with general rows and variable bounds. It is the LP engine under
-// the branch-and-bound MILP solver (internal/milp) that stands in for the
+// Package lp implements a dense simplex solver for linear programs with
+// general rows and variable bounds. It is the LP engine under the
+// branch-and-bound MILP solver (internal/milp) that stands in for the
 // commercial ILP solver used in the paper. Problem sizes in this system are
 // small — per-sample ILPs decompose into connected components of a few dozen
 // variables — so a dense tableau with Bland anti-cycling is both simple and
 // fast enough.
 //
 // The solver is built for a hot Monte Carlo loop: it is a bounded-variable
-// simplex (upper bounds live in the ratio test as bound flips, not as extra
-// rows, which roughly halves the tableau in both dimensions for the
-// all-two-sided problems of the buffer flow), the tableau is one flat,
-// stride-indexed []float64, and all solver memory comes from a reusable
-// Workspace so a warm SolveWS performs no heap allocations (see DESIGN.md,
-// "Performance architecture").
+// simplex (bounds live in the ratio test as bound flips, not as extra rows,
+// which roughly halves the tableau in both dimensions for the all-two-sided
+// problems of the buffer flow), the tableau is one flat, stride-indexed
+// []float64, and all solver memory comes from a reusable Workspace so a warm
+// SolveWS performs no heap allocations (see DESIGN.md, "Performance
+// architecture").
+//
+// Beyond the cold two-phase primal solve (SolveWS), the workspace supports
+// warm restarts for branch-and-bound: SaveBasis snapshots the optimal basis
+// of the last solve, SolveFromBasis refactorizes that basis under new
+// variable bounds, and ResolveBound continues directly from the live tableau
+// after a single bound tightening. Both warm paths reoptimize with a
+// bounded-variable dual simplex — the restored basis stays dual feasible
+// because the objective is unchanged, so a handful of dual pivots restore
+// primal feasibility (see DESIGN.md, "Warm-started branch-and-bound").
 package lp
 
 import (
@@ -182,15 +191,40 @@ type Solution struct {
 // or an unexpectedly large problem.
 var ErrIterLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// ErrBasisMismatch reports that a Basis snapshot does not fit the problem:
+// different variable/row counts, a bound-finiteness layout the snapshot's
+// column mapping cannot express (e.g. a free variable that has since gained
+// a finite bound), or a numerically singular restore. Callers fall back to
+// the cold SolveWS.
+var ErrBasisMismatch = errors.New("lp: basis snapshot does not match problem")
+
+// ErrNotWarm reports that ResolveBound was called on a workspace that holds
+// no reusable solved state (no prior optimal solve, or the problem shape
+// changed since). Callers fall back to SolveFromBasis or SolveWS.
+var ErrNotWarm = errors.New("lp: workspace holds no reusable solve state")
+
+// ErrWarmStall reports that the dual simplex exceeded its (deliberately
+// small) warm-restart budget — a degeneracy pathology. The workspace state
+// is unspecified; callers fall back to the cold SolveWS.
+var ErrWarmStall = errors.New("lp: warm reoptimization stalled")
+
 const (
 	eps       = 1e-9
 	iterScale = 200 // iteration budget multiplier (× rows+cols)
 )
 
+// dualCap bounds warm dual-simplex pivots: a legitimate reoptimization after
+// one bound tightening takes a handful of pivots, so anything past a few
+// multiples of the tableau dimensions is a degenerate stall and the cold
+// solve is cheaper than riding it out.
+func dualCap(m, width int) int { return 4*(m+width) + 64 }
+
 // mapping describes how one structural variable expands into standard-form
 // columns: x = shift + x⁺ − x⁻ (minus = −1 when unused), or x = shift − x⁺
-// when negate is set. Standard columns are non-negative with an optional
-// finite upper bound handled implicitly by the simplex.
+// when negate is set. Standard columns carry bounds [clo, ub] handled
+// implicitly by the simplex; the cold solve always lays columns out with
+// clo = 0, warm restarts re-express tightened child bounds in the snapshot's
+// frame, where clo may be any finite value.
 type mapping struct {
 	plus, minus int
 	shift       float64
@@ -203,10 +237,15 @@ type mapping struct {
 // expansion mappings. A zero Workspace is ready to use; buffers grow on
 // demand and are retained across solves, so a warm SolveWS performs no heap
 // allocations. A Workspace is not safe for concurrent use.
+//
+// After a successful optimal solve the workspace additionally retains the
+// solved state (dimensions, factorized tableau, basis, column bounds), which
+// SaveBasis snapshots and ResolveBound continues from.
 type Workspace struct {
 	maps    []mapping
 	tab     []float64 // m × total flat tableau (basis inverse applied)
 	xB      []float64 // m: current values of the basic variables
+	clo     []float64 // total: lower bounds of standard columns (0 when cold)
 	ub      []float64 // total: upper bounds of standard columns (+Inf = none)
 	atUpper []bool    // total: non-basic column rests at its upper bound
 	inBasis []bool    // total
@@ -215,6 +254,15 @@ type Workspace struct {
 	red     []float64
 	colVal  []float64
 	x       []float64
+	rowUsed []bool // m: refactorization scratch
+
+	// Solved-state metadata for warm restarts. live reports that the fields
+	// above describe a completed optimal solve of a problem with n vars and
+	// m rows; any new solve clears it until it completes.
+	live                bool
+	n, m, stride, total int
+	ncols, artStart     int
+	constShift          float64
 }
 
 // grow returns s resized to n, reusing capacity when possible. Contents are
@@ -232,30 +280,17 @@ func (p *Problem) Solve() (Solution, error) {
 	return p.SolveWS(new(Workspace))
 }
 
-// SolveWS runs the two-phase simplex borrowing all memory from ws. The
-// problem is not modified. The returned Solution.X aliases ws and is only
-// valid until the next SolveWS call on the same workspace; callers that
-// retain it must copy.
-func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
+// layoutMaps computes the standard-form column layout for the problem's
+// current bounds and stores it in ws.maps, returning the structural column
+// count. Each structural variable x with bounds [lo, hi]:
+//
+//	finite lo: x = lo + y, y ∈ [0, hi−lo] (u = ∞ when hi = ∞)
+//	lo=−inf, hi finite: x = hi − y, y ≥ 0.
+//	free: x = y⁺ − y⁻ (two columns, both unbounded).
+func (p *Problem) layoutMaps(ws *Workspace) (ncols int) {
 	n := len(p.obj)
-	// Quick bound sanity: empty boxes are infeasible outright.
-	for j := 0; j < n; j++ {
-		if p.lo[j] > p.hi[j] {
-			return Solution{Status: Infeasible}, nil
-		}
-	}
-
-	// --- Normalize to standard form: columns y ∈ [0, u] ---
-	// Each structural variable x with bounds [lo, hi]:
-	//   finite lo: x = lo + y, y ∈ [0, hi−lo] (u = ∞ when hi = ∞)
-	//   lo=−inf, hi finite: x = hi − y, y ≥ 0.
-	//   free: x = y⁺ − y⁻ (two columns, both unbounded).
 	ws.maps = grow(ws.maps, n)
 	maps := ws.maps
-	m := len(p.rows)
-	// Upper-bound slots are assigned after slack/artificial counting; first
-	// pass only lays out columns.
-	ncols := 0
 	for j := 0; j < n; j++ {
 		lo, hi := p.lo[j], p.hi[j]
 		switch {
@@ -270,26 +305,28 @@ func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 			ncols += 2
 		}
 	}
+	return ncols
+}
+
+// buildRaw assembles the standard-form tableau for the layout in ws.maps:
+// structural terms mapped through the column expansion, slack columns,
+// per-row sign normalization (rhs ≥ 0), and the artificial identity block.
+// The raw right-hand sides land in ws.xB and each row's artificial starts
+// basic. Both the cold solve and basis restoration build through here, so
+// the sign-flip pattern — which depends only on the rows and the mapping
+// shifts — reproduces bit-for-bit from a snapshot's mapping.
+func (p *Problem) buildRaw(ws *Workspace, ncols int) (m, stride, total, artStart int) {
+	maps := ws.maps
+	m = len(p.rows)
 	nslack := 0
 	for i := range p.rows {
 		if p.rows[i].rel != EQ {
 			nslack++
 		}
 	}
-	total := ncols + nslack + m // structural' + slacks + artificials
-	stride := total
-
-	ws.ub = grow(ws.ub, total)
-	ub := ws.ub
-	for j := range ub {
-		ub[j] = Inf
-	}
-	for j := 0; j < n; j++ {
-		lo, hi := p.lo[j], p.hi[j]
-		if !math.IsInf(lo, -1) && !math.IsInf(hi, 1) {
-			ub[maps[j].plus] = hi - lo
-		}
-	}
+	total = ncols + nslack + m // structural' + slacks + artificials
+	stride = total
+	artStart = ncols + nslack
 
 	ws.tab = grow(ws.tab, m*stride)
 	clear(ws.tab)
@@ -298,7 +335,6 @@ func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 	xB := ws.xB
 	ws.basis = grow(ws.basis, m)
 	basis := ws.basis
-	artStart := ncols + nslack
 	slackIdx := ncols
 	for i := range p.rows {
 		r := &p.rows[i]
@@ -338,12 +374,117 @@ func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 		basis[i] = artStart + i
 		xB[i] = rhs
 	}
+	return m, stride, total, artStart
+}
 
+// setPhase2Cost loads the original objective over the standard columns into
+// ws.cost and returns the constant shift contributed by the mappings.
+func (p *Problem) setPhase2Cost(ws *Workspace, total int) float64 {
+	cost := ws.cost
+	clear(cost)
+	constShift := 0.0
+	for j := 0; j < len(p.obj); j++ {
+		c := p.obj[j]
+		if c == 0 {
+			continue
+		}
+		mp := &ws.maps[j]
+		constShift += c * mp.shift
+		if mp.negate {
+			cost[mp.plus] -= c
+		} else {
+			cost[mp.plus] += c
+			if mp.minus >= 0 {
+				cost[mp.minus] -= c
+			}
+		}
+	}
+	return constShift
+}
+
+// recoverX translates the simplex state back to structural-variable values:
+// basic columns from xB, non-basic columns from the bound they rest at.
+func (ws *Workspace) recoverX(m, stride, total, n int) []float64 {
+	ws.colVal = grow(ws.colVal, total)
+	colVal := ws.colVal
+	for j := 0; j < total; j++ {
+		if ws.atUpper[j] && !ws.inBasis[j] {
+			colVal[j] = ws.ub[j]
+		} else {
+			colVal[j] = ws.clo[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		colVal[ws.basis[i]] = ws.xB[i]
+	}
+	ws.x = grow(ws.x, n)
+	x := ws.x
+	for j := 0; j < n; j++ {
+		mp := &ws.maps[j]
+		v := colVal[mp.plus]
+		if mp.minus >= 0 {
+			v -= colVal[mp.minus]
+		}
+		if mp.negate {
+			x[j] = mp.shift - v
+		} else {
+			x[j] = mp.shift + v
+		}
+	}
+	return x
+}
+
+// markSolved records the solved-state metadata that SaveBasis and
+// ResolveBound rely on.
+func (ws *Workspace) markSolved(n, m, stride, total, ncols, artStart int, constShift float64) {
+	ws.n, ws.m, ws.stride, ws.total = n, m, stride, total
+	ws.ncols, ws.artStart = ncols, artStart
+	ws.constShift = constShift
+	ws.live = true
+}
+
+// SolveWS runs the two-phase simplex borrowing all memory from ws. The
+// problem is not modified. The returned Solution.X aliases ws and is only
+// valid until the next solve call on the same workspace; callers that
+// retain it must copy.
+func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
+	ws.live = false
+	n := len(p.obj)
+	// Quick bound sanity: empty boxes are infeasible outright.
+	for j := 0; j < n; j++ {
+		if p.lo[j] > p.hi[j] {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+
+	// --- Normalize to standard form: columns y ∈ [0, u] ---
+	ncols := p.layoutMaps(ws)
+	maps := ws.maps
+	m, stride, total, artStart := p.buildRaw(ws, ncols)
+
+	ws.ub = grow(ws.ub, total)
+	ub := ws.ub
+	for j := range ub {
+		ub[j] = Inf
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := p.lo[j], p.hi[j]
+		if !math.IsInf(lo, -1) && !math.IsInf(hi, 1) {
+			ub[maps[j].plus] = hi - lo
+		}
+	}
+	// Cold solves always rest non-basic columns at zero lower bounds; only
+	// warm restarts re-express bounds with non-zero clo.
+	ws.clo = grow(ws.clo, total)
+	clear(ws.clo)
+
+	tab, basis := ws.tab, ws.basis
+	ncolsSlackEnd := artStart
 	// Use slack as initial basis where it has coefficient +1 (avoids an
 	// artificial): scan each row for a usable slack column.
 	for i := 0; i < m; i++ {
 		ri := i * stride
-		for j := ncols; j < artStart; j++ {
+		for j := ncols; j < ncolsSlackEnd; j++ {
 			if tab[ri+j] == 1 {
 				// Only if this slack appears in no other row.
 				solo := true
@@ -427,24 +568,7 @@ func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 	// --- Phase 2: original objective over real columns only. Artificial
 	// columns are excluded from the working width: they are never read
 	// again, so pivots stop maintaining them. ---
-	clear(cost)
-	constShift := 0.0
-	for j := 0; j < n; j++ {
-		c := p.obj[j]
-		if c == 0 {
-			continue
-		}
-		mp := &maps[j]
-		constShift += c * mp.shift
-		if mp.negate {
-			cost[mp.plus] -= c
-		} else {
-			cost[mp.plus] += c
-			if mp.minus >= 0 {
-				cost[mp.minus] -= c
-			}
-		}
-	}
+	constShift := p.setPhase2Cost(ws, total)
 	obj, status, err := ws.runSimplex(m, stride, artStart, maxIter)
 	if err != nil {
 		return Solution{}, err
@@ -453,34 +577,8 @@ func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 		return Solution{Status: Unbounded}, nil
 	}
 
-	// Recover structural values: basic columns from xB, non-basic columns
-	// from the bound they rest at.
-	ws.colVal = grow(ws.colVal, total)
-	colVal := ws.colVal
-	for j := 0; j < total; j++ {
-		if ws.atUpper[j] && !ws.inBasis[j] {
-			colVal[j] = ub[j]
-		} else {
-			colVal[j] = 0
-		}
-	}
-	for i := 0; i < m; i++ {
-		colVal[basis[i]] = xB[i]
-	}
-	ws.x = grow(ws.x, n)
-	x := ws.x
-	for j := 0; j < n; j++ {
-		mp := &maps[j]
-		v := colVal[mp.plus]
-		if mp.minus >= 0 {
-			v -= colVal[mp.minus]
-		}
-		if mp.negate {
-			x[j] = mp.shift - v
-		} else {
-			x[j] = mp.shift + v
-		}
-	}
+	x := ws.recoverX(m, stride, total, n)
+	ws.markSolved(n, m, stride, total, ncols, artStart, constShift)
 	return Solution{Status: Optimal, Obj: obj + constShift, X: x}, nil
 }
 
@@ -488,13 +586,13 @@ func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 // bounded-variable rules: a non-basic column enters rising from its lower
 // bound (negative reduced cost) or falling from its upper bound (positive
 // reduced cost), and the ratio test picks the first of (a) a basic variable
-// hitting zero, (b) a basic variable hitting its upper bound, (c) the
-// entering column reaching its opposite bound — case (c) is a bound flip
-// with no pivot at all. Only columns < width participate (phase 2 passes
-// the real-column width, excluding artificials). Returns the objective
-// value reached.
+// hitting its lower bound, (b) a basic variable hitting its upper bound,
+// (c) the entering column reaching its opposite bound — case (c) is a bound
+// flip with no pivot at all. Only columns < width participate (phase 2
+// passes the real-column width, excluding artificials). Returns the
+// objective value reached.
 func (ws *Workspace) runSimplex(m, stride, width, maxIter int) (float64, Status, error) {
-	tab, xB, ub, basis := ws.tab, ws.xB, ws.ub, ws.basis
+	tab, xB, clo, ub, basis := ws.tab, ws.xB, ws.clo, ws.ub, ws.basis
 	cost, red := ws.cost, ws.red
 	iter := 0
 	blandFrom := maxIter / 2
@@ -554,7 +652,7 @@ func (ws *Workspace) runSimplex(m, stride, width, maxIter int) (float64, Status,
 		}
 		if enter == -1 {
 			// Optimal: basic values plus the non-basic columns resting at
-			// their upper bounds.
+			// a non-zero bound.
 			obj := 0.0
 			for i := 0; i < m; i++ {
 				if c := cost[basis[i]]; c != 0 {
@@ -562,22 +660,34 @@ func (ws *Workspace) runSimplex(m, stride, width, maxIter int) (float64, Status,
 				}
 			}
 			for j := 0; j < width; j++ {
-				if ws.atUpper[j] && !ws.inBasis[j] && cost[j] != 0 {
+				if ws.inBasis[j] || cost[j] == 0 {
+					continue
+				}
+				if ws.atUpper[j] {
 					obj += cost[j] * ub[j]
+				} else if cl := clo[j]; cl != 0 {
+					obj += cost[j] * cl
 				}
 			}
 			return obj, Optimal, nil
 		}
 		// Ratio test over the entering direction.
 		flipLimit := ub[enter]
+		if cl := clo[enter]; cl != 0 {
+			flipLimit -= cl
+		}
 		leave := -1
 		leaveToUpper := false
 		bestT := flipLimit
 		for i := 0; i < m; i++ {
 			a := dir * tab[i*stride+enter]
 			if a > eps {
-				// Basic variable decreases toward 0.
-				t := xB[i] / a
+				// Basic variable decreases toward its lower bound.
+				num := xB[i]
+				if cl := clo[basis[i]]; cl != 0 {
+					num -= cl
+				}
+				t := num / a
 				if t < 0 {
 					t = 0
 				}
@@ -588,10 +698,10 @@ func (ws *Workspace) runSimplex(m, stride, width, maxIter int) (float64, Status,
 				}
 			} else if a < -eps {
 				// Basic variable increases toward its upper bound. A basic
-				// artificial (only possible in phase 2, where the working
-				// width excludes the artificial columns) must never rise
-				// above zero — that would silently violate its row — so it
-				// is capped at 0 and forced out by a degenerate pivot.
+				// artificial (only possible when the working width excludes
+				// the artificial columns) must never rise above zero — that
+				// would silently violate its row — so it is capped at 0 and
+				// forced out by a degenerate pivot.
 				u := ub[basis[i]]
 				if basis[i] >= width {
 					u = 0
@@ -637,12 +747,145 @@ func (ws *Workspace) runSimplex(m, stride, width, maxIter int) (float64, Status,
 		enterVal := t
 		if dir < 0 {
 			enterVal = ub[enter] - t
+		} else if cl := clo[enter]; cl != 0 {
+			enterVal = cl + t
 		}
 		lv := basis[leave]
 		ws.inBasis[lv] = false
 		ws.atUpper[lv] = leaveToUpper
 		ws.pivotTo(m, stride, width, leave, enter)
 		xB[leave] = enterVal
+		ws.atUpper[enter] = false
+	}
+}
+
+// runDualSimplex reoptimizes a dual-feasible basis whose basic values may
+// violate their bounds — exactly the state a branch-and-bound child is in
+// after a single bound tightening of the parent's optimal basis. Each
+// iteration picks the most-violated basic variable as the leaving row,
+// chooses the entering column by the bounded-variable dual ratio test
+// (minimum |reduced cost / pivot|, which preserves the sign-feasibility of
+// every reduced cost), and pivots so the leaving variable lands exactly on
+// its violated bound. Terminates Optimal when all basic values are within
+// bounds (the caller's primal cleanup then confirms optimality), Infeasible
+// when a violated row admits no entering column (the dual is unbounded), or
+// ErrWarmStall past the iteration budget. Columns ≥ width (artificials)
+// never enter; a basic artificial is held to [0, 0].
+func (ws *Workspace) runDualSimplex(m, stride, width, maxIter int) (Status, error) {
+	tab, xB, clo, ub, basis := ws.tab, ws.xB, ws.clo, ws.ub, ws.basis
+	cost, red := ws.cost, ws.red
+	iter := 0
+	for {
+		iter++
+		if iter > maxIter {
+			return Optimal, ErrWarmStall
+		}
+		// Leaving row: the basic variable with the largest bound violation.
+		leave := -1
+		toLower := false
+		worst := eps
+		for i := 0; i < m; i++ {
+			b := basis[i]
+			lo, u := clo[b], ub[b]
+			if b >= width {
+				lo, u = 0, 0
+			}
+			if d := lo - xB[i]; d > worst {
+				worst, leave, toLower = d, i, true
+			} else if d := xB[i] - u; d > worst {
+				worst, leave, toLower = d, i, false
+			}
+		}
+		if leave == -1 {
+			return Optimal, nil // primal feasible; dual feasibility was maintained
+		}
+		// Reduced costs (row-wise accumulation, as in the primal).
+		copy(red[:width], cost[:width])
+		for i := 0; i < m; i++ {
+			cb := cost[basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := tab[i*stride : i*stride+width]
+			for j, a := range row {
+				red[j] -= cb * a
+			}
+		}
+		// Dual ratio test. With σ = +1 when the leaving variable exits at
+		// its lower bound (basic value below it) and −1 for the upper side,
+		// an at-lower column j is eligible when σ·α_j < 0 with ratio
+		// red_j/(−σ·α_j), an at-upper column when σ·α_j > 0 with ratio
+		// (−red_j)/(σ·α_j); both ratios are ≥ 0 at a dual-feasible basis and
+		// the minimum keeps every reduced cost sign-feasible after the
+		// pivot. Ties prefer the largest pivot magnitude for stability.
+		row := tab[leave*stride : leave*stride+width]
+		sigma := 1.0
+		if !toLower {
+			sigma = -1
+		}
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAbs := 0.0
+		for j := 0; j < width; j++ {
+			if ws.inBasis[j] {
+				continue
+			}
+			var ratio float64
+			if ws.atUpper[j] {
+				sa := sigma * row[j]
+				if sa <= eps {
+					continue
+				}
+				ratio = -red[j] / sa
+			} else {
+				sa := -sigma * row[j]
+				if sa <= eps {
+					continue
+				}
+				ratio = red[j] / sa
+			}
+			if ratio < 0 {
+				ratio = 0 // tolerance drift on a dual-degenerate column
+			}
+			a := math.Abs(row[j])
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && a > bestAbs) {
+				bestRatio = ratio
+				bestAbs = a
+				enter = j
+			}
+		}
+		if enter == -1 {
+			// The violated row cannot be repaired by any non-basic move:
+			// the primal is infeasible.
+			return Infeasible, nil
+		}
+		// Pivot: move the entering value by δ so the leaving basic variable
+		// lands exactly on its violated bound, then exchange them.
+		lv := basis[leave]
+		var target float64
+		if lv < width {
+			if toLower {
+				target = clo[lv]
+			} else {
+				target = ub[lv]
+			}
+		} // basic artificials land on 0
+		delta := (xB[leave] - target) / row[enter]
+		if delta != 0 {
+			for i := 0; i < m; i++ {
+				if i != leave {
+					xB[i] -= tab[i*stride+enter] * delta
+				}
+			}
+		}
+		base := clo[enter]
+		if ws.atUpper[enter] {
+			base = ub[enter]
+		}
+		ws.inBasis[lv] = false
+		ws.atUpper[lv] = !toLower
+		ws.pivotTo(m, stride, width, leave, enter)
+		xB[leave] = base + delta
 		ws.atUpper[enter] = false
 	}
 }
@@ -675,4 +918,270 @@ func (ws *Workspace) pivotTo(m, stride, width, row, col int) {
 	}
 	ws.basis[row] = col
 	ws.inBasis[col] = true
+}
+
+// Basis is a compact snapshot of an optimal simplex basis: the basic column
+// set, the resting side of every non-basic column, and the variable→column
+// mapping it was built under. Snapshots are three short copies, live
+// entirely in caller-owned storage (branch-and-bound pools them), and are
+// restored by SolveFromBasis.
+type Basis struct {
+	n, m, ncols, total int
+	basis              []int
+	atUpper            []bool
+	maps               []mapping
+}
+
+// SaveBasis copies the workspace's last solved basis into b, reusing b's
+// storage. It reports false — leaving b unspecified — when the workspace
+// holds no completed optimal solve to snapshot.
+func (ws *Workspace) SaveBasis(b *Basis) bool {
+	if !ws.live {
+		return false
+	}
+	b.n, b.m, b.ncols, b.total = ws.n, ws.m, ws.ncols, ws.total
+	b.basis = grow(b.basis, ws.m)
+	copy(b.basis, ws.basis[:ws.m])
+	b.atUpper = grow(b.atUpper, ws.total)
+	copy(b.atUpper, ws.atUpper[:ws.total])
+	b.maps = grow(b.maps, ws.n)
+	copy(b.maps, ws.maps[:ws.n])
+	return true
+}
+
+// columnBounds re-expresses the problem's current variable bounds as column
+// bounds in the frame of ws.maps (shifts frozen at snapshot time), filling
+// ws.clo/ws.ub. Slacks get [0, ∞), artificials [0, 0]. Returns false when a
+// mapping cannot express the bounds (a free variable that has since gained a
+// finite bound).
+func (p *Problem) columnBounds(ws *Workspace, ncols, artStart, total int) bool {
+	ws.clo = grow(ws.clo, total)
+	ws.ub = grow(ws.ub, total)
+	clo, ub := ws.clo, ws.ub
+	for j := ncols; j < total; j++ {
+		if j < artStart {
+			clo[j], ub[j] = 0, Inf
+		} else {
+			clo[j], ub[j] = 0, 0
+		}
+	}
+	for v := 0; v < len(p.obj); v++ {
+		mp := &ws.maps[v]
+		lo, hi := p.lo[v], p.hi[v]
+		switch {
+		case mp.minus >= 0:
+			if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+				return false
+			}
+			clo[mp.plus], ub[mp.plus] = 0, Inf
+			clo[mp.minus], ub[mp.minus] = 0, Inf
+		case mp.negate:
+			clo[mp.plus], ub[mp.plus] = mp.shift-hi, mp.shift-lo
+		default:
+			clo[mp.plus], ub[mp.plus] = lo-mp.shift, hi-mp.shift
+		}
+	}
+	return true
+}
+
+// SolveFromBasis reoptimizes the problem starting from a previously saved
+// basis instead of from scratch. The snapshot must come from a solve of the
+// same problem shape — same variables, rows, and bound-finiteness layout —
+// under possibly different variable bounds: the branch-and-bound child
+// situation, where a child differs from its parent in exactly one tightened
+// bound. The restored basis is refactorized (m pivots), stays dual feasible
+// because the objective is unchanged, and a bounded-variable dual simplex
+// walks it back to primal feasibility — typically a handful of pivots,
+// against the dozens a cold two-phase solve needs. On ErrBasisMismatch or
+// ErrWarmStall the problem is untouched and callers fall back to SolveWS.
+// The returned Solution.X aliases ws, as with SolveWS.
+func (p *Problem) SolveFromBasis(ws *Workspace, b *Basis) (Solution, error) {
+	ws.live = false
+	n := len(p.obj)
+	if b == nil || b.n != n || b.m != len(p.rows) {
+		return Solution{}, ErrBasisMismatch
+	}
+	for j := 0; j < n; j++ {
+		if p.lo[j] > p.hi[j] {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+	ws.maps = grow(ws.maps, n)
+	copy(ws.maps, b.maps)
+	m, stride, total, artStart := p.buildRaw(ws, b.ncols)
+	if total != b.total {
+		return Solution{}, ErrBasisMismatch
+	}
+	if !p.columnBounds(ws, b.ncols, artStart, total) {
+		return Solution{}, ErrBasisMismatch
+	}
+	clo, ub := ws.clo, ws.ub
+
+	// Restore flags.
+	ws.atUpper = grow(ws.atUpper, total)
+	copy(ws.atUpper, b.atUpper)
+	ws.inBasis = grow(ws.inBasis, total)
+	clear(ws.inBasis)
+	for _, c := range b.basis {
+		if c < 0 || c >= total || ws.inBasis[c] {
+			return Solution{}, ErrBasisMismatch
+		}
+		ws.inBasis[c] = true
+	}
+
+	// Fold the non-basic resting values into the right-hand side: the basic
+	// values solve B·xB = b − Σ_{non-basic j} A_j·val_j.
+	tab, xB := ws.tab, ws.xB
+	for j := 0; j < total; j++ {
+		if ws.inBasis[j] {
+			continue
+		}
+		v := clo[j]
+		if ws.atUpper[j] {
+			v = ub[j]
+		}
+		if v == 0 {
+			continue
+		}
+		if math.IsInf(v, 0) {
+			return Solution{}, ErrBasisMismatch
+		}
+		for i := 0; i < m; i++ {
+			xB[i] -= tab[i*stride+j] * v
+		}
+	}
+
+	// Refactorize: pivot each snapshot-basic column back in, choosing the
+	// largest remaining pivot row (partial pivoting) and carrying the
+	// right-hand side along. The matrix depends only on the rows and the
+	// snapshot's mapping, so a basis that was nonsingular when saved can
+	// only hit a near-zero pivot if the snapshot doesn't match the problem.
+	ws.rowUsed = grow(ws.rowUsed, m)
+	clear(ws.rowUsed)
+	basis := ws.basis
+	for _, c := range b.basis {
+		r, bestA := -1, 1e-8
+		for i := 0; i < m; i++ {
+			if ws.rowUsed[i] {
+				continue
+			}
+			if a := math.Abs(tab[i*stride+c]); a > bestA {
+				bestA, r = a, i
+			}
+		}
+		if r == -1 {
+			return Solution{}, ErrBasisMismatch
+		}
+		ws.rowUsed[r] = true
+		basis[r] = c
+		pr := tab[r*stride : r*stride+stride]
+		inv := 1 / pr[c]
+		for k := range pr {
+			pr[k] *= inv
+		}
+		pr[c] = 1 // exact
+		xB[r] *= inv
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			ri := tab[i*stride : i*stride+stride]
+			f := ri[c]
+			if f == 0 {
+				continue
+			}
+			for k, v := range pr {
+				ri[k] -= f * v
+			}
+			ri[c] = 0 // exact
+			xB[i] -= f * xB[r]
+		}
+	}
+
+	ws.cost = grow(ws.cost, total)
+	ws.red = grow(ws.red, total)
+	constShift := p.setPhase2Cost(ws, total)
+	return p.finishWarm(ws, m, stride, total, b.ncols, artStart, constShift)
+}
+
+// finishWarm runs the dual reoptimization, the primal cleanup, and the
+// solution recovery shared by SolveFromBasis and ResolveBound.
+func (p *Problem) finishWarm(ws *Workspace, m, stride, total, ncols, artStart int, constShift float64) (Solution, error) {
+	st, err := ws.runDualSimplex(m, stride, artStart, dualCap(m, artStart))
+	if err != nil {
+		return Solution{}, err
+	}
+	if st == Infeasible {
+		return Solution{Status: Infeasible}, nil
+	}
+	// Primal cleanup: at a dual-feasible basis this is one pricing pass
+	// confirming optimality; it also mops up any tolerance drift.
+	obj, st2, err := ws.runSimplex(m, stride, artStart, iterScale*(m+total+1))
+	if err != nil {
+		return Solution{}, err
+	}
+	if st2 == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := ws.recoverX(m, stride, total, len(p.obj))
+	ws.markSolved(len(p.obj), m, stride, total, ncols, artStart, constShift)
+	return Solution{Status: Optimal, Obj: obj + constShift, X: x}, nil
+}
+
+// ResolveBound reoptimizes the workspace's live solved state after variable
+// v's bounds change to [lo, hi] — the hot path for a branch-and-bound dive,
+// where the child is solved immediately after its parent on the same
+// workspace. No tableau rebuild or refactorization happens: the column's
+// bounds are updated in place (shifting the basic values if the column rests
+// on the moved bound) and the dual simplex reoptimizes directly. All other
+// bounds must be unchanged since the solve that produced the live state.
+// Returns ErrNotWarm when no live state exists, ErrBasisMismatch when the
+// column layout cannot express the new bounds, ErrWarmStall on a dual
+// stall; callers then fall back to SolveFromBasis or SolveWS.
+func (p *Problem) ResolveBound(ws *Workspace, v int, lo, hi float64) (Solution, error) {
+	if !ws.live || ws.n != len(p.obj) || ws.m != len(p.rows) || v < 0 || v >= ws.n {
+		return Solution{}, ErrNotWarm
+	}
+	ws.live = false
+	if lo > hi {
+		return Solution{Status: Infeasible}, nil
+	}
+	mp := &ws.maps[v]
+	if mp.minus >= 0 {
+		return Solution{}, ErrBasisMismatch // free-variable column pair
+	}
+	col := mp.plus
+	var nlo, nub float64
+	if mp.negate {
+		nlo, nub = mp.shift-hi, mp.shift-lo
+	} else {
+		nlo, nub = lo-mp.shift, hi-mp.shift
+	}
+	m, stride := ws.m, ws.stride
+	if !ws.inBasis[col] {
+		// The resting value tracks the moved bound; basic values absorb the
+		// shift through the column of B⁻¹A already in the tableau.
+		var delta float64
+		if ws.atUpper[col] {
+			if math.IsInf(nub, 1) {
+				return Solution{}, ErrBasisMismatch // cannot rest at +∞
+			}
+			delta = nub - ws.ub[col]
+		} else {
+			if math.IsInf(nlo, -1) {
+				return Solution{}, ErrBasisMismatch // cannot rest at −∞
+			}
+			if nlo != ws.clo[col] {
+				delta = nlo - ws.clo[col]
+			}
+		}
+		if delta != 0 {
+			tab, xB := ws.tab, ws.xB
+			for i := 0; i < m; i++ {
+				xB[i] -= tab[i*stride+col] * delta
+			}
+		}
+	}
+	ws.clo[col], ws.ub[col] = nlo, nub
+	return p.finishWarm(ws, m, stride, ws.total, ws.ncols, ws.artStart, ws.constShift)
 }

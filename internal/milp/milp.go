@@ -3,8 +3,17 @@
 // ILPs of the buffer-insertion flow: binary buffer-usage indicators cᵢ with
 // big-M coupling to tuning values, and (in step 2) integer grid positions
 // kᵢ of the discrete tuning delays. Sub-problems are small after the
-// violation-component decomposition, so plain best-first branch-and-bound
-// with most-fractional branching solves them exactly.
+// violation-component decomposition, so branch-and-bound with
+// most-fractional branching solves them exactly.
+//
+// The search is warm-started end to end (see DESIGN.md, "Warm-started
+// branch-and-bound"): after branching, one child is dived into immediately
+// through lp.ResolveBound — the parent's factorized tableau is still loaded,
+// so the child costs a few dual-simplex pivots — while the sibling is queued
+// with a pooled snapshot of the parent basis and later reoptimized through
+// lp.SolveFromBasis. The cold two-phase solve remains the fallback whenever
+// a warm path stalls, and results are identical either way (the incumbent
+// objective is recomputed exactly from the snapped integral point).
 package milp
 
 import (
@@ -67,12 +76,14 @@ func (p *Problem) NumVars() int { return p.LP.NumVars() }
 // Kind returns the kind of variable v.
 func (p *Problem) Kind(v int) VarKind { return p.kind[v] }
 
-// Solution of a MILP solve.
+// Solution of a MILP solve. Obj is recomputed exactly from the returned
+// point (integral variables snapped to integers), so problems with integer
+// data report bit-exact objectives regardless of the LP pivot path.
 type Solution struct {
 	Status lp.Status
 	Obj    float64
 	X      []float64
-	Nodes  int // branch-and-bound nodes explored
+	Nodes  int // branch-and-bound nodes (LP relaxations) solved
 }
 
 // Options tune the branch-and-bound search.
@@ -83,33 +94,58 @@ type Options struct {
 	IntTol float64
 	// Gap is the relative optimality gap at which search stops; 0 = exact.
 	Gap float64
+	// NoWarm disables the warm-start machinery and solves every node with
+	// the cold two-phase simplex — the reference path for equivalence tests
+	// and ablations. Statuses and optimal objectives are identical with or
+	// without it; on problems with alternate optima the returned X may be a
+	// different (equally optimal) argmin, because the exploration order
+	// decides which incumbent is found first.
+	NoWarm bool
 }
 
 // DefaultMaxNodes bounds the B&B tree for callers that pass Options{}.
 const DefaultMaxNodes = 200000
 
 // ErrNodeLimit reports that branch-and-bound exhausted its node budget
-// before proving optimality.
+// before proving optimality. The Solution returned alongside it still
+// carries the best incumbent found so far (Status lp.Optimal with its X and
+// exact Obj) when one exists, so callers can use the feasible-but-unproven
+// point instead of discarding the search.
 var ErrNodeLimit = errors.New("milp: node limit exceeded")
 
 type node struct {
 	bound  float64 // LP relaxation value (lower bound for minimization)
 	lo, hi []float64
 	depth  int
+	basis  *lp.Basis // parent's optimal basis (pooled; nil → cold solve)
+}
+
+// SolveStats counts how branch-and-bound nodes were solved, cumulatively
+// per Arena: Hot nodes continued the live parent factorization
+// (lp.ResolveBound), Warm nodes refactorized a pooled parent basis
+// (lp.SolveFromBasis), Cold nodes ran the two-phase simplex, and Fallbacks
+// counts warm attempts that bailed to cold (stall or mismatch).
+type SolveStats struct {
+	Hot, Warm, Cold, Fallbacks int
 }
 
 // Arena holds all reusable branch-and-bound memory: the simplex workspace
-// shared by every node's LP relaxation, a freelist for the per-node bound
-// copies, the node queue, and the incumbent buffer. A zero Arena is ready to
-// use; buffers grow on demand and are retained, so warm solves on the same
-// arena perform no heap allocations. Not safe for concurrent use.
+// shared by every node's LP relaxation, freelists for the per-node bound
+// copies and parent-basis snapshots, the node queue, and the incumbent
+// buffers. A zero Arena is ready to use; buffers grow on demand and are
+// retained, so warm solves on the same arena perform no heap allocations.
+// Not safe for concurrent use.
 type Arena struct {
 	ws             lp.Workspace
 	rootLo, rootHi []float64
 	origLo, origHi []float64
 	pool           [][]float64 // freelist of bound vectors
+	basisPool      []*lp.Basis // freelist of basis snapshots
 	queue          []node
 	bestX          []float64
+	candX          []float64
+	// Stats accumulates node-solve counters across SolveArena calls.
+	Stats SolveStats
 }
 
 // grow returns s resized to n, reusing capacity when possible. Contents are
@@ -141,6 +177,23 @@ func (a *Arena) putBounds(s []float64) {
 	}
 }
 
+// getBasis returns a pooled basis snapshot.
+func (a *Arena) getBasis() *lp.Basis {
+	if k := len(a.basisPool); k > 0 {
+		b := a.basisPool[k-1]
+		a.basisPool = a.basisPool[:k-1]
+		return b
+	}
+	return new(lp.Basis)
+}
+
+// putBasis returns a basis snapshot to the freelist.
+func (a *Arena) putBasis(b *lp.Basis) {
+	if b != nil {
+		a.basisPool = append(a.basisPool, b)
+	}
+}
+
 // Solve runs branch-and-bound with a throwaway arena and returns an optimal
 // solution, Infeasible when no integral point exists, or Unbounded when the
 // relaxation is unbounded (treated as unbounded MILP; our formulations are
@@ -152,6 +205,14 @@ func (p *Problem) Solve(opt Options) (Solution, error) {
 // SolveArena runs branch-and-bound borrowing all memory from a. The
 // returned Solution.X aliases the arena and is only valid until the next
 // SolveArena call on the same arena; callers that retain it must copy.
+//
+// Exploration is dive-then-best-first, organized to maximize basis reuse:
+// after branching, the child nearer the fractional LP value is solved
+// immediately on the still-loaded parent factorization (hot), its sibling
+// is queued with a snapshot of the parent basis; when a dive bottoms out
+// (integral, pruned, or infeasible), the smallest-bound queued node is
+// restored from its snapshot (warm). Any warm failure falls back to the
+// cold two-phase solve, so the search is exact regardless of path.
 func (p *Problem) SolveArena(a *Arena, opt Options) (Solution, error) {
 	maxNodes := opt.MaxNodes
 	if maxNodes == 0 {
@@ -179,29 +240,50 @@ func (p *Problem) SolveArena(a *Arena, opt Options) (Solution, error) {
 		}
 	}
 
-	// solveWith temporarily installs bounds, solves, and restores.
+	// solveCold temporarily installs bounds, solves, and restores.
 	a.origLo = grow(a.origLo, n)
 	a.origHi = grow(a.origHi, n)
 	origLo, origHi := a.origLo, a.origHi
 	for v := 0; v < n; v++ {
 		origLo[v], origHi[v] = p.LP.Bounds(v)
 	}
-	solveWith := func(lo, hi []float64) (lp.Solution, error) {
+	restore := func() {
+		for v := 0; v < n; v++ {
+			p.LP.SetBounds(v, origLo[v], origHi[v])
+		}
+	}
+	solveCold := func(lo, hi []float64) (lp.Solution, error) {
 		for v := 0; v < n; v++ {
 			p.LP.SetBounds(v, lo[v], hi[v])
 		}
 		s, err := p.LP.SolveWS(&a.ws)
-		for v := 0; v < n; v++ {
-			p.LP.SetBounds(v, origLo[v], origHi[v])
-		}
+		restore()
+		a.Stats.Cold++
 		return s, err
 	}
+	// solveNode reoptimizes a queued node from its parent basis, falling
+	// back to the cold solve on any warm failure.
+	solveNode := func(nd node) (lp.Solution, error) {
+		if nd.basis != nil && !opt.NoWarm {
+			for v := 0; v < n; v++ {
+				p.LP.SetBounds(v, nd.lo[v], nd.hi[v])
+			}
+			s, err := p.LP.SolveFromBasis(&a.ws, nd.basis)
+			restore()
+			if err == nil {
+				a.Stats.Warm++
+				return s, nil
+			}
+			a.Stats.Fallbacks++
+		}
+		return solveCold(nd.lo, nd.hi)
+	}
 
-	root, err := solveWith(rootLo, rootHi)
+	rel, err := solveCold(rootLo, rootHi)
 	if err != nil {
 		return Solution{}, err
 	}
-	switch root.Status {
+	switch rel.Status {
 	case lp.Infeasible:
 		return Solution{Status: lp.Infeasible, Nodes: 1}, nil
 	case lp.Unbounded:
@@ -209,71 +291,27 @@ func (p *Problem) SolveArena(a *Arena, opt Options) (Solution, error) {
 	}
 
 	best := Solution{Status: lp.Infeasible, Obj: math.Inf(1)}
-	nodes := 0
+	nodes := 1
 
-	// Best-first queue (sorted slice is fine at our sizes: heap semantics
-	// with deterministic tie-breaking on insertion order). Node bound
-	// vectors come from the arena freelist and return to it when the node
-	// is discarded.
-	a.queue = append(a.queue[:0], node{bound: root.Obj, lo: a.getBounds(rootLo), hi: a.getBounds(rootHi), depth: 0})
-	relax := root // reuse root solve for the first pop
+	// The dive box is owned by the loop; queued nodes own pooled copies that
+	// return to the freelist when the node is solved or discarded.
+	curLo := a.getBounds(rootLo)
+	curHi := a.getBounds(rootHi)
+	depth := 0
 	defer func() {
 		for i := range a.queue {
 			a.putBounds(a.queue[i].lo)
 			a.putBounds(a.queue[i].hi)
-			a.queue[i].lo, a.queue[i].hi = nil, nil
+			a.putBasis(a.queue[i].basis)
+			a.queue[i] = node{}
 		}
 		a.queue = a.queue[:0]
+		a.putBounds(curLo)
+		a.putBounds(curHi)
 	}()
 
-	pop := func() node {
-		// Smallest bound first; ties broken by depth (deeper first → dive).
-		q := a.queue
-		bi := 0
-		for i := 1; i < len(q); i++ {
-			if q[i].bound < q[bi].bound-1e-12 ||
-				(math.Abs(q[i].bound-q[bi].bound) <= 1e-12 && q[i].depth > q[bi].depth) {
-				bi = i
-			}
-		}
-		nd := q[bi]
-		a.queue = append(q[:bi], q[bi+1:]...)
-		return nd
-	}
-
-	firstPop := true
-	for len(a.queue) > 0 {
-		nd := pop()
-		nodes++
-		if nodes > maxNodes {
-			a.putBounds(nd.lo)
-			a.putBounds(nd.hi)
-			return best, ErrNodeLimit
-		}
-		// Bound pruning.
-		if nd.bound >= best.Obj-1e-9 {
-			a.putBounds(nd.lo)
-			a.putBounds(nd.hi)
-			continue
-		}
-		var rel lp.Solution
-		if firstPop {
-			rel = relax
-			firstPop = false
-		} else {
-			var err error
-			rel, err = solveWith(nd.lo, nd.hi)
-			if err != nil {
-				a.putBounds(nd.lo)
-				a.putBounds(nd.hi)
-				return best, err
-			}
-			if rel.Status != lp.Optimal || rel.Obj >= best.Obj-1e-9 {
-				a.putBounds(nd.lo)
-				a.putBounds(nd.hi)
-				continue
-			}
-		}
+	for {
+		// ---- Process rel, the optimal relaxation of (curLo, curHi). ----
 		// Find the most fractional integral variable.
 		branchVar := -1
 		worstFrac := tol
@@ -283,43 +321,152 @@ func (p *Problem) SolveArena(a *Arena, opt Options) (Solution, error) {
 			}
 			f := math.Abs(rel.X[v] - math.Round(rel.X[v]))
 			if f > worstFrac {
-				// Most-fractional: distance to 0.5 of the fractional part.
 				worstFrac = f
 				branchVar = v
 			}
 		}
-		if branchVar == -1 {
-			// Integral solution: snap and accept.
-			if rel.Obj < best.Obj {
-				a.bestX = grow(a.bestX, len(rel.X))
-				copy(a.bestX, rel.X)
-				for v := 0; v < n; v++ {
-					if p.kind[v] != Continuous {
-						a.bestX[v] = math.Round(a.bestX[v])
-					}
-				}
-				best = Solution{Status: lp.Optimal, Obj: rel.Obj, X: a.bestX}
+		if branchVar != -1 {
+			fv := rel.X[branchVar]
+			floorV, ceilV := math.Floor(fv), math.Ceil(fv)
+			// Dive toward the nearer integer: the smaller the bound move,
+			// the fewer dual pivots the hot child needs.
+			diveDown := fv-floorV < 0.5
+			// Queue the sibling with a snapshot of this (parent) basis.
+			qlo := a.getBounds(curLo)
+			qhi := a.getBounds(curHi)
+			if diveDown {
+				qlo[branchVar] = ceilV
+			} else {
+				qhi[branchVar] = floorV
 			}
-			a.putBounds(nd.lo)
-			a.putBounds(nd.hi)
+			var qb *lp.Basis
+			if !opt.NoWarm {
+				qb = a.getBasis()
+				if !a.ws.SaveBasis(qb) {
+					a.putBasis(qb)
+					qb = nil
+				}
+			}
+			a.queue = append(a.queue, node{bound: rel.Obj, lo: qlo, hi: qhi, depth: depth + 1, basis: qb})
+			// Dive: tighten the box in place and continue from the parent
+			// factorization still loaded in the workspace.
+			if diveDown {
+				curHi[branchVar] = floorV
+			} else {
+				curLo[branchVar] = ceilV
+			}
+			depth++
+			nodes++
+			if nodes > maxNodes {
+				best.Nodes = nodes - 1 // this node's LP never ran
+				return best, ErrNodeLimit
+			}
+			var crel lp.Solution
+			var cerr error
+			if opt.NoWarm {
+				crel, cerr = solveCold(curLo, curHi)
+			} else {
+				crel, cerr = p.LP.ResolveBound(&a.ws, branchVar, curLo[branchVar], curHi[branchVar])
+				if cerr == nil {
+					a.Stats.Hot++
+				} else {
+					a.Stats.Fallbacks++
+					crel, cerr = solveCold(curLo, curHi)
+				}
+			}
+			if cerr != nil {
+				best.Nodes = nodes
+				return best, cerr
+			}
+			if crel.Status == lp.Optimal && crel.Obj < best.Obj-1e-9 {
+				rel = crel
+				continue // keep diving
+			}
+			// Child pruned or infeasible: the dive is over.
+		} else {
+			// Integral point: snap it and recompute the objective exactly
+			// from the snapped coordinates — bit-reproducible regardless of
+			// which LP pivot path produced it.
+			a.candX = grow(a.candX, len(rel.X))
+			copy(a.candX, rel.X)
+			obj := 0.0
+			for v := 0; v < n; v++ {
+				if p.kind[v] != Continuous {
+					a.candX[v] = math.Round(a.candX[v])
+				}
+				if c := p.LP.Obj(v); c != 0 {
+					obj += c * a.candX[v]
+				}
+			}
+			if obj < best.Obj {
+				a.bestX, a.candX = a.candX, a.bestX
+				best = Solution{Status: lp.Optimal, Obj: obj, X: a.bestX}
+			}
 			if opt.Gap > 0 && gapClosed(a.queue, best.Obj, opt.Gap) {
 				break
 			}
-			continue
 		}
-		// Branch: children copy the parent's box with one bound tightened;
-		// the parent's vectors go back to the freelist.
-		fv := rel.X[branchVar]
-		down := node{bound: rel.Obj, depth: nd.depth + 1, lo: a.getBounds(nd.lo), hi: a.getBounds(nd.hi)}
-		down.hi[branchVar] = math.Floor(fv)
-		up := node{bound: rel.Obj, depth: nd.depth + 1, lo: a.getBounds(nd.lo), hi: a.getBounds(nd.hi)}
-		up.lo[branchVar] = math.Ceil(fv)
-		a.putBounds(nd.lo)
-		a.putBounds(nd.hi)
-		a.queue = append(a.queue, down, up)
+
+		// ---- Dive over: hand the box back, pop the best queued node. ----
+		a.putBounds(curLo)
+		a.putBounds(curHi)
+		curLo, curHi = nil, nil
+		popped := false
+		for len(a.queue) > 0 {
+			nd := popBest(a)
+			if nd.bound >= best.Obj-1e-9 {
+				a.putBounds(nd.lo)
+				a.putBounds(nd.hi)
+				a.putBasis(nd.basis)
+				continue
+			}
+			nodes++
+			if nodes > maxNodes {
+				a.putBounds(nd.lo)
+				a.putBounds(nd.hi)
+				a.putBasis(nd.basis)
+				best.Nodes = nodes - 1 // this node's LP never ran
+				return best, ErrNodeLimit
+			}
+			r2, err := solveNode(nd)
+			a.putBasis(nd.basis)
+			if err != nil {
+				a.putBounds(nd.lo)
+				a.putBounds(nd.hi)
+				best.Nodes = nodes
+				return best, err
+			}
+			if r2.Status != lp.Optimal || r2.Obj >= best.Obj-1e-9 {
+				a.putBounds(nd.lo)
+				a.putBounds(nd.hi)
+				continue
+			}
+			curLo, curHi, depth, rel = nd.lo, nd.hi, nd.depth, r2
+			popped = true
+			break
+		}
+		if !popped {
+			break
+		}
 	}
 	best.Nodes = nodes
 	return best, nil
+}
+
+// popBest removes and returns the queued node with the smallest bound; ties
+// broken by depth (deeper first → resume the most recent dive).
+func popBest(a *Arena) node {
+	q := a.queue
+	bi := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].bound < q[bi].bound-1e-12 ||
+			(math.Abs(q[i].bound-q[bi].bound) <= 1e-12 && q[i].depth > q[bi].depth) {
+			bi = i
+		}
+	}
+	nd := q[bi]
+	a.queue = append(q[:bi], q[bi+1:]...)
+	return nd
 }
 
 func gapClosed(queue []node, incumbent float64, gap float64) bool {
@@ -397,7 +544,9 @@ func (p *Problem) BruteForce(limit int) (Solution, error) {
 			}
 			obj := 0.0
 			for j := 0; j < n; j++ {
-				obj += p.objCoef(j) * x[j]
+				if c := p.objCoef(j); c != 0 {
+					obj += c * x[j]
+				}
 			}
 			if obj < best.Obj {
 				best = Solution{Status: lp.Optimal, Obj: obj, X: append([]float64(nil), x...)}

@@ -1,0 +1,260 @@
+package milp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+// randomIntegerMILP builds a random all-integral MILP with integer data, so
+// objectives are exactly representable and optima compare bit-for-bit.
+func randomIntegerMILP(rng *rand.Rand) *Problem {
+	n := 1 + rng.IntN(4)
+	p := NewProblem()
+	for v := 0; v < n; v++ {
+		p.AddVar(Integer, -2, 3, math.Round(rng.NormFloat64()*3), "v")
+	}
+	m := 1 + rng.IntN(4)
+	for i := 0; i < m; i++ {
+		var terms []lp.Term
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.7 {
+				terms = append(terms, lp.T(v, float64(rng.IntN(7)-3)))
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		rhs := float64(rng.IntN(13) - 4)
+		if rng.Float64() < 0.5 {
+			p.AddRow(lp.LE, rhs, terms...)
+		} else {
+			p.AddRow(lp.GE, rhs, terms...)
+		}
+	}
+	return p
+}
+
+// TestWarmMatchesBruteForceBitForBit: on random integer-data MILPs the
+// warm-started search must land on the exact brute-force optimum — same
+// status, and a bit-identical objective (both sides accumulate integer
+// terms in variable order).
+func TestWarmMatchesBruteForceBitForBit(t *testing.T) {
+	var arena Arena // shared across cases: exercises basis/bound pooling
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 71))
+		p := randomIntegerMILP(rng)
+		bb, err := p.SolveArena(&arena, Options{})
+		if err != nil {
+			return false
+		}
+		bf, err := p.BruteForce(1 << 20)
+		if err != nil {
+			return false
+		}
+		if bb.Status != bf.Status {
+			t.Logf("seed %d: warm status %v, brute force %v", seed, bb.Status, bf.Status)
+			return false
+		}
+		if bb.Status == lp.Optimal && bb.Obj != bf.Obj {
+			t.Logf("seed %d: warm obj %v (%x), brute force %v (%x)",
+				seed, bb.Obj, math.Float64bits(bb.Obj), bf.Obj, math.Float64bits(bf.Obj))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmMatchesColdBitForBit: warm starts on vs off must be observation-
+// ally identical on integer-data problems — same status and bit-identical
+// objective (the incumbent objective is recomputed from the snapped point
+// on both paths).
+func TestWarmMatchesColdBitForBit(t *testing.T) {
+	var warmArena, coldArena Arena
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 73))
+		p := randomIntegerMILP(rng)
+		warm, err1 := p.SolveArena(&warmArena, Options{})
+		cold, err2 := p.SolveArena(&coldArena, Options{NoWarm: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if warm.Status != cold.Status {
+			t.Logf("seed %d: warm status %v, cold %v", seed, warm.Status, cold.Status)
+			return false
+		}
+		if warm.Status == lp.Optimal && warm.Obj != cold.Obj {
+			t.Logf("seed %d: warm obj %v, cold %v", seed, warm.Obj, cold.Obj)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+	if coldArena.Stats.Hot != 0 || coldArena.Stats.Warm != 0 {
+		t.Fatalf("NoWarm arena took warm paths: %+v", coldArena.Stats)
+	}
+	if warmArena.Stats.Hot == 0 {
+		t.Fatalf("warm arena never dived hot: %+v", warmArena.Stats)
+	}
+}
+
+// TestWarmMatchesColdMixed covers mixed integer/continuous problems, where
+// alternate optima can differ in the continuous part: statuses must agree
+// and objectives match within LP tolerance.
+func TestWarmMatchesColdMixed(t *testing.T) {
+	var warmArena, coldArena Arena
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 79))
+		n := 2 + rng.IntN(4)
+		build := func() *Problem {
+			r2 := rand.New(rand.NewPCG(seed, 101))
+			p := NewProblem()
+			for v := 0; v < n; v++ {
+				kind := Integer
+				if v%2 == 1 {
+					kind = Continuous
+				}
+				p.AddVar(kind, -3, 3, math.Round(r2.NormFloat64()*2), "v")
+			}
+			for i := 0; i < 1+r2.IntN(4); i++ {
+				var terms []lp.Term
+				for v := 0; v < n; v++ {
+					if r2.Float64() < 0.7 {
+						terms = append(terms, lp.T(v, float64(r2.IntN(7)-3)))
+					}
+				}
+				if len(terms) == 0 {
+					continue
+				}
+				p.AddRow(lp.LE, float64(r2.IntN(9)-3), terms...)
+			}
+			return p
+		}
+		warm, err1 := build().SolveArena(&warmArena, Options{})
+		cold, err2 := build().SolveArena(&coldArena, Options{NoWarm: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if warm.Status != cold.Status {
+			return false
+		}
+		return warm.Status != lp.Optimal || math.Abs(warm.Obj-cold.Obj) <= 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeLimitReturnsIncumbent: when the node budget runs out after an
+// incumbent was found, the Solution alongside ErrNodeLimit must carry it.
+func TestNodeLimitReturnsIncumbent(t *testing.T) {
+	// min x s.t. 2x ≥ 5, x ∈ [0,10] integer. The root LP is x = 2.5; the
+	// dive rounds up to the incumbent x = 3 at node 2; the remaining queued
+	// child (x ≤ 2) busts MaxNodes = 2 before being solved.
+	p := NewProblem()
+	x := p.AddVar(Integer, 0, 10, 1, "x")
+	p.AddRow(lp.GE, 5, lp.T(x, 2))
+	s, err := p.Solve(Options{MaxNodes: 2})
+	if err != ErrNodeLimit {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+	if s.Status != lp.Optimal {
+		t.Fatalf("incumbent discarded: %+v", s)
+	}
+	if s.Obj != 3 || s.X[x] != 3 {
+		t.Fatalf("incumbent = %+v, want x = 3", s)
+	}
+	if s.Nodes == 0 {
+		t.Fatal("Nodes not reported alongside ErrNodeLimit")
+	}
+}
+
+// TestNodeLimitNoIncumbent: with no incumbent yet, the limited solve still
+// errors and reports an Infeasible placeholder solution.
+func TestNodeLimitNoIncumbent(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(Integer, 0, 10, 1, "x")
+	y := p.AddVar(Integer, 0, 10, 1, "y")
+	p.AddRow(lp.GE, 1, lp.T(x, 2), lp.T(y, 2))
+	p.AddRow(lp.GE, 3, lp.T(x, 2), lp.T(y, 4))
+	s, err := p.Solve(Options{MaxNodes: 1})
+	if err != ErrNodeLimit {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+	if s.Status == lp.Optimal {
+		t.Fatalf("no node beyond the root was solved, yet an incumbent appeared: %+v", s)
+	}
+}
+
+// TestSolveArenaWarmZeroAllocs: a warm repeat solve on a reused arena —
+// including basis snapshots and restores — must not touch the heap.
+func TestSolveArenaWarmZeroAllocs(t *testing.T) {
+	p := NewProblem()
+	var arena Arena
+	build := func() {
+		p.Reset()
+		const n = 6
+		var xs, cs [n]int
+		for v := 0; v < n; v++ {
+			xs[v] = p.AddVar(Continuous, -50, 50, 0, "x")
+			cs[v] = p.AddVar(Binary, 0, 1, 1, "c")
+			p.Indicator(xs[v], cs[v], 50)
+		}
+		for v := 0; v < n-1; v++ {
+			p.AddRow(lp.LE, float64(-10+v), lp.T(xs[v], 1), lp.T(xs[v+1], -1))
+		}
+	}
+	solve := func() {
+		build()
+		if _, err := p.SolveArena(&arena, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		solve() // warm pools and workspace to steady-state capacity
+	}
+	if avg := testing.AllocsPerRun(100, solve); avg != 0 {
+		t.Fatalf("warm SolveArena allocates %v times per run, want 0", avg)
+	}
+}
+
+// FuzzSolveArenaWarm cross-checks warm-started branch-and-bound against the
+// cold path and the brute-force oracle on fuzzer-driven integer problems.
+func FuzzSolveArenaWarm(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(0xF00D), uint64(7))
+	f.Add(uint64(42), uint64(0xBEEF))
+	f.Fuzz(func(t *testing.T, seed, tweak uint64) {
+		rng := rand.New(rand.NewPCG(seed, tweak))
+		p := randomIntegerMILP(rng)
+		warm, err1 := p.Solve(Options{})
+		cold, err2 := p.Solve(Options{NoWarm: true})
+		if err1 != nil || err2 != nil {
+			return // node-limit pathologies are not equivalence failures
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("status warm %v vs cold %v", warm.Status, cold.Status)
+		}
+		if warm.Status == lp.Optimal && warm.Obj != cold.Obj {
+			t.Fatalf("obj warm %v vs cold %v", warm.Obj, cold.Obj)
+		}
+		bf, err := p.BruteForce(1 << 18)
+		if err != nil {
+			return // oversized spaces are fine to skip
+		}
+		if warm.Status != bf.Status {
+			t.Fatalf("status warm %v vs brute force %v", warm.Status, bf.Status)
+		}
+		if warm.Status == lp.Optimal && warm.Obj != bf.Obj {
+			t.Fatalf("obj warm %v vs brute force %v", warm.Obj, bf.Obj)
+		}
+	})
+}

@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date -u +%Y%m%d).json}"
-pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep|YieldPerPeriod}"
+pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep|YieldPerPeriod}"
 benchtime="${BENCH_TIME:-1s}"
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . |

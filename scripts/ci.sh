@@ -23,8 +23,20 @@ go test ./...
 
 echo "== bench smoke (substrates, 1 iteration) =="
 go test -run '^$' \
-    -bench 'LPSolve|MILPMinCount|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
+    -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
     -benchtime=1x .
+
+echo "== fuzz (solver equivalence, short budget) =="
+# Cross-check the warm-start solver paths against cold solves and the
+# brute-force oracle under the fuzzer for a short budget. Off by default
+# (it adds ~2x CI_FUZZ_TIME of wall time); the CI workflow enables it.
+if [ "${CI_FUZZ:-off}" = "on" ]; then
+    fuzztime="${CI_FUZZ_TIME:-10s}"
+    go test -run '^$' -fuzz 'FuzzSolveFromBasis' -fuzztime "$fuzztime" ./internal/lp
+    go test -run '^$' -fuzz 'FuzzSolveArenaWarm' -fuzztime "$fuzztime" ./internal/milp
+else
+    echo "skipped (CI_FUZZ=off)"
+fi
 
 echo "== bench gate (vs committed BENCH_*.json) =="
 # Compare a fresh benchmark run against the latest committed numbers and
