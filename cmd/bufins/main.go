@@ -19,6 +19,12 @@ import (
 	"repro/internal/tabular"
 )
 
+// fatalf is the single failure path: message to stderr, non-zero exit.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bufins: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		preset   = flag.String("preset", "", "paper benchmark circuit")
@@ -36,8 +42,7 @@ func main() {
 
 	sys, err := loadSystem(*preset, *bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bufins:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	fmt.Println(sys.Summary())
 
@@ -51,8 +56,7 @@ func main() {
 		case "mu+2s":
 			T = sys.TargetPeriod(2)
 		default:
-			fmt.Fprintf(os.Stderr, "bufins: unknown target %q\n", *target)
-			os.Exit(1)
+			fatalf("unknown target %q", *target)
 		}
 	}
 	fmt.Printf("target period: %.1f ps (buffer range %.1f ps, 20 steps)\n\n", T, T/8)
@@ -68,19 +72,16 @@ func main() {
 
 	res, err := sys.Insert(T, insertion.Config{Samples: *samples, Seed: *seed, MaxBuffers: *maxBuf})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bufins:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	if *savePlan != "" {
 		f, err := os.Create(*savePlan)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bufins:", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		plan := res.Plan(sys.Name())
 		if err := plan.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, "bufins:", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		f.Close()
 		fmt.Printf("plan written to %s\n\n", *savePlan)
@@ -108,8 +109,7 @@ func main() {
 	if *evalN > 0 {
 		rep, err := sys.MeasureYield(res, T, *evalN, 0)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bufins:", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		lo, hi := rep.Tuned.WilsonCI(0.95)
 		fmt.Printf("\nyield at %.1f ps over %d fresh chips:\n", T, *evalN)

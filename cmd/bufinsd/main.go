@@ -1,0 +1,213 @@
+// Command bufinsd is the long-running buffer-insertion service: it keeps
+// prepared benchmarks (seconds of SSTA each) warm in an LRU cache, pools
+// sample solvers and chip populations per circuit, and answers insertion
+// and yield queries over HTTP/JSON (see internal/serve for the API).
+//
+// Usage:
+//
+//	bufinsd -addr :8077 -prepare s9234,s13207
+//	bufinsd -addr 127.0.0.1:0 -addr-file /tmp/addr   # ephemeral port
+//	bufinsd -check http://127.0.0.1:8077             # client self-check
+//
+// The -check mode probes a running daemon: it prepares and inserts a tiny
+// generated circuit through the service and verifies the returned plan and
+// yield report are byte-identical to the in-process flow, exiting non-zero
+// on any mismatch — the CI smoke test runs exactly this.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/serve"
+	"repro/internal/yield"
+)
+
+// fatalf reports a fatal error on stderr and exits non-zero — the single
+// failure path, so scripts can trust the exit code.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bufinsd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8077", "listen address (port 0 = ephemeral)")
+		addrFile    = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
+		benches     = flag.Int("benches", 0, "prepared-bench LRU size (0 = default 8)")
+		plans       = flag.Int("plans", 0, "per-bench plan cache size (0 = default 64)")
+		pops        = flag.Int("populations", 0, "per-bench population cache size (0 = default 4)")
+		popMB       = flag.Int("pop-mb", 0, "max MiB for one cached chip population (0 = default 256)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently served requests (0 = 4×GOMAXPROCS)")
+		prepare     = flag.String("prepare", "", "comma-separated presets to warm at boot")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		check       = flag.String("check", "", "probe a running daemon at this base URL and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := runCheck(*check); err != nil {
+			fatalf("check: %v", err)
+		}
+		fmt.Println("bufinsd check OK: service plans and yields byte-identical to the in-process flow")
+		return
+	}
+
+	s := serve.New(serve.Config{
+		MaxBenches:      *benches,
+		MaxPlans:        *plans,
+		MaxPopulations:  *pops,
+		MaxPopulationMB: *popMB,
+		MaxInflight:     *maxInflight,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	resolved := ln.Addr().String()
+	fmt.Printf("bufinsd: listening on http://%s\n", resolved)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(resolved), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// Boot-time warm-up runs through the public API (a client against
+	// ourselves) so it exercises the same path requests take; the listener
+	// is already up, so /healthz works while presets prepare.
+	if *prepare != "" {
+		go func() {
+			cl := serve.NewClient("http://" + resolved)
+			for _, name := range strings.Split(*prepare, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				start := time.Now()
+				if _, err := cl.Prepare(serve.PrepareRequest{
+					Circuit: serve.CircuitSpec{Preset: name},
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "bufinsd: warm-up %s: %v\n", name, err)
+					continue
+				}
+				fmt.Printf("bufinsd: warmed %s in %v\n", name, time.Since(start).Round(time.Millisecond))
+			}
+		}()
+	}
+
+	srv := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "bufinsd: shutting down, draining requests")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fatalf("drain: %v", err)
+	}
+}
+
+// checkCircuit is the tiny generated circuit the self-check serves — small
+// enough that the whole probe takes well under a second.
+func checkCircuit() (serve.CircuitSpec, expt.Options) {
+	return serve.CircuitSpec{Gen: &gen.Config{NumFFs: 16, NumGates: 70, Seed: 11}},
+		expt.Options{PeriodSamples: 400}
+}
+
+// runCheck verifies a running daemon end to end against the in-process
+// flow: prepare + insert + yield on a tiny generated circuit must be
+// byte-identical to computing the same quantities locally.
+func runCheck(base string) error {
+	cl := serve.NewClient(base)
+	if err := cl.Health(); err != nil {
+		return err
+	}
+	spec, opt := checkCircuit()
+	const (
+		targetK     = 1.0
+		samples     = 120
+		seed        = 7
+		evalSamples = 300
+		evalSeed    = seed + 0x1000
+	)
+	prep, err := cl.Prepare(serve.PrepareRequest{Circuit: spec, Options: opt})
+	if err != nil {
+		return err
+	}
+	k := targetK
+	ins, err := cl.Insert(serve.InsertRequest{
+		Circuit: spec, Options: opt, TargetK: &k, Samples: samples, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	yld, err := cl.Yield(serve.YieldRequest{
+		Circuit: spec, Options: opt, EvalSamples: evalSamples, Seed: evalSeed,
+		Queries: []serve.YieldQuery{{Plan: ins.Plan}},
+	})
+	if err != nil {
+		return err
+	}
+
+	// The same computation, in process.
+	c, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	b, err := expt.Prepare(c, opt)
+	if err != nil {
+		return err
+	}
+	if prep.Mu != b.Period.Mu || prep.Sigma != b.Period.Sigma {
+		return fmt.Errorf("period distribution diverges: server (%v, %v) local (%v, %v)",
+			prep.Mu, prep.Sigma, b.Period.Mu, b.Period.Sigma)
+	}
+	T := b.Period.Mu + targetK*b.Period.Sigma
+	res, err := insertion.Run(b.Graph, b.Placement, insertion.Config{T: T, Samples: samples, Seed: seed})
+	if err != nil {
+		return err
+	}
+	local := res.Plan(b.Name)
+	lj, _ := json.Marshal(local)
+	sj, _ := json.Marshal(ins.Plan)
+	if string(lj) != string(sj) {
+		return fmt.Errorf("plan diverges:\n server: %s\n local:  %s", sj, lj)
+	}
+	ev, err := yield.NewEvaluator(b.Graph, local.Spec, local.Groups)
+	if err != nil {
+		return err
+	}
+	rep, err := yield.EvaluateSweep(ev, mc.New(b.Graph, evalSeed), evalSamples, []float64{T})
+	if err != nil {
+		return err
+	}
+	if len(yld.Results) != 1 || len(yld.Results[0].Reports) != 1 {
+		return errors.New("unexpected yield result shape")
+	}
+	rj, _ := json.Marshal(rep)
+	gj, _ := json.Marshal(yld.Results[0].Reports[0])
+	if string(rj) != string(gj) {
+		return fmt.Errorf("yield report diverges:\n server: %s\n local:  %s", gj, rj)
+	}
+	return nil
+}

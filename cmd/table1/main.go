@@ -6,11 +6,17 @@
 // The paper uses 10 000 insertion samples; the default here is 1000 for a
 // laptop-scale run — pass -samples 10000 to match the paper exactly.
 //
+// With -server the preparation, insertion, and yield measurement run in a
+// bufinsd daemon, so regenerating the table over an already-warm cache
+// skips the per-circuit SSTA; the reported numbers are identical (the
+// runtime column then measures the daemon-side flow time).
+//
 // Usage:
 //
 //	table1                         # all 8 circuits, moderate samples
 //	table1 -circuits s9234,s13207 -samples 10000
 //	table1 -csv > table1.csv
+//	table1 -server http://127.0.0.1:8077
 package main
 
 import (
@@ -22,8 +28,16 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/gen"
+	"repro/internal/serve"
 	"repro/internal/tabular"
 )
+
+// fatalf is the single failure path: message to stderr, non-zero exit, so
+// scripts can trust the exit code.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "table1: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -32,6 +46,7 @@ func main() {
 		evalN    = flag.Int("eval", 4000, "fresh chips per yield measurement")
 		seed     = flag.Uint64("seed", 0xF00D, "insertion seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table")
+		server   = flag.String("server", "", "bufinsd base URL: run the flow in the daemon instead of in-process")
 	)
 	flag.Parse()
 
@@ -50,23 +65,15 @@ func main() {
 	tb.SetTitle(fmt.Sprintf("Table I reproduction (%d insertion samples, %d eval chips)", *samples, *evalN))
 	grand := time.Now()
 	for _, name := range names {
-		b, err := expt.PreparePreset(name, expt.Options{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "table1:", err)
-			os.Exit(1)
+		var rows []expt.Row
+		var err error
+		if *server != "" {
+			rows, err = serverRows(*server, name, *samples, *evalN, *seed)
+		} else {
+			rows, err = localRows(name, *samples, *evalN, *seed)
 		}
-		fmt.Fprintf(os.Stderr, "%s: µT=%.1f σT=%.1f (hold-viol rate %.4f)\n",
-			name, b.Period.Mu, b.Period.Sigma, b.Period.HoldViolRate)
-		// One shared evaluation pass measures all three targets' yields:
-		// the fresh-chip population is realized once per circuit.
-		rows, err := expt.RunRows(b, expt.Targets, expt.RowConfig{
-			InsertSamples: *samples,
-			EvalSamples:   *evalN,
-			Seed:          *seed,
-		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "table1:", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		for _, row := range rows {
 			tb.AddRowf(row.Circuit, row.NS, row.NG, row.Target.String(),
@@ -82,4 +89,76 @@ func main() {
 		fmt.Println(tb)
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(grand))
+}
+
+// localRows is the in-process path: prepare the bench here and run the
+// shared-evaluation row batch.
+func localRows(name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
+	b, err := expt.PreparePreset(name, expt.Options{})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: µT=%.1f σT=%.1f (hold-viol rate %.4f)\n",
+		name, b.Period.Mu, b.Period.Sigma, b.Period.HoldViolRate)
+	// One shared evaluation pass measures all three targets' yields:
+	// the fresh-chip population is realized once per circuit.
+	return expt.RunRows(b, expt.Targets, expt.RowConfig{
+		InsertSamples: samples,
+		EvalSamples:   evalN,
+		Seed:          seed,
+	})
+}
+
+// serverRows reproduces the same rows through a bufinsd daemon: one
+// prepare, one insert per target, and a single batched yield request — the
+// daemon realizes the evaluation population once per circuit, exactly like
+// the in-process shared pass.
+func serverRows(base, name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
+	cl := serve.NewClient(base)
+	spec := serve.CircuitSpec{Preset: name}
+	opt := expt.Options{}
+	prep, err := cl.Prepare(serve.PrepareRequest{Circuit: spec, Options: opt})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: µT=%.1f σT=%.1f (hold-viol rate %.4f)\n",
+		name, prep.Mu, prep.Sigma, prep.HoldViolRate)
+	rows := make([]expt.Row, len(expt.Targets))
+	yreq := serve.YieldRequest{
+		Circuit: spec, Options: opt,
+		EvalSamples: evalN, Seed: seed + 0x1000,
+	}
+	for i, target := range expt.Targets {
+		k := float64(target)
+		ins, err := cl.Insert(serve.InsertRequest{
+			Circuit: spec, Options: opt,
+			TargetK: &k, Samples: samples, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("insert %s@%v: %w", name, target, err)
+		}
+		rows[i] = expt.Row{
+			Circuit: prep.Name,
+			NS:      prep.NS,
+			NG:      prep.NG,
+			Target:  target,
+			T:       ins.T,
+			Nb:      ins.Nb,
+			Ab:      ins.Ab,
+			Runtime: time.Duration(ins.ElapsedMS) * time.Millisecond,
+		}
+		yreq.Queries = append(yreq.Queries, serve.YieldQuery{Plan: ins.Plan})
+	}
+	yld, err := cl.Yield(yreq)
+	if err != nil {
+		return nil, fmt.Errorf("yield %s: %w", name, err)
+	}
+	for i := range rows {
+		rep := yld.Results[i].Reports[0].At(0)
+		rows[i].Yo = rep.Original.Percent()
+		rows[i].Y = rep.Tuned.Percent()
+		rows[i].Yi = rep.Improvement()
+		rows[i].YieldRep = rep
+	}
+	return rows, nil
 }

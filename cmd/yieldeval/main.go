@@ -9,185 +9,362 @@
 // every strategy's sweep evaluator (yield.EvaluateMany), so a 10-period ×
 // 4-strategy sweep costs one chip population, not forty.
 //
+// With -server the preparation, insertion, and evaluation run inside a
+// bufinsd daemon instead of this process; the daemon executes the same
+// deterministic code on the same seeds, so the output is byte-identical —
+// the warm bench cache just answers repeat circuits in milliseconds.
+//
 // Usage:
 //
 //	yieldeval -preset s13207 -samples 1000 -eval 4000
 //	yieldeval -preset s9234 -periods 10     # fine period sweep, one insertion
+//	yieldeval -preset s9234 -server http://127.0.0.1:8077
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/insertion"
 	"repro/internal/mc"
+	"repro/internal/serve"
 	"repro/internal/tabular"
-	"repro/internal/timing"
 	"repro/internal/yield"
 )
 
-func main() {
-	var (
-		preset   = flag.String("preset", "s9234", "paper benchmark circuit")
-		bench    = flag.String("bench", "", ".bench netlist file (overrides -preset)")
-		samples  = flag.Int("samples", 1000, "insertion samples")
-		evalN    = flag.Int("eval", 4000, "fresh chips per yield measurement")
-		seed     = flag.Uint64("seed", 0xF00D, "insertion seed")
-		periods  = flag.Int("periods", 0, "sweep this many periods across [µT, µT+2σ] with one insertion at µT+σ (0 = classic three-target table)")
-		planFile = flag.String("plan", "", "evaluate a saved buffer plan (JSON from bufins -saveplan) instead of running the flow")
-	)
-	flag.Parse()
+// fatalf is the single failure path: message to stderr, non-zero exit, so
+// scripts (and the CI smoke test) can trust the exit code.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "yieldeval: "+format+"\n", args...)
+	os.Exit(1)
+}
 
+// options collects the flag values so the whole run is a pure function of
+// them (main_test drives run directly).
+type options struct {
+	preset, bench string
+	samples       int
+	evalN         int
+	seed          uint64
+	periods       int
+	planFile      string
+	server        string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.preset, "preset", "s9234", "paper benchmark circuit")
+	flag.StringVar(&o.bench, "bench", "", ".bench netlist file (overrides -preset)")
+	flag.IntVar(&o.samples, "samples", 1000, "insertion samples")
+	flag.IntVar(&o.evalN, "eval", 4000, "fresh chips per yield measurement")
+	flag.Uint64Var(&o.seed, "seed", 0xF00D, "insertion seed")
+	flag.IntVar(&o.periods, "periods", 0, "sweep this many periods across [µT, µT+2σ] with one insertion at µT+σ (0 = classic three-target table)")
+	flag.StringVar(&o.planFile, "plan", "", "evaluate a saved buffer plan (JSON from bufins -saveplan) instead of running the flow")
+	flag.StringVar(&o.server, "server", "", "bufinsd base URL: run prepare/insert/yield in the daemon instead of in-process")
+	flag.Parse()
+	if err := run(o, os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// evalQuery is one plan (or its strategy expansion) × period sweep.
+type evalQuery struct {
+	plan       insertion.Plan
+	Ts         []float64
+	strategies bool
+}
+
+// evalResult pairs strategy names with their sweep reports.
+type evalResult struct {
+	names   []string
+	reports []yield.SweepReport
+}
+
+// backend abstracts where the heavy lifting happens: in this process or in
+// a bufinsd daemon. Both implementations run the same deterministic code
+// on the same seeds, so run's output is byte-identical either way (proven
+// in main_test.go).
+type backend interface {
+	summary() string
+	targetPeriod(k float64) float64
+	// insert runs the flow at period µT + k·σT and returns the plan.
+	insert(k float64, samples int, seed uint64) (insertion.Plan, error)
+	// evaluate answers every query from one shared realization pass over
+	// evalN fresh chips of universe seed.
+	evaluate(queries []evalQuery, evalN int, seed uint64) ([]evalResult, error)
+}
+
+// strategySeed is the fixed randk seed of the comparison set.
+const strategySeed = 5
+
+func run(o options, out io.Writer) error {
 	var (
-		sys *core.System
+		be  backend
 		err error
 	)
-	if *bench != "" {
-		f, ferr := os.Open(*bench)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "yieldeval:", ferr)
-			os.Exit(1)
-		}
-		sys, err = core.FromBench(f, *bench, expt.Options{})
-		f.Close()
+	if o.server != "" {
+		be, err = newServerBackend(o)
 	} else {
-		sys, err = core.FromPreset(*preset, expt.Options{})
+		be, err = newLocalBackend(o)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "yieldeval:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Println(sys.Summary())
-	fmt.Println()
-
-	if *planFile != "" {
-		f, err := os.Open(*planFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yieldeval:", err)
-			os.Exit(1)
-		}
-		plan, err := insertion.LoadPlan(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yieldeval:", err)
-			os.Exit(1)
-		}
-		ev, err := yield.NewEvaluator(sys.Graph(), plan.Spec, plan.Groups)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yieldeval:", err)
-			os.Exit(1)
-		}
-		rep := yield.Evaluate(ev, mc.New(sys.Graph(), *seed+0x1000), *evalN, plan.T)
-		fmt.Printf("plan %q (%d buffers) at T=%.1f ps over %d chips:\n",
-			*planFile, len(plan.Groups), plan.T, *evalN)
-		fmt.Printf("  Yo = %6.2f %%\n  Y  = %6.2f %%\n  Yi = %+6.2f points\n",
-			rep.Original.Percent(), rep.Tuned.Percent(), rep.Improvement())
-		return
+	fmt.Fprintln(out, be.summary())
+	fmt.Fprintln(out)
+	switch {
+	case o.planFile != "":
+		return runPlanMode(be, o, out)
+	case o.periods > 0:
+		return runSweepMode(be, o, out)
 	}
+	return runClassicMode(be, o, out)
+}
 
-	g := sys.Graph()
-	if *periods > 0 {
-		sweepMode(sys, *periods, *samples, *evalN, *seed)
-		return
+// runPlanMode evaluates a saved plan at its own target period.
+func runPlanMode(be backend, o options, out io.Writer) error {
+	f, err := os.Open(o.planFile)
+	if err != nil {
+		return err
 	}
+	plan, err := insertion.LoadPlan(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	res, err := be.evaluate([]evalQuery{{plan: *plan, Ts: []float64{plan.T}}}, o.evalN, o.seed+0x1000)
+	if err != nil {
+		return err
+	}
+	rep := res[0].reports[0].At(0)
+	fmt.Fprintf(out, "plan %q (%d buffers) at T=%.1f ps over %d chips:\n",
+		o.planFile, len(plan.Groups), plan.T, o.evalN)
+	fmt.Fprintf(out, "  Yo = %6.2f %%\n  Y  = %6.2f %%\n  Yi = %+6.2f points\n",
+		rep.Original.Percent(), rep.Tuned.Percent(), rep.Improvement())
+	return nil
+}
 
-	// Classic mode: three period targets, each with its own insertion run,
-	// every (target, strategy) yield measured in one shared pass. The table
-	// columns derive from the baseline.Strategies set, whatever its size.
+// runClassicMode reproduces the three-target strategy table: one insertion
+// per target, every (target, strategy) yield from one shared pass.
+func runClassicMode(be backend, o options, out io.Writer) error {
 	type targetRow struct {
 		k, T float64
 		nb   int
 	}
 	var rows []targetRow
-	var names []string
-	var all []*yield.SweepEvaluator // one strategy-set block per target row
+	var queries []evalQuery
 	for _, k := range []float64{0, 1, 2} {
-		T := sys.TargetPeriod(k)
-		res, err := sys.Insert(T, insertion.Config{Samples: *samples, Seed: *seed})
+		plan, err := be.insert(k, o.samples, o.seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "yieldeval:", err)
-			os.Exit(1)
+			return err
 		}
-		rows = append(rows, targetRow{k: k, T: T, nb: len(res.Groups)})
-		names = names[:0]
-		for _, st := range baseline.Strategies(g, res.Cfg.Spec, T, res.Groups, 5) {
-			names = append(names, st.Name)
-			all = append(all, mustSweep(g, res.Cfg.Spec, st.Groups, []float64{T}))
-		}
+		rows = append(rows, targetRow{k: k, T: plan.T, nb: len(plan.Groups)})
+		queries = append(queries, evalQuery{plan: plan, Ts: []float64{plan.T}, strategies: true})
 	}
-	reps := yield.EvaluateMany(mc.New(g, *seed+0x1000), *evalN, all...)
+	results, err := be.evaluate(queries, o.evalN, o.seed+0x1000)
+	if err != nil {
+		return err
+	}
 	header := []string{"T", "Yo(%)", "Nb"}
-	for _, name := range names {
+	for _, name := range results[0].names {
 		header = append(header, name+" Y(%)")
 	}
 	tb := tabular.New(header...)
 	tb.SetTitle("Yield vs strategy (equal buffer budget for topk/randk):")
 	for i, row := range rows {
-		block := reps[len(names)*i : len(names)*(i+1)]
 		cells := []any{fmt.Sprintf("%.1f (µ+%0.0fσ)", row.T, row.k),
-			block[0].Original[0].Percent(), row.nb}
-		for _, rep := range block {
+			results[i].reports[0].Original[0].Percent(), row.nb}
+		for _, rep := range results[i].reports {
 			cells = append(cells, rep.Tuned[0].Percent())
 		}
 		tb.AddRowf(cells...)
 	}
-	fmt.Println(tb)
-}
-
-// mustSweep builds a strategy's sweep evaluator or exits.
-func mustSweep(g *timing.Graph, spec insertion.BufferSpec, groups []insertion.Group, Ts []float64) *yield.SweepEvaluator {
-	ev, err := yield.NewEvaluator(g, spec, groups)
-	if err == nil {
-		var sw *yield.SweepEvaluator
-		if sw, err = yield.NewSweepEvaluator(ev, Ts); err == nil {
-			return sw
-		}
-	}
-	fmt.Fprintln(os.Stderr, "yieldeval:", err)
-	os.Exit(1)
+	fmt.Fprintln(out, tb)
 	return nil
 }
 
-// sweepMode runs the insertion once at µT+σ and evaluates every strategy
-// across a fine period sweep in a single chip-realization pass.
-func sweepMode(sys *core.System, periods, samples, evalN int, seed uint64) {
-	g := sys.Graph()
-	T1 := sys.TargetPeriod(1)
-	res, err := sys.Insert(T1, insertion.Config{Samples: samples, Seed: seed})
+// runSweepMode runs the insertion once at µT+σ and evaluates every
+// strategy across a fine period sweep in a single chip-realization pass.
+func runSweepMode(be backend, o options, out io.Writer) error {
+	plan, err := be.insert(1, o.samples, o.seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "yieldeval:", err)
-		os.Exit(1)
+		return err
 	}
-	Ts := make([]float64, periods)
-	if periods == 1 {
-		Ts[0] = T1 // single-point sweep: just the insertion target
+	Ts := make([]float64, o.periods)
+	if o.periods == 1 {
+		Ts[0] = plan.T // single-point sweep: just the insertion target
 	} else {
-		lo, hi := sys.TargetPeriod(0), sys.TargetPeriod(2)
+		lo, hi := be.targetPeriod(0), be.targetPeriod(2)
 		for i := range Ts {
-			Ts[i] = lo + (hi-lo)*float64(i)/float64(periods-1)
+			Ts[i] = lo + (hi-lo)*float64(i)/float64(o.periods-1)
 		}
 	}
-	strategies := baseline.Strategies(g, res.Cfg.Spec, T1, res.Groups, 5)
-	sweeps := make([]*yield.SweepEvaluator, len(strategies))
-	header := []string{"T", "Yo(%)"}
-	for i, st := range strategies {
-		sweeps[i] = mustSweep(g, res.Cfg.Spec, st.Groups, Ts)
-		header = append(header, st.Name+" Y(%)")
+	results, err := be.evaluate([]evalQuery{{plan: plan, Ts: Ts, strategies: true}}, o.evalN, o.seed+0x1000)
+	if err != nil {
+		return err
 	}
-	reps := yield.EvaluateMany(mc.New(g, seed+0x1000), evalN, sweeps...)
+	res := results[0]
+	header := []string{"T", "Yo(%)"}
+	for _, name := range res.names {
+		header = append(header, name+" Y(%)")
+	}
 	tb := tabular.New(header...)
 	tb.SetTitle(fmt.Sprintf("Yield sweep, %d periods, insertion at µT+σ (Nb=%d), %d chips realized once:",
-		periods, len(res.Groups), evalN))
+		o.periods, len(plan.Groups), o.evalN))
 	for i := range Ts {
-		cells := []any{fmt.Sprintf("%.1f", Ts[i]), reps[0].Original[i].Percent()}
-		for _, rep := range reps {
+		cells := []any{fmt.Sprintf("%.1f", Ts[i]), res.reports[0].Original[i].Percent()}
+		for _, rep := range res.reports {
 			cells = append(cells, rep.Tuned[i].Percent())
 		}
 		tb.AddRowf(cells...)
 	}
-	fmt.Println(tb)
+	fmt.Fprintln(out, tb)
+	return nil
+}
+
+// ---------------- local backend ----------------
+
+type localBackend struct {
+	sys *core.System
+}
+
+func newLocalBackend(o options) (backend, error) {
+	var (
+		sys *core.System
+		err error
+	)
+	if o.bench != "" {
+		f, ferr := os.Open(o.bench)
+		if ferr != nil {
+			return nil, ferr
+		}
+		sys, err = core.FromBench(f, o.bench, expt.Options{})
+		f.Close()
+	} else {
+		sys, err = core.FromPreset(o.preset, expt.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &localBackend{sys: sys}, nil
+}
+
+func (b *localBackend) summary() string                { return b.sys.Summary() }
+func (b *localBackend) targetPeriod(k float64) float64 { return b.sys.TargetPeriod(k) }
+
+func (b *localBackend) insert(k float64, samples int, seed uint64) (insertion.Plan, error) {
+	T := b.sys.TargetPeriod(k)
+	res, err := b.sys.Insert(T, insertion.Config{Samples: samples, Seed: seed})
+	if err != nil {
+		return insertion.Plan{}, err
+	}
+	return res.Plan(b.sys.Name()), nil
+}
+
+func (b *localBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([]evalResult, error) {
+	// The expansion and batched evaluation are serve.EvaluateQueries — the
+	// exact code the daemon's /v1/yield runs — so local and server mode
+	// cannot drift apart.
+	g := b.sys.Graph()
+	results, err := serve.EvaluateQueries(g, mc.New(g, seed), evalN, toServeQueries(queries))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]evalResult, len(results))
+	for i, r := range results {
+		out[i] = evalResult{names: r.Names, reports: r.Reports}
+	}
+	return out, nil
+}
+
+// toServeQueries maps the CLI's query form onto the service schema shared
+// by both backends.
+func toServeQueries(queries []evalQuery) []serve.YieldQuery {
+	var out []serve.YieldQuery
+	for _, q := range queries {
+		out = append(out, serve.YieldQuery{
+			Plan:         q.plan,
+			Periods:      q.Ts,
+			Strategies:   q.strategies,
+			StrategySeed: strategySeed,
+		})
+	}
+	return out
+}
+
+// ---------------- server backend ----------------
+
+type serverBackend struct {
+	cl   *serve.Client
+	spec serve.CircuitSpec
+	opt  expt.Options
+	prep *serve.PrepareResponse
+}
+
+func newServerBackend(o options) (backend, error) {
+	spec := serve.CircuitSpec{Preset: o.preset}
+	if o.bench != "" {
+		// The daemon receives the netlist inline; BenchName carries the
+		// file path so a netlist without a "# name" comment still gets
+		// the same fallback name the local path uses.
+		text, err := os.ReadFile(o.bench)
+		if err != nil {
+			return nil, err
+		}
+		spec = serve.CircuitSpec{Bench: string(text), BenchName: o.bench}
+	}
+	b := &serverBackend{cl: serve.NewClient(o.server), spec: spec, opt: expt.Options{}}
+	prep, err := b.cl.Prepare(serve.PrepareRequest{Circuit: spec, Options: b.opt})
+	if err != nil {
+		return nil, err
+	}
+	b.prep = prep
+	return b, nil
+}
+
+func (b *serverBackend) summary() string { return b.prep.Summary }
+
+func (b *serverBackend) targetPeriod(k float64) float64 {
+	// Same arithmetic as core.System.TargetPeriod over the exact µ/σ the
+	// daemon reported (float64 survives JSON round-trips bit-exactly).
+	return b.prep.Mu + k*b.prep.Sigma
+}
+
+func (b *serverBackend) insert(k float64, samples int, seed uint64) (insertion.Plan, error) {
+	resp, err := b.cl.Insert(serve.InsertRequest{
+		Circuit: b.spec, Options: b.opt,
+		TargetK: &k, Samples: samples, Seed: seed,
+	})
+	if err != nil {
+		return insertion.Plan{}, err
+	}
+	return resp.Plan, nil
+}
+
+func (b *serverBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([]evalResult, error) {
+	req := serve.YieldRequest{
+		Circuit: b.spec, Options: b.opt,
+		EvalSamples: evalN, Seed: seed,
+	}
+	for _, q := range queries {
+		req.Queries = append(req.Queries, serve.YieldQuery{
+			Plan:         q.plan,
+			Periods:      q.Ts,
+			Strategies:   q.strategies,
+			StrategySeed: strategySeed,
+		})
+	}
+	resp, err := b.cl.Yield(req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]evalResult, len(resp.Results))
+	for i, r := range resp.Results {
+		out[i] = evalResult{names: r.Names, reports: r.Reports}
+	}
+	return out, nil
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ckt"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/serve"
+)
+
+// writeTinyBench generates a small circuit and writes it as a .bench file,
+// so both backends load the same netlist the way a user would.
+func writeTinyBench(t *testing.T) string {
+	t.Helper()
+	c, err := gen.Generate(gen.Config{Name: "tiny", NumFFs: 16, NumGates: 70, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.WriteBench(f, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// requireIdentical runs the same query locally and through the daemon and
+// demands byte-identical stdout — the acceptance bar for -server mode.
+func requireIdentical(t *testing.T, o options, url string) {
+	t.Helper()
+	var local, remote bytes.Buffer
+	if err := run(o, &local); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	o.server = url
+	if err := run(o, &remote); err != nil {
+		t.Fatalf("server run: %v", err)
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Fatalf("server output differs from local output:\n--- local ---\n%s--- server ---\n%s",
+			local.String(), remote.String())
+	}
+	if local.Len() == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestServerModeClassicByteIdentical(t *testing.T) {
+	bench := writeTinyBench(t)
+	url := startDaemon(t)
+	requireIdentical(t, options{bench: bench, samples: 120, evalN: 300, seed: 5}, url)
+}
+
+// TestServerModeNoNameComment: a netlist without a "# name" comment falls
+// back to the file path as circuit name on both paths (the client passes
+// BenchName), so output stays byte-identical.
+func TestServerModeNoNameComment(t *testing.T) {
+	c, err := gen.Generate(gen.Config{Name: "tiny", NumFFs: 16, NumGates: 70, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := ckt.BenchString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stripped []string
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "#") {
+			stripped = append(stripped, line)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "anon.bench")
+	if err := os.WriteFile(path, []byte(strings.Join(stripped, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url := startDaemon(t)
+	requireIdentical(t, options{bench: path, samples: 100, evalN: 200, seed: 5, periods: 1}, url)
+}
+
+func TestServerModeSweepByteIdentical(t *testing.T) {
+	bench := writeTinyBench(t)
+	url := startDaemon(t)
+	requireIdentical(t, options{bench: bench, samples: 120, evalN: 300, seed: 5, periods: 4}, url)
+}
+
+func TestServerModePlanByteIdentical(t *testing.T) {
+	bench := writeTinyBench(t)
+	url := startDaemon(t)
+	// Build a plan file the way bufins -saveplan would.
+	f, err := os.Open(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.FromBench(f, bench, expt.Options{})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Insert(sys.TargetPeriod(1), insertion.Config{Samples: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := res.Plan(sys.Name())
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	pf, err := os.Create(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Save(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	requireIdentical(t, options{bench: bench, evalN: 300, seed: 5, planFile: planPath}, url)
+}

@@ -39,6 +39,11 @@ type System struct {
 // defaults: 3 % skew, 4000 period samples).
 type Options = expt.Options
 
+// NewSystem wraps an already-prepared Bench (for callers like the serving
+// layer that cache Bench instances and re-wrap them per request; preparing
+// is the expensive step, wrapping is free).
+func NewSystem(b *expt.Bench) *System { return &System{bench: b} }
+
 // FromCircuit prepares a System from an in-memory netlist.
 func FromCircuit(c *ckt.Circuit, opt Options) (*System, error) {
 	b, err := expt.Prepare(c, opt)

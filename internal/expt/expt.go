@@ -22,6 +22,12 @@ import (
 )
 
 // Bench is a fully prepared benchmark instance.
+//
+// A Bench is immutable after Prepare: the flow (insertion.Run/Runner), the
+// yield evaluators, and the Monte Carlo engines only ever read the Graph,
+// Placement, and Circuit, so one prepared Bench may be shared by any number
+// of concurrent requests — this is what makes server-side bench caching
+// (internal/serve) safe. Do not mutate the fields after preparation.
 type Bench struct {
 	Name      string
 	Circuit   *ckt.Circuit
@@ -31,14 +37,29 @@ type Bench struct {
 }
 
 // Options configure benchmark preparation.
+//
+// Zero-value defaulting: a zero SkewFrac or Seed selects the documented
+// default, so the zero Options value is always the paper's configuration.
+// The explicit Has* flags make the literal zero selectable too — without
+// them a zero was silently rewritten to the default and could never be
+// requested (the sentinel bug this API replaces).
 type Options struct {
 	// SkewFrac scales injected clock skews relative to the largest nominal
-	// pair delay (0 = default 0.03, negative = no skew).
+	// pair delay. 0 = default 0.03 unless HasSkewFrac is set; negative =
+	// no skew. To prepare with literally zero skew, set HasSkewFrac and
+	// SkewFrac = 0 (equivalent to any negative value).
 	SkewFrac float64
+	// HasSkewFrac marks SkewFrac as explicitly chosen: when set, SkewFrac
+	// is used verbatim and 0 means "no skew" rather than "default".
+	HasSkewFrac bool
 	// PeriodSamples sets the Monte Carlo size for µT/σT (0 = 4000).
 	PeriodSamples int
-	// Seed offsets the skew/period sampling universes (0 = fixed default).
+	// Seed offsets the skew/period sampling universes. 0 = fixed default
+	// (0xBEEF) unless HasSeed is set.
 	Seed uint64
+	// HasSeed marks Seed as explicitly chosen: when set, Seed is used
+	// verbatim, making the zero seed universe selectable.
+	HasSeed bool
 	// Regions splits the die into spatial correlation regions: process
 	// parameters are fully correlated within a region and independent
 	// across regions (the canonical model [3] supports this natively;
@@ -47,15 +68,38 @@ type Options struct {
 }
 
 func (o *Options) fill() {
-	if o.SkewFrac == 0 {
+	if o.SkewFrac == 0 && !o.HasSkewFrac {
 		o.SkewFrac = 0.03
 	}
+	o.HasSkewFrac = true
 	if o.PeriodSamples == 0 {
 		o.PeriodSamples = 4000
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.HasSeed {
 		o.Seed = 0xBEEF
 	}
+	o.HasSeed = true
+}
+
+// Canonical resolves every default and normalizes equivalent settings to
+// one representative, so two Options values that prepare identical benches
+// canonicalize equal. It is the cache-key form used by serving layers.
+func (o Options) Canonical() Options {
+	o.fill()
+	if o.SkewFrac <= 0 {
+		o.SkewFrac = -1 // explicit zero and every negative value mean "no skew"
+	}
+	if o.Regions < 2 {
+		o.Regions = 1 // 0 and 1 are both the single-region model
+	}
+	return o
+}
+
+// Key renders the canonical options as a deterministic cache-key fragment.
+func (o Options) Key() string {
+	c := o.Canonical()
+	return fmt.Sprintf("skew=%g;n=%d;seed=%d;regions=%d",
+		c.SkewFrac, c.PeriodSamples, c.Seed, c.Regions)
 }
 
 // Prepare builds a Bench from a circuit.

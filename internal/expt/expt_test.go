@@ -56,6 +56,85 @@ func TestPrepareNoSkew(t *testing.T) {
 	}
 }
 
+// TestSeedZeroSelectable: the zero seed used to be silently rewritten to
+// the default (0xBEEF), so the seed-0 universe was unreachable. HasSeed
+// makes it explicit; the zero Options value keeps the default.
+func TestSeedZeroSelectable(t *testing.T) {
+	c, _ := gen.Generate(gen.Config{NumFFs: 12, NumGates: 50, Seed: 3})
+	def, err := Prepare(c, Options{PeriodSamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defExplicit, err := Prepare(c, Options{PeriodSamples: 300, Seed: 0xBEEF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Period != defExplicit.Period {
+		t.Fatal("zero value must keep the documented default seed")
+	}
+	zero, err := Prepare(c, Options{PeriodSamples: 300, Seed: 0, HasSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Period == def.Period {
+		t.Fatal("explicit seed 0 must select a different universe than the default")
+	}
+}
+
+// TestSkewFracZeroSelectable: explicit zero skew equals the negative
+// no-skew sentinel instead of being rewritten to the 3 % default.
+func TestSkewFracZeroSelectable(t *testing.T) {
+	c, _ := gen.Generate(gen.Config{NumFFs: 12, NumGates: 50, Seed: 3})
+	zero, err := Prepare(c, Options{SkewFrac: 0, HasSkewFrac: true, PeriodSamples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range zero.Graph.Skew {
+		if s != 0 {
+			t.Fatal("explicit zero SkewFrac must disable skews")
+		}
+	}
+	def, err := Prepare(c, Options{PeriodSamples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for _, s := range def.Graph.Skew {
+		if s != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("zero value must keep the 3% default skews")
+	}
+}
+
+func TestOptionsCanonicalAndKey(t *testing.T) {
+	if (Options{}).Key() != (Options{SkewFrac: 0.03, Seed: 0xBEEF, PeriodSamples: 4000, Regions: 1}).Key() {
+		t.Fatal("zero options must canonicalize to the defaults")
+	}
+	if (Options{SkewFrac: -3}).Key() != (Options{SkewFrac: -0.5}).Key() {
+		t.Fatal("all negative skew fractions mean no-skew")
+	}
+	if (Options{SkewFrac: -1}).Key() != (Options{HasSkewFrac: true}).Key() {
+		t.Fatal("explicit zero skew and negative skew are the same preparation")
+	}
+	if (Options{}).Key() == (Options{HasSeed: true}).Key() {
+		t.Fatal("explicit seed 0 must key differently from the default seed")
+	}
+	if (Options{Regions: 0}).Key() != (Options{Regions: 1}).Key() {
+		t.Fatal("0 and 1 regions are the same model")
+	}
+	if (Options{Regions: 1}).Key() == (Options{Regions: 4}).Key() {
+		t.Fatal("region count must be part of the key")
+	}
+	// Canonical is idempotent.
+	c := Options{PeriodSamples: 123, Seed: 7}.Canonical()
+	if c != c.Canonical() {
+		t.Fatal("Canonical not idempotent")
+	}
+}
+
 func TestTargets(t *testing.T) {
 	b := smallBench(t)
 	if b.PeriodFor(MuT) != b.Period.Mu {

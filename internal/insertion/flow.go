@@ -3,8 +3,6 @@ package insertion
 import (
 	"fmt"
 	"math"
-	"sort"
-	"sync"
 
 	"repro/internal/mc"
 	"repro/internal/placement"
@@ -18,98 +16,12 @@ import (
 // nil, in which case grouping uses correlation only (infinite distances are
 // never below the threshold, so buffers stay ungrouped unless pl is given —
 // matching a flow run before placement).
+//
+// Run builds a one-shot Runner; callers answering repeated queries on the
+// same circuit should hold a Runner and call its Run method so the warm
+// solver pool survives across calls.
 func Run(g *timing.Graph, pl *placement.Placement, cfg Config) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
-	res := &Result{Cfg: cfg}
-	res.Stats.Samples = cfg.Samples
-	eng := mc.New(g, cfg.Seed)
-	eng.Workers = cfg.Workers
-	eng.OnRealize = cfg.onRealize
-	// The step-1/step-2 passes iterate the same (Seed, k) sample stream, so
-	// when the realized population fits the configured budget it is
-	// materialized once and every pass replays the cache — byte-identical
-	// results, one realization per chip for the whole flow.
-	var src mc.Source = eng
-	if cfg.ChipCacheMB > 0 && eng.PopulationBytes(cfg.Samples) <= int64(cfg.ChipCacheMB)<<20 {
-		src = eng.Materialize(cfg.Samples)
-	}
-
-	// ---------- Step 1: floating lower bounds (§III-A1, III-A3) ----------
-	s1 := runPass(g, src, cfg, modeFloating, nil, nil, nil)
-	res.Stats.InfeasibleStep1 = s1.infeasible
-	res.Stats.SelfLoopFailures = s1.selfLoop
-	res.Stats.ZeroViolation = s1.zeroViolation
-	res.Stats.TruncatedComps = s1.truncated
-	res.Stats.TuneCountStep1 = s1.counts
-	res.Stats.ValuesStep1 = s1.values
-
-	// ---------- Pruning through step-2 inputs (§III-A2 … §III-B1) ----------
-	st2 := deriveStepTwo(g, src, cfg, s1)
-	kept := st2.kept
-	lower := st2.lower
-	res.Stats.KeptFFs = st2.kept
-	res.Stats.PrunedFFs = st2.pruned
-	res.Stats.MissingFrac = st2.missingFrac
-	res.Stats.SkippedB1 = st2.skippedB1
-
-	// ---------- Step 2: fixed bounds (§III-B1, III-B2) ----------
-	s2 := runPass(g, src, cfg, modeFixed, st2.allowed, st2.lower, st2.center)
-	res.Stats.InfeasibleStep2 = s2.infeasible + s2.selfLoop
-	res.Stats.ValuesStep2 = s2.values
-
-	// ---------- Final ranges (§III-B2, Fig. 5c) ----------
-	step := cfg.Spec.Step()
-	for _, ff := range kept {
-		vals := s2.values[ff]
-		if len(vals) == 0 {
-			continue // never used with fixed windows: no buffer needed
-		}
-		lo, hi := vals[0], vals[0]
-		sum := 0.0
-		for _, v := range vals {
-			lo = math.Min(lo, v)
-			hi = math.Max(hi, v)
-			sum += v
-		}
-		// The range must allow the neutral setting x=0.
-		lo = math.Min(lo, 0)
-		hi = math.Max(hi, 0)
-		res.Buffers = append(res.Buffers, Buffer{
-			FF:         ff,
-			Lower:      lower[ff],
-			Lo:         lo,
-			Hi:         hi,
-			RangeSteps: int(math.Round((hi - lo) / step)),
-			Uses:       len(vals),
-			Avg:        sum / float64(len(vals)),
-		})
-	}
-	sort.Slice(res.Buffers, func(i, j int) bool { return res.Buffers[i].FF < res.Buffers[j].FF })
-
-	// ---------- Step 3: grouping (§III-C) ----------
-	if cfg.NoGrouping {
-		for _, b := range res.Buffers {
-			res.Groups = append(res.Groups, Group{FFs: []int{b.FF}, Lo: b.Lo, Hi: b.Hi, Uses: b.Uses})
-		}
-		res.Groups = capGroups(res.Groups, cfg.MaxBuffers)
-		return res, nil
-	}
-	// Sample-aligned tuning vectors for the correlation of §III-C.
-	dense := make(map[int][]float64, len(res.Buffers))
-	for _, b := range res.Buffers {
-		dense[b.FF] = make([]float64, cfg.Samples)
-	}
-	for k, tns := range s2.perSample {
-		for _, tn := range tns {
-			if v, ok := dense[tn.FF]; ok {
-				v[k] = tn.Val
-			}
-		}
-	}
-	res.Groups = groupBuffers(res.Buffers, dense, cfg, pl)
-	return res, nil
+	return NewRunner(g, pl).Run(cfg)
 }
 
 // passResult aggregates one sampling pass.
@@ -128,13 +40,13 @@ type passResult struct {
 // results land in arrays indexed by the sample id (each written exactly
 // once, so no locking) and are reduced sequentially afterward — the
 // aggregate statistics are bit-identical regardless of worker scheduling.
-func runPass(g *timing.Graph, src mc.Source, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *passResult {
+// Solvers come from the Runner's warm pool via checkout/release, so a pass
+// on a warm Runner allocates no solver state.
+func (r *Runner) runPass(src mc.Source, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *passResult {
+	g := r.g
 	raw := make([]sampleOutcome, cfg.Samples)
-	var solverPool = sync.Pool{New: func() any {
-		return newSampleSolver(g, cfg, mode, allowed, lower, center)
-	}}
 	src.ForEachBatch(cfg.Samples, func(k int, ch *timing.Chip) {
-		sv := solverPool.Get().(*sampleSolver)
+		sv := r.checkout(cfg, mode, allowed, lower, center)
 		out := sv.solve(ch)
 		if len(out.tuned) > 0 {
 			// out.tuned aliases solver scratch that the next sample on this
@@ -142,7 +54,7 @@ func runPass(g *timing.Graph, src mc.Source, cfg Config, mode solverMode, allowe
 			out.tuned = append([]tuning(nil), out.tuned...)
 		}
 		raw[k] = out
-		solverPool.Put(sv)
+		r.release(sv)
 	})
 	pr := &passResult{
 		counts:    make([]int, g.NS),
@@ -190,7 +102,8 @@ type stepTwoState struct {
 // skip rule — when too many samples tuned outside their assigned windows,
 // an intermediate fixed-window pass recomputes the tuning averages — and
 // the grid-snapped concentration centers.
-func deriveStepTwo(g *timing.Graph, src mc.Source, cfg Config, s1 *passResult) stepTwoState {
+func (r *Runner) deriveStepTwo(src mc.Source, cfg Config, s1 *passResult) stepTwoState {
+	g := r.g
 	var st stepTwoState
 	if cfg.NoPruning {
 		for ff := 0; ff < g.NS; ff++ {
@@ -229,7 +142,7 @@ func deriveStepTwo(g *timing.Graph, src mc.Source, cfg Config, s1 *passResult) s
 	// Concentration centers: average of the latest tuning values per FF.
 	avgSource := s1.values
 	if !st.skippedB1 {
-		b1 := runPass(g, src, cfg, modeFixed, st.allowed, st.lower, nil)
+		b1 := r.runPass(src, cfg, modeFixed, st.allowed, st.lower, nil)
 		avgSource = b1.values
 	}
 	st.center = gridCenters(g.NS, st.allowed, st.lower, avgSource, cfg.Spec)

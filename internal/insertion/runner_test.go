@@ -1,0 +1,107 @@
+package insertion
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/placement"
+	"repro/internal/ssta"
+	"repro/internal/timing"
+
+	"repro/internal/cells"
+	"repro/internal/variation"
+)
+
+// runnerGraph builds a small real circuit graph with a placement, the shape
+// a serving Runner sees.
+func runnerGraph(t *testing.T) (*timing.Graph, *placement.Placement) {
+	t.Helper()
+	c, err := gen.Generate(gen.Config{NumFFs: 20, NumGates: 90, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ssta.New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := timing.Build(a, nil)
+	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
+	return g, pl
+}
+
+// TestRunnerReuseMatchesFreshRun: a warm Runner answering a sequence of
+// different (T, seed, budget) queries returns exactly what a fresh
+// one-shot Run returns for each query — pooled solver reuse and pass
+// reconfiguration never leak state between runs.
+func TestRunnerReuseMatchesFreshRun(t *testing.T) {
+	g, pl := runnerGraph(t)
+	r := NewRunner(g, pl)
+	mu := nominalPeriod(g)
+	cfgs := []Config{
+		{T: mu * 0.98, Samples: 120, Seed: 3},
+		{T: mu * 1.02, Samples: 120, Seed: 3},
+		{T: mu * 0.98, Samples: 120, Seed: 9, MaxBuffers: 2},
+		{T: mu * 0.98, Samples: 120, Seed: 3}, // repeat of the first query
+	}
+	for i, cfg := range cfgs {
+		warm, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		fresh, err := Run(g, pl, cfg)
+		if err != nil {
+			t.Fatalf("cfg %d fresh: %v", i, err)
+		}
+		if !reflect.DeepEqual(warm.Buffers, fresh.Buffers) || !reflect.DeepEqual(warm.Groups, fresh.Groups) {
+			t.Fatalf("cfg %d: warm Runner result diverges from fresh Run", i)
+		}
+	}
+}
+
+// TestRunnerConcurrentRuns: overlapping Run calls on one shared Runner —
+// the serving pattern — are race-free (run under -race) and each returns
+// the same result as an isolated run of its query.
+func TestRunnerConcurrentRuns(t *testing.T) {
+	g, pl := runnerGraph(t)
+	r := NewRunner(g, pl)
+	mu := nominalPeriod(g)
+	queries := []Config{
+		{T: mu * 0.97, Samples: 100, Seed: 1},
+		{T: mu * 0.99, Samples: 100, Seed: 2},
+		{T: mu * 1.01, Samples: 100, Seed: 3},
+		{T: mu * 0.97, Samples: 100, Seed: 4},
+		{T: mu * 0.99, Samples: 100, Seed: 1, MaxBuffers: 1},
+		{T: mu * 0.97, Samples: 100, Seed: 1},
+	}
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, cfg := range queries {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i, cfg := range queries {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		fresh, err := Run(g, pl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i].Buffers, fresh.Buffers) || !reflect.DeepEqual(results[i].Groups, fresh.Groups) {
+			t.Fatalf("query %d: concurrent shared-Runner result diverges from isolated run", i)
+		}
+	}
+}
+
+// nominalPeriod returns the zero-variation required period, a natural
+// scale for test targets.
+func nominalPeriod(g *timing.Graph) float64 {
+	return g.RequiredPeriod(g.NominalChip())
+}

@@ -34,11 +34,15 @@ const (
 	modeFixed                      // step 2: x ∈ {lowerᵢ + k·s} discrete
 )
 
-// sampleSolver carries the per-flow configuration plus per-worker scratch:
+// sampleSolver carries the per-pass configuration plus per-worker scratch:
 // a resettable MILP problem, a branch-and-bound arena, and epoch-stamped
 // index maps, so solving a component in steady state reuses worker-owned
-// memory and performs no heap allocations. Not safe for concurrent use;
-// create one per worker.
+// memory and performs no heap allocations.
+//
+// Ownership: a solver is single-goroutine state. Workers obtain one through
+// Runner.checkout — which hands out exclusive ownership until release — and
+// the graph-sized scratch survives across passes and across Run calls; only
+// the cheap per-pass configuration (configure) changes between checkouts.
 type sampleSolver struct {
 	g    *timing.Graph
 	T    float64
@@ -84,39 +88,54 @@ type sampleSolver struct {
 	posIdx    []int
 	posEpoch  []uint64
 	seenEpoch []uint64
+
+	// allTrue / zeroCenter are the default pass parameters (every FF
+	// allowed, concentrate toward 0), built once with the scratch so
+	// configure(nil, …, nil) needs no allocation. Read-only after init.
+	allTrue    []bool
+	zeroCenter []float64
 }
 
-func newSampleSolver(g *timing.Graph, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *sampleSolver {
+// newSolverScratch allocates the graph-sized solver state shared by every
+// pass configuration. adj is the Runner's shared pair adjacency (read-only).
+func newSolverScratch(g *timing.Graph, adj [][]int) *sampleSolver {
 	s := &sampleSolver{
-		g:             g,
-		T:             cfg.T,
-		spec:          cfg.Spec,
-		mode:          mode,
-		allowed:       allowed,
-		lower:         lower,
-		center:        center,
-		maxComp:       cfg.MaxComponent,
-		concentration: !cfg.NoConcentration,
-		adj:           g.PairAdjacency(),
-		setupB:        make([]float64, len(g.Pairs)),
-		holdB:         make([]float64, len(g.Pairs)),
-		active:        make([]bool, g.NS),
-		compID:        make([]int, g.NS),
-		prob:          milp.NewProblem(),
-		posIdx:        make([]int, g.NS),
-		posEpoch:      make([]uint64, g.NS),
-		seenEpoch:     make([]uint64, len(g.Pairs)),
+		g:          g,
+		adj:        adj,
+		setupB:     make([]float64, len(g.Pairs)),
+		holdB:      make([]float64, len(g.Pairs)),
+		active:     make([]bool, g.NS),
+		compID:     make([]int, g.NS),
+		prob:       milp.NewProblem(),
+		posIdx:     make([]int, g.NS),
+		posEpoch:   make([]uint64, g.NS),
+		seenEpoch:  make([]uint64, len(g.Pairs)),
+		allTrue:    make([]bool, g.NS),
+		zeroCenter: make([]float64, g.NS),
 	}
-	if s.allowed == nil {
-		s.allowed = make([]bool, g.NS)
-		for i := range s.allowed {
-			s.allowed[i] = true
-		}
-	}
-	if s.center == nil {
-		s.center = make([]float64, g.NS)
+	for i := range s.allTrue {
+		s.allTrue[i] = true
 	}
 	return s
+}
+
+// configure points the solver at one pass's parameters. allowed/center may
+// be nil (every FF allowed, zero concentration targets); lower may be nil
+// in modeFloating. The slices are borrowed read-only for the duration of
+// the checkout — they are shared by every solver of the pass.
+func (s *sampleSolver) configure(cfg Config, mode solverMode, allowed []bool, lower, center []float64) {
+	s.T = cfg.T
+	s.spec = cfg.Spec
+	s.mode = mode
+	s.maxComp = cfg.MaxComponent
+	s.concentration = !cfg.NoConcentration
+	if allowed == nil {
+		allowed = s.allTrue
+	}
+	if center == nil {
+		center = s.zeroCenter
+	}
+	s.allowed, s.lower, s.center = allowed, lower, center
 }
 
 // windowOf returns the tuning window [lo, hi] of a buffer at ff.

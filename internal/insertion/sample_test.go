@@ -36,7 +36,7 @@ func solverFor(g *timing.Graph, T, tau float64, steps int, mode solverMode, allo
 	if err := cfg.fill(); err != nil {
 		panic(err)
 	}
-	return newSampleSolver(g, cfg, mode, allowed, lower, center)
+	return NewRunner(g, nil).checkout(cfg, mode, allowed, lower, center)
 }
 
 func TestSolveCleanChip(t *testing.T) {
@@ -271,7 +271,7 @@ func TestNoConcentrationStillFeasible(t *testing.T) {
 	if err := cfg.fill(); err != nil {
 		t.Fatal(err)
 	}
-	s := newSampleSolver(g, cfg, modeFloating, nil, nil, nil)
+	s := NewRunner(g, nil).checkout(cfg, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
 	if !out.feasible || out.nk != 1 {
 		t.Fatalf("out = %+v", out)

@@ -33,8 +33,9 @@ func NewSampleBench(g *timing.Graph, cfg Config) (*SampleBench, error) {
 	if cfg.ChipCacheMB > 0 && eng.PopulationBytes(cfg.Samples) <= int64(cfg.ChipCacheMB)<<20 {
 		src = eng.Materialize(cfg.Samples)
 	}
-	s1 := runPass(g, src, cfg, modeFloating, nil, nil, nil)
-	st2 := deriveStepTwo(g, src, cfg, s1)
+	r := NewRunner(g, nil)
+	s1 := r.runPass(src, cfg, modeFloating, nil, nil, nil)
+	st2 := r.deriveStepTwo(src, cfg, s1)
 	bestK, bestN := -1, 0
 	for k, tns := range s1.perSample {
 		if len(tns) > bestN {
@@ -44,9 +45,11 @@ func NewSampleBench(g *timing.Graph, cfg Config) (*SampleBench, error) {
 	if bestK < 0 {
 		return nil, errors.New("insertion: no violating sample to benchmark")
 	}
+	// The two solvers are checked out for the benchmark's lifetime (never
+	// released), so Solve owns them exclusively.
 	return &SampleBench{
-		s1:   newSampleSolver(g, cfg, modeFloating, nil, nil, nil),
-		s2:   newSampleSolver(g, cfg, modeFixed, st2.allowed, st2.lower, st2.center),
+		s1:   r.checkout(cfg, modeFloating, nil, nil, nil),
+		s2:   r.checkout(cfg, modeFixed, st2.allowed, st2.lower, st2.center),
 		chip: eng.Chip(bestK),
 	}, nil
 }

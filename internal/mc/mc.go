@@ -17,6 +17,14 @@ import (
 )
 
 // Engine streams chip samples from a timing graph.
+//
+// Ownership: the configuration fields (Seed, Workers, Antithetic,
+// OnRealize) are owner-set before streaming and must not be mutated while
+// a pass is running. With the fields frozen, the streaming methods
+// themselves are safe to call concurrently — each pass owns its worker
+// chips and claims samples through its own atomic counter, and the Graph
+// is only read — so several passes (even from different goroutines of a
+// serving layer) may stream from one Engine at once.
 type Engine struct {
 	G *timing.Graph
 	// Seed selects the sample universe; chip k is deterministic in
@@ -184,6 +192,16 @@ func (e *Engine) PopulationBytes(n int) int64 {
 // two or three times). Replaying the cache is byte-identical to
 // re-realizing — chip k is deterministic in (Seed, k) either way — it just
 // skips the per-pass realization cost.
+//
+// Ownership: a Population is immutable once Materialize returns. Any
+// number of replay passes — including concurrent ForEachBatch calls from
+// different goroutines, the sharing pattern of a long-running service —
+// may run at once, because replay only reads the chip slabs. The single
+// sharp edge: the *timing.Chip values handed to consumer fns (and returned
+// by Chip) alias the shared slabs, so consumers must treat them as
+// read-only; in particular, never pass a cached chip to
+// Graph.RealizeInto, which would overwrite the universe for every other
+// consumer.
 type Population struct {
 	workers int
 	chips   []timing.Chip
@@ -219,7 +237,8 @@ func (e *Engine) Materialize(n int) *Population {
 // N returns the number of materialized chips.
 func (p *Population) N() int { return len(p.chips) }
 
-// Chip returns materialized chip k (aliased; do not modify).
+// Chip returns materialized chip k. The chip aliases the shared population
+// slabs: treat it as read-only (see the Population ownership contract).
 func (p *Population) Chip(k int) *timing.Chip { return &p.chips[k] }
 
 // ForEachBatch replays the cached chips through every fn, with the same

@@ -2,6 +2,7 @@ package mc
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -314,6 +315,69 @@ func TestStatsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 			if y := e.YieldAtZero(300, ref.Mu); y != refY {
 				t.Fatalf("anti=%v workers=%d: yield %+v != %+v", anti, workers, y, refY)
 			}
+		}
+	}
+}
+
+// TestPopulationConcurrentReplay: several passes replaying one shared
+// Population at once — the multi-request sharing pattern of the serving
+// layer — observe identical chips and full coverage. Meaningful under
+// -race: it proves replay is read-only on the shared slabs.
+func TestPopulationConcurrentReplay(t *testing.T) {
+	e := buildEngine(t, 15, 60, 3)
+	n := 300
+	pop := e.Materialize(n)
+	ref := make([]float64, n) // DMax[0] per chip from a solo pass
+	pop.ForEachBatch(n, func(k int, ch *timing.Chip) { ref[k] = ch.DMax[0] })
+
+	const passes = 6
+	sums := make([][]float64, passes)
+	var wg sync.WaitGroup
+	for p := 0; p < passes; p++ {
+		sums[p] = make([]float64, n)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pop.ForEachBatch(n, func(k int, ch *timing.Chip) {
+				sums[p][k] = ch.DMax[0]
+			})
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < passes; p++ {
+		for k := 0; k < n; k++ {
+			if sums[p][k] != ref[k] {
+				t.Fatalf("pass %d chip %d: concurrent replay diverged", p, k)
+			}
+		}
+	}
+}
+
+// TestEngineConcurrentPasses: with the configuration fields frozen, two
+// streaming passes on one Engine may overlap (each owns its worker chips
+// and atomic counter). Run under -race.
+func TestEngineConcurrentPasses(t *testing.T) {
+	e := buildEngine(t, 15, 60, 4)
+	n := 200
+	solo := make([]float64, n)
+	e.ForEach(n, func(k int, ch *timing.Chip) { solo[k] = ch.Setup[0] })
+
+	a := make([]float64, n)
+	b := make([]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		e.ForEach(n, func(k int, ch *timing.Chip) { a[k] = ch.Setup[0] })
+	}()
+	go func() {
+		defer wg.Done()
+		e.ForEach(n, func(k int, ch *timing.Chip) { b[k] = ch.Setup[0] })
+	}()
+	wg.Wait()
+	for k := 0; k < n; k++ {
+		if a[k] != solo[k] || b[k] != solo[k] {
+			t.Fatalf("chip %d: concurrent engine passes diverged", k)
 		}
 	}
 }

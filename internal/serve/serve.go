@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/timing"
+	"repro/internal/yield"
+)
+
+// Config sizes the server's caches and limits.
+type Config struct {
+	// MaxBenches caps the prepared-bench LRU (default 8). Preparation is
+	// seconds of SSTA per circuit; evicted benches are simply re-prepared.
+	MaxBenches int
+	// MaxPlans caps the per-bench insertion-result LRU (default 64).
+	MaxPlans int
+	// MaxPopulations caps the per-bench chip-population LRU (default 4).
+	MaxPopulations int
+	// MaxPopulationMB bounds one cached population (default 256 MiB);
+	// larger evaluation universes stream from the engine instead.
+	MaxPopulationMB int
+	// MaxInflight bounds concurrently served requests; excess requests get
+	// 429 (default 4 × GOMAXPROCS).
+	MaxInflight int
+	// MaxBodyBytes bounds a request body (default 16 MiB — inline .bench
+	// netlists are the large case).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fill() {
+	if c.MaxBenches <= 0 {
+		c.MaxBenches = 8
+	}
+	if c.MaxPlans <= 0 {
+		c.MaxPlans = 64
+	}
+	if c.MaxPopulations <= 0 {
+		c.MaxPopulations = 4
+	}
+	if c.MaxPopulationMB <= 0 {
+		c.MaxPopulationMB = 256
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+}
+
+// Server answers insertion and yield queries from warm prepared-benchmark
+// state. Safe for concurrent use; create with New.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	mu      sync.Mutex
+	benches *lruCache // bench key → *benchEntry
+
+	inflight chan struct{}
+	m        metrics
+}
+
+// metrics are the /metrics counters. All fields are atomics so handlers
+// never contend on a lock for accounting.
+type metrics struct {
+	requests  [nEndpoints]atomic.Int64
+	errors    [nEndpoints]atomic.Int64
+	rejected  atomic.Int64
+	inflight  atomic.Int64
+	benchHit  atomic.Int64
+	benchMiss atomic.Int64
+	planHit   atomic.Int64
+	planMiss  atomic.Int64
+	popHit    atomic.Int64
+	popMiss   atomic.Int64
+}
+
+type endpoint int
+
+const (
+	epPrepare endpoint = iota
+	epInsert
+	epYield
+	epHealthz
+	epMetrics
+	nEndpoints
+)
+
+var endpointNames = [nEndpoints]string{"prepare", "insert", "yield", "healthz", "metrics"}
+
+// benchEntry is one cached prepared benchmark with its warm query state:
+// the solver-pool Runner and the per-(seed, n) chip populations shared by
+// every request on this circuit. The prepare step runs once (sync.Once),
+// so concurrent first requests on a circuit pay one SSTA, not N.
+type benchEntry struct {
+	key  string
+	prep func() (*expt.Bench, error)
+	once sync.Once
+
+	// Set by the once; read-only afterwards.
+	sys       *core.System
+	runner    *insertion.Runner
+	err       error
+	elapsedMS int64
+
+	mu    sync.Mutex
+	plans *lruCache // insert key → *planEntry
+	pops  *lruCache // "seed:n" → *popEntry
+}
+
+// planEntry computes one insert query exactly once; concurrent identical
+// requests share the single flow run instead of each burning a full
+// multi-second insertion (same singleflight pattern as benchEntry).
+type planEntry struct {
+	once sync.Once
+	resp *InsertResponse
+	err  error
+}
+
+// popEntry materializes one population exactly once; requests needing the
+// same (seed, n) universe share the realized chips.
+type popEntry struct {
+	once sync.Once
+	pop  *mc.Population
+}
+
+// New builds a Server with its routes installed.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		benches:  newLRU(cfg.MaxBenches),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+	}
+	s.mux.Handle("/v1/prepare", s.jsonHandler(epPrepare, s.handlePrepare))
+	s.mux.Handle("/v1/insert", s.jsonHandler(epInsert, s.handleInsert))
+	s.mux.Handle("/v1/yield", s.jsonHandler(epYield, s.handleYield))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler (mount it on an http.Server; shutdown
+// is the caller's, via http.Server.Shutdown).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpError carries a status code through the handler return path.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// jsonHandler wraps one POST endpoint: inflight limiting, body capping,
+// request decoding, response encoding, and error mapping.
+func (s *Server) jsonHandler(ep endpoint, fn func(r *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests[ep].Add(1)
+		if r.Method != http.MethodPost {
+			s.fail(w, ep, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.m.rejected.Add(1)
+			s.fail(w, ep, http.StatusTooManyRequests, errors.New("server at max inflight requests"))
+			return
+		}
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		resp, err := fn(r)
+		if err != nil {
+			status := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			}
+			s.fail(w, ep, status, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+}
+
+func (s *Server) fail(w http.ResponseWriter, ep endpoint, status int, err error) {
+	s.m.errors[ep].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var req T
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		return req, badRequest("decoding request: %v", err)
+	}
+	return req, nil
+}
+
+// getBench returns the cached (or freshly prepared) bench entry for a
+// circuit × options. The LRU lookup is brief; preparation itself runs
+// outside the server lock, once per entry.
+func (s *Server) getBench(spec CircuitSpec, opt expt.Options) (*benchEntry, bool, error) {
+	ck, err := spec.Key()
+	if err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+	key := ck + "|" + opt.Key()
+	s.mu.Lock()
+	var e *benchEntry
+	hit := false
+	if v, ok := s.benches.get(key); ok {
+		e = v.(*benchEntry)
+		hit = true
+		s.m.benchHit.Add(1)
+	} else {
+		s.m.benchMiss.Add(1)
+		e = &benchEntry{
+			key: key,
+			prep: func() (*expt.Bench, error) {
+				c, err := spec.Build()
+				if err != nil {
+					return nil, err
+				}
+				return expt.Prepare(c, opt)
+			},
+			plans: newLRU(s.cfg.MaxPlans),
+			pops:  newLRU(s.cfg.MaxPopulations),
+		}
+		s.benches.put(key, e)
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		b, err := e.prep()
+		e.elapsedMS = time.Since(start).Milliseconds()
+		if err != nil {
+			e.err = fmt.Errorf("preparing %s: %w", key, err)
+			return
+		}
+		e.sys = core.NewSystem(b)
+		e.runner = insertion.NewRunner(b.Graph, b.Placement)
+	})
+	if e.err != nil {
+		// A bad circuit spec is the client's error; keep the entry cached
+		// so repeated bad requests stay cheap.
+		return nil, hit, badRequest("%v", e.err)
+	}
+	return e, hit, nil
+}
+
+// chipSource returns the evaluation sample source for (seed, n): a cached
+// shared population when it fits the budget, the streaming engine
+// otherwise. Replay and streaming are byte-identical by construction.
+func (s *Server) chipSource(e *benchEntry, seed uint64, n int) mc.Source {
+	g := e.sys.Graph()
+	eng := mc.New(g, seed)
+	if eng.PopulationBytes(n) > int64(s.cfg.MaxPopulationMB)<<20 {
+		return eng
+	}
+	key := fmt.Sprintf("%d:%d", seed, n)
+	e.mu.Lock()
+	var pe *popEntry
+	if v, ok := e.pops.get(key); ok {
+		pe = v.(*popEntry)
+		s.m.popHit.Add(1)
+	} else {
+		pe = &popEntry{}
+		e.pops.put(key, pe)
+		s.m.popMiss.Add(1)
+	}
+	e.mu.Unlock()
+	pe.once.Do(func() { pe.pop = eng.Materialize(n) })
+	return pe.pop
+}
+
+func (s *Server) handlePrepare(r *http.Request) (any, error) {
+	req, err := decode[PrepareRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	e, hit, err := s.getBench(req.Circuit, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	b := e.sys.Bench()
+	return &PrepareResponse{
+		Key:          e.key,
+		Name:         b.Name,
+		Summary:      e.sys.Summary(),
+		NS:           b.Graph.NS,
+		NG:           b.Circuit.NumGates(),
+		Mu:           b.Period.Mu,
+		Sigma:        b.Period.Sigma,
+		HoldViolRate: b.Period.HoldViolRate,
+		ElapsedMS:    e.elapsedMS,
+		Cached:       hit,
+	}, nil
+}
+
+// resolveT turns the request's target into a concrete period using the
+// bench's distribution: an explicit period wins, otherwise µT + k·σT.
+func resolveT(e *benchEntry, period, targetK *float64) (float64, error) {
+	switch {
+	case period != nil && targetK == nil:
+		return *period, nil
+	case targetK != nil && period == nil:
+		return e.sys.TargetPeriod(*targetK), nil
+	}
+	return 0, badRequest("need exactly one of period_ps, target_k")
+}
+
+func (s *Server) handleInsert(r *http.Request) (any, error) {
+	req, err := decode[InsertRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	if req.Samples <= 0 {
+		return nil, badRequest("need samples > 0")
+	}
+	e, _, err := s.getBench(req.Circuit, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	T, err := resolveT(e, req.Period, req.TargetK)
+	if err != nil {
+		return nil, err
+	}
+	// Workers is deliberately not part of the key: results are
+	// byte-identical across worker counts, so any cached plan answers any
+	// parallelism setting.
+	planKey := fmt.Sprintf("%x:%d:%d:%d", math.Float64bits(T), req.Samples, req.Seed, req.MaxBuffers)
+	e.mu.Lock()
+	var pe *planEntry
+	hit := false
+	if v, ok := e.plans.get(planKey); ok {
+		pe = v.(*planEntry)
+		hit = true
+		s.m.planHit.Add(1)
+	} else {
+		pe = &planEntry{}
+		e.plans.put(planKey, pe)
+		s.m.planMiss.Add(1)
+	}
+	e.mu.Unlock()
+	pe.once.Do(func() {
+		start := time.Now()
+		res, err := e.runner.Run(insertion.Config{
+			T:          T,
+			Samples:    req.Samples,
+			Seed:       req.Seed,
+			MaxBuffers: req.MaxBuffers,
+			Workers:    req.Workers,
+		})
+		if err != nil {
+			// Deterministic in the keyed inputs, so caching the failure is
+			// correct and keeps repeated bad queries cheap.
+			pe.err = badRequest("insertion: %v", err)
+			return
+		}
+		st := res.Stats
+		pe.resp = &InsertResponse{
+			Plan: res.Plan(e.sys.Name()),
+			T:    T,
+			Nb:   res.NumPhysicalBuffers(),
+			Ab:   res.AvgRangeSteps(),
+			Stats: InsertStats{
+				Samples:          st.Samples,
+				ZeroViolation:    st.ZeroViolation,
+				InfeasibleStep1:  st.InfeasibleStep1,
+				InfeasibleStep2:  st.InfeasibleStep2,
+				SelfLoopFailures: st.SelfLoopFailures,
+				MissingFrac:      st.MissingFrac,
+				SkippedB1:        st.SkippedB1,
+			},
+			ElapsedMS: time.Since(start).Milliseconds(),
+		}
+	})
+	if pe.err != nil {
+		return nil, pe.err
+	}
+	resp := *pe.resp
+	resp.Cached = hit
+	return &resp, nil
+}
+
+func (s *Server) handleYield(r *http.Request) (any, error) {
+	req, err := decode[YieldRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	if req.EvalSamples <= 0 {
+		return nil, badRequest("need eval_samples > 0")
+	}
+	if len(req.Queries) == 0 {
+		return nil, badRequest("need at least one query")
+	}
+	e, _, err := s.getBench(req.Circuit, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	src := s.chipSource(e, req.Seed, req.EvalSamples)
+	results, err := EvaluateQueries(e.sys.Graph(), src, req.EvalSamples, req.Queries)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return &YieldResponse{
+		Results:   results,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
+// EvaluateQueries expands every query into its named sweeps (the plan
+// alone, or the baseline.Strategies comparison set around it) and answers
+// the whole batch from one shared realization pass (yield.EvaluateMany) —
+// n chips are realized once in total, not once per (query, strategy,
+// period). It is the single evaluation path shared by the /v1/yield
+// handler and the CLIs' in-process mode, which is what keeps their
+// outputs byte-identical by construction. Errors are client errors
+// (malformed plans, unsorted sweeps).
+func EvaluateQueries(g *timing.Graph, src mc.Source, n int, queries []YieldQuery) ([]YieldResult, error) {
+	results := make([]YieldResult, len(queries))
+	var sweeps []*yield.SweepEvaluator
+	for qi, q := range queries {
+		if err := q.Plan.Validate(); err != nil {
+			return nil, fmt.Errorf("query %d: %w", qi, err)
+		}
+		Ts := q.Periods
+		if len(Ts) == 0 {
+			Ts = []float64{q.Plan.T}
+		}
+		set := []baseline.Named{{Name: "plan", Groups: q.Plan.Groups}}
+		if q.Strategies {
+			set = baseline.Strategies(g, q.Plan.Spec, q.Plan.T, q.Plan.Groups, q.StrategySeed)
+		}
+		for _, st := range set {
+			ev, err := yield.NewEvaluator(g, q.Plan.Spec, st.Groups)
+			if err != nil {
+				return nil, fmt.Errorf("query %d (%s): %w", qi, st.Name, err)
+			}
+			sw, err := yield.NewSweepEvaluator(ev, Ts)
+			if err != nil {
+				return nil, fmt.Errorf("query %d (%s): %w", qi, st.Name, err)
+			}
+			results[qi].Names = append(results[qi].Names, st.Name)
+			sweeps = append(sweeps, sw)
+		}
+	}
+	reports := yield.EvaluateMany(src, n, sweeps...)
+	i := 0
+	for qi := range results {
+		for range results[qi].Names {
+			results[qi].Reports = append(results[qi].Reports, reports[i])
+			i++
+		}
+	}
+	return results, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epHealthz].Add(1)
+	s.mu.Lock()
+	benches := s.benches.len()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"benches":        benches,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.m.requests[epMetrics].Add(1)
+	s.mu.Lock()
+	benches := s.benches.len()
+	s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE bufinsd_requests_total counter\n")
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		fmt.Fprintf(&b, "bufinsd_requests_total{endpoint=%q} %d\n", endpointNames[ep], s.m.requests[ep].Load())
+	}
+	fmt.Fprintf(&b, "# TYPE bufinsd_errors_total counter\n")
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		fmt.Fprintf(&b, "bufinsd_errors_total{endpoint=%q} %d\n", endpointNames[ep], s.m.errors[ep].Load())
+	}
+	fmt.Fprintf(&b, "# TYPE bufinsd_rejected_total counter\nbufinsd_rejected_total %d\n", s.m.rejected.Load())
+	fmt.Fprintf(&b, "# TYPE bufinsd_inflight gauge\nbufinsd_inflight %d\n", s.m.inflight.Load())
+	fmt.Fprintf(&b, "# TYPE bufinsd_benches gauge\nbufinsd_benches %d\n", benches)
+	fmt.Fprintf(&b, "# TYPE bufinsd_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"bench\"} %d\n", s.m.benchHit.Load())
+	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"plan\"} %d\n", s.m.planHit.Load())
+	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"population\"} %d\n", s.m.popHit.Load())
+	fmt.Fprintf(&b, "# TYPE bufinsd_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"bench\"} %d\n", s.m.benchMiss.Load())
+	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"plan\"} %d\n", s.m.planMiss.Load())
+	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"population\"} %d\n", s.m.popMiss.Load())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}

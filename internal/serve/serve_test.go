@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/yield"
+)
+
+// tinySpec is the generated circuit every test serves: small enough that a
+// cold prepare is fast, big enough to need buffers at tight targets.
+func tinySpec() CircuitSpec {
+	return CircuitSpec{Gen: &gen.Config{NumFFs: 20, NumGates: 90, Seed: 7}}
+}
+
+func tinyOptions() expt.Options {
+	return expt.Options{PeriodSamples: 500}
+}
+
+func newTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+func insertReq(samples int, seed uint64) InsertRequest {
+	k := 0.0
+	return InsertRequest{
+		Circuit: tinySpec(),
+		Options: tinyOptions(),
+		TargetK: &k,
+		Samples: samples,
+		Seed:    seed,
+	}
+}
+
+// inProcessBench prepares the same bench the server builds for tinySpec.
+func inProcessBench(t *testing.T) *expt.Bench {
+	t.Helper()
+	c, err := tinySpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := expt.Prepare(c, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestInsertMatchesInProcess: the service path must produce byte-identical
+// plans to the batch path — same circuit, options, target arithmetic,
+// samples, and seed mean the same deterministic flow.
+func TestInsertMatchesInProcess(t *testing.T) {
+	_, cl := newTestServer(t)
+	got, err := cl.Insert(insertReq(150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := inProcessBench(t)
+	res, err := insertion.Run(b.Graph, b.Placement, insertion.Config{
+		T: b.PeriodFor(expt.MuT), Samples: 150, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Plan(b.Name)
+	gotJSON, _ := json.Marshal(got.Plan)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("server plan != in-process plan:\n%s\n%s", gotJSON, wantJSON)
+	}
+	if got.Nb != res.NumPhysicalBuffers() || got.Ab != res.AvgRangeSteps() {
+		t.Fatalf("summary numbers diverge: %+v", got)
+	}
+	if got.Stats.Samples != 150 {
+		t.Fatalf("stats: %+v", got.Stats)
+	}
+}
+
+// TestInsertPlanCache: an identical repeated query is answered from the
+// plan cache, marked Cached, and byte-identical to the first answer.
+func TestInsertPlanCache(t *testing.T) {
+	s, cl := newTestServer(t)
+	first, err := cl.Insert(insertReq(120, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first query cannot be a cache hit")
+	}
+	second, err := cl.Insert(insertReq(120, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat query must hit the plan cache")
+	}
+	a, _ := json.Marshal(first.Plan)
+	b, _ := json.Marshal(second.Plan)
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached plan differs from computed plan")
+	}
+	if s.m.planHit.Load() != 1 || s.m.benchMiss.Load() != 1 {
+		t.Fatalf("cache counters: planHit=%d benchMiss=%d", s.m.planHit.Load(), s.m.benchMiss.Load())
+	}
+	// A different budget is a different query.
+	req := insertReq(120, 5)
+	req.MaxBuffers = 1
+	third, err := cl.Insert(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("different budget must not hit the cache")
+	}
+}
+
+// TestPlanRoundTripThroughService: Save → HTTP body → LoadPlan → Validate.
+// The serialized plan that crosses the service boundary reloads into an
+// equal, valid plan.
+func TestPlanRoundTripThroughService(t *testing.T) {
+	_, cl := newTestServer(t)
+	resp, err := cl.Insert(insertReq(150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := resp.Plan.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := insertion.LoadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*loaded, resp.Plan) {
+		t.Fatalf("round-tripped plan differs:\n%+v\n%+v", *loaded, resp.Plan)
+	}
+	// And the loaded plan is accepted back by the service.
+	yr, err := cl.Yield(YieldRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		EvalSamples: 400, Seed: 99,
+		Queries: []YieldQuery{{Plan: *loaded}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(yr.Results) != 1 || len(yr.Results[0].Reports) != 1 {
+		t.Fatalf("results: %+v", yr.Results)
+	}
+}
+
+// TestYieldMalformedPlan400: a structurally invalid plan is rejected with
+// HTTP 400 and a JSON error body, not a 500 or a bogus report.
+func TestYieldMalformedPlan400(t *testing.T) {
+	_, cl := newTestServer(t)
+	bad := insertion.Plan{
+		Circuit: "x", T: 100,
+		Spec:   insertion.BufferSpec{MaxRange: 12.5, Steps: 20},
+		Groups: []insertion.Group{{FFs: []int{0}, Lo: 3, Hi: 9}}, // window misses 0
+	}
+	_, err := cl.Yield(YieldRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		EvalSamples: 100, Seed: 1,
+		Queries: []YieldQuery{{Plan: bad}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("want HTTP 400, got %v", err)
+	}
+	// Truly malformed JSON bodies are 400 too.
+	resp, err := cl.HTTP.Post(cl.Base+"/v1/yield", "application/json",
+		strings.NewReader(`{"queries": [{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: HTTP %d", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error == "" {
+		t.Fatal("error body must be JSON with a message")
+	}
+}
+
+// TestEmptyGroupsPlanValidatesAndYields: a plan with no groups is legal —
+// it means "no buffers inserted" — Validate accepts it and the service
+// reports tuned yield equal to original yield.
+func TestEmptyGroupsPlanValidatesAndYields(t *testing.T) {
+	_, cl := newTestServer(t)
+	empty := insertion.Plan{
+		Circuit: "tiny", T: 1000,
+		Spec: insertion.BufferSpec{MaxRange: 125, Steps: 20},
+	}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty-groups plan must validate: %v", err)
+	}
+	yr, err := cl.Yield(YieldRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		EvalSamples: 300, Seed: 11,
+		Queries: []YieldQuery{{Plan: empty}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := yr.Results[0].Reports[0]
+	if rep.Tuned[0] != rep.Original[0] {
+		t.Fatalf("no buffers must mean no improvement: %+v", rep)
+	}
+}
+
+// TestYieldMatchesInProcess: the service's batched strategy evaluation is
+// byte-identical to yield.EvaluateMany run locally on the same universe.
+func TestYieldMatchesInProcess(t *testing.T) {
+	_, cl := newTestServer(t)
+	ins, err := cl.Insert(insertReq(150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const evalN, evalSeed = 600, 4099
+	Ts := []float64{ins.T * 0.98, ins.T, ins.T * 1.02}
+	yr, err := cl.Yield(YieldRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		EvalSamples: evalN, Seed: evalSeed,
+		Queries: []YieldQuery{{Plan: ins.Plan, Periods: Ts, Strategies: true, StrategySeed: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := inProcessBench(t)
+	ev, err := yield.NewEvaluator(b.Graph, ins.Plan.Spec, ins.Plan.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := yield.NewSweepEvaluator(ev, Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := yield.EvaluateMany(mc.New(b.Graph, evalSeed), evalN, sw)[0]
+	got := yr.Results[0]
+	if got.Names[0] != "sampling" || len(got.Names) != 4 {
+		t.Fatalf("strategy names: %v", got.Names)
+	}
+	gj, _ := json.Marshal(got.Reports[0])
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("sampling sweep diverges:\n%s\n%s", gj, wj)
+	}
+}
+
+// TestConcurrentMixedRequests: overlapping prepare/insert/yield on one
+// server — shared bench, shared runner, shared populations — stays
+// correct (checked against the sequential answers) and race-free.
+func TestConcurrentMixedRequests(t *testing.T) {
+	s := New(Config{MaxInflight: 64})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	cl := NewClient(ts.URL)
+	ref, err := cl.Insert(insertReq(100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(ref.Plan)
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				r, err := cl.Insert(insertReq(100, 2))
+				if err == nil {
+					if j, _ := json.Marshal(r.Plan); !bytes.Equal(j, refJSON) {
+						err = fmt.Errorf("concurrent insert diverged")
+					}
+				}
+				errs[i] = err
+			case 1:
+				r, err := cl.Insert(insertReq(100, uint64(40+i)))
+				if err == nil && r.Plan.T != ref.Plan.T {
+					err = fmt.Errorf("target drifted")
+				}
+				errs[i] = err
+			default:
+				_, err := cl.Yield(YieldRequest{
+					Circuit: tinySpec(), Options: tinyOptions(),
+					EvalSamples: 200, Seed: 77,
+					Queries: []YieldQuery{{Plan: ref.Plan}},
+				})
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestRequestValidation: the documented 400 family.
+func TestRequestValidation(t *testing.T) {
+	_, cl := newTestServer(t)
+	for name, req := range map[string]InsertRequest{
+		"no-circuit":  {Samples: 10, TargetK: new(float64)},
+		"no-target":   {Circuit: tinySpec(), Samples: 10},
+		"no-samples":  {Circuit: tinySpec(), TargetK: new(float64)},
+		"two-targets": {Circuit: tinySpec(), Samples: 10, TargetK: new(float64), Period: new(float64)},
+		"bad-preset":  {Circuit: CircuitSpec{Preset: "nope"}, Samples: 10, TargetK: new(float64)},
+		"two-specs":   {Circuit: CircuitSpec{Preset: "s9234", Bench: "x"}, Samples: 10, TargetK: new(float64)},
+	} {
+		if _, err := cl.Insert(req); err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+			t.Fatalf("%s: want HTTP 400, got %v", name, err)
+		}
+	}
+}
+
+// TestInflightLimit: when the admission semaphore is full, requests are
+// rejected with 429 instead of queueing without bound.
+func TestInflightLimit(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	s.inflight <- struct{}{} // occupy the only slot
+	_, err := cl.Insert(insertReq(10, 1))
+	if err == nil || !strings.Contains(err.Error(), "HTTP 429") {
+		t.Fatalf("want HTTP 429, got %v", err)
+	}
+	<-s.inflight
+	if s.m.rejected.Load() != 1 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// TestHealthzAndMetrics: liveness and the counter surface.
+func TestHealthzAndMetrics(t *testing.T) {
+	s, cl := newTestServer(t)
+	if err := cl.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Insert(insertReq(80, 1)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.HTTP.Get(cl.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		`bufinsd_requests_total{endpoint="insert"} 1`,
+		`bufinsd_cache_misses_total{cache="bench"} 1`,
+		"bufinsd_benches 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	_ = s
+}
+
+// TestBenchEviction: the bench LRU stays within its cap.
+func TestBenchEviction(t *testing.T) {
+	s := New(Config{MaxBenches: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	for seed := uint64(1); seed <= 3; seed++ {
+		spec := CircuitSpec{Gen: &gen.Config{NumFFs: 12, NumGates: 40, Seed: seed}}
+		if _, err := cl.Prepare(PrepareRequest{Circuit: spec, Options: expt.Options{PeriodSamples: 200}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	n := s.benches.len()
+	s.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("bench cache size %d, want 1", n)
+	}
+}

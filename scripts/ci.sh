@@ -21,10 +21,37 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== service smoke (bufinsd) =="
+# Start the daemon on an ephemeral port, then drive its self-check: the
+# probe prepares + inserts a tiny generated circuit through the HTTP API
+# and verifies the plan and yield report are byte-identical to the
+# in-process flow.
+smokedir=$(mktemp -d)
+go build -o "$smokedir/bufinsd" ./cmd/bufinsd
+"$smokedir/bufinsd" -addr 127.0.0.1:0 -addr-file "$smokedir/addr" \
+    >"$smokedir/log" 2>&1 &
+smokepid=$!
+trap 'kill "$smokepid" 2>/dev/null || true; rm -rf "$smokedir"' EXIT
+for _ in $(seq 100); do
+    [ -s "$smokedir/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$smokedir/addr" ]; then
+    cat "$smokedir/log" >&2
+    echo "bufinsd failed to start" >&2
+    exit 1
+fi
+"$smokedir/bufinsd" -check "http://$(cat "$smokedir/addr")"
+kill "$smokepid" 2>/dev/null || true
+wait "$smokepid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$smokedir"
+
 echo "== bench smoke (substrates, 1 iteration) =="
 go test -run '^$' \
     -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
     -benchtime=1x .
+go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare' -benchtime=1x ./internal/serve
 
 echo "== fuzz (solver equivalence, short budget) =="
 # Cross-check the warm-start solver paths against cold solves and the
