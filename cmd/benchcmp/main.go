@@ -14,9 +14,16 @@
 // adding a benchmark lands in the same PR that regenerates BENCH_*.json
 // without a two-step gate dance.
 //
+// -json writes a machine-readable verdict (per-benchmark deltas plus the
+// overall pass/fail) to a file, and when the GITHUB_STEP_SUMMARY
+// environment variable names a writable file — as it does inside a GitHub
+// Actions step — the same verdict is appended there as a markdown table,
+// so a failed bench gate is diagnosable from the run page without
+// downloading logs.
+//
 // Usage:
 //
-//	benchcmp [-max-ns-regress 0.30] old.json new.json
+//	benchcmp [-max-ns-regress 0.30] [-json summary.json] old.json new.json
 package main
 
 import (
@@ -69,49 +76,105 @@ func warm(name string, old entry) bool {
 	return old.AllocsOp != nil && *old.AllocsOp == 0
 }
 
+// delta is one benchmark's comparison in the machine-readable summary.
+type delta struct {
+	Name string `json:"name"`
+	// Status: "ok", "fail-ns", "fail-allocs", "fail-ns-allocs" (both
+	// gates), "missing" (baseline entry absent from the new run), or "new"
+	// (no baseline; informational).
+	Status    string   `json:"status"`
+	OldNs     *float64 `json:"old_ns_per_op,omitempty"`
+	NewNs     *float64 `json:"new_ns_per_op,omitempty"`
+	NsFrac    *float64 `json:"ns_delta_frac,omitempty"`
+	OldAllocs *float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocs *float64 `json:"new_allocs_per_op,omitempty"`
+}
+
+// summary is the -json document: the gate verdict plus every delta.
+type summary struct {
+	Pass         bool    `json:"pass"`
+	MaxNsRegress float64 `json:"max_ns_regress"`
+	Compared     int     `json:"compared"`
+	Failures     int     `json:"failures"`
+	Benchmarks   []delta `json:"benchmarks"`
+}
+
 func main() {
 	maxNs := flag.Float64("max-ns-regress", 0.30, "tolerated fractional ns/op regression")
+	jsonOut := flag.String("json", "", "write a machine-readable verdict (per-benchmark deltas, pass/fail) to this file")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-ns-regress f] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-ns-regress f] [-json file] old.json new.json")
 		os.Exit(2)
 	}
 	oldSet, err := load(flag.Arg(0))
 	if err == nil {
 		var newSet map[string]entry
 		if newSet, err = load(flag.Arg(1)); err == nil {
-			os.Exit(compare(oldSet, newSet, *maxNs))
+			sum := compare(oldSet, newSet, *maxNs)
+			if *jsonOut != "" {
+				if err := writeJSON(*jsonOut, sum); err != nil {
+					fmt.Fprintln(os.Stderr, "benchcmp:", err)
+					os.Exit(2)
+				}
+			}
+			if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+				if err := appendStepSummary(path, sum); err != nil {
+					fmt.Fprintln(os.Stderr, "benchcmp: step summary:", err)
+				}
+			}
+			if sum.Pass {
+				os.Exit(0)
+			}
+			os.Exit(1)
 		}
 	}
 	fmt.Fprintln(os.Stderr, "benchcmp:", err)
 	os.Exit(2)
 }
 
-func compare(oldSet, newSet map[string]entry, maxNs float64) int {
-	failures := 0
-	compared := 0
-	for name, o := range oldSet {
+func compare(oldSet, newSet map[string]entry, maxNs float64) summary {
+	sum := summary{MaxNsRegress: maxNs}
+	names := make([]string, 0, len(oldSet))
+	for name := range oldSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldSet[name]
 		n, ok := newSet[name]
 		if !ok {
 			fmt.Printf("%-40s missing from new run (skipped)\n", name)
+			sum.Benchmarks = append(sum.Benchmarks, delta{Name: name, Status: "missing", OldNs: o.NsPerOp, OldAllocs: o.AllocsOp})
 			continue
 		}
-		compared++
+		sum.Compared++
+		d := delta{Name: name, Status: "ok", OldNs: o.NsPerOp, NewNs: n.NsPerOp, OldAllocs: o.AllocsOp, NewAllocs: n.AllocsOp}
 		status := "ok"
 		if o.NsPerOp != nil && n.NsPerOp != nil && *o.NsPerOp > 0 {
 			ratio := *n.NsPerOp / *o.NsPerOp
+			frac := ratio - 1
+			d.NsFrac = &frac
 			if ratio > 1+maxNs {
-				status = fmt.Sprintf("FAIL ns/op regressed %.0f%% (> %.0f%% budget)", (ratio-1)*100, maxNs*100)
-				failures++
+				status = fmt.Sprintf("FAIL ns/op regressed %.0f%% (> %.0f%% budget)", frac*100, maxNs*100)
+				d.Status = "fail-ns"
+				sum.Failures++
 			}
 			fmt.Printf("%-40s ns/op %12.1f -> %12.1f (%+5.1f%%)  %s\n",
-				name, *o.NsPerOp, *n.NsPerOp, (ratio-1)*100, status)
+				name, *o.NsPerOp, *n.NsPerOp, frac*100, status)
 		}
 		if warm(name, o) && o.AllocsOp != nil && n.AllocsOp != nil && *n.AllocsOp > *o.AllocsOp {
 			fmt.Printf("%-40s FAIL allocs/op regressed %.0f -> %.0f (warm benchmark)\n",
 				name, *o.AllocsOp, *n.AllocsOp)
-			failures++
+			// A benchmark can fail both gates; the verdict keeps both.
+			if d.Status == "fail-ns" {
+				d.Status = "fail-ns-allocs"
+			} else {
+				d.Status = "fail-allocs"
+			}
+			sum.Failures++
 		}
+		sum.Benchmarks = append(sum.Benchmarks, d)
 	}
 	// New benchmarks without a baseline: print them (they become gated once
 	// a regenerated BENCH_*.json lands), but never fail on them.
@@ -133,15 +196,59 @@ func compare(oldSet, newSet map[string]entry, maxNs float64) int {
 		}
 		fmt.Printf("%-40s new benchmark: ns/op %s, allocs/op %s (informational, no baseline)\n",
 			name, ns, allocs)
+		sum.Benchmarks = append(sum.Benchmarks, delta{Name: name, Status: "new", NewNs: n.NsPerOp, NewAllocs: n.AllocsOp})
 	}
-	if compared == 0 {
+	switch {
+	case sum.Compared == 0:
 		fmt.Println("benchcmp: no common benchmarks to compare")
-		return 1
+	case sum.Failures > 0:
+		fmt.Printf("benchcmp: %d regression(s)\n", sum.Failures)
+	default:
+		fmt.Printf("benchcmp: %d benchmark(s) within budget\n", sum.Compared)
 	}
-	if failures > 0 {
-		fmt.Printf("benchcmp: %d regression(s)\n", failures)
-		return 1
+	sum.Pass = sum.Compared > 0 && sum.Failures == 0
+	return sum
+}
+
+func writeJSON(path string, sum summary) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
 	}
-	fmt.Printf("benchcmp: %d benchmark(s) within budget\n", compared)
-	return 0
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// appendStepSummary renders the verdict as GitHub-flavored markdown onto
+// the Actions step summary file.
+func appendStepSummary(path string, sum summary) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	verdict := "✅ pass"
+	if !sum.Pass {
+		verdict = "❌ FAIL"
+	}
+	fmt.Fprintf(f, "## Bench gate: %s (%d compared, %d regression(s), ns budget %.0f%%)\n\n",
+		verdict, sum.Compared, sum.Failures, sum.MaxNsRegress*100)
+	fmt.Fprintln(f, "| benchmark | ns/op (old → new) | Δns | allocs/op (old → new) | status |")
+	fmt.Fprintln(f, "|---|---|---|---|---|")
+	fnum := func(p *float64, format string) string {
+		if p == nil {
+			return "–"
+		}
+		return fmt.Sprintf(format, *p)
+	}
+	for _, d := range sum.Benchmarks {
+		ns := fnum(d.OldNs, "%.1f") + " → " + fnum(d.NewNs, "%.1f")
+		frac := "–"
+		if d.NsFrac != nil {
+			frac = fmt.Sprintf("%+.1f%%", *d.NsFrac*100)
+		}
+		allocs := fnum(d.OldAllocs, "%.0f") + " → " + fnum(d.NewAllocs, "%.0f")
+		fmt.Fprintf(f, "| %s | %s | %s | %s | %s |\n", d.Name, ns, frac, allocs, d.Status)
+	}
+	fmt.Fprintln(f)
+	return nil
 }

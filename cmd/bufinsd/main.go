@@ -8,11 +8,24 @@
 //	bufinsd -addr :8077 -prepare s9234,s13207
 //	bufinsd -addr 127.0.0.1:0 -addr-file /tmp/addr   # ephemeral port
 //	bufinsd -check http://127.0.0.1:8077             # client self-check
+//	bufinsd -worker -addr :8078                      # shard worker
+//	bufinsd -workers http://h1:8078,http://h2:8078   # coordinator
+//
+// With -workers the daemon coordinates the Monte Carlo sample loops of
+// /v1/insert and /v1/yield across shard workers (other bufinsd processes):
+// contiguous k-ranges go to the workers' /v1/shard/* endpoints, their
+// k-indexed partials merge into byte-identical final stats, and ranges of
+// failed workers are re-dispatched (degrading to in-process execution with
+// every worker down). -worker marks a process as a dedicated worker (it
+// refuses -workers so a worker never fans out itself).
 //
 // The -check mode probes a running daemon: it prepares and inserts a tiny
 // generated circuit through the service and verifies the returned plan and
 // yield report are byte-identical to the in-process flow, exiting non-zero
-// on any mismatch — the CI smoke test runs exactly this.
+// on any mismatch — the CI smoke test runs exactly this, and with
+// -expect-shards additionally requires the daemon's /metrics to show shard
+// ranges dispatched to workers (the distributed smoke probes a coordinator
+// this way).
 package main
 
 import (
@@ -21,10 +34,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -56,30 +71,50 @@ func main() {
 		prepare     = flag.String("prepare", "", "comma-separated presets to warm at boot")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		check       = flag.String("check", "", "probe a running daemon at this base URL and exit")
+		workerMode  = flag.Bool("worker", false, "run as a shard worker: answer /v1/shard/* passes for a coordinator (guards against -workers: a worker never fans out itself)")
+		workers     = flag.String("workers", "", "comma-separated shard-worker base URLs: coordinate /v1/insert and /v1/yield sample loops across them")
+		shards      = flag.Int("shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
+		expectShard = flag.Bool("expect-shards", false, "with -check: additionally require the daemon to have dispatched shard ranges to workers (proves the answers came through the distributed path)")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := runCheck(*check); err != nil {
+		if err := runCheck(*check, *expectShard); err != nil {
 			fatalf("check: %v", err)
 		}
 		fmt.Println("bufinsd check OK: service plans and yields byte-identical to the in-process flow")
 		return
 	}
+	if *workerMode && *workers != "" {
+		fatalf("-worker and -workers are mutually exclusive: a shard worker must not coordinate its own worker pool")
+	}
 
+	var workerList []string
+	if *workers != "" {
+		workerList = strings.Split(*workers, ",")
+	}
 	s := serve.New(serve.Config{
 		MaxBenches:      *benches,
 		MaxPlans:        *plans,
 		MaxPopulations:  *pops,
 		MaxPopulationMB: *popMB,
 		MaxInflight:     *maxInflight,
+		Workers:         workerList,
+		Shards:          *shards,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	resolved := ln.Addr().String()
-	fmt.Printf("bufinsd: listening on http://%s\n", resolved)
+	role := "standalone"
+	switch {
+	case *workerMode:
+		role = "shard worker"
+	case len(workerList) > 0:
+		role = fmt.Sprintf("coordinator over %d worker(s)", len(workerList))
+	}
+	fmt.Printf("bufinsd: listening on http://%s (%s)\n", resolved, role)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(resolved), 0o644); err != nil {
 			fatalf("%v", err)
@@ -136,8 +171,50 @@ func checkCircuit() (serve.CircuitSpec, expt.Options) {
 
 // runCheck verifies a running daemon end to end against the in-process
 // flow: prepare + insert + yield on a tiny generated circuit must be
-// byte-identical to computing the same quantities locally.
-func runCheck(base string) error {
+// byte-identical to computing the same quantities locally. With
+// expectShards, the daemon must additionally report shard ranges
+// dispatched to workers on /metrics — probing a coordinator proves the
+// byte-identical answers actually came through the distributed path.
+func runCheck(base string, expectShards bool) error {
+	if err := runCheckFlow(base); err != nil {
+		return err
+	}
+	if expectShards {
+		return checkShardDispatch(base)
+	}
+	return nil
+}
+
+// checkShardDispatch asserts the daemon's /metrics show at least one range
+// dispatched to a shard worker.
+func checkShardDispatch(base string) error {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	const metric = `bufinsd_shard_ranges_total{kind="dispatched"} `
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, metric); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return fmt.Errorf("parsing %q: %v", line, err)
+			}
+			if n <= 0 {
+				return fmt.Errorf("daemon dispatched no shard ranges (is it a coordinator with live workers?)")
+			}
+			fmt.Printf("bufinsd check: %d shard range(s) dispatched to workers\n", n)
+			return nil
+		}
+	}
+	return fmt.Errorf("daemon exports no shard metrics (started without -workers?)")
+}
+
+func runCheckFlow(base string) error {
 	cl := serve.NewClient(base)
 	if err := cl.Health(); err != nil {
 		return err

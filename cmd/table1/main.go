@@ -26,9 +26,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/gen"
+	"repro/internal/insertion"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/tabular"
 )
 
@@ -47,8 +50,13 @@ func main() {
 		seed     = flag.Uint64("seed", 0xF00D, "insertion seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table")
 		server   = flag.String("server", "", "bufinsd base URL: run the flow in the daemon instead of in-process")
+		workers  = flag.String("workers", "", "comma-separated shard-worker bufinsd URLs: shard the sample loops across them (coordinating from this process)")
+		shards   = flag.Int("shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
 	)
 	flag.Parse()
+	if *server != "" && *workers != "" {
+		fatalf("-server and -workers are mutually exclusive")
+	}
 
 	names := make([]string, 0, len(gen.Presets))
 	if *circuits == "" {
@@ -61,6 +69,14 @@ func main() {
 		}
 	}
 
+	// One pool for the whole table: worker health and shard counters carry
+	// across circuits (a worker that died on s9234 is not retried on every
+	// later circuit — the per-pass probe revives it if it comes back).
+	var pool *shard.Pool
+	if *workers != "" {
+		pool = shard.NewPool(strings.Split(*workers, ","))
+	}
+
 	tb := tabular.New("Circuit", "ns", "ng", "target", "T(ps)", "Nb", "Ab", "Yo(%)", "Y(%)", "Yi(%)", "T(s)")
 	tb.SetTitle(fmt.Sprintf("Table I reproduction (%d insertion samples, %d eval chips)", *samples, *evalN))
 	grand := time.Now()
@@ -70,7 +86,7 @@ func main() {
 		if *server != "" {
 			rows, err = serverRows(*server, name, *samples, *evalN, *seed)
 		} else {
-			rows, err = localRows(name, *samples, *evalN, *seed)
+			rows, err = localRows(pool, *shards, name, *samples, *evalN, *seed)
 		}
 		if err != nil {
 			fatalf("%v", err)
@@ -91,22 +107,34 @@ func main() {
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(grand))
 }
 
-// localRows is the in-process path: prepare the bench here and run the
-// shared-evaluation row batch.
-func localRows(name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
+// localRows prepares the bench in-process and runs the shared-evaluation
+// row batch. With a worker pool, every Monte Carlo sample loop — the
+// flow's step-1/B1/step-2 passes and the yield evaluation — shards across
+// the workers instead; rows are byte-identical either way (the reductions
+// are shared code over merged k-indexed partials), only the runtime
+// column reflects the distributed schedule.
+func localRows(pool *shard.Pool, shards int, name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
 	b, err := expt.PreparePreset(name, expt.Options{})
 	if err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "%s: µT=%.1f σT=%.1f (hold-viol rate %.4f)\n",
 		name, b.Period.Mu, b.Period.Sigma, b.Period.HoldViolRate)
-	// One shared evaluation pass measures all three targets' yields:
-	// the fresh-chip population is realized once per circuit.
-	return expt.RunRows(b, expt.Targets, expt.RowConfig{
+	rc := expt.RowConfig{
 		InsertSamples: samples,
 		EvalSamples:   evalN,
 		Seed:          seed,
-	})
+	}
+	if pool != nil {
+		coord := serve.NewCoordinator(pool, shards,
+			serve.CircuitSpec{Preset: name}, expt.Options{},
+			core.NewSystem(b), insertion.NewRunner(b.Graph, b.Placement))
+		rc.Pass = coord.InsertPass
+		rc.EvalPlans = coord.EvalPlans
+	}
+	// One shared evaluation pass measures all three targets' yields: the
+	// fresh-chip population is realized once per circuit.
+	return expt.RunRows(b, expt.Targets, rc)
 }
 
 // serverRows reproduces the same rows through a bufinsd daemon: one

@@ -26,12 +26,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/insertion"
 	"repro/internal/mc"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/tabular"
 	"repro/internal/yield"
 )
@@ -53,6 +55,8 @@ type options struct {
 	periods       int
 	planFile      string
 	server        string
+	workers       string
+	shards        int
 }
 
 func main() {
@@ -65,7 +69,12 @@ func main() {
 	flag.IntVar(&o.periods, "periods", 0, "sweep this many periods across [µT, µT+2σ] with one insertion at µT+σ (0 = classic three-target table)")
 	flag.StringVar(&o.planFile, "plan", "", "evaluate a saved buffer plan (JSON from bufins -saveplan) instead of running the flow")
 	flag.StringVar(&o.server, "server", "", "bufinsd base URL: run prepare/insert/yield in the daemon instead of in-process")
+	flag.StringVar(&o.workers, "workers", "", "comma-separated shard-worker bufinsd URLs: shard the sample loops across them (coordinating from this process)")
+	flag.IntVar(&o.shards, "shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
 	flag.Parse()
+	if o.server != "" && o.workers != "" {
+		fatalf("-server and -workers are mutually exclusive (point -workers at worker daemons and coordinate locally, or let one -server daemon coordinate)")
+	}
 	if err := run(o, os.Stdout); err != nil {
 		fatalf("%v", err)
 	}
@@ -228,8 +237,26 @@ func runSweepMode(be backend, o options, out io.Writer) error {
 
 // ---------------- local backend ----------------
 
+// circuitSpecOf maps the CLI's circuit selection onto the service schema —
+// shared by -server and -workers modes so daemon-side bench keys (and the
+// fallback circuit name of an inline netlist) are identical in both.
+func circuitSpecOf(o options) (serve.CircuitSpec, error) {
+	if o.bench != "" {
+		text, err := os.ReadFile(o.bench)
+		if err != nil {
+			return serve.CircuitSpec{}, err
+		}
+		return serve.CircuitSpec{Bench: string(text), BenchName: o.bench}, nil
+	}
+	return serve.CircuitSpec{Preset: o.preset}, nil
+}
+
 type localBackend struct {
 	sys *core.System
+	// coord shards the sample loops over worker daemons (-workers mode);
+	// nil runs everything in this process. Either way the reductions are
+	// shared code, so the output is byte-identical.
+	coord *serve.Coordinator
 }
 
 func newLocalBackend(o options) (backend, error) {
@@ -250,7 +277,18 @@ func newLocalBackend(o options) (backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &localBackend{sys: sys}, nil
+	b := &localBackend{sys: sys}
+	if o.workers != "" {
+		spec, err := circuitSpecOf(o)
+		if err != nil {
+			return nil, err
+		}
+		b.coord = serve.NewCoordinator(
+			shard.NewPool(strings.Split(o.workers, ",")), o.shards,
+			spec, expt.Options{}, sys,
+			insertion.NewRunner(sys.Graph(), sys.Bench().Placement))
+	}
+	return b, nil
 }
 
 func (b *localBackend) summary() string                { return b.sys.Summary() }
@@ -258,7 +296,13 @@ func (b *localBackend) targetPeriod(k float64) float64 { return b.sys.TargetPeri
 
 func (b *localBackend) insert(k float64, samples int, seed uint64) (insertion.Plan, error) {
 	T := b.sys.TargetPeriod(k)
-	res, err := b.sys.Insert(T, insertion.Config{Samples: samples, Seed: seed})
+	// Resolve the defaults before the executor captures the configuration:
+	// the wire protocol ships exactly the values the flow runs with.
+	cfg := b.sys.ResolveInsertConfig(T, insertion.Config{Samples: samples, Seed: seed})
+	if b.coord != nil {
+		cfg.Pass = b.coord.InsertPass(cfg)
+	}
+	res, err := b.sys.Insert(T, cfg)
 	if err != nil {
 		return insertion.Plan{}, err
 	}
@@ -267,10 +311,18 @@ func (b *localBackend) insert(k float64, samples int, seed uint64) (insertion.Pl
 
 func (b *localBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([]evalResult, error) {
 	// The expansion and batched evaluation are serve.EvaluateQueries — the
-	// exact code the daemon's /v1/yield runs — so local and server mode
-	// cannot drift apart.
-	g := b.sys.Graph()
-	results, err := serve.EvaluateQueries(g, mc.New(g, seed), evalN, toServeQueries(queries))
+	// exact code the daemon's /v1/yield runs — so local, sharded, and
+	// server mode cannot drift apart.
+	var (
+		results []serve.YieldResult
+		err     error
+	)
+	if b.coord != nil {
+		results, err = b.coord.EvaluateQueries(evalN, seed, toServeQueries(queries))
+	} else {
+		g := b.sys.Graph()
+		results, err = serve.EvaluateQueries(g, mc.New(g, seed), evalN, toServeQueries(queries))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -306,16 +358,12 @@ type serverBackend struct {
 }
 
 func newServerBackend(o options) (backend, error) {
-	spec := serve.CircuitSpec{Preset: o.preset}
-	if o.bench != "" {
-		// The daemon receives the netlist inline; BenchName carries the
-		// file path so a netlist without a "# name" comment still gets
-		// the same fallback name the local path uses.
-		text, err := os.ReadFile(o.bench)
-		if err != nil {
-			return nil, err
-		}
-		spec = serve.CircuitSpec{Bench: string(text), BenchName: o.bench}
+	// The daemon receives inline netlists with BenchName carrying the file
+	// path, so a netlist without a "# name" comment still gets the same
+	// fallback name the local path uses.
+	spec, err := circuitSpecOf(o)
+	if err != nil {
+		return nil, err
 	}
 	b := &serverBackend{cl: serve.NewClient(o.server), spec: spec, opt: expt.Options{}}
 	prep, err := b.cl.Prepare(serve.PrepareRequest{Circuit: spec, Options: b.opt})

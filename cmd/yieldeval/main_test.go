@@ -133,3 +133,41 @@ func TestServerModePlanByteIdentical(t *testing.T) {
 	pf.Close()
 	requireIdentical(t, options{bench: bench, evalN: 300, seed: 5, planFile: planPath}, url)
 }
+
+// requireIdenticalSharded runs the same query in-process and with the
+// sample loops sharded across worker daemons, demanding byte-identical
+// stdout — the acceptance bar for -workers mode.
+func requireIdenticalSharded(t *testing.T, o options, workers []string, shards int) {
+	t.Helper()
+	var local, sharded bytes.Buffer
+	if err := run(o, &local); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	o.workers = strings.Join(workers, ",")
+	o.shards = shards
+	if err := run(o, &sharded); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if !bytes.Equal(local.Bytes(), sharded.Bytes()) {
+		t.Fatalf("sharded output differs from local output:\n--- local ---\n%s--- sharded ---\n%s",
+			local.String(), sharded.String())
+	}
+	if local.Len() == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+// TestWorkersModeClassicByteIdentical: a 2-worker sharded classic run —
+// uneven 7-range splits included — reproduces the single-process stdout
+// byte for byte.
+func TestWorkersModeClassicByteIdentical(t *testing.T) {
+	bench := writeTinyBench(t)
+	workers := []string{startDaemon(t), startDaemon(t)}
+	requireIdenticalSharded(t, options{bench: bench, samples: 120, evalN: 300, seed: 5}, workers, 7)
+}
+
+func TestWorkersModeSweepByteIdentical(t *testing.T) {
+	bench := writeTinyBench(t)
+	workers := []string{startDaemon(t), startDaemon(t)}
+	requireIdenticalSharded(t, options{bench: bench, samples: 120, evalN: 300, seed: 5, periods: 4}, workers, 7)
+}

@@ -240,6 +240,19 @@ type RowConfig struct {
 	MaxBuffers int
 	// Workers bounds parallelism (0 = all cores).
 	Workers int
+
+	// Pass, when non-nil, supplies the distributed executor for each
+	// insertion run's Monte Carlo passes (serve.Coordinator.InsertPass is
+	// the production implementation); nil = in-process. The executor is
+	// required to be byte-identical to the in-process pass, so rows are
+	// the same either way.
+	Pass func(insertion.Config) insertion.PassFunc
+	// EvalPlans, when non-nil, measures each row's single-period yield
+	// report from its durable plan instead of the in-process shared pass
+	// (serve.Coordinator.EvalPlans shards the chip range across workers).
+	// Plans carry the same spec, groups, and target the in-process
+	// evaluators are built from, so reports are byte-identical.
+	EvalPlans func(plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error)
 }
 
 func (rc *RowConfig) fill() {
@@ -292,23 +305,31 @@ func RunRows(b *Bench, targets []Target, rc RowConfig) ([]Row, error) {
 	for i, target := range targets {
 		T := b.PeriodFor(target)
 		start := time.Now()
-		res, err := insertion.Run(b.Graph, b.Placement, insertion.Config{
+		cfg := insertion.Config{
 			T:          T,
 			Samples:    rc.InsertSamples,
 			Seed:       rc.Seed,
 			MaxBuffers: rc.MaxBuffers,
 			Workers:    rc.Workers,
-		})
+		}
+		if rc.Pass != nil {
+			// The executor captures the configuration before Pass is set —
+			// it ships exactly the fields the wire protocol keys on.
+			cfg.Pass = rc.Pass(cfg)
+		}
+		res, err := insertion.Run(b.Graph, b.Placement, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("expt: insertion on %s@%v: %w", b.Name, target, err)
 		}
 		elapsed := time.Since(start)
-		ev, err := yield.NewEvaluator(b.Graph, res.Cfg.Spec, res.Groups)
-		if err != nil {
-			return nil, err
-		}
-		if sweeps[i], err = yield.NewSweepEvaluator(ev, []float64{T}); err != nil {
-			return nil, err
+		if rc.EvalPlans == nil {
+			ev, err := yield.NewEvaluator(b.Graph, res.Cfg.Spec, res.Groups)
+			if err != nil {
+				return nil, err
+			}
+			if sweeps[i], err = yield.NewSweepEvaluator(ev, []float64{T}); err != nil {
+				return nil, err
+			}
 		}
 		rows[i] = Row{
 			Circuit: b.Name,
@@ -322,10 +343,26 @@ func RunRows(b *Bench, targets []Target, rc RowConfig) ([]Row, error) {
 			Insert:  res,
 		}
 	}
-	eng := mc.New(b.Graph, rc.Seed+0x1000)
-	eng.Workers = rc.Workers
-	for i, srep := range yield.EvaluateMany(eng, rc.EvalSamples, sweeps...) {
-		rep := srep.At(0)
+	var reports []yield.Report
+	if rc.EvalPlans != nil {
+		// Sharded evaluation: every row's plan carries the exact spec,
+		// groups, and target its in-process evaluator would be built from.
+		plans := make([]insertion.Plan, len(rows))
+		for i := range rows {
+			plans[i] = rows[i].Insert.Plan(b.Name)
+		}
+		var err error
+		if reports, err = rc.EvalPlans(plans, rc.EvalSamples, rc.Seed+0x1000); err != nil {
+			return nil, fmt.Errorf("expt: sharded yield evaluation on %s: %w", b.Name, err)
+		}
+	} else {
+		eng := mc.New(b.Graph, rc.Seed+0x1000)
+		eng.Workers = rc.Workers
+		for _, srep := range yield.EvaluateMany(eng, rc.EvalSamples, sweeps...) {
+			reports = append(reports, srep.At(0))
+		}
+	}
+	for i, rep := range reports {
 		rows[i].Yo = rep.Original.Percent()
 		rows[i].Y = rep.Tuned.Percent()
 		rows[i].Yi = rep.Improvement()

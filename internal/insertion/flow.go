@@ -28,7 +28,7 @@ func Run(g *timing.Graph, pl *placement.Placement, cfg Config) (*Result, error) 
 type passResult struct {
 	counts        []int
 	values        map[int][]float64
-	perSample     [][]tuning
+	perSample     [][]Tuning
 	nk            []int
 	infeasible    int
 	selfLoop      int
@@ -36,47 +36,60 @@ type passResult struct {
 	truncated     int
 }
 
-// runPass runs one full Monte Carlo ILP pass in parallel. Per-sample
-// results land in arrays indexed by the sample id (each written exactly
-// once, so no locking) and are reduced sequentially afterward — the
-// aggregate statistics are bit-identical regardless of worker scheduling.
-// Solvers come from the Runner's warm pool via checkout/release, so a pass
+// runPass runs one full Monte Carlo ILP pass described by spec: in
+// parallel in this process, or — when cfg.Pass is set — through the
+// distributed executor, which returns the same k-indexed outcome slice
+// assembled from worker ranges. Either way the outcomes are reduced
+// sequentially in k order afterward, so the aggregate statistics are
+// bit-identical regardless of worker scheduling or placement. In-process
+// solvers come from the Runner's warm pool via checkout/release, so a pass
 // on a warm Runner allocates no solver state.
-func (r *Runner) runPass(src mc.Source, cfg Config, mode solverMode, allowed []bool, lower, center []float64) *passResult {
-	g := r.g
-	raw := make([]sampleOutcome, cfg.Samples)
-	src.ForEachBatch(cfg.Samples, func(k int, ch *timing.Chip) {
-		sv := r.checkout(cfg, mode, allowed, lower, center)
-		out := sv.solve(ch)
-		if len(out.tuned) > 0 {
-			// out.tuned aliases solver scratch that the next sample on this
-			// worker overwrites; keep an exact-size copy.
-			out.tuned = append([]tuning(nil), out.tuned...)
+func (r *Runner) runPass(src mc.Source, cfg Config, spec PassSpec) (*passResult, error) {
+	var raw []SampleOutcome
+	if cfg.Pass != nil {
+		var err error
+		if raw, err = cfg.Pass(spec); err != nil {
+			return nil, fmt.Errorf("insertion: distributed %s pass: %w", spec.Kind, err)
 		}
-		raw[k] = out
-		r.release(sv)
-	})
+		if len(raw) != cfg.Samples {
+			return nil, fmt.Errorf("insertion: distributed %s pass returned %d outcomes, want %d", spec.Kind, len(raw), cfg.Samples)
+		}
+	} else {
+		mode, allowed, lower, center, err := r.passParams(spec)
+		if err != nil {
+			return nil, err
+		}
+		raw = r.collectRange(src, cfg, mode, allowed, lower, center, 0, cfg.Samples)
+	}
+	return reducePass(r.g, raw), nil
+}
+
+// reducePass folds k-indexed outcomes into the pass aggregate. The fold is
+// sequential in k, so values[ff] lists tuning values in sample order — the
+// property that makes a merged multi-worker pass byte-identical to the
+// single-process one.
+func reducePass(g *timing.Graph, raw []SampleOutcome) *passResult {
 	pr := &passResult{
 		counts:    make([]int, g.NS),
 		values:    make(map[int][]float64),
-		perSample: make([][]tuning, cfg.Samples),
-		nk:        make([]int, cfg.Samples),
+		perSample: make([][]Tuning, len(raw)),
+		nk:        make([]int, len(raw)),
 	}
 	for k := range raw {
 		out := &raw[k]
-		pr.nk[k] = out.nk
-		pr.truncated += out.truncated
+		pr.nk[k] = out.NK
+		pr.truncated += out.Truncated
 		switch {
-		case out.selfLoopFail:
+		case out.SelfLoop:
 			pr.selfLoop++
-		case !out.feasible:
+		case !out.Feasible:
 			pr.infeasible++
-		case out.nk == 0:
+		case out.NK == 0:
 			pr.zeroViolation++
 		}
-		if out.feasible && len(out.tuned) > 0 {
-			pr.perSample[k] = out.tuned
-			for _, tn := range out.tuned {
+		if out.Feasible && len(out.Tuned) > 0 {
+			pr.perSample[k] = out.Tuned
+			for _, tn := range out.Tuned {
 				pr.counts[tn.FF]++
 				pr.values[tn.FF] = append(pr.values[tn.FF], tn.Val)
 			}
@@ -102,7 +115,7 @@ type stepTwoState struct {
 // skip rule — when too many samples tuned outside their assigned windows,
 // an intermediate fixed-window pass recomputes the tuning averages — and
 // the grid-snapped concentration centers.
-func (r *Runner) deriveStepTwo(src mc.Source, cfg Config, s1 *passResult) stepTwoState {
+func (r *Runner) deriveStepTwo(src mc.Source, cfg Config, s1 *passResult) (stepTwoState, error) {
 	g := r.g
 	var st stepTwoState
 	if cfg.NoPruning {
@@ -142,11 +155,14 @@ func (r *Runner) deriveStepTwo(src mc.Source, cfg Config, s1 *passResult) stepTw
 	// Concentration centers: average of the latest tuning values per FF.
 	avgSource := s1.values
 	if !st.skippedB1 {
-		b1 := r.runPass(src, cfg, modeFixed, st.allowed, st.lower, nil)
+		b1, err := r.runPass(src, cfg, PassSpec{Kind: PassFixed, Allowed: st.kept, Lower: st.lower})
+		if err != nil {
+			return st, err
+		}
 		avgSource = b1.values
 	}
 	st.center = gridCenters(g.NS, st.allowed, st.lower, avgSource, cfg.Spec)
-	return st
+	return st, nil
 }
 
 // gridCenters computes the per-FF concentration targets for step 2: the

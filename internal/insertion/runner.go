@@ -65,14 +65,19 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 	// The step-1/step-2 passes iterate the same (Seed, k) sample stream, so
 	// when the realized population fits the configured budget it is
 	// materialized once and every pass replays the cache — byte-identical
-	// results, one realization per chip for the whole flow.
+	// results, one realization per chip for the whole flow. A distributed
+	// flow (cfg.Pass set) realizes chips wherever the passes run, so the
+	// local cache is skipped.
 	var src mc.Source = eng
-	if cfg.ChipCacheMB > 0 && eng.PopulationBytes(cfg.Samples) <= int64(cfg.ChipCacheMB)<<20 {
+	if cfg.Pass == nil && cfg.ChipCacheMB > 0 && eng.PopulationBytes(cfg.Samples) <= int64(cfg.ChipCacheMB)<<20 {
 		src = eng.Materialize(cfg.Samples)
 	}
 
 	// ---------- Step 1: floating lower bounds (§III-A1, III-A3) ----------
-	s1 := r.runPass(src, cfg, modeFloating, nil, nil, nil)
+	s1, err := r.runPass(src, cfg, PassSpec{Kind: PassFloating})
+	if err != nil {
+		return nil, err
+	}
 	res.Stats.InfeasibleStep1 = s1.infeasible
 	res.Stats.SelfLoopFailures = s1.selfLoop
 	res.Stats.ZeroViolation = s1.zeroViolation
@@ -81,7 +86,10 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 	res.Stats.ValuesStep1 = s1.values
 
 	// ---------- Pruning through step-2 inputs (§III-A2 … §III-B1) ----------
-	st2 := r.deriveStepTwo(src, cfg, s1)
+	st2, err := r.deriveStepTwo(src, cfg, s1)
+	if err != nil {
+		return nil, err
+	}
 	kept := st2.kept
 	lower := st2.lower
 	res.Stats.KeptFFs = st2.kept
@@ -90,7 +98,10 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 	res.Stats.SkippedB1 = st2.skippedB1
 
 	// ---------- Step 2: fixed bounds (§III-B1, III-B2) ----------
-	s2 := r.runPass(src, cfg, modeFixed, st2.allowed, st2.lower, st2.center)
+	s2, err := r.runPass(src, cfg, PassSpec{Kind: PassFixed, Allowed: st2.kept, Lower: st2.lower, Center: st2.center})
+	if err != nil {
+		return nil, err
+	}
 	res.Stats.InfeasibleStep2 = s2.infeasible + s2.selfLoop
 	res.Stats.ValuesStep2 = s2.values
 

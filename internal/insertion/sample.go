@@ -8,21 +8,34 @@ import (
 	"repro/internal/timing"
 )
 
-// tuning is one buffer adjustment in one sample.
-type tuning struct {
-	FF  int
-	Val float64
+// Tuning is one buffer adjustment in one sample: FF carries a buffer tuned
+// to Val (ps). The JSON form is part of the shard-pass wire contract
+// (float64 survives encoding/json round trips bit-exactly).
+type Tuning struct {
+	FF  int     `json:"ff"`
+	Val float64 `json:"val"`
 }
 
-// sampleOutcome is the per-sample result of the min-count + concentration
-// ILP pair. tuned aliases solver-owned scratch: it is valid until the next
-// solve call on the same sampleSolver, and callers that retain it must copy.
-type sampleOutcome struct {
-	feasible     bool
-	selfLoopFail bool
-	truncated    int // components cut at MaxComponent
-	nk           int // minimum tuning count (csum over all components)
-	tuned        []tuning
+// SampleOutcome is the per-sample result of the min-count + concentration
+// ILP pair — the unit the sharded sample loop ships between processes: a
+// pass over any k-range is a k-indexed SampleOutcome slice, and merging
+// ranges is pure placement, so the reduced statistics are byte-identical
+// no matter where samples were solved.
+//
+// Inside a pass, Tuned aliases solver-owned scratch until the collecting
+// loop copies it; every SampleOutcome that escapes the package owns its
+// Tuned slice.
+type SampleOutcome struct {
+	// Feasible reports a repairable (or violation-free) sample.
+	Feasible bool `json:"feasible,omitempty"`
+	// SelfLoop marks a violated self-loop pair (unfixable by tuning).
+	SelfLoop bool `json:"self_loop,omitempty"`
+	// Truncated counts closure components cut at MaxComponent.
+	Truncated int `json:"truncated,omitempty"`
+	// NK is the minimum tuning count (summed over components).
+	NK int `json:"nk,omitempty"`
+	// Tuned lists the non-zero tuning assignments.
+	Tuned []Tuning `json:"tuned,omitempty"`
 }
 
 // solverMode selects the step-1 (floating continuous) or step-2 (fixed
@@ -71,7 +84,7 @@ type sampleSolver struct {
 	queue   []int
 	compBuf []int // active FFs grouped by component (flattened)
 	compOff []int // start offset of each component in compBuf
-	tuned   []tuning
+	tuned   []Tuning
 
 	// per-component scratch
 	prob  *milp.Problem // resettable; rebuilt for every component
@@ -150,8 +163,8 @@ func (s *sampleSolver) windowOf(ff int) (lo, hi float64) {
 }
 
 // solve runs the two-ILP sequence for one chip. The returned outcome's
-// tuned slice aliases solver scratch (see sampleOutcome).
-func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
+// tuned slice aliases solver scratch (see SampleOutcome).
+func (s *sampleSolver) solve(ch *timing.Chip) SampleOutcome {
 	g := s.g
 	// 1. Realize constraint bounds; find violations.
 	violated := false
@@ -162,13 +175,13 @@ func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
 			pr := &g.Pairs[p]
 			if pr.Launch == pr.Capture {
 				// Self-loop: x cancels; unfixable by clock tuning.
-				return sampleOutcome{selfLoopFail: true}
+				return SampleOutcome{SelfLoop: true}
 			}
 			violated = true
 		}
 	}
 	if !violated {
-		return sampleOutcome{feasible: true}
+		return SampleOutcome{Feasible: true}
 	}
 	// 2. Seed active set with allowed endpoints of violated pairs; a
 	// violated pair with no allowed endpoint is unfixable.
@@ -186,7 +199,7 @@ func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
 		if s.setupB[p] < 0 || s.holdB[p] < 0 {
 			pr := &g.Pairs[p]
 			if !s.allowed[pr.Launch] && !s.allowed[pr.Capture] {
-				return sampleOutcome{}
+				return SampleOutcome{}
 			}
 			mark(pr.Launch)
 			mark(pr.Capture)
@@ -261,7 +274,7 @@ func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
 	}
 	// 5. Solve each component.
 	s.tuned = s.tuned[:0]
-	out := sampleOutcome{feasible: true, truncated: truncated}
+	out := SampleOutcome{Feasible: true, Truncated: truncated}
 	for c := range s.compOff {
 		end := len(s.compBuf)
 		if c+1 < len(s.compOff) {
@@ -269,11 +282,11 @@ func (s *sampleSolver) solve(ch *timing.Chip) sampleOutcome {
 		}
 		nk, ok := s.solveComponent(s.compBuf[s.compOff[c]:end])
 		if !ok {
-			return sampleOutcome{truncated: truncated}
+			return SampleOutcome{Truncated: truncated}
 		}
-		out.nk += nk
+		out.NK += nk
 	}
-	out.tuned = s.tuned
+	out.Tuned = s.tuned
 	return out
 }
 
@@ -349,7 +362,7 @@ func (s *sampleSolver) solveComponent(comp []int) (int, bool) {
 			v = s.lower[ff] + k*step
 		}
 		if math.Abs(v) > 1e-7 {
-			s.tuned = append(s.tuned, tuning{FF: ff, Val: v})
+			s.tuned = append(s.tuned, Tuning{FF: ff, Val: v})
 		}
 	}
 	return nk, true

@@ -47,7 +47,7 @@ func TestSolveCleanChip(t *testing.T) {
 	ch := chipWith(g, []float64{100}, 10, 2)
 	s := solverFor(g, 500, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.feasible || out.nk != 0 || len(out.tuned) != 0 {
+	if !out.Feasible || out.NK != 0 || len(out.Tuned) != 0 {
 		t.Fatalf("clean chip mis-solved: %+v", out)
 	}
 }
@@ -63,19 +63,19 @@ func TestSolveSingleViolation(t *testing.T) {
 	ch := chipWith(g, []float64{230, 100}, 0, 0)
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.feasible {
+	if !out.Feasible {
 		t.Fatalf("should be fixable: %+v", out)
 	}
-	if out.nk != 1 {
-		t.Fatalf("nk = %d, want 1", out.nk)
+	if out.NK != 1 {
+		t.Fatalf("nk = %d, want 1", out.NK)
 	}
-	if len(out.tuned) != 1 {
-		t.Fatalf("tuned = %+v, want one buffer", out.tuned)
+	if len(out.Tuned) != 1 {
+		t.Fatalf("tuned = %+v, want one buffer", out.Tuned)
 	}
 	// Either endpoint repairs it: delay FF1's capture clock (x1 = +30) or
 	// advance FF0's launch clock (x0 = −30); both are single-buffer optima
 	// and the branch-and-bound may surface either argmin.
-	tn := out.tuned[0]
+	tn := out.Tuned[0]
 	switch tn.FF {
 	case 0:
 		if tn.Val > -(30 - 1e-6) {
@@ -86,7 +86,7 @@ func TestSolveSingleViolation(t *testing.T) {
 			t.Fatalf("x1 = %v, want ≥ 30", tn.Val)
 		}
 	default:
-		t.Fatalf("tuned = %+v, want FF 0 or 1", out.tuned)
+		t.Fatalf("tuned = %+v, want FF 0 or 1", out.Tuned)
 	}
 	// Concentration: |x| minimized → exactly 30.
 	if math.Abs(math.Abs(tn.Val)-30) > 1e-6 {
@@ -102,10 +102,10 @@ func TestSolveUnfixableViolation(t *testing.T) {
 	ch := chipWith(g, []float64{400}, 0, 0)
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if out.feasible {
+	if out.Feasible {
 		t.Fatalf("should be unfixable: %+v", out)
 	}
-	if out.selfLoopFail {
+	if out.SelfLoop {
 		t.Fatal("not a self-loop failure")
 	}
 }
@@ -116,7 +116,7 @@ func TestSolveSelfLoopViolation(t *testing.T) {
 	ch := chipWith(g, []float64{300}, 0, 0)
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.selfLoopFail {
+	if !out.SelfLoop {
 		t.Fatalf("self-loop violation must be flagged: %+v", out)
 	}
 }
@@ -130,7 +130,7 @@ func TestSolveDisallowedEndpoints(t *testing.T) {
 	lower := []float64{0, 0}
 	s := solverFor(g, 200, 50, 10, modeFixed, allowed, lower, nil)
 	out := s.solve(ch)
-	if out.feasible {
+	if out.Feasible {
 		t.Fatal("no allowed endpoint: must be infeasible")
 	}
 }
@@ -148,10 +148,10 @@ func TestSolveFixedModeGridSnapping(t *testing.T) {
 	lower := []float64{0, 0, 0}
 	s := solverFor(g, 200, 50, 10, modeFixed, allowed, lower, nil)
 	out := s.solve(ch)
-	if !out.feasible || len(out.tuned) != 1 {
+	if !out.Feasible || len(out.Tuned) != 1 {
 		t.Fatalf("out = %+v", out)
 	}
-	v := out.tuned[0].Val
+	v := out.Tuned[0].Val
 	if k := v / 5; math.Abs(k-math.Round(k)) > 1e-9 {
 		t.Fatalf("value %v off grid", v)
 	}
@@ -175,15 +175,15 @@ func TestSolveTwoIndependentComponents(t *testing.T) {
 	ch := chipWith(g, []float64{230, 100, 240, 120}, 0, 0)
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.feasible || out.nk != 2 {
+	if !out.Feasible || out.NK != 2 {
 		t.Fatalf("out = %+v, want nk=2", out)
 	}
 	ffs := map[int]bool{}
-	for _, tn := range out.tuned {
+	for _, tn := range out.Tuned {
 		ffs[tn.FF] = true
 	}
 	if !(ffs[1] || ffs[0]) || !(ffs[4] || ffs[3]) {
-		t.Fatalf("both components must be repaired: %+v", out.tuned)
+		t.Fatalf("both components must be repaired: %+v", out.Tuned)
 	}
 }
 
@@ -199,11 +199,11 @@ func TestSolveSharedFFMinimizesCount(t *testing.T) {
 	ch := chipWith(g, []float64{220, 225, 120}, 0, 0)
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.feasible || out.nk != 1 {
+	if !out.Feasible || out.NK != 1 {
 		t.Fatalf("out = %+v, want nk=1 at shared FF", out)
 	}
-	if len(out.tuned) != 1 || out.tuned[0].FF != 1 {
-		t.Fatalf("tuned = %+v, want FF1", out.tuned)
+	if len(out.Tuned) != 1 || out.Tuned[0].FF != 1 {
+		t.Fatalf("tuned = %+v, want FF1", out.Tuned)
 	}
 }
 
@@ -220,7 +220,7 @@ func TestSolveHoldViolation(t *testing.T) {
 	}
 	s := solverFor(g, 500, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.feasible || out.nk != 1 {
+	if !out.Feasible || out.NK != 1 {
 		t.Fatalf("hold violation should cost one buffer: %+v", out)
 	}
 }
@@ -252,11 +252,11 @@ func TestConcentrationTowardCenter(t *testing.T) {
 	center := []float64{0, 45, 0}
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, center)
 	out := s.solve(ch)
-	if !out.feasible || len(out.tuned) != 1 {
+	if !out.Feasible || len(out.Tuned) != 1 {
 		t.Fatalf("out = %+v", out)
 	}
-	if math.Abs(out.tuned[0].Val-45) > 1e-6 {
-		t.Fatalf("x1 = %v, want 45 (center)", out.tuned[0].Val)
+	if math.Abs(out.Tuned[0].Val-45) > 1e-6 {
+		t.Fatalf("x1 = %v, want 45 (center)", out.Tuned[0].Val)
 	}
 }
 
@@ -273,17 +273,17 @@ func TestNoConcentrationStillFeasible(t *testing.T) {
 	}
 	s := NewRunner(g, nil).checkout(cfg, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.feasible || out.nk != 1 {
+	if !out.Feasible || out.NK != 1 {
 		t.Fatalf("out = %+v", out)
 	}
 	// The count-optimal value still repairs the violation, from either
 	// endpoint (x1 ≥ +30 delays the capture, x0 ≤ −30 advances the launch).
-	if len(out.tuned) != 1 {
-		t.Fatalf("tuned = %+v, want one buffer", out.tuned)
+	if len(out.Tuned) != 1 {
+		t.Fatalf("tuned = %+v, want one buffer", out.Tuned)
 	}
-	tn := out.tuned[0]
+	tn := out.Tuned[0]
 	if !(tn.FF == 1 && tn.Val >= 30-1e-6) && !(tn.FF == 0 && tn.Val <= -(30-1e-6)) {
-		t.Fatalf("tuned = %+v, does not repair the violation", out.tuned)
+		t.Fatalf("tuned = %+v, does not repair the violation", out.Tuned)
 	}
 }
 
@@ -302,11 +302,11 @@ func TestSolveComponentHairlineViolation(t *testing.T) {
 	ch := chipWith(g, []float64{200 + 1e-9, 100}, 0, 0)
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
 	out := s.solve(ch)
-	if !out.feasible {
+	if !out.Feasible {
 		t.Fatalf("hairline violation must stay feasible: %+v", out)
 	}
-	if out.nk != 0 || len(out.tuned) != 0 {
-		t.Fatalf("hairline violation needs no repair, got nk=%d tuned=%v", out.nk, out.tuned)
+	if out.NK != 0 || len(out.Tuned) != 0 {
+		t.Fatalf("hairline violation needs no repair, got nk=%d tuned=%v", out.NK, out.Tuned)
 	}
 }
 
@@ -324,7 +324,7 @@ func TestSolveWarmZeroAllocs(t *testing.T) {
 	ch := chipWith(g, []float64{230, 100, 225, 120}, 0, 0)
 	s := solverFor(g, 200, 50, 10, modeFloating, nil, nil, nil)
 	for i := 0; i < 3; i++ { // warm all scratch to steady-state capacity
-		if out := s.solve(ch); !out.feasible || out.nk != 2 {
+		if out := s.solve(ch); !out.Feasible || out.NK != 2 {
 			t.Fatalf("unexpected outcome: %+v", out)
 		}
 	}

@@ -34,8 +34,14 @@ func NewSampleBench(g *timing.Graph, cfg Config) (*SampleBench, error) {
 		src = eng.Materialize(cfg.Samples)
 	}
 	r := NewRunner(g, nil)
-	s1 := r.runPass(src, cfg, modeFloating, nil, nil, nil)
-	st2 := r.deriveStepTwo(src, cfg, s1)
+	s1, err := r.runPass(src, cfg, PassSpec{Kind: PassFloating})
+	if err != nil {
+		return nil, err
+	}
+	st2, err := r.deriveStepTwo(src, cfg, s1)
+	if err != nil {
+		return nil, err
+	}
 	bestK, bestN := -1, 0
 	for k, tns := range s1.perSample {
 		if len(tns) > bestN {
@@ -61,5 +67,5 @@ func NewSampleBench(g *timing.Graph, cfg Config) (*SampleBench, error) {
 func (sb *SampleBench) Solve() int {
 	o1 := sb.s1.solve(sb.chip)
 	o2 := sb.s2.solve(sb.chip)
-	return o1.nk + o2.nk
+	return o1.NK + o2.NK
 }

@@ -106,6 +106,17 @@ type Config struct {
 	// NoGrouping skips §III-C: every buffer stays physical.
 	NoGrouping bool
 
+	// Pass, when non-nil, executes every Monte Carlo pass of the flow
+	// (step 1, the optional intermediate §III-B1 re-run, step 2) instead of
+	// the in-process sampling loop — the hook the sharded coordinator
+	// (internal/serve) plugs in. Implementations must return outcomes for
+	// all of [0, Samples) byte-identical to the in-process pass; the flow's
+	// reduction and derivation steps are shared either way, so the final
+	// result is too. When set, the local chip cache is skipped (samples are
+	// realized wherever the passes run) and the function is not part of any
+	// cache key — results are byte-identical with or without it.
+	Pass PassFunc `json:"-"`
+
 	// onRealize forwards to mc.Engine.OnRealize — a test hook for asserting
 	// how many chip realizations a flow run performs.
 	onRealize func(k int)

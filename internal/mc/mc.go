@@ -49,8 +49,15 @@ type Engine struct {
 // Engine realizes chips on the fly; Population replays a realized cache.
 // Each consumer fn must not retain ch and is called exactly once per
 // (sample, consumer), concurrently across samples.
+//
+// ForEachRangeBatch is the shard-friendly form: it covers only the samples
+// in [lo, hi), and chip k is the same chip ForEachBatch(n) would hand out
+// at index k — sample identity is (Seed, k), never "position within the
+// pass" — so a set of workers covering disjoint ranges that tile [0, n)
+// reproduces a single ForEachBatch(n) pass exactly.
 type Source interface {
 	ForEachBatch(n int, fns ...func(k int, ch *timing.Chip))
+	ForEachRangeBatch(lo, hi int, fns ...func(k int, ch *timing.Chip))
 }
 
 // New creates an engine.
@@ -118,10 +125,19 @@ func (e *Engine) ForEach(n int, fn func(k int, ch *timing.Chip)) {
 // performs no locking and no heap allocations. Chip k remains deterministic
 // in (Seed, k) regardless of worker count or scheduling.
 func (e *Engine) ForEachBatch(n int, fns ...func(k int, ch *timing.Chip)) {
+	e.ForEachRangeBatch(0, n, fns...)
+}
+
+// ForEachRangeBatch runs a multi-consumer pass over the sample sub-range
+// [lo, hi) with the same contract as ForEachBatch. Chip k is deterministic
+// in (Seed, k) alone — a worker process handed a k-range re-seeds its PCG
+// per sample exactly as the full pass would, so disjoint ranges covering
+// [0, n) reproduce ForEachBatch(n) bit for bit.
+func (e *Engine) ForEachRangeBatch(lo, hi int, fns ...func(k int, ch *timing.Chip)) {
 	if len(fns) == 0 {
 		return
 	}
-	forEachChunked(n, e.Workers, func() func(k int) {
+	forEachChunked(lo, hi, e.Workers, func() func(k int) {
 		ch := e.G.NewChip()
 		src := rand.NewPCG(0, 0)
 		rng := rand.New(src)
@@ -145,10 +161,11 @@ func (e *Engine) ForEachBatch(n int, fns ...func(k int, ch *timing.Chip)) {
 }
 
 // forEachChunked is the work distributor shared by Engine and Population:
-// samples 0..n-1 are claimed lock-free in chunks of contiguous indices via
-// one atomic counter. Each worker goroutine calls newWorker once for its
-// per-worker state and then runs the returned body per sample.
-func forEachChunked(n, workers int, newWorker func() func(k int)) {
+// samples lo..hi-1 are claimed lock-free in chunks of contiguous indices
+// via one atomic counter. Each worker goroutine calls newWorker once for
+// its per-worker state and then runs the returned body per sample.
+func forEachChunked(lo, hi, workers int, newWorker func() func(k int)) {
+	n := hi - lo
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -160,6 +177,7 @@ func forEachChunked(n, workers int, newWorker func() func(k int)) {
 	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
+	next.Store(int64(lo))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -167,10 +185,10 @@ func forEachChunked(n, workers int, newWorker func() func(k int)) {
 			body := newWorker()
 			for {
 				start := int(next.Add(chunk)) - chunk
-				if start >= n {
+				if start >= hi {
 					return
 				}
-				end := min(start+chunk, n)
+				end := min(start+chunk, hi)
 				for k := start; k < end; k++ {
 					body(k)
 				}
@@ -245,13 +263,20 @@ func (p *Population) Chip(k int) *timing.Chip { return &p.chips[k] }
 // contract and chunked parallel distribution as Engine.ForEachBatch.
 // n must not exceed N().
 func (p *Population) ForEachBatch(n int, fns ...func(k int, ch *timing.Chip)) {
-	if n > len(p.chips) {
-		panic("mc: population smaller than requested sample count")
+	p.ForEachRangeBatch(0, n, fns...)
+}
+
+// ForEachRangeBatch replays the cached chips of the sub-range [lo, hi)
+// through every fn — the replay form of Engine.ForEachRangeBatch, and
+// byte-identical to it on the same universe. hi must not exceed N().
+func (p *Population) ForEachRangeBatch(lo, hi int, fns ...func(k int, ch *timing.Chip)) {
+	if lo < 0 || hi > len(p.chips) {
+		panic("mc: population smaller than requested sample range")
 	}
 	if len(fns) == 0 {
 		return
 	}
-	forEachChunked(n, p.workers, func() func(k int) {
+	forEachChunked(lo, hi, p.workers, func() func(k int) {
 		return func(k int) {
 			for _, fn := range fns {
 				fn(k, &p.chips[k])

@@ -381,3 +381,58 @@ func TestEngineConcurrentPasses(t *testing.T) {
 		}
 	}
 }
+
+func TestRangeBatchTilesFullPass(t *testing.T) {
+	// Disjoint ranges covering [0, n) — deliberately uneven — must together
+	// hand out exactly the chips a full ForEachBatch(n) pass does: sample
+	// identity is (Seed, k), never position within the pass.
+	e := buildEngine(t, 12, 50, 3)
+	e.Workers = 3
+	const n = 130
+	full := make([][]float64, n)
+	e.ForEachBatch(n, func(k int, ch *timing.Chip) {
+		full[k] = append([]float64(nil), ch.DMax...)
+	})
+	for _, src := range []Source{e, e.Materialize(n)} {
+		got := make([][]float64, n)
+		var visits atomic.Int64
+		for _, r := range [][2]int{{0, 17}, {17, 64}, {64, 65}, {65, 130}} {
+			src.ForEachRangeBatch(r[0], r[1], func(k int, ch *timing.Chip) {
+				if k < r[0] || k >= r[1] {
+					t.Errorf("sample %d outside range [%d,%d)", k, r[0], r[1])
+				}
+				visits.Add(1)
+				got[k] = append([]float64(nil), ch.DMax...)
+			})
+		}
+		if visits.Load() != n {
+			t.Fatalf("ranges visited %d samples, want %d", visits.Load(), n)
+		}
+		for k := range full {
+			for p := range full[k] {
+				if got[k][p] != full[k][p] {
+					t.Fatalf("chip %d differs at pair %d between range and full pass", k, p)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeBatchEmptyAndAntithetic(t *testing.T) {
+	e := buildEngine(t, 12, 50, 4)
+	e.Antithetic = true
+	// An empty range is a no-op.
+	e.ForEachRangeBatch(40, 40, func(k int, ch *timing.Chip) {
+		t.Fatalf("empty range called fn with k=%d", k)
+	})
+	// A range starting at an odd k (mid antithetic pair) still reproduces
+	// the full pass's chips: pairing is positional in k, not in the range.
+	want := e.Chip(41)
+	e.ForEachRangeBatch(41, 42, func(k int, ch *timing.Chip) {
+		for p := range want.DMax {
+			if ch.DMax[p] != want.DMax[p] {
+				t.Fatalf("antithetic chip %d differs at pair %d", k, p)
+			}
+		}
+	})
+}

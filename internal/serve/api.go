@@ -27,6 +27,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/gen"
 	"repro/internal/insertion"
+	"repro/internal/shard"
 	"repro/internal/yield"
 )
 
@@ -184,6 +185,64 @@ type YieldResult struct {
 type YieldResponse struct {
 	Results   []YieldResult `json:"results"`
 	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// InsertPassRequest executes one insertion-flow Monte Carlo pass over the
+// contiguous sample range Range on a shard worker. The worker answers from
+// its own warm prepared-bench LRU (same Circuit × Options key as every
+// other endpoint), re-seeds its PCG streams from (Seed, k) exactly as the
+// coordinator's engine would, and returns the k-indexed outcomes — so
+// coordinator-side merging is pure placement and the reduced flow result
+// is byte-identical to a single-process run.
+//
+// The request carries every solver-affecting Config field — not just the
+// keyed ones — so a coordinating flow with non-default solver settings
+// (custom buffer spec, ablations, component cap) behaves identically on a
+// worker and in the coordinator's local fallback. Zero values take the
+// same documented defaults on both sides (the spec defaults from T).
+type InsertPassRequest struct {
+	Circuit CircuitSpec  `json:"circuit"`
+	Options expt.Options `json:"options"`
+	T       float64      `json:"t_ps"`
+	Samples int          `json:"samples"`
+	Seed    uint64       `json:"seed"`
+	Workers int          `json:"workers,omitempty"`
+	// Spec is the buffer hardware (zero = default τ=T/8, 20 steps).
+	Spec insertion.BufferSpec `json:"spec,omitempty"`
+	// MaxComponent caps the per-sample closure (0 = default 64).
+	MaxComponent int `json:"max_component,omitempty"`
+	// NoConcentration skips the concentration ILPs (ablation).
+	NoConcentration bool               `json:"no_concentration,omitempty"`
+	Pass            insertion.PassSpec `json:"pass"`
+	Range           shard.Range        `json:"range"`
+}
+
+// InsertPassResponse carries one range's per-sample outcomes, indexed
+// k − Range.Lo.
+type InsertPassResponse struct {
+	Outcomes  []insertion.SampleOutcome `json:"outcomes"`
+	ElapsedMS int64                     `json:"elapsed_ms"`
+}
+
+// YieldPassRequest evaluates a yield query batch over the contiguous chip
+// range Range on a shard worker: the worker expands Queries into the same
+// flattened sweep list the coordinator builds (the expansion is
+// deterministic, including the seeded randk baseline) and returns one
+// mergeable tally per sweep.
+type YieldPassRequest struct {
+	Circuit     CircuitSpec  `json:"circuit"`
+	Options     expt.Options `json:"options"`
+	EvalSamples int          `json:"eval_samples"`
+	Seed        uint64       `json:"seed"`
+	Queries     []YieldQuery `json:"queries"`
+	Range       shard.Range  `json:"range"`
+}
+
+// YieldPassResponse carries the per-sweep partial tallies in the flattened
+// query-expansion order.
+type YieldPassResponse struct {
+	Tallies   []yield.SweepTally `json:"tallies"`
+	ElapsedMS int64              `json:"elapsed_ms"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

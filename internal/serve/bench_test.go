@@ -50,6 +50,49 @@ func BenchmarkServeColdPrepare(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedYieldSweep times a coordinated multi-worker yield sweep
+// over loopback HTTP: two in-process worker servers answer
+// /v1/shard/yield-pass, the coordinator merges their tallies. Like the
+// serve benches it stays out of the gated BENCH baselines (loopback-HTTP
+// jitter swamps the 30 % gate); ci.sh smokes it for one iteration.
+func BenchmarkShardedYieldSweep(b *testing.B) {
+	workers := make([]string, 2)
+	for i := range workers {
+		ts := httptest.NewServer(New(Config{}).Handler())
+		defer ts.Close()
+		workers[i] = ts.URL
+	}
+	s := New(Config{Workers: workers, Shards: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	ins, err := cl.Insert(benchInsertReq())
+	if err != nil {
+		b.Fatal(err)
+	}
+	Ts := make([]float64, 10)
+	for i := range Ts {
+		Ts[i] = ins.T + float64(i-3)*10
+	}
+	req := YieldRequest{
+		Circuit:     benchInsertReq().Circuit,
+		Options:     benchInsertReq().Options,
+		EvalSamples: 2000,
+		Seed:        0x1003,
+		Queries:     []YieldQuery{{Plan: ins.Plan, Periods: Ts}},
+	}
+	// Warm both workers' bench caches before timing.
+	if _, err := cl.Yield(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Yield(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestWarmSpeedup pins the acceptance bar: a warm-cache hit must be at
 // least 10× faster than a cold prepare-per-request. The measured gap is
 // orders of magnitude (µs-scale cache hit vs SSTA + thousands of Monte

@@ -17,6 +17,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/insertion"
 	"repro/internal/mc"
+	"repro/internal/shard"
 	"repro/internal/timing"
 	"repro/internal/yield"
 )
@@ -39,6 +40,18 @@ type Config struct {
 	// MaxBodyBytes bounds a request body (default 16 MiB — inline .bench
 	// netlists are the large case).
 	MaxBodyBytes int64
+	// Workers lists shard-worker base URLs (other bufinsd processes). When
+	// non-empty this server coordinates the Monte Carlo sample loops of
+	// /v1/insert and /v1/yield across them: contiguous k-ranges are
+	// dispatched to /v1/shard/* on the workers and the k-indexed partials
+	// merge into byte-identical final stats. Ranges of failed workers are
+	// re-dispatched; with every worker down the server degrades to
+	// in-process execution.
+	Workers []string
+	// Shards is the number of contiguous k-ranges per distributed pass
+	// (0 = 4 per registered worker: enough granularity that losing a worker
+	// re-dispatches a fraction of the run, not half of it).
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -72,6 +85,9 @@ type Server struct {
 	mu      sync.Mutex
 	benches *lruCache // bench key → *benchEntry
 
+	// pool is the shard-worker registry (nil unless Config.Workers is set).
+	pool *shard.Pool
+
 	inflight chan struct{}
 	m        metrics
 }
@@ -97,12 +113,14 @@ const (
 	epPrepare endpoint = iota
 	epInsert
 	epYield
+	epInsertPass
+	epYieldPass
 	epHealthz
 	epMetrics
 	nEndpoints
 )
 
-var endpointNames = [nEndpoints]string{"prepare", "insert", "yield", "healthz", "metrics"}
+var endpointNames = [nEndpoints]string{"prepare", "insert", "yield", "shard_insert_pass", "shard_yield_pass", "healthz", "metrics"}
 
 // benchEntry is one cached prepared benchmark with its warm query state:
 // the solver-pool Runner and the per-(seed, n) chip populations shared by
@@ -119,9 +137,10 @@ type benchEntry struct {
 	err       error
 	elapsedMS int64
 
-	mu    sync.Mutex
-	plans *lruCache // insert key → *planEntry
-	pops  *lruCache // "seed:n" → *popEntry
+	mu     sync.Mutex
+	plans  *lruCache // insert key → *planEntry
+	pops   *lruCache // "seed:n" → *popEntry
+	sweeps *lruCache // query-batch hash → []*yield.SweepEvaluator
 }
 
 // planEntry computes one insert query exactly once; concurrent identical
@@ -150,13 +169,22 @@ func New(cfg Config) *Server {
 		benches:  newLRU(cfg.MaxBenches),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 	}
+	if len(cfg.Workers) > 0 {
+		s.pool = shard.NewPool(cfg.Workers)
+	}
 	s.mux.Handle("/v1/prepare", s.jsonHandler(epPrepare, s.handlePrepare))
 	s.mux.Handle("/v1/insert", s.jsonHandler(epInsert, s.handleInsert))
 	s.mux.Handle("/v1/yield", s.jsonHandler(epYield, s.handleYield))
+	s.mux.Handle("/v1/shard/insert-pass", s.jsonHandler(epInsertPass, s.handleInsertPass))
+	s.mux.Handle("/v1/shard/yield-pass", s.jsonHandler(epYieldPass, s.handleYieldPass))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
+
+// Pool exposes the shard-worker registry (nil on a plain server) — mainly
+// for tests and operational probes.
+func (s *Server) Pool() *shard.Pool { return s.pool }
 
 // Handler returns the root handler (mount it on an http.Server; shutdown
 // is the caller's, via http.Server.Shutdown).
@@ -252,8 +280,9 @@ func (s *Server) getBench(spec CircuitSpec, opt expt.Options) (*benchEntry, bool
 				}
 				return expt.Prepare(c, opt)
 			},
-			plans: newLRU(s.cfg.MaxPlans),
-			pops:  newLRU(s.cfg.MaxPopulations),
+			plans:  newLRU(s.cfg.MaxPlans),
+			pops:   newLRU(s.cfg.MaxPopulations),
+			sweeps: newLRU(8),
 		}
 		s.benches.put(key, e)
 	}
@@ -373,13 +402,20 @@ func (s *Server) handleInsert(r *http.Request) (any, error) {
 	e.mu.Unlock()
 	pe.once.Do(func() {
 		start := time.Now()
-		res, err := e.runner.Run(insertion.Config{
+		cfg := insertion.Config{
 			T:          T,
 			Samples:    req.Samples,
 			Seed:       req.Seed,
 			MaxBuffers: req.MaxBuffers,
 			Workers:    req.Workers,
-		})
+		}
+		if s.pool != nil {
+			// Shard the flow's sample passes across the worker pool. The
+			// executor is not part of the plan key: sharded and in-process
+			// runs are byte-identical, so any cached plan answers both.
+			cfg.Pass = s.coordinator(req.Circuit, req.Options, e).InsertPass(cfg)
+		}
+		res, err := e.runner.Run(cfg)
 		if err != nil {
 			// Deterministic in the keyed inputs, so caching the failure is
 			// correct and keeps repeated bad queries cheap.
@@ -428,15 +464,33 @@ func (s *Server) handleYield(r *http.Request) (any, error) {
 		return nil, err
 	}
 	start := time.Now()
-	src := s.chipSource(e, req.Seed, req.EvalSamples)
-	results, err := EvaluateQueries(e.sys.Graph(), src, req.EvalSamples, req.Queries)
+	var results []YieldResult
+	if s.pool != nil {
+		// Sharded: tile the chip range across the worker pool and merge the
+		// per-sweep tallies (byte-identical to the in-process pass).
+		results, err = s.coordinator(req.Circuit, req.Options, e).EvaluateQueries(req.EvalSamples, req.Seed, req.Queries)
+	} else {
+		src := s.chipSource(e, req.Seed, req.EvalSamples)
+		results, err = EvaluateQueries(e.sys.Graph(), src, req.EvalSamples, req.Queries)
+	}
 	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, asClientError(err)
 	}
 	return &YieldResponse{
 		Results:   results,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
+}
+
+// asClientError maps plain errors to 400 (the historical behavior of the
+// yield handler: evaluation errors are malformed plans or sweeps) while
+// letting already-classified httpErrors pass through.
+func asClientError(err error) error {
+	var he *httpError
+	if errors.As(err, &he) {
+		return err
+	}
+	return badRequest("%v", err)
 }
 
 // EvaluateQueries expands every query into its named sweeps (the plan
@@ -448,11 +502,24 @@ func (s *Server) handleYield(r *http.Request) (any, error) {
 // outputs byte-identical by construction. Errors are client errors
 // (malformed plans, unsorted sweeps).
 func EvaluateQueries(g *timing.Graph, src mc.Source, n int, queries []YieldQuery) ([]YieldResult, error) {
+	results, sweeps, err := expandQueries(g, queries)
+	if err != nil {
+		return nil, err
+	}
+	return foldReports(results, yield.EvaluateMany(src, n, sweeps...)), nil
+}
+
+// expandQueries validates every query and expands it into its named sweep
+// evaluators, flattened in query order. The expansion is deterministic in
+// (graph, queries) — the randk baseline is seeded — so a shard worker
+// expanding the same queries builds sweeps whose tallies line up
+// index-for-index with the coordinator's.
+func expandQueries(g *timing.Graph, queries []YieldQuery) ([]YieldResult, []*yield.SweepEvaluator, error) {
 	results := make([]YieldResult, len(queries))
 	var sweeps []*yield.SweepEvaluator
 	for qi, q := range queries {
 		if err := q.Plan.Validate(); err != nil {
-			return nil, fmt.Errorf("query %d: %w", qi, err)
+			return nil, nil, fmt.Errorf("query %d: %w", qi, err)
 		}
 		Ts := q.Periods
 		if len(Ts) == 0 {
@@ -465,17 +532,22 @@ func EvaluateQueries(g *timing.Graph, src mc.Source, n int, queries []YieldQuery
 		for _, st := range set {
 			ev, err := yield.NewEvaluator(g, q.Plan.Spec, st.Groups)
 			if err != nil {
-				return nil, fmt.Errorf("query %d (%s): %w", qi, st.Name, err)
+				return nil, nil, fmt.Errorf("query %d (%s): %w", qi, st.Name, err)
 			}
 			sw, err := yield.NewSweepEvaluator(ev, Ts)
 			if err != nil {
-				return nil, fmt.Errorf("query %d (%s): %w", qi, st.Name, err)
+				return nil, nil, fmt.Errorf("query %d (%s): %w", qi, st.Name, err)
 			}
 			results[qi].Names = append(results[qi].Names, st.Name)
 			sweeps = append(sweeps, sw)
 		}
 	}
-	reports := yield.EvaluateMany(src, n, sweeps...)
+	return results, sweeps, nil
+}
+
+// foldReports distributes the flat sweep reports back onto the per-query
+// results in expansion order.
+func foldReports(results []YieldResult, reports []yield.SweepReport) []YieldResult {
 	i := 0
 	for qi := range results {
 		for range results[qi].Names {
@@ -483,7 +555,7 @@ func EvaluateQueries(g *timing.Graph, src mc.Source, n int, queries []YieldQuery
 			i++
 		}
 	}
-	return results, nil
+	return results
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -524,6 +596,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"bench\"} %d\n", s.m.benchMiss.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"plan\"} %d\n", s.m.planMiss.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"population\"} %d\n", s.m.popMiss.Load())
+	if s.pool != nil {
+		alive := s.pool.Alive()
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_workers gauge\n")
+		fmt.Fprintf(&b, "bufinsd_shard_workers{state=\"alive\"} %d\n", alive)
+		fmt.Fprintf(&b, "bufinsd_shard_workers{state=\"down\"} %d\n", s.pool.Size()-alive)
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_ranges_total counter\n")
+		fmt.Fprintf(&b, "bufinsd_shard_ranges_total{kind=\"dispatched\"} %d\n", s.pool.C.Dispatched.Load())
+		fmt.Fprintf(&b, "bufinsd_shard_ranges_total{kind=\"redispatched\"} %d\n", s.pool.C.Redispatched.Load())
+		fmt.Fprintf(&b, "bufinsd_shard_ranges_total{kind=\"local\"} %d\n", s.pool.C.Local.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_worker_errors_total counter\nbufinsd_shard_worker_errors_total %d\n", s.pool.C.WorkerErrors.Load())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(b.String()))
 }

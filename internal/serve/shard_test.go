@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/insertion"
+	"repro/internal/shard"
+)
+
+// startWorkers spins n worker bufinsd instances (full serve handlers on
+// loopback HTTP) and returns their base URLs.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(New(Config{}).Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// shardedClient builds a coordinator server over the given workers and
+// returns its client plus the server (for pool counter assertions).
+func shardedClient(t *testing.T, workers []string, shards int) (*Server, *Client) {
+	t.Helper()
+	s := New(Config{Workers: workers, Shards: shards})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+// insertYield runs the canonical probe pair — one insert, one
+// strategy-expanded multi-period yield — against a client and returns the
+// comparable parts (elapsed fields stripped).
+func insertYield(t *testing.T, cl *Client) (insertion.Plan, InsertStats, string) {
+	t.Helper()
+	ins, err := cl.Insert(insertReq(130, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Ts := []float64{ins.T - 20, ins.T, ins.T + 20, ins.T + 40}
+	yld, err := cl.Yield(YieldRequest{
+		Circuit:     tinySpec(),
+		Options:     tinyOptions(),
+		EvalSamples: 400,
+		Seed:        5 + 0x1000,
+		Queries: []YieldQuery{
+			{Plan: ins.Plan, Periods: Ts, Strategies: true, StrategySeed: 9},
+			{Plan: ins.Plan},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := json.Marshal(yld.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins.Plan, ins.Stats, string(results)
+}
+
+// TestShardedByteIdenticalAcrossWorkerCounts is the tentpole equivalence
+// claim: a coordinator sharding over 1, 2, or 7-range splits (uneven by
+// construction: 130 and 400 are not multiples of 7) across 1 or 2 worker
+// processes answers /v1/insert and /v1/yield byte-identically to the plain
+// in-process server.
+func TestShardedByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	_, plain := newTestServer(t)
+	wantPlan, wantStats, wantResults := insertYield(t, plain)
+	workers := startWorkers(t, 2)
+	for _, tc := range []struct {
+		workers []string
+		shards  int
+	}{
+		{workers[:1], 1},
+		{workers[:1], 7},
+		{workers, 2},
+		{workers, 7},
+	} {
+		s, cl := shardedClient(t, tc.workers, tc.shards)
+		gotPlan, gotStats, gotResults := insertYield(t, cl)
+		wj, _ := json.Marshal(wantPlan)
+		gj, _ := json.Marshal(gotPlan)
+		if string(wj) != string(gj) {
+			t.Fatalf("%d workers × %d shards: plan diverges:\n got %s\nwant %s", len(tc.workers), tc.shards, gj, wj)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("%d workers × %d shards: stats diverge: got %+v want %+v", len(tc.workers), tc.shards, gotStats, wantStats)
+		}
+		if gotResults != wantResults {
+			t.Fatalf("%d workers × %d shards: yield results diverge", len(tc.workers), tc.shards)
+		}
+		if s.Pool().C.Dispatched.Load() == 0 {
+			t.Fatalf("%d workers × %d shards: no ranges dispatched to workers", len(tc.workers), tc.shards)
+		}
+		if s.Pool().C.Local.Load() != 0 {
+			t.Fatalf("%d workers × %d shards: healthy pool fell back to local execution", len(tc.workers), tc.shards)
+		}
+	}
+}
+
+// flakyWorker proxies a real worker but dies (connection-level) after
+// serving `succeed` shard passes — the mid-run kill of the acceptance
+// criterion, observable as transport errors on later dispatches.
+func flakyWorker(t *testing.T, target string, succeed int64) string {
+	t.Helper()
+	var served atomic.Int64
+	tu, err := url.Parse(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/shard/") && served.Add(1) > succeed {
+			// Kill the connection without a valid HTTP response.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder not hijackable")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		proxy := *r.URL
+		proxy.Scheme = tu.Scheme
+		proxy.Host = tu.Host
+		req, err := http.NewRequest(r.Method, proxy.String(), r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestShardedSurvivesWorkerKill: with one worker killed after its first
+// shard pass, the coordinator re-dispatches the unacknowledged ranges to
+// the survivor and still produces byte-identical output.
+func TestShardedSurvivesWorkerKill(t *testing.T) {
+	_, plain := newTestServer(t)
+	wantPlan, wantStats, wantResults := insertYield(t, plain)
+	real := startWorkers(t, 2)
+	flaky := flakyWorker(t, real[1], 1)
+	s, cl := shardedClient(t, []string{real[0], flaky}, 7)
+	gotPlan, gotStats, gotResults := insertYield(t, cl)
+	wj, _ := json.Marshal(wantPlan)
+	gj, _ := json.Marshal(gotPlan)
+	if string(wj) != string(gj) || gotStats != wantStats || gotResults != wantResults {
+		t.Fatal("output diverged after mid-run worker kill")
+	}
+	if got := s.Pool().C.Redispatched.Load(); got == 0 {
+		t.Fatal("worker kill did not trigger a re-dispatch")
+	}
+	alive := 0
+	for _, w := range s.Pool().Workers() {
+		if !w.Down() {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("alive workers = %d, want 1 (the survivor)", alive)
+	}
+}
+
+// TestShardedDegradesToInProcess: a coordinator whose every worker is
+// unreachable still answers — all ranges drain through the in-process
+// fallback — and the output stays byte-identical.
+func TestShardedDegradesToInProcess(t *testing.T) {
+	_, plain := newTestServer(t)
+	wantPlan, _, wantResults := insertYield(t, plain)
+	// TEST-NET-1 addresses refuse/blackhole quickly on loopback-only hosts;
+	// use an unbound local port instead for a fast connection refusal.
+	dead := httptest.NewServer(http.NewServeMux())
+	deadURL := dead.URL
+	dead.Close()
+	s, cl := shardedClient(t, []string{deadURL}, 3)
+	gotPlan, _, gotResults := insertYield(t, cl)
+	wj, _ := json.Marshal(wantPlan)
+	gj, _ := json.Marshal(gotPlan)
+	if string(wj) != string(gj) || gotResults != wantResults {
+		t.Fatal("zero-worker degradation diverged from in-process output")
+	}
+	if s.Pool().C.Local.Load() == 0 {
+		t.Fatal("expected local fallback ranges")
+	}
+}
+
+// TestShardPassEndpointsValidate: the worker endpoints reject malformed
+// ranges and specs with 400s rather than desynchronizing a run.
+func TestShardPassEndpointsValidate(t *testing.T) {
+	_, cl := newTestServer(t)
+	post := func(path string, req any) int {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := cl.HTTP.Post(cl.Base+path, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := post("/v1/shard/insert-pass", InsertPassRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		T: 1000, Samples: 100, Pass: insertion.PassSpec{Kind: "bogus"},
+		Range: shard.Range{Lo: 0, Hi: 10},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("bogus pass kind: HTTP %d, want 400", code)
+	}
+	if code := post("/v1/shard/insert-pass", InsertPassRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		T: 1000, Samples: 100, Pass: insertion.PassSpec{Kind: insertion.PassFloating},
+		Range: shard.Range{Lo: 50, Hi: 200},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("out-of-bounds insert range: HTTP %d, want 400", code)
+	}
+	if code := post("/v1/shard/yield-pass", YieldPassRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		EvalSamples: 100, Queries: []YieldQuery{{}},
+		Range: shard.Range{Lo: 0, Hi: 10},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("malformed plan in yield pass: HTTP %d, want 400", code)
+	}
+	if code := post("/v1/shard/yield-pass", YieldPassRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		EvalSamples: 100, Range: shard.Range{Lo: 0, Hi: 10},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("empty query list: HTTP %d, want 400", code)
+	}
+}

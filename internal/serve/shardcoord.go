@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/shard"
+	"repro/internal/timing"
+	"repro/internal/yield"
+)
+
+// This file is both halves of the sharded sample loop over the service's
+// HTTP/JSON surface:
+//
+//   - the worker half: /v1/shard/insert-pass and /v1/shard/yield-pass
+//     handlers that execute one contiguous k-range against the worker's
+//     warm prepared-bench LRU and return k-indexed partials;
+//   - the coordinator half: Coordinator, which tiles [0, n) into ranges,
+//     dispatches them over a shard.Pool, merges the partials, and hands
+//     the flow an in-process-identical view.
+//
+// Byte identity rests on two contracts: chip k is deterministic in
+// (Seed, k) (mc), and every partial is either k-indexed (insert outcomes)
+// or an order-independent integer histogram (yield tallies), so merging is
+// pure placement/addition. Worker loss is handled underneath by
+// shard.Pool.Run: unacknowledged ranges are re-dispatched to survivors and
+// drained in-process when no workers remain.
+
+// ---------------- worker half ----------------
+
+func (s *Server) handleInsertPass(r *http.Request) (any, error) {
+	req, err := decode[InsertPassRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	if req.Samples <= 0 {
+		return nil, badRequest("need samples > 0")
+	}
+	e, _, err := s.getBench(req.Circuit, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	outcomes, err := e.runner.PassRange(insertion.Config{
+		T:               req.T,
+		Samples:         req.Samples,
+		Seed:            req.Seed,
+		Workers:         req.Workers,
+		Spec:            req.Spec,
+		MaxComponent:    req.MaxComponent,
+		NoConcentration: req.NoConcentration,
+	}, req.Pass, req.Range.Lo, req.Range.Hi)
+	if err != nil {
+		return nil, badRequest("insert pass: %v", err)
+	}
+	return &InsertPassResponse{
+		Outcomes:  outcomes,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
+func (s *Server) handleYieldPass(r *http.Request) (any, error) {
+	req, err := decode[YieldPassRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	if req.EvalSamples <= 0 {
+		return nil, badRequest("need eval_samples > 0")
+	}
+	if len(req.Queries) == 0 {
+		return nil, badRequest("need at least one query")
+	}
+	if req.Range.Lo < 0 || req.Range.Hi > req.EvalSamples || req.Range.Lo > req.Range.Hi {
+		return nil, badRequest("yield pass range [%d,%d) outside [0,%d)", req.Range.Lo, req.Range.Hi, req.EvalSamples)
+	}
+	e, _, err := s.getBench(req.Circuit, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	sweeps, err := s.sweepsFor(e, req.Queries)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	start := time.Now()
+	// Stream the range from the engine: a worker touches only its slice of
+	// the universe, so materializing the full (seed, n) population here
+	// would defeat the point of sharding it.
+	tallies := yield.TallyRange(mc.New(e.sys.Graph(), req.Seed), req.Range.Lo, req.Range.Hi, sweeps...)
+	return &YieldPassResponse{
+		Tallies:   tallies,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
+// sweepsFor expands a query batch into its sweep evaluators through the
+// bench entry's small LRU: one coordinated pass sends the identical batch
+// once per range, and the evaluator construction (a hold-side system per
+// strategy × query) should be paid once per batch, not once per range. A
+// SweepEvaluator is safe to share across concurrent range requests — it is
+// read-only after construction and pools its per-worker scratch.
+func (s *Server) sweepsFor(e *benchEntry, queries []YieldQuery) ([]*yield.SweepEvaluator, error) {
+	data, err := json.Marshal(queries)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	key := string(sum[:])
+	e.mu.Lock()
+	cached, ok := e.sweeps.get(key)
+	e.mu.Unlock()
+	if ok {
+		return cached.([]*yield.SweepEvaluator), nil
+	}
+	_, sweeps, err := expandQueries(e.sys.Graph(), queries)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.sweeps.put(key, sweeps)
+	e.mu.Unlock()
+	return sweeps, nil
+}
+
+// ---------------- coordinator half ----------------
+
+// Coordinator shards the flow's Monte Carlo sample loops over a worker
+// pool for one circuit × options. It serves the Server's /v1/insert and
+// /v1/yield when Config.Workers is set, and the CLIs' -workers mode
+// directly (the in-process local fallback runs on the coordinator's own
+// graph and runner). Safe for concurrent use.
+type Coordinator struct {
+	// Pool is the worker registry (never nil; an empty pool runs every
+	// range in-process).
+	Pool *shard.Pool
+	// Shards is the range count per pass (0 = 4 per registered worker,
+	// minimum 1).
+	Shards int
+	// Circuit and Options identify the prepared bench on the workers.
+	Circuit CircuitSpec
+	Options expt.Options
+
+	g      *timing.Graph
+	runner *insertion.Runner
+}
+
+// NewCoordinator builds a coordinator for a locally prepared system. The
+// runner backs the in-process fallback; passing the system's existing
+// runner (as the server does) shares its warm solver pool.
+func NewCoordinator(pool *shard.Pool, shards int, spec CircuitSpec, opt expt.Options, sys *core.System, runner *insertion.Runner) *Coordinator {
+	return &Coordinator{
+		Pool:    pool,
+		Shards:  shards,
+		Circuit: spec,
+		Options: opt,
+		g:       sys.Graph(),
+		runner:  runner,
+	}
+}
+
+// coordinator builds the Server's per-request coordinator around a cached
+// bench entry (sharing its warm runner for the local fallback).
+func (s *Server) coordinator(spec CircuitSpec, opt expt.Options, e *benchEntry) *Coordinator {
+	return &Coordinator{
+		Pool:    s.pool,
+		Shards:  s.cfg.Shards,
+		Circuit: spec,
+		Options: opt,
+		g:       e.sys.Graph(),
+		runner:  e.runner,
+	}
+}
+
+// ranges tiles [0, n), and revives any down workers that answer /healthz
+// again — a restarted worker rejoins at the next coordinated pass.
+func (c *Coordinator) ranges(n int) []shard.Range {
+	if c.Pool.Alive() < c.Pool.Size() {
+		c.Pool.Probe("/healthz")
+	}
+	parts := c.Shards
+	if parts <= 0 {
+		parts = 4 * c.Pool.Size()
+		if parts < 1 {
+			parts = 1
+		}
+	}
+	return shard.Split(n, parts)
+}
+
+// InsertPass returns the distributed executor for one flow configuration:
+// plug it into insertion.Config.Pass and the flow's step-1/B1/step-2
+// passes each fan out over the pool and merge k-indexed outcomes. cfg must
+// be the same configuration the flow runs with (before Pass is set).
+func (c *Coordinator) InsertPass(cfg insertion.Config) insertion.PassFunc {
+	return func(spec insertion.PassSpec) ([]insertion.SampleOutcome, error) {
+		out := make([]insertion.SampleOutcome, cfg.Samples)
+		post := func(w *shard.Worker, r shard.Range) error {
+			var resp InsertPassResponse
+			err := w.Post("/v1/shard/insert-pass", InsertPassRequest{
+				Circuit:         c.Circuit,
+				Options:         c.Options,
+				T:               cfg.T,
+				Samples:         cfg.Samples,
+				Seed:            cfg.Seed,
+				Workers:         cfg.Workers,
+				Spec:            cfg.Spec,
+				MaxComponent:    cfg.MaxComponent,
+				NoConcentration: cfg.NoConcentration,
+				Pass:            spec,
+				Range:           r,
+			}, &resp)
+			if err != nil {
+				return err
+			}
+			if len(resp.Outcomes) != r.Len() {
+				return fmt.Errorf("serve: worker %s returned %d outcomes for range [%d,%d)", w.Base, len(resp.Outcomes), r.Lo, r.Hi)
+			}
+			copy(out[r.Lo:r.Hi], resp.Outcomes)
+			return nil
+		}
+		local := func(r shard.Range) error {
+			part, err := c.runner.PassRange(cfg, spec, r.Lo, r.Hi)
+			if err != nil {
+				return err
+			}
+			copy(out[r.Lo:r.Hi], part)
+			return nil
+		}
+		if err := c.Pool.Run(c.ranges(cfg.Samples), post, local); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// EvaluateQueries answers a yield query batch over n chips of universe
+// seed by sharding the chip range and merging per-sweep tallies —
+// byte-identical to the in-process EvaluateQueries on the same inputs.
+func (c *Coordinator) EvaluateQueries(n int, seed uint64, queries []YieldQuery) ([]YieldResult, error) {
+	results, sweeps, err := expandQueries(c.g, queries)
+	if err != nil {
+		return nil, err
+	}
+	merged := make([]yield.SweepTally, len(sweeps))
+	for i, sw := range sweeps {
+		merged[i] = sw.NewTally()
+	}
+	var mu sync.Mutex
+	mergeAll := func(parts []yield.SweepTally) error {
+		// Validate every part before mutating: a malformed response (e.g.
+		// version skew) must reject the whole range, not merge half of it —
+		// Pool.Run re-dispatches rejected ranges, and a partial merge would
+		// double-count the re-run.
+		if len(parts) != len(sweeps) {
+			return fmt.Errorf("serve: got %d tallies, want %d", len(parts), len(sweeps))
+		}
+		for i, sw := range sweeps {
+			if want := len(sw.Ts) + 1; len(parts[i].FirstZero) != want || len(parts[i].FirstTuned) != want {
+				return fmt.Errorf("serve: tally %d has lengths %d/%d, want %d",
+					i, len(parts[i].FirstZero), len(parts[i].FirstTuned), want)
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range merged {
+			if err := merged[i].Merge(parts[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	post := func(w *shard.Worker, r shard.Range) error {
+		var resp YieldPassResponse
+		err := w.Post("/v1/shard/yield-pass", YieldPassRequest{
+			Circuit:     c.Circuit,
+			Options:     c.Options,
+			EvalSamples: n,
+			Seed:        seed,
+			Queries:     queries,
+			Range:       r,
+		}, &resp)
+		if err != nil {
+			return err
+		}
+		return mergeAll(resp.Tallies)
+	}
+	local := func(r shard.Range) error {
+		return mergeAll(yield.TallyRange(mc.New(c.g, seed), r.Lo, r.Hi, sweeps...))
+	}
+	if err := c.Pool.Run(c.ranges(n), post, local); err != nil {
+		return nil, err
+	}
+	reports := make([]yield.SweepReport, len(sweeps))
+	for i, sw := range sweeps {
+		reports[i] = sw.ReportOf(merged[i])
+	}
+	return foldReports(results, reports), nil
+}
+
+// EvalPlans measures each plan's single-period yield report (at its own
+// target T) over n fresh chips — the sharded replacement for the shared
+// in-process pass expt.RunRows runs, byte-identical to it.
+func (c *Coordinator) EvalPlans(plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error) {
+	queries := make([]YieldQuery, len(plans))
+	for i, p := range plans {
+		queries[i] = YieldQuery{Plan: p}
+	}
+	results, err := c.EvaluateQueries(n, seed, queries)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]yield.Report, len(results))
+	for i, res := range results {
+		reports[i] = res.Reports[0].At(0)
+	}
+	return reports, nil
+}

@@ -1,0 +1,274 @@
+// Package shard is the distribution substrate of the sharded sample loop:
+// it splits a Monte Carlo sample range [0, n) into contiguous k-ranges and
+// dispatches them across a pool of worker processes, re-dispatching the
+// ranges of workers that fail mid-run and degrading to in-process
+// execution when no workers remain.
+//
+// The package is deliberately ignorant of what a range computes. The
+// caller supplies two closures — post(worker, range) executes a range on a
+// worker over HTTP and merges its partial result, local(range) computes
+// the same range in-process — and the pool guarantees every range is
+// acknowledged by exactly one of them. Because every per-sample result in
+// the flow is k-indexed and order-independent (the mc seeding contract:
+// chip k is deterministic in (Seed, k)), that guarantee is all a
+// coordinator needs to merge partials into byte-identical final stats.
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Range is a contiguous half-open sample interval [Lo, Hi).
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Len returns the number of samples in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split tiles [0, n) with at most parts contiguous near-equal ranges, in
+// ascending order. Deterministic; never returns an empty range.
+func Split(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + (n-lo)/(parts-i)
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// Counters are the pool's cumulative dispatch statistics, exported on the
+// coordinator's /metrics. All fields are atomics; read them with Load.
+type Counters struct {
+	// Dispatched counts ranges acknowledged by a worker.
+	Dispatched atomic.Int64
+	// Redispatched counts ranges requeued after their worker failed.
+	Redispatched atomic.Int64
+	// Local counts ranges executed in-process (zero-worker degradation, or
+	// the drain after every worker died mid-run).
+	Local atomic.Int64
+	// WorkerErrors counts worker request failures.
+	WorkerErrors atomic.Int64
+}
+
+// Worker is one shard worker endpoint with its health state.
+type Worker struct {
+	// Base is the worker's base URL, e.g. "http://10.0.0.7:8077".
+	Base string
+
+	// client carries range executions (generous timeout: a range of a big
+	// circuit is minutes of solver work); prober answers health checks and
+	// must fail fast — a blackholed host must not stall every coordinated
+	// pass for the transport's full patience.
+	client *http.Client
+	prober *http.Client
+	down   atomic.Bool
+}
+
+// Down reports whether the worker is currently marked unhealthy.
+func (w *Worker) Down() bool { return w.down.Load() }
+
+// Post sends one JSON request to a worker endpoint and decodes the JSON
+// response into out. Any transport error or non-2xx status is an error
+// (carrying the worker's message when it sent one).
+func (w *Worker) Post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Post(w.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("shard: POST %s%s: %w", w.Base, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("shard: reading %s%s response: %w", w.Base, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("shard: %s%s: %s (HTTP %d)", w.Base, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("shard: %s%s: HTTP %d", w.Base, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("shard: decoding %s%s response: %w", w.Base, path, err)
+	}
+	return nil
+}
+
+// healthy probes the worker's health endpoint (short timeout).
+func (w *Worker) healthy(path string) bool {
+	resp, err := w.prober.Get(w.Base + path)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Pool is a registry of shard workers plus the dispatch loop. Safe for
+// concurrent use: several coordinated requests may Run over one Pool at
+// once (each Run owns its range queue; health flags and counters are
+// atomics).
+type Pool struct {
+	workers []*Worker
+	// C aggregates dispatch counters across every Run.
+	C Counters
+}
+
+// NewPool builds a pool over worker base URLs (trailing slashes trimmed,
+// blanks dropped). A nil/empty list is a valid pool that always degrades
+// to local execution.
+func NewPool(bases []string) *Pool {
+	p := &Pool{}
+	for _, b := range bases {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b == "" {
+			continue
+		}
+		p.workers = append(p.workers, &Worker{
+			Base:   b,
+			client: &http.Client{Timeout: 10 * time.Minute},
+			prober: &http.Client{Timeout: 2 * time.Second},
+		})
+	}
+	return p
+}
+
+// Workers returns the registry (read-only; health flags change under Run).
+func (p *Pool) Workers() []*Worker { return p.workers }
+
+// Size returns the number of registered workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Alive returns the number of workers not marked down.
+func (p *Pool) Alive() int {
+	n := 0
+	for _, w := range p.workers {
+		if !w.Down() {
+			n++
+		}
+	}
+	return n
+}
+
+// Probe checks worker health at path (e.g. "/healthz"), reviving workers
+// that answer and marking down those that don't. Coordinators call it
+// before a dispatch so a worker that restarted since its last failure
+// rejoins the pool.
+func (p *Pool) Probe(path string) {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			w.down.Store(!w.healthy(path))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run executes every range exactly once: alive workers pull ranges from a
+// shared queue through post; a worker whose post fails is marked down and
+// its unacknowledged range is requeued for the survivors; ranges left when
+// every worker has failed — or queued against an empty pool — run
+// in-process through local. post and local run concurrently across ranges,
+// so both must be safe for concurrent use (disjoint ranges merge into
+// disjoint regions, which is what the serve coordinator does). The first
+// local error aborts the drain; worker errors never surface as long as
+// some path completes the work.
+func (p *Pool) Run(ranges []Range, post func(w *Worker, r Range) error, local func(r Range) error) error {
+	if len(ranges) == 0 {
+		return nil
+	}
+	var alive []*Worker
+	for _, w := range p.workers {
+		if !w.Down() {
+			alive = append(alive, w)
+		}
+	}
+	// The queue is buffered for every range plus one requeue per worker, so
+	// neither the initial fill nor a failing worker's requeue can block.
+	work := make(chan Range, len(ranges)+len(alive))
+	for _, r := range ranges {
+		work <- r
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(ranges)))
+	done := make(chan struct{})
+	complete := func() {
+		if pending.Add(-1) == 0 {
+			close(done)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, w := range alive {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case r := <-work:
+					if err := post(w, r); err != nil {
+						p.C.WorkerErrors.Add(1)
+						p.C.Redispatched.Add(1)
+						w.down.Store(true)
+						work <- r
+						return
+					}
+					p.C.Dispatched.Add(1)
+					complete()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every worker returned: either all ranges completed, or the remaining
+	// ones sit in the queue (each failing worker requeued its range before
+	// returning). Drain them in-process — the zero-worker degradation.
+	for {
+		select {
+		case r := <-work:
+			p.C.Local.Add(1)
+			if err := local(r); err != nil {
+				return err
+			}
+			complete()
+		default:
+			if n := pending.Load(); n > 0 {
+				return fmt.Errorf("shard: %d range(s) unaccounted for after drain", n)
+			}
+			return nil
+		}
+	}
+}

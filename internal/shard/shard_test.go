@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSplitTilesExactly(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{10, 3}, {1, 1}, {7, 7}, {7, 20}, {2000, 7}, {64, 1}, {5, 2},
+	} {
+		rs := Split(tc.n, tc.parts)
+		if len(rs) > tc.parts || len(rs) > tc.n || len(rs) == 0 {
+			t.Fatalf("Split(%d,%d) = %v: bad part count", tc.n, tc.parts, rs)
+		}
+		lo := 0
+		for _, r := range rs {
+			if r.Lo != lo || r.Hi <= r.Lo {
+				t.Fatalf("Split(%d,%d) = %v: not a contiguous tiling", tc.n, tc.parts, rs)
+			}
+			lo = r.Hi
+		}
+		if lo != tc.n {
+			t.Fatalf("Split(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.parts, lo, tc.n)
+		}
+	}
+	if rs := Split(0, 4); rs != nil {
+		t.Fatalf("Split(0,4) = %v, want nil", rs)
+	}
+}
+
+// coverage tracks which samples were acknowledged, and by whom.
+type coverage struct {
+	mu   sync.Mutex
+	seen map[int]string
+}
+
+func newCoverage() *coverage { return &coverage{seen: map[int]string{}} }
+
+func (c *coverage) mark(r Range, who string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := r.Lo; k < r.Hi; k++ {
+		if prev, dup := c.seen[k]; dup {
+			return fmt.Errorf("sample %d acknowledged twice (%s then %s)", k, prev, who)
+		}
+		c.seen[k] = who
+	}
+	return nil
+}
+
+func (c *coverage) check(t *testing.T, n int) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.seen) != n {
+		t.Fatalf("acknowledged %d samples, want %d", len(c.seen), n)
+	}
+}
+
+func TestRunDispatchesEveryRangeOnce(t *testing.T) {
+	p := NewPool([]string{"http://a/", " http://b ", ""})
+	if p.Size() != 2 || p.Alive() != 2 {
+		t.Fatalf("pool size %d alive %d, want 2/2", p.Size(), p.Alive())
+	}
+	cov := newCoverage()
+	const n = 100
+	err := p.Run(Split(n, 7),
+		func(w *Worker, r Range) error { return cov.mark(r, w.Base) },
+		func(r Range) error { return errors.New("local must not run") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if got := p.C.Dispatched.Load(); got != 7 {
+		t.Fatalf("dispatched %d ranges, want 7", got)
+	}
+	if p.C.Local.Load() != 0 || p.C.Redispatched.Load() != 0 {
+		t.Fatalf("unexpected local/redispatch counters: %+v", countersOf(p))
+	}
+}
+
+func TestRunRedispatchesToSurvivor(t *testing.T) {
+	p := NewPool([]string{"http://good", "http://flaky"})
+	cov := newCoverage()
+	const n = 90
+	// The good worker blocks until the flaky one has failed once, so the
+	// flaky worker is guaranteed to pull (and lose) a range regardless of
+	// goroutine scheduling.
+	flakyFailed := make(chan struct{})
+	var fail sync.Once
+	err := p.Run(Split(n, 6),
+		func(w *Worker, r Range) error {
+			if w.Base == "http://flaky" {
+				fail.Do(func() { close(flakyFailed) })
+				return errors.New("connection reset")
+			}
+			<-flakyFailed
+			return cov.mark(r, w.Base)
+		},
+		func(r Range) error { return cov.mark(r, "local") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if p.C.Redispatched.Load() != 1 || p.C.WorkerErrors.Load() != 1 {
+		t.Fatalf("counters %+v: want exactly one redispatch/error", countersOf(p))
+	}
+	for _, w := range p.Workers() {
+		if want := w.Base == "http://flaky"; w.Down() != want {
+			t.Fatalf("worker %s down=%v, want %v", w.Base, w.Down(), want)
+		}
+	}
+}
+
+func TestRunDrainsLocallyWhenAllWorkersDie(t *testing.T) {
+	p := NewPool([]string{"http://a", "http://b"})
+	cov := newCoverage()
+	const n = 40
+	err := p.Run(Split(n, 4),
+		func(w *Worker, r Range) error { return errors.New("down") },
+		func(r Range) error { return cov.mark(r, "local") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if p.Alive() != 0 {
+		t.Fatalf("alive = %d, want 0", p.Alive())
+	}
+	if p.C.Local.Load() != 4 {
+		t.Fatalf("local ranges %d, want all 4", p.C.Local.Load())
+	}
+}
+
+func TestRunZeroWorkersDegradesToLocal(t *testing.T) {
+	p := NewPool(nil)
+	cov := newCoverage()
+	const n = 33
+	err := p.Run(Split(n, 5),
+		func(w *Worker, r Range) error { return errors.New("no workers to post to") },
+		func(r Range) error { return cov.mark(r, "local") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if p.C.Local.Load() != 5 || p.C.Dispatched.Load() != 0 {
+		t.Fatalf("counters %+v: want pure local execution", countersOf(p))
+	}
+}
+
+func TestRunPropagatesLocalError(t *testing.T) {
+	p := NewPool(nil)
+	boom := errors.New("boom")
+	err := p.Run(Split(10, 2),
+		func(w *Worker, r Range) error { return nil },
+		func(r Range) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func countersOf(p *Pool) map[string]int64 {
+	return map[string]int64{
+		"dispatched":   p.C.Dispatched.Load(),
+		"redispatched": p.C.Redispatched.Load(),
+		"local":        p.C.Local.Load(),
+		"errors":       p.C.WorkerErrors.Load(),
+	}
+}

@@ -189,44 +189,102 @@ func (s *SweepEvaluator) ChipSweep(ch *timing.Chip, sc *SweepScratch) (firstZero
 	return firstZero, firstTuned
 }
 
-// Pass begins one n-chip evaluation pass. The returned consume function is
-// safe for concurrent use from mc workers (per-worker scratch comes from an
-// internal pool; results land in k-indexed arrays), and report reduces the
-// pass sequentially afterward — so the report is byte-identical for any
+// SweepTally is the mergeable partial result of a sweep over any subset of
+// chips: FirstZero[i] / FirstTuned[i] count chips whose pass threshold is
+// sweep index i (index len(Ts) = never passes). Tallies are pure integer
+// histograms summed over chips, so merging k-range partials in any order
+// reproduces the single-pass tally exactly — the property the sharded
+// sample loop's distributed reduce rests on.
+type SweepTally struct {
+	FirstZero  []int `json:"first_zero"`
+	FirstTuned []int `json:"first_tuned"`
+}
+
+// Chips returns the number of chips the tally covers.
+func (t SweepTally) Chips() int {
+	n := 0
+	for _, c := range t.FirstZero {
+		n += c
+	}
+	return n
+}
+
+// Merge adds another partial tally (from a disjoint chip range) into t.
+func (t *SweepTally) Merge(o SweepTally) error {
+	if len(o.FirstZero) != len(t.FirstZero) || len(o.FirstTuned) != len(t.FirstTuned) {
+		return fmt.Errorf("yield: merging tallies of different sweep lengths (%d vs %d)",
+			len(o.FirstZero), len(t.FirstZero))
+	}
+	for i, c := range o.FirstZero {
+		t.FirstZero[i] += c
+	}
+	for i, c := range o.FirstTuned {
+		t.FirstTuned[i] += c
+	}
+	return nil
+}
+
+// NewTally returns an empty tally sized for this sweep (a merge identity).
+func (s *SweepEvaluator) NewTally() SweepTally {
+	return SweepTally{
+		FirstZero:  make([]int, len(s.Ts)+1),
+		FirstTuned: make([]int, len(s.Ts)+1),
+	}
+}
+
+// RangePass begins a tally pass over the chip sub-range [lo, hi). The
+// consume function accepts global sample indices k ∈ [lo, hi) and is safe
+// for concurrent use from mc workers (per-worker scratch comes from an
+// internal pool; thresholds land in k-indexed arrays); tally reduces the
+// range sequentially afterward, so the partial is byte-identical for any
 // worker count.
-func (s *SweepEvaluator) Pass(n int) (consume func(k int, ch *timing.Chip), report func() SweepReport) {
-	firstZero := make([]int32, n)
-	firstTuned := make([]int32, n)
+func (s *SweepEvaluator) RangePass(lo, hi int) (consume func(k int, ch *timing.Chip), tally func() SweepTally) {
+	firstZero := make([]int32, hi-lo)
+	firstTuned := make([]int32, hi-lo)
 	consume = func(k int, ch *timing.Chip) {
 		sc := s.pool.Get().(*SweepScratch)
 		z, tn := s.ChipSweep(ch, sc)
 		s.pool.Put(sc)
-		firstZero[k] = int32(z)
-		firstTuned[k] = int32(tn)
+		firstZero[k-lo] = int32(z)
+		firstTuned[k-lo] = int32(tn)
 	}
-	report = func() SweepReport {
-		nT := len(s.Ts)
-		rep := SweepReport{
-			Ts:       append([]float64(nil), s.Ts...),
-			Original: make([]stat.Yield, nT),
-			Tuned:    make([]stat.Yield, nT),
+	tally = func() SweepTally {
+		t := s.NewTally()
+		for i := range firstZero {
+			t.FirstZero[firstZero[i]]++
+			t.FirstTuned[firstTuned[i]]++
 		}
-		zeroAt := make([]int, nT+1)
-		tunedAt := make([]int, nT+1)
-		for k := 0; k < n; k++ {
-			zeroAt[firstZero[k]]++
-			tunedAt[firstTuned[k]]++
-		}
-		passZero, passTuned := 0, 0
-		for i := 0; i < nT; i++ {
-			passZero += zeroAt[i]
-			passTuned += tunedAt[i]
-			rep.Original[i] = stat.Yield{Pass: passZero, Total: n}
-			rep.Tuned[i] = stat.Yield{Pass: passTuned, Total: n}
-		}
-		return rep
+		return t
 	}
-	return consume, report
+	return consume, tally
+}
+
+// ReportOf folds a (complete) tally into the cumulative sweep report: the
+// yield at sweep point i counts every chip whose threshold is ≤ i.
+func (s *SweepEvaluator) ReportOf(t SweepTally) SweepReport {
+	nT := len(s.Ts)
+	n := t.Chips()
+	rep := SweepReport{
+		Ts:       append([]float64(nil), s.Ts...),
+		Original: make([]stat.Yield, nT),
+		Tuned:    make([]stat.Yield, nT),
+	}
+	passZero, passTuned := 0, 0
+	for i := 0; i < nT; i++ {
+		passZero += t.FirstZero[i]
+		passTuned += t.FirstTuned[i]
+		rep.Original[i] = stat.Yield{Pass: passZero, Total: n}
+		rep.Tuned[i] = stat.Yield{Pass: passTuned, Total: n}
+	}
+	return rep
+}
+
+// Pass begins one n-chip evaluation pass: RangePass over the full range,
+// reported cumulatively. The report is byte-identical for any worker count
+// — and, through the tally form, for any sharding of [0, n).
+func (s *SweepEvaluator) Pass(n int) (consume func(k int, ch *timing.Chip), report func() SweepReport) {
+	consume, tally := s.RangePass(0, n)
+	return consume, func() SweepReport { return s.ReportOf(tally()) }
 }
 
 // EvaluateSweep measures Yo and Y at every period of the sorted sweep Ts
@@ -240,6 +298,24 @@ func EvaluateSweep(ev *Evaluator, src mc.Source, n int, Ts []float64) (SweepRepo
 	consume, report := sw.Pass(n)
 	src.ForEachBatch(n, consume)
 	return report(), nil
+}
+
+// TallyRange runs one shared realization pass over chips [lo, hi) of src
+// feeding every sweep, returning their partial tallies in order — the
+// worker half of the sharded yield loop: disjoint ranges tiling [0, n)
+// merge (SweepTally.Merge) into exactly the tally one full pass produces.
+func TallyRange(src mc.Source, lo, hi int, sweeps ...*SweepEvaluator) []SweepTally {
+	consumes := make([]func(k int, ch *timing.Chip), len(sweeps))
+	tallies := make([]func() SweepTally, len(sweeps))
+	for i, sw := range sweeps {
+		consumes[i], tallies[i] = sw.RangePass(lo, hi)
+	}
+	src.ForEachRangeBatch(lo, hi, consumes...)
+	out := make([]SweepTally, len(sweeps))
+	for i, tl := range tallies {
+		out[i] = tl()
+	}
+	return out
 }
 
 // EvaluateMany runs one shared realization pass over src feeding every

@@ -1,6 +1,8 @@
 package yield
 
 import (
+	"encoding/json"
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -198,5 +200,50 @@ func TestSweepNoBuffers(t *testing.T) {
 		if rep.Tuned[i] != rep.Original[i] {
 			t.Fatalf("no buffers: Y must equal Yo at point %d", i)
 		}
+	}
+}
+
+// TestTallyRangeMergesToFullPass: partial tallies over uneven disjoint
+// ranges tiling [0, n) — merged in arbitrary order, with a JSON round trip
+// standing in for the shard wire protocol — must reproduce the full-pass
+// report exactly.
+func TestTallyRangeMergesToFullPass(t *testing.T) {
+	ev, g, Ts, _ := sweepFixture(t)
+	const n, seed = 900, 707
+	sw, err := NewSweepEvaluator(ev, Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvaluateSweep(ev, mc.New(g, seed), n, Ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven tiling, merged back-to-front to prove order independence.
+	ranges := [][2]int{{0, 1}, {1, 130}, {130, 640}, {640, 900}}
+	merged := sw.NewTally()
+	for i := len(ranges) - 1; i >= 0; i-- {
+		part := TallyRange(mc.New(g, seed), ranges[i][0], ranges[i][1], sw)[0]
+		data, err := json.Marshal(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire SweepTally
+		if err := json.Unmarshal(data, &wire); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Chips() != n {
+		t.Fatalf("merged tally covers %d chips, want %d", merged.Chips(), n)
+	}
+	got := sw.ReportOf(merged)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged sharded report diverges:\n got %+v\nwant %+v", got, want)
+	}
+	// Length-mismatched tallies must refuse to merge.
+	if err := merged.Merge(SweepTally{FirstZero: []int{1}, FirstTuned: []int{1}}); err == nil {
+		t.Fatal("merging mismatched tally lengths succeeded, want error")
 	}
 }

@@ -11,11 +11,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date -u +%Y%m%d).json}"
-# The serve benchmarks (BenchmarkServeWarmQuery/ColdPrepare in
-# internal/serve) stay out of the gated baselines on purpose: a warm query
-# is a ~100µs loopback HTTP round trip, too jittery for the 30 % ns/op
-# gate. ci.sh smokes them and TestWarmSpeedup asserts the ≥10× ratio.
+# The serve benchmarks (BenchmarkServeWarmQuery/ColdPrepare and the
+# multi-worker BenchmarkShardedYieldSweep in internal/serve) stay out of
+# the gated baselines on purpose: they time loopback HTTP round trips, too
+# jittery for the 30 % ns/op gate. They run informationally below (and
+# ci.sh smokes them for one iteration); TestWarmSpeedup asserts the ≥10×
+# warm ratio. Disable with BENCH_SERVE=off.
 pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep|YieldPerPeriod}"
+serve_pattern="${BENCH_SERVE_PATTERN:-ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep}"
 benchtime="${BENCH_TIME:-1s}"
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . |
@@ -37,3 +40,9 @@ go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . |
 
 echo "wrote $out:"
 cat "$out"
+
+if [ "${BENCH_SERVE:-on}" = "on" ]; then
+    echo "serve/shard benchmarks (informational, never gated):"
+    go test -run '^$' -bench "$serve_pattern" -benchtime "$benchtime" ./internal/serve |
+        grep '^Benchmark' || true
+fi

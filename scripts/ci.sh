@@ -1,68 +1,156 @@
 #!/usr/bin/env bash
-# ci.sh — the full verification gate: format, vet, build, tests, and a
-# one-iteration smoke of the substrate microbenchmarks. Run from anywhere.
+# ci.sh — the full verification gate: format, vet, build, tests, service
+# smokes (single daemon + distributed coordinator/worker trio), a
+# one-iteration smoke of the substrate microbenchmarks, optional fuzzing,
+# and the bench regression gate. Run from anywhere.
+#
+# Usage: scripts/ci.sh [stage]
+#   all     (default) every stage below
+#   verify  fmt + vet + build + test + smokes + bench gate (no fuzz, no race)
+#   race    tier-1 tests under the race detector
+#   fuzz    solver-equivalence fuzzing (implies CI_FUZZ=on)
+# The stages exist so the GitHub workflow can fan them out as parallel jobs
+# while local runs keep the single-command gate.
+#
+# CI_OUT, when set, is a directory that collects diagnosable artifacts:
+# daemon smoke logs, the fresh bench JSON, and the benchcmp verdict — the
+# workflow uploads it when a job fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "files need gofmt:" >&2
-    echo "$unformatted" >&2
-    exit 1
+stage="${1:-all}"
+case "$stage" in
+all | verify | race | fuzz) ;;
+*)
+    echo "usage: scripts/ci.sh [all|verify|race|fuzz]" >&2
+    exit 2
+    ;;
+esac
+
+if [ -n "${CI_OUT:-}" ]; then
+    mkdir -p "$CI_OUT"
 fi
 
-echo "== go vet =="
-go vet ./...
+# save_artifact <file> <name> — copy a diagnosable file into CI_OUT.
+save_artifact() {
+    if [ -n "${CI_OUT:-}" ] && [ -f "$1" ]; then
+        cp "$1" "$CI_OUT/$2" || true
+    fi
+}
 
-echo "== go build =="
-go build ./...
-
-echo "== go test =="
-go test ./...
-
-echo "== service smoke (bufinsd) =="
-# Start the daemon on an ephemeral port, then drive its self-check: the
-# probe prepares + inserts a tiny generated circuit through the HTTP API
-# and verifies the plan and yield report are byte-identical to the
-# in-process flow.
-smokedir=$(mktemp -d)
-go build -o "$smokedir/bufinsd" ./cmd/bufinsd
-"$smokedir/bufinsd" -addr 127.0.0.1:0 -addr-file "$smokedir/addr" \
-    >"$smokedir/log" 2>&1 &
-smokepid=$!
-trap 'kill "$smokepid" 2>/dev/null || true; rm -rf "$smokedir"' EXIT
-for _ in $(seq 100); do
-    [ -s "$smokedir/addr" ] && break
-    sleep 0.1
-done
-if [ ! -s "$smokedir/addr" ]; then
-    cat "$smokedir/log" >&2
-    echo "bufinsd failed to start" >&2
-    exit 1
+if [ "$stage" = "race" ]; then
+    echo "== tier-1 under the race detector =="
+    go test -race ./...
+    echo "CI OK (race)"
+    exit 0
 fi
-"$smokedir/bufinsd" -check "http://$(cat "$smokedir/addr")"
-kill "$smokepid" 2>/dev/null || true
-wait "$smokepid" 2>/dev/null || true
-trap - EXIT
-rm -rf "$smokedir"
 
-echo "== bench smoke (substrates, 1 iteration) =="
-go test -run '^$' \
-    -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
-    -benchtime=1x .
-go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare' -benchtime=1x ./internal/serve
+if [ "$stage" = "fuzz" ]; then
+    CI_FUZZ=on
+fi
 
-echo "== fuzz (solver equivalence, short budget) =="
-# Cross-check the warm-start solver paths against cold solves and the
-# brute-force oracle under the fuzzer for a short budget. Off by default
-# (it adds ~2x CI_FUZZ_TIME of wall time); the CI workflow enables it.
-if [ "${CI_FUZZ:-off}" = "on" ]; then
-    fuzztime="${CI_FUZZ_TIME:-10s}"
-    go test -run '^$' -fuzz 'FuzzSolveFromBasis' -fuzztime "$fuzztime" ./internal/lp
-    go test -run '^$' -fuzz 'FuzzSolveArenaWarm' -fuzztime "$fuzztime" ./internal/milp
-else
-    echo "skipped (CI_FUZZ=off)"
+if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
+    echo "== gofmt =="
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "files need gofmt:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
+
+    echo "== go vet =="
+    go vet ./...
+
+    echo "== go build =="
+    go build ./...
+
+    echo "== go test =="
+    go test ./...
+
+    smokedir=$(mktemp -d)
+    smokepids=""
+    # Collect every smoke log into CI_OUT before cleanup, whether the gate
+    # passes or dies mid-smoke.
+    cleanup_smoke() {
+        for f in "$smokedir"/*.log; do
+            [ -f "$f" ] && save_artifact "$f" "$(basename "$f")"
+        done
+        # shellcheck disable=SC2086
+        kill $smokepids 2>/dev/null || true
+        rm -rf "$smokedir"
+    }
+    trap cleanup_smoke EXIT
+    go build -o "$smokedir/bufinsd" ./cmd/bufinsd
+
+    # start_daemon <name> <extra flags...> — boot a bufinsd on an ephemeral
+    # port and wait for its address file; the resolved base URL lands in
+    # $daemon_url. (Runs in the main shell so the pid is ours to kill —
+    # command substitution would orphan the daemon in a subshell.)
+    start_daemon() {
+        name="$1"
+        shift
+        "$smokedir/bufinsd" -addr 127.0.0.1:0 -addr-file "$smokedir/$name.addr" "$@" \
+            >"$smokedir/$name.log" 2>&1 &
+        smokepids="$smokepids $!"
+        for _ in $(seq 100); do
+            [ -s "$smokedir/$name.addr" ] && break
+            sleep 0.1
+        done
+        if [ ! -s "$smokedir/$name.addr" ]; then
+            cat "$smokedir/$name.log" >&2
+            echo "bufinsd ($name) failed to start" >&2
+            exit 1
+        fi
+        daemon_url="http://$(cat "$smokedir/$name.addr")"
+    }
+
+    echo "== service smoke (bufinsd) =="
+    # Single daemon: the probe prepares + inserts a tiny generated circuit
+    # through the HTTP API and verifies the plan and yield report are
+    # byte-identical to the in-process flow.
+    start_daemon single
+    "$smokedir/bufinsd" -check "$daemon_url"
+
+    echo "== distributed smoke (1 coordinator + 2 workers) =="
+    # Coordinator/worker trio on ephemeral ports: the same -check probe
+    # against the coordinator proves sharded /v1/insert and /v1/yield are
+    # byte-identical to the in-process flow, and -expect-shards asserts the
+    # answers actually travelled through the workers (dispatch counters on
+    # /metrics), not the local fallback.
+    start_daemon worker1 -worker
+    w1="$daemon_url"
+    start_daemon worker2 -worker
+    w2="$daemon_url"
+    start_daemon coordinator -workers "$w1,$w2" -shards 6
+    "$smokedir/bufinsd" -check "$daemon_url" -expect-shards
+
+    cleanup_smoke
+    trap - EXIT
+
+    echo "== bench smoke (substrates, 1 iteration) =="
+    go test -run '^$' \
+        -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
+        -benchtime=1x .
+    go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep' -benchtime=1x ./internal/serve
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "fuzz" ]; then
+    echo "== fuzz (solver equivalence, short budget) =="
+    # Cross-check the warm-start solver paths against cold solves and the
+    # brute-force oracle under the fuzzer for a short budget. Off by default
+    # (it adds ~2x CI_FUZZ_TIME of wall time); the CI workflow enables it.
+    if [ "${CI_FUZZ:-off}" = "on" ]; then
+        fuzztime="${CI_FUZZ_TIME:-10s}"
+        go test -run '^$' -fuzz 'FuzzSolveFromBasis' -fuzztime "$fuzztime" ./internal/lp
+        go test -run '^$' -fuzz 'FuzzSolveArenaWarm' -fuzztime "$fuzztime" ./internal/milp
+    else
+        echo "skipped (CI_FUZZ=off)"
+    fi
+fi
+
+if [ "$stage" = "fuzz" ]; then
+    echo "CI OK (fuzz)"
+    exit 0
 fi
 
 echo "== bench gate (vs committed BENCH_*.json) =="
@@ -71,7 +159,9 @@ echo "== bench gate (vs committed BENCH_*.json) =="
 # any allocs/op regression in the warm benchmarks. BENCH_GATE=off skips
 # entirely; machines unlike the one that produced the committed file should
 # widen BENCH_GATE_NS instead (the allocs gate stays meaningful anywhere).
-# BENCH_GATE_TIME tunes the per-benchmark time budget.
+# BENCH_GATE_TIME tunes the per-benchmark time budget. benchcmp writes its
+# verdict JSON into CI_OUT (and, under GitHub Actions, appends a markdown
+# verdict to the step summary).
 baseline=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n1 || true)
 if [ "${BENCH_GATE:-on}" = "off" ]; then
     echo "skipped (BENCH_GATE=off)"
@@ -80,8 +170,16 @@ elif [ -z "$baseline" ]; then
 else
     fresh=$(mktemp)
     trap 'rm -f "$fresh"' EXIT
-    BENCH_TIME="${BENCH_GATE_TIME:-0.3s}" scripts/bench.sh "$fresh" >/dev/null
-    go run ./cmd/benchcmp -max-ns-regress "${BENCH_GATE_NS:-0.30}" "$baseline" "$fresh"
+    # BENCH_SERVE=off: the informational serve/shard loopback benches are
+    # not part of the gate and already ran in the bench smoke above.
+    BENCH_TIME="${BENCH_GATE_TIME:-0.3s}" BENCH_SERVE=off scripts/bench.sh "$fresh" >/dev/null
+    save_artifact "$fresh" "bench-fresh.json"
+    gate_json=""
+    if [ -n "${CI_OUT:-}" ]; then
+        gate_json="$CI_OUT/benchgate.json"
+    fi
+    go run ./cmd/benchcmp -max-ns-regress "${BENCH_GATE_NS:-0.30}" \
+        ${gate_json:+-json "$gate_json"} "$baseline" "$fresh"
 fi
 
 echo "CI OK"
