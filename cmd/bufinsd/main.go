@@ -49,6 +49,8 @@ import (
 	"repro/internal/insertion"
 	"repro/internal/mc"
 	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/shard/chaos"
 	"repro/internal/yield"
 )
 
@@ -75,6 +77,17 @@ func main() {
 		workers     = flag.String("workers", "", "comma-separated shard-worker base URLs: coordinate /v1/insert and /v1/yield sample loops across them")
 		shards      = flag.Int("shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
 		expectShard = flag.Bool("expect-shards", false, "with -check: additionally require the daemon to have dispatched shard ranges to workers (proves the answers came through the distributed path)")
+
+		rangeTimeout = flag.Duration("range-timeout", 0, "per-attempt deadline for one sharded range (0 = transport timeout only)")
+		retries      = flag.Int("retries", 0, "worker attempts per range before in-process fallback (0 = default 4)")
+		hedge        = flag.Float64("hedge", 0, "hedge stragglers outstanding this many multiples of the mean range latency (0 = default 3, negative disables)")
+		brFailures   = flag.Int("breaker-failures", 0, "consecutive failures that trip a worker's circuit breaker (0 = default 3)")
+		brCooldown   = flag.Duration("breaker-cooldown", 0, "open-breaker interval before the half-open probe (0 = default 5s)")
+
+		chaosWorker = flag.String("chaos-worker", "", "wrap this worker base URL's transport in deterministic fault injection (CI chaos smoke only)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "fault-schedule seed for -chaos-worker")
+		chaosRate   = flag.Float64("chaos-rate", 0.25, "fraction of -chaos-worker requests that draw a fault")
+		chaosFaults = flag.String("chaos-faults", "", "comma-separated fault kinds for -chaos-worker (empty = all: drop,delay,500,429,reset,truncate,corrupt)")
 	)
 	flag.Parse()
 
@@ -93,6 +106,13 @@ func main() {
 	if *workers != "" {
 		workerList = strings.Split(*workers, ",")
 	}
+	faults, err := chaos.ParseKinds(*chaosFaults)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *chaosWorker != "" && len(workerList) == 0 {
+		fatalf("-chaos-worker requires -workers")
+	}
 	s := serve.New(serve.Config{
 		MaxBenches:      *benches,
 		MaxPlans:        *plans,
@@ -101,10 +121,24 @@ func main() {
 		MaxInflight:     *maxInflight,
 		Workers:         workerList,
 		Shards:          *shards,
+		Dispatch: shard.Options{
+			RangeTimeout:     *rangeTimeout,
+			MaxAttempts:      *retries,
+			HedgeMultiple:    *hedge,
+			BreakerThreshold: *brFailures,
+			BreakerCooldown:  *brCooldown,
+		},
+		ChaosWorker: *chaosWorker,
+		ChaosSeed:   *chaosSeed,
+		ChaosRate:   *chaosRate,
+		ChaosFaults: faults,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *chaosWorker != "" {
+		fmt.Printf("bufinsd: CHAOS injection on %s (seed %d, rate %.2f)\n", *chaosWorker, *chaosSeed, *chaosRate)
 	}
 	resolved := ln.Addr().String()
 	role := "standalone"
@@ -179,26 +213,49 @@ func runCheck(base string, expectShards bool) error {
 	if err := runCheckFlow(base); err != nil {
 		return err
 	}
+	metricsText, err := fetchMetrics(base)
+	if err != nil {
+		return err
+	}
+	// Show which recovery paths actually fired during the probe: the smoke
+	// logs should make a silent retry or a tripped breaker visible.
+	printRecoveryCounters(metricsText)
 	if expectShards {
-		return checkShardDispatch(base)
+		return checkShardDispatch(metricsText)
 	}
 	return nil
 }
 
-// checkShardDispatch asserts the daemon's /metrics show at least one range
-// dispatched to a shard worker.
-func checkShardDispatch(base string) error {
+// fetchMetrics returns the daemon's raw /metrics exposition.
+func fetchMetrics(base string) (string, error) {
 	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics")
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return "", err
 	}
+	return string(data), nil
+}
+
+// printRecoveryCounters echoes the dispatch plane's retry/hedge/breaker
+// and chaos counters (anything under bufinsd_shard_* / bufinsd_chaos_*)
+// so smoke logs record which failure-handling paths fired.
+func printRecoveryCounters(metricsText string) {
+	for _, line := range strings.Split(metricsText, "\n") {
+		if strings.HasPrefix(line, "bufinsd_shard_") || strings.HasPrefix(line, "bufinsd_chaos_") {
+			fmt.Printf("bufinsd check: %s\n", line)
+		}
+	}
+}
+
+// checkShardDispatch asserts the daemon's /metrics show at least one range
+// dispatched to a shard worker.
+func checkShardDispatch(metricsText string) error {
 	const metric = `bufinsd_shard_ranges_total{kind="dispatched"} `
-	for _, line := range strings.Split(string(data), "\n") {
+	for _, line := range strings.Split(metricsText, "\n") {
 		if rest, ok := strings.CutPrefix(line, metric); ok {
 			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
 			if err != nil {
@@ -207,7 +264,6 @@ func checkShardDispatch(base string) error {
 			if n <= 0 {
 				return fmt.Errorf("daemon dispatched no shard ranges (is it a coordinator with live workers?)")
 			}
-			fmt.Printf("bufinsd check: %d shard range(s) dispatched to workers\n", n)
 			return nil
 		}
 	}

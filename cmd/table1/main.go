@@ -20,10 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/tabular"
+	"repro/internal/yield"
 )
 
 // fatalf is the single failure path: message to stderr, non-zero exit, so
@@ -52,6 +56,10 @@ func main() {
 		server   = flag.String("server", "", "bufinsd base URL: run the flow in the daemon instead of in-process")
 		workers  = flag.String("workers", "", "comma-separated shard-worker bufinsd URLs: shard the sample loops across them (coordinating from this process)")
 		shards   = flag.Int("shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
+
+		rangeTimeout = flag.Duration("range-timeout", 0, "per-attempt deadline for one sharded range (0 = transport timeout only)")
+		retries      = flag.Int("retries", 0, "worker attempts per range before in-process fallback (0 = default 4)")
+		hedge        = flag.Float64("hedge", 0, "hedge stragglers outstanding this many multiples of the mean range latency (0 = default 3, negative disables)")
 	)
 	flag.Parse()
 	if *server != "" && *workers != "" {
@@ -74,8 +82,17 @@ func main() {
 	// later circuit — the per-pass probe revives it if it comes back).
 	var pool *shard.Pool
 	if *workers != "" {
-		pool = shard.NewPool(strings.Split(*workers, ","))
+		pool = shard.NewPoolWith(strings.Split(*workers, ","), shard.Options{
+			RangeTimeout:  *rangeTimeout,
+			MaxAttempts:   *retries,
+			HedgeMultiple: *hedge,
+		})
 	}
+
+	// ctx covers every sharded pass of the table: ^C releases all in-flight
+	// worker ranges instead of leaking minutes of solver work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	tb := tabular.New("Circuit", "ns", "ng", "target", "T(ps)", "Nb", "Ab", "Yo(%)", "Y(%)", "Yi(%)", "T(s)")
 	tb.SetTitle(fmt.Sprintf("Table I reproduction (%d insertion samples, %d eval chips)", *samples, *evalN))
@@ -86,7 +103,7 @@ func main() {
 		if *server != "" {
 			rows, err = serverRows(*server, name, *samples, *evalN, *seed)
 		} else {
-			rows, err = localRows(pool, *shards, name, *samples, *evalN, *seed)
+			rows, err = localRows(ctx, pool, *shards, name, *samples, *evalN, *seed)
 		}
 		if err != nil {
 			fatalf("%v", err)
@@ -113,7 +130,7 @@ func main() {
 // the workers instead; rows are byte-identical either way (the reductions
 // are shared code over merged k-indexed partials), only the runtime
 // column reflects the distributed schedule.
-func localRows(pool *shard.Pool, shards int, name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
+func localRows(ctx context.Context, pool *shard.Pool, shards int, name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
 	b, err := expt.PreparePreset(name, expt.Options{})
 	if err != nil {
 		return nil, err
@@ -129,8 +146,12 @@ func localRows(pool *shard.Pool, shards int, name string, samples, evalN int, se
 		coord := serve.NewCoordinator(pool, shards,
 			serve.CircuitSpec{Preset: name}, expt.Options{},
 			core.NewSystem(b), insertion.NewRunner(b.Graph, b.Placement))
-		rc.Pass = coord.InsertPass
-		rc.EvalPlans = coord.EvalPlans
+		// RowConfig's hooks are ctx-free; bind the run context here so the
+		// expt layer stays ignorant of the dispatch plane.
+		rc.Pass = func(cfg insertion.Config) insertion.PassFunc { return coord.InsertPass(ctx, cfg) }
+		rc.EvalPlans = func(plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error) {
+			return coord.EvalPlans(ctx, plans, n, seed)
+		}
 	}
 	// One shared evaluation pass measures all three targets' yields: the
 	// fresh-chip population is realized once per circuit.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/insertion"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/yield"
 )
 
 // tinyBench prepares a generated circuit the way expt.Prepare would but at
@@ -55,8 +57,10 @@ func TestShardedRowsByteIdentical(t *testing.T) {
 	coord := serve.NewCoordinator(pool, 7, spec, opt,
 		core.NewSystem(b), insertion.NewRunner(b.Graph, b.Placement))
 	src := rc
-	src.Pass = coord.InsertPass
-	src.EvalPlans = coord.EvalPlans
+	src.Pass = func(cfg insertion.Config) insertion.PassFunc { return coord.InsertPass(context.Background(), cfg) }
+	src.EvalPlans = func(plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error) {
+		return coord.EvalPlans(context.Background(), plans, n, seed)
+	}
 	got, err := expt.RunRows(b, expt.Targets, src)
 	if err != nil {
 		t.Fatal(err)

@@ -22,11 +22,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expt"
@@ -57,6 +61,23 @@ type options struct {
 	server        string
 	workers       string
 	shards        int
+
+	// Dispatch-plane tuning for -workers mode (zero values take the
+	// shard.Options defaults).
+	rangeTimeout time.Duration
+	retries      int
+	hedge        float64
+
+	ctx context.Context
+}
+
+// dispatchOptions maps the CLI's dispatch flags onto the shard plane.
+func (o options) dispatchOptions() shard.Options {
+	return shard.Options{
+		RangeTimeout:  o.rangeTimeout,
+		MaxAttempts:   o.retries,
+		HedgeMultiple: o.hedge,
+	}
 }
 
 func main() {
@@ -71,10 +92,16 @@ func main() {
 	flag.StringVar(&o.server, "server", "", "bufinsd base URL: run prepare/insert/yield in the daemon instead of in-process")
 	flag.StringVar(&o.workers, "workers", "", "comma-separated shard-worker bufinsd URLs: shard the sample loops across them (coordinating from this process)")
 	flag.IntVar(&o.shards, "shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
+	flag.DurationVar(&o.rangeTimeout, "range-timeout", 0, "per-attempt deadline for one sharded range (0 = transport timeout only)")
+	flag.IntVar(&o.retries, "retries", 0, "worker attempts per range before in-process fallback (0 = default 4)")
+	flag.Float64Var(&o.hedge, "hedge", 0, "hedge stragglers outstanding this many multiples of the mean range latency (0 = default 3, negative disables)")
 	flag.Parse()
 	if o.server != "" && o.workers != "" {
 		fatalf("-server and -workers are mutually exclusive (point -workers at worker daemons and coordinate locally, or let one -server daemon coordinate)")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	o.ctx = ctx
 	if err := run(o, os.Stdout); err != nil {
 		fatalf("%v", err)
 	}
@@ -252,6 +279,7 @@ func circuitSpecOf(o options) (serve.CircuitSpec, error) {
 }
 
 type localBackend struct {
+	ctx context.Context
 	sys *core.System
 	// coord shards the sample loops over worker daemons (-workers mode);
 	// nil runs everything in this process. Either way the reductions are
@@ -277,14 +305,17 @@ func newLocalBackend(o options) (backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &localBackend{sys: sys}
+	b := &localBackend{ctx: o.ctx, sys: sys}
+	if b.ctx == nil {
+		b.ctx = context.Background()
+	}
 	if o.workers != "" {
 		spec, err := circuitSpecOf(o)
 		if err != nil {
 			return nil, err
 		}
 		b.coord = serve.NewCoordinator(
-			shard.NewPool(strings.Split(o.workers, ",")), o.shards,
+			shard.NewPoolWith(strings.Split(o.workers, ","), o.dispatchOptions()), o.shards,
 			spec, expt.Options{}, sys,
 			insertion.NewRunner(sys.Graph(), sys.Bench().Placement))
 	}
@@ -300,7 +331,7 @@ func (b *localBackend) insert(k float64, samples int, seed uint64) (insertion.Pl
 	// the wire protocol ships exactly the values the flow runs with.
 	cfg := b.sys.ResolveInsertConfig(T, insertion.Config{Samples: samples, Seed: seed})
 	if b.coord != nil {
-		cfg.Pass = b.coord.InsertPass(cfg)
+		cfg.Pass = b.coord.InsertPass(b.ctx, cfg)
 	}
 	res, err := b.sys.Insert(T, cfg)
 	if err != nil {
@@ -318,7 +349,7 @@ func (b *localBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([]
 		err     error
 	)
 	if b.coord != nil {
-		results, err = b.coord.EvaluateQueries(evalN, seed, toServeQueries(queries))
+		results, err = b.coord.EvaluateQueries(b.ctx, evalN, seed, toServeQueries(queries))
 	} else {
 		g := b.sys.Graph()
 		results, err = serve.EvaluateQueries(g, mc.New(g, seed), evalN, toServeQueries(queries))

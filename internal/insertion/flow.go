@@ -59,7 +59,7 @@ func (r *Runner) runPass(src mc.Source, cfg Config, spec PassSpec) (*passResult,
 		if err != nil {
 			return nil, err
 		}
-		raw = r.collectRange(src, cfg, mode, allowed, lower, center, 0, cfg.Samples)
+		raw = r.collectRange(nil, src, cfg, mode, allowed, lower, center, 0, cfg.Samples)
 	}
 	return reducePass(r.g, raw), nil
 }

@@ -1,6 +1,7 @@
 package insertion
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mc"
@@ -85,9 +86,15 @@ func (r *Runner) passParams(spec PassSpec) (mode solverMode, allowed []bool, low
 // collectRange solves samples [lo, hi) against one pass configuration and
 // returns their outcomes indexed k−lo. Each worker goroutine owns a pooled
 // solver; outcome Tuned slices are exact-size copies, never solver scratch.
-func (r *Runner) collectRange(src mc.Source, cfg Config, mode solverMode, allowed []bool, lower, center []float64, lo, hi int) []SampleOutcome {
+// A non-nil cancelled ctx short-circuits the remaining samples' solver
+// work (the dominant cost), so a cancelled pass releases its CPU within a
+// few sample realizations; the caller discards the partial outcomes.
+func (r *Runner) collectRange(ctx context.Context, src mc.Source, cfg Config, mode solverMode, allowed []bool, lower, center []float64, lo, hi int) []SampleOutcome {
 	raw := make([]SampleOutcome, hi-lo)
 	src.ForEachRangeBatch(lo, hi, func(k int, ch *timing.Chip) {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
 		sv := r.checkout(cfg, mode, allowed, lower, center)
 		out := sv.solve(ch)
 		if len(out.Tuned) > 0 {
@@ -101,13 +108,20 @@ func (r *Runner) collectRange(src mc.Source, cfg Config, mode solverMode, allowe
 	return raw
 }
 
-// PassRange executes one pass over the sample sub-range [lo, hi): the
-// worker half of the sharded sample loop. cfg must carry the coordinating
-// flow's T, Samples, and Seed (Samples is the full-range count; it bounds
-// the range and scales the defaulted thresholds exactly as it does for the
-// coordinator). The returned outcomes are indexed k−lo and are
-// byte-identical to the slice an in-process pass would hold at [lo, hi).
-func (r *Runner) PassRange(cfg Config, spec PassSpec, lo, hi int) ([]SampleOutcome, error) {
+// PassRange executes one pass over the sample sub-range [lo, hi) under
+// ctx: the worker half of the sharded sample loop. cfg must carry the
+// coordinating flow's T, Samples, and Seed (Samples is the full-range
+// count; it bounds the range and scales the defaulted thresholds exactly
+// as it does for the coordinator). The returned outcomes are indexed k−lo
+// and are byte-identical to the slice an in-process pass would hold at
+// [lo, hi).
+//
+// ctx may be nil (no cancellation). When ctx ends mid-pass — the
+// coordinator cancelled a hedged duplicate, the client went away, a
+// deadline expired — the remaining samples skip their solver work and
+// PassRange returns ctx.Err() instead of a partial result, releasing the
+// worker's CPU promptly instead of leaking minutes of solver work.
+func (r *Runner) PassRange(ctx context.Context, cfg Config, spec PassSpec, lo, hi int) ([]SampleOutcome, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -120,5 +134,9 @@ func (r *Runner) PassRange(cfg Config, spec PassSpec, lo, hi int) ([]SampleOutco
 	}
 	eng := mc.New(r.g, cfg.Seed)
 	eng.Workers = cfg.Workers
-	return r.collectRange(eng, cfg, mode, allowed, lower, center, lo, hi), nil
+	out := r.collectRange(ctx, eng, cfg, mode, allowed, lower, center, lo, hi)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package insertion
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -20,7 +21,7 @@ func tilePass(t *testing.T, r *Runner, cfg Config, cuts []int) PassFunc {
 			if hi <= lo {
 				continue
 			}
-			part, err := r.PassRange(cfg, spec, lo, hi)
+			part, err := r.PassRange(context.Background(), cfg, spec, lo, hi)
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +93,7 @@ func TestPassRangeValidation(t *testing.T) {
 		{PassSpec{Kind: PassFixed, Lower: make([]float64, g.NS), Center: []float64{1}}, 0, 10}, // short centers
 	}
 	for i, c := range cases {
-		if _, err := r.PassRange(cfg, c.spec, c.lo, c.hi); err == nil {
+		if _, err := r.PassRange(context.Background(), cfg, c.spec, c.lo, c.hi); err == nil {
 			t.Errorf("case %d: PassRange(%+v, [%d,%d)) succeeded, want error", i, c.spec, c.lo, c.hi)
 		}
 	}

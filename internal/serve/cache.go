@@ -54,4 +54,16 @@ func (c *lruCache) put(key string, val any) {
 	}
 }
 
+// remove drops an entry without running onEvict (the caller is
+// invalidating a value it knows is unusable, e.g. a singleflight entry
+// poisoned by its first requester's cancellation).
+func (c *lruCache) remove(key string) {
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+}
+
 func (c *lruCache) len() int { return c.ll.Len() }

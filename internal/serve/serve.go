@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/insertion"
 	"repro/internal/mc"
 	"repro/internal/shard"
+	"repro/internal/shard/chaos"
 	"repro/internal/timing"
 	"repro/internal/yield"
 )
@@ -52,6 +54,19 @@ type Config struct {
 	// (0 = 4 per registered worker: enough granularity that losing a worker
 	// re-dispatches a fraction of the run, not half of it).
 	Shards int
+	// Dispatch tunes the dispatch plane's failure handling (deadlines,
+	// retries, breakers, hedging); the zero value selects shard.Options'
+	// defaults.
+	Dispatch shard.Options
+	// ChaosWorker, when set to one of the Workers base URLs, wraps that
+	// worker's transport in a deterministic fault-injection schedule
+	// (ChaosSeed, ChaosRate, ChaosFaults — nil means every fault kind).
+	// The CI chaos smoke uses this to prove the dispatch plane recovers;
+	// it has no place in production configs.
+	ChaosWorker string
+	ChaosSeed   uint64
+	ChaosRate   float64
+	ChaosFaults []chaos.Kind
 }
 
 func (c *Config) fill() {
@@ -85,8 +100,11 @@ type Server struct {
 	mu      sync.Mutex
 	benches *lruCache // bench key → *benchEntry
 
-	// pool is the shard-worker registry (nil unless Config.Workers is set).
-	pool *shard.Pool
+	// pool is the shard-worker registry (nil unless Config.Workers is set);
+	// chaos is the fault-injection transport when Config.ChaosWorker named a
+	// worker (nil otherwise).
+	pool  *shard.Pool
+	chaos *chaos.Transport
 
 	inflight chan struct{}
 	m        metrics
@@ -170,7 +188,16 @@ func New(cfg Config) *Server {
 		inflight: make(chan struct{}, cfg.MaxInflight),
 	}
 	if len(cfg.Workers) > 0 {
-		s.pool = shard.NewPool(cfg.Workers)
+		s.pool = shard.NewPoolWith(cfg.Workers, cfg.Dispatch)
+		if cfg.ChaosWorker != "" {
+			t := &chaos.Transport{Sched: chaos.NewSchedule(cfg.ChaosSeed, cfg.ChaosRate, cfg.ChaosFaults...)}
+			if s.pool.WrapTransport(cfg.ChaosWorker, func(rt http.RoundTripper) http.RoundTripper {
+				t.Base = rt
+				return t
+			}) {
+				s.chaos = t
+			}
+		}
 	}
 	s.mux.Handle("/v1/prepare", s.jsonHandler(epPrepare, s.handlePrepare))
 	s.mux.Handle("/v1/insert", s.jsonHandler(epInsert, s.handleInsert))
@@ -413,10 +440,20 @@ func (s *Server) handleInsert(r *http.Request) (any, error) {
 			// Shard the flow's sample passes across the worker pool. The
 			// executor is not part of the plan key: sharded and in-process
 			// runs are byte-identical, so any cached plan answers both.
-			cfg.Pass = s.coordinator(req.Circuit, req.Options, e).InsertPass(cfg)
+			cfg.Pass = s.coordinator(req.Circuit, req.Options, e).InsertPass(r.Context(), cfg)
 		}
 		res, err := e.runner.Run(cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The winning requester hung up mid-flow. That says nothing
+				// about the query, so the failure must not be cached: evict
+				// the entry so the next identical request recomputes.
+				pe.err = err
+				e.mu.Lock()
+				e.plans.remove(planKey)
+				e.mu.Unlock()
+				return
+			}
 			// Deterministic in the keyed inputs, so caching the failure is
 			// correct and keeps repeated bad queries cheap.
 			pe.err = badRequest("insertion: %v", err)
@@ -468,7 +505,7 @@ func (s *Server) handleYield(r *http.Request) (any, error) {
 	if s.pool != nil {
 		// Sharded: tile the chip range across the worker pool and merge the
 		// per-sweep tallies (byte-identical to the in-process pass).
-		results, err = s.coordinator(req.Circuit, req.Options, e).EvaluateQueries(req.EvalSamples, req.Seed, req.Queries)
+		results, err = s.coordinator(req.Circuit, req.Options, e).EvaluateQueries(r.Context(), req.EvalSamples, req.Seed, req.Queries)
 	} else {
 		src := s.chipSource(e, req.Seed, req.EvalSamples)
 		results, err = EvaluateQueries(e.sys.Graph(), src, req.EvalSamples, req.Queries)
@@ -606,6 +643,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "bufinsd_shard_ranges_total{kind=\"redispatched\"} %d\n", s.pool.C.Redispatched.Load())
 		fmt.Fprintf(&b, "bufinsd_shard_ranges_total{kind=\"local\"} %d\n", s.pool.C.Local.Load())
 		fmt.Fprintf(&b, "# TYPE bufinsd_shard_worker_errors_total counter\nbufinsd_shard_worker_errors_total %d\n", s.pool.C.WorkerErrors.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_throttled_total counter\nbufinsd_shard_throttled_total %d\n", s.pool.C.Throttled.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_corrupt_total counter\nbufinsd_shard_corrupt_total %d\n", s.pool.C.Corrupt.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_hedges_total counter\n")
+		fmt.Fprintf(&b, "bufinsd_shard_hedges_total{result=\"launched\"} %d\n", s.pool.C.Hedges.Load())
+		fmt.Fprintf(&b, "bufinsd_shard_hedges_total{result=\"won\"} %d\n", s.pool.C.HedgeWins.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_breaker_trips_total counter\nbufinsd_shard_breaker_trips_total %d\n", s.pool.C.BreakerTrips.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_shard_breaker_state gauge\n")
+		for _, wk := range s.pool.Workers() {
+			fmt.Fprintf(&b, "bufinsd_shard_breaker_state{worker=%q,state=%q} 1\n", wk.Base, wk.BreakerState())
+		}
+		if s.chaos != nil {
+			fmt.Fprintf(&b, "# TYPE bufinsd_chaos_injected_total counter\n")
+			for _, k := range chaos.Kinds() {
+				fmt.Fprintf(&b, "bufinsd_chaos_injected_total{kind=%q} %d\n", string(k), s.chaos.Injected()[k])
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(b.String()))

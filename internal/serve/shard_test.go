@@ -1,17 +1,24 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/insertion"
 	"repro/internal/shard"
+	"repro/internal/shard/chaos"
 )
 
 // startWorkers spins n worker bufinsd instances (full serve handlers on
@@ -247,4 +254,236 @@ func TestShardPassEndpointsValidate(t *testing.T) {
 	}); code != http.StatusBadRequest {
 		t.Fatalf("empty query list: HTTP %d, want 400", code)
 	}
+}
+
+// fastDispatch tunes the dispatch plane for test clockwork: real
+// retry/breaker semantics at millisecond scale, and a range deadline small
+// enough that dropped requests resolve quickly yet far above a tiny shard
+// pass's actual compute time.
+func fastDispatch() shard.Options {
+	return shard.Options{
+		RangeTimeout:    250 * time.Millisecond,
+		BaseBackoff:     2 * time.Millisecond,
+		MaxBackoff:      20 * time.Millisecond,
+		BreakerCooldown: 50 * time.Millisecond,
+	}
+}
+
+// chaosSeedFiringEarly picks a seed whose schedule faults on transport
+// ordinal 1, so every chaos run is guaranteed at least one injection on the
+// chaotic worker's first shard request regardless of goroutine scheduling.
+func chaosSeedFiringEarly(rate float64) uint64 {
+	for seed := uint64(1); seed < 1000; seed++ {
+		if _, ok := chaos.NewSchedule(seed, rate).FaultAt(1); ok {
+			return seed
+		}
+	}
+	return 1
+}
+
+// metricCounter fetches /metrics from base and returns the value of the
+// first sample whose name (with label set) matches the given prefix.
+func metricCounter(t *testing.T, base, prefix string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %q not exported", prefix)
+	return 0
+}
+
+// TestShardedByteIdenticalUnderChaos is the determinism contract of the
+// fault-injection harness: for every fault kind, worker count, and a fixed
+// seed, a coordinator whose first worker runs behind a chaotic transport
+// still answers byte-identically to the in-process server — faults are
+// retried, re-dispatched, or drained locally, never silently merged.
+func TestShardedByteIdenticalUnderChaos(t *testing.T) {
+	_, plain := newTestServer(t)
+	wantPlan, wantStats, wantResults := insertYield(t, plain)
+	wj, _ := json.Marshal(wantPlan)
+	workers := startWorkers(t, 2)
+	const rate = 0.35
+	seed := chaosSeedFiringEarly(rate)
+	cases := []struct {
+		name    string
+		workers int
+		faults  []chaos.Kind
+	}{
+		{"drop/1w", 1, []chaos.Kind{chaos.Drop}},
+		{"drop/2w", 2, []chaos.Kind{chaos.Drop}},
+		{"delay/1w", 1, []chaos.Kind{chaos.Delay}},
+		{"delay/2w", 2, []chaos.Kind{chaos.Delay}},
+		{"reset/1w", 1, []chaos.Kind{chaos.Reset}},
+		{"reset/2w", 2, []chaos.Kind{chaos.Reset}},
+		{"truncate/1w", 1, []chaos.Kind{chaos.Truncate}},
+		{"truncate/2w", 2, []chaos.Kind{chaos.Truncate}},
+		{"corrupt/1w", 1, []chaos.Kind{chaos.Corrupt}},
+		{"corrupt/2w", 2, []chaos.Kind{chaos.Corrupt}},
+		{"all-kinds/2w", 2, nil}, // nil = the full sweep, incl. 500 and 429
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{
+				Workers:     workers[:tc.workers],
+				Shards:      7, // uneven by construction: 130 and 400 are not multiples of 7
+				Dispatch:    fastDispatch(),
+				ChaosWorker: workers[0],
+				ChaosSeed:   seed,
+				ChaosRate:   rate,
+				ChaosFaults: tc.faults,
+			})
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(ts.Close)
+			gotPlan, gotStats, gotResults := insertYield(t, NewClient(ts.URL))
+			gj, _ := json.Marshal(gotPlan)
+			if string(wj) != string(gj) {
+				t.Fatalf("plan diverges under chaos:\n got %s\nwant %s", gj, wj)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("stats diverge under chaos: got %+v want %+v", gotStats, wantStats)
+			}
+			if gotResults != wantResults {
+				t.Fatal("yield results diverge under chaos")
+			}
+			if s.chaos == nil || s.chaos.Total() == 0 {
+				t.Fatal("chaos transport injected nothing — the sweep proved nothing")
+			}
+			// Undecodable 2xx bodies must surface as the dedicated corrupt
+			// class, visible on /metrics — never as a merged partial.
+			if len(tc.faults) == 1 && (tc.faults[0] == chaos.Truncate || tc.faults[0] == chaos.Corrupt) {
+				if got := s.Pool().C.Corrupt.Load(); got == 0 {
+					t.Fatal("mangled responses did not tick the corrupt counter")
+				}
+				if v := metricCounter(t, ts.URL, "bufinsd_shard_corrupt_total"); v == 0 {
+					t.Fatal("/metrics bufinsd_shard_corrupt_total stayed 0 under body mangling")
+				}
+				kind := string(tc.faults[0])
+				if v := metricCounter(t, ts.URL, `bufinsd_chaos_injected_total{kind="`+kind+`"}`); v == 0 {
+					t.Fatalf("/metrics bufinsd_chaos_injected_total{kind=%q} stayed 0", kind)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedInsertCancelsPromptlyAndIsNotCached: a client hanging up
+// mid-insert must (1) unwind the coordinator within the probe window — not
+// a transport timeout — (2) release the worker-side pass, and (3) leave no
+// poisoned singleflight entry: the same query, re-asked once the worker
+// behaves, computes fresh and matches the in-process answer.
+func TestShardedInsertCancelsPromptlyAndIsNotCached(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inner := New(Config{}).Handler()
+	var hang atomic.Bool
+	hang.Store(true)
+	var started sync.Once
+	startedc := make(chan struct{})
+	released := make(chan struct{}, 8)
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hang.Load() && strings.HasPrefix(r.URL.Path, "/v1/shard/") {
+			// Drain the body first, like a real worker decoding the pass
+			// request — the server only watches for client disconnect
+			// (and thus cancels r.Context()) once the body is consumed.
+			io.Copy(io.Discard, r.Body)
+			started.Do(func() { close(startedc) })
+			// Alive but infinitely slow: hold the pass until the
+			// coordinator abandons the request.
+			<-r.Context().Done()
+			released <- struct{}{}
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(worker.Close)
+	s := New(Config{Workers: []string{worker.URL}, Shards: 3})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	body, err := json.Marshal(insertReq(60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-startedc // only cancel once a pass is provably inflight on the worker
+		cancel()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/insert", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := &http.Client{}
+	start := time.Now()
+	resp, err := hc.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("cancelled insert must fail, got a response")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled insert unwound after %v, want well under the transport timeout", elapsed)
+	}
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker-side pass was not released by the cancellation")
+	}
+
+	// Same query against a now-healthy worker: the poisoned entry must have
+	// been evicted, so this computes fresh and matches in-process.
+	hang.Store(false)
+	_, plainCl := newTestServer(t)
+	want, err := plainCl.Insert(insertReq(60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(ts.URL)
+	got, err := cl.Insert(insertReq(60, 11))
+	if err != nil {
+		t.Fatalf("insert after cancellation: %v (was the cancelled error cached?)", err)
+	}
+	if got.Cached {
+		t.Fatal("insert after cancellation answered from cache — the poisoned entry was not evicted")
+	}
+	wj, _ := json.Marshal(want.Plan)
+	gj, _ := json.Marshal(got.Plan)
+	if string(wj) != string(gj) || got.Stats != want.Stats {
+		t.Fatal("post-cancellation recompute diverged from the in-process answer")
+	}
+
+	// Goroutine accounting: once idle connections close, the coordinator
+	// must shed everything it spawned for the cancelled run. The bound is
+	// lenient (httptest keeps service goroutines) — it catches wholesale
+	// leaks of per-range drivers, not singletons.
+	hc.CloseIdleConnections()
+	cl.HTTP.CloseIdleConnections()
+	plainCl.HTTP.CloseIdleConnections()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+6 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines: %d at start, %d after cancellation test\n%s",
+		baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -49,7 +50,7 @@ func (s *Server) handleInsertPass(r *http.Request) (any, error) {
 		return nil, err
 	}
 	start := time.Now()
-	outcomes, err := e.runner.PassRange(insertion.Config{
+	outcomes, err := e.runner.PassRange(r.Context(), insertion.Config{
 		T:               req.T,
 		Samples:         req.Samples,
 		Seed:            req.Seed,
@@ -59,6 +60,11 @@ func (s *Server) handleInsertPass(r *http.Request) (any, error) {
 		NoConcentration: req.NoConcentration,
 	}, req.Pass, req.Range.Lo, req.Range.Hi)
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The coordinator hung up (cancelled hedge loser, expired
+			// deadline): the response is unread, so the status is moot.
+			return nil, err
+		}
 		return nil, badRequest("insert pass: %v", err)
 	}
 	return &InsertPassResponse{
@@ -92,12 +98,45 @@ func (s *Server) handleYieldPass(r *http.Request) (any, error) {
 	start := time.Now()
 	// Stream the range from the engine: a worker touches only its slice of
 	// the universe, so materializing the full (seed, n) population here
-	// would defeat the point of sharding it.
-	tallies := yield.TallyRange(mc.New(e.sys.Graph(), req.Seed), req.Range.Lo, req.Range.Hi, sweeps...)
+	// would defeat the point of sharding it. The ctx guard lets a cancelled
+	// coordinator attempt release the worker's CPU mid-range.
+	src := ctxSource{ctx: r.Context(), src: mc.New(e.sys.Graph(), req.Seed)}
+	tallies := yield.TallyRange(src, req.Range.Lo, req.Range.Hi, sweeps...)
+	if err := r.Context().Err(); err != nil {
+		return nil, err // partial tallies must not go on the wire
+	}
 	return &YieldPassResponse{
 		Tallies:   tallies,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
+}
+
+// ctxSource threads cancellation into an mc.Source pass: once ctx ends,
+// the remaining samples skip their realization/consumer work (the dominant
+// cost) so the pass returns promptly. The caller must treat the pass
+// output as garbage when ctx ended — samples after the cancellation point
+// never ran.
+type ctxSource struct {
+	ctx context.Context
+	src mc.Source
+}
+
+func (s ctxSource) ForEachBatch(n int, fns ...func(k int, ch *timing.Chip)) {
+	s.ForEachRangeBatch(0, n, fns...)
+}
+
+func (s ctxSource) ForEachRangeBatch(lo, hi int, fns ...func(k int, ch *timing.Chip)) {
+	guarded := make([]func(k int, ch *timing.Chip), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		guarded[i] = func(k int, ch *timing.Chip) {
+			if s.ctx.Err() != nil {
+				return
+			}
+			fn(k, ch)
+		}
+	}
+	s.src.ForEachRangeBatch(lo, hi, guarded...)
 }
 
 // sweepsFor expands a query batch into its sweep evaluators through the
@@ -197,13 +236,15 @@ func (c *Coordinator) ranges(n int) []shard.Range {
 // InsertPass returns the distributed executor for one flow configuration:
 // plug it into insertion.Config.Pass and the flow's step-1/B1/step-2
 // passes each fan out over the pool and merge k-indexed outcomes. cfg must
-// be the same configuration the flow runs with (before Pass is set).
-func (c *Coordinator) InsertPass(cfg insertion.Config) insertion.PassFunc {
+// be the same configuration the flow runs with (before Pass is set). ctx
+// bounds every pass the returned func runs: cancelling it releases every
+// in-flight worker range and aborts the flow.
+func (c *Coordinator) InsertPass(ctx context.Context, cfg insertion.Config) insertion.PassFunc {
 	return func(spec insertion.PassSpec) ([]insertion.SampleOutcome, error) {
 		out := make([]insertion.SampleOutcome, cfg.Samples)
-		post := func(w *shard.Worker, r shard.Range) error {
+		post := func(ctx context.Context, w *shard.Worker, r shard.Range, commit func() bool) error {
 			var resp InsertPassResponse
-			err := w.Post("/v1/shard/insert-pass", InsertPassRequest{
+			err := w.Post(ctx, "/v1/shard/insert-pass", InsertPassRequest{
 				Circuit:         c.Circuit,
 				Options:         c.Options,
 				T:               cfg.T,
@@ -219,21 +260,28 @@ func (c *Coordinator) InsertPass(cfg insertion.Config) insertion.PassFunc {
 			if err != nil {
 				return err
 			}
+			// Validate before committing, merge only after: a malformed
+			// partial must reject the attempt (ClassCorrupt retries it
+			// elsewhere without merging), and a lost hedge race must discard
+			// the duplicate rather than double-write the region.
 			if len(resp.Outcomes) != r.Len() {
-				return fmt.Errorf("serve: worker %s returned %d outcomes for range [%d,%d)", w.Base, len(resp.Outcomes), r.Lo, r.Hi)
+				return shard.Errf(shard.ClassCorrupt, "serve: worker %s returned %d outcomes for range [%d,%d)", w.Base, len(resp.Outcomes), r.Lo, r.Hi)
+			}
+			if !commit() {
+				return nil
 			}
 			copy(out[r.Lo:r.Hi], resp.Outcomes)
 			return nil
 		}
-		local := func(r shard.Range) error {
-			part, err := c.runner.PassRange(cfg, spec, r.Lo, r.Hi)
+		local := func(ctx context.Context, r shard.Range) error {
+			part, err := c.runner.PassRange(ctx, cfg, spec, r.Lo, r.Hi)
 			if err != nil {
 				return err
 			}
 			copy(out[r.Lo:r.Hi], part)
 			return nil
 		}
-		if err := c.Pool.Run(c.ranges(cfg.Samples), post, local); err != nil {
+		if err := c.Pool.Run(ctx, c.ranges(cfg.Samples), post, local); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -243,7 +291,7 @@ func (c *Coordinator) InsertPass(cfg insertion.Config) insertion.PassFunc {
 // EvaluateQueries answers a yield query batch over n chips of universe
 // seed by sharding the chip range and merging per-sweep tallies —
 // byte-identical to the in-process EvaluateQueries on the same inputs.
-func (c *Coordinator) EvaluateQueries(n int, seed uint64, queries []YieldQuery) ([]YieldResult, error) {
+func (c *Coordinator) EvaluateQueries(ctx context.Context, n int, seed uint64, queries []YieldQuery) ([]YieldResult, error) {
 	results, sweeps, err := expandQueries(c.g, queries)
 	if err != nil {
 		return nil, err
@@ -252,12 +300,10 @@ func (c *Coordinator) EvaluateQueries(n int, seed uint64, queries []YieldQuery) 
 	for i, sw := range sweeps {
 		merged[i] = sw.NewTally()
 	}
-	var mu sync.Mutex
-	mergeAll := func(parts []yield.SweepTally) error {
-		// Validate every part before mutating: a malformed response (e.g.
-		// version skew) must reject the whole range, not merge half of it —
-		// Pool.Run re-dispatches rejected ranges, and a partial merge would
-		// double-count the re-run.
+	// Validation runs before the range is acknowledged: a malformed
+	// response (e.g. version skew) rejects the whole attempt as corrupt —
+	// Pool.Run retries the range elsewhere, and nothing was merged.
+	validate := func(parts []yield.SweepTally) error {
 		if len(parts) != len(sweeps) {
 			return fmt.Errorf("serve: got %d tallies, want %d", len(parts), len(sweeps))
 		}
@@ -267,6 +313,10 @@ func (c *Coordinator) EvaluateQueries(n int, seed uint64, queries []YieldQuery) 
 					i, len(parts[i].FirstZero), len(parts[i].FirstTuned), want)
 			}
 		}
+		return nil
+	}
+	var mu sync.Mutex
+	mergeAll := func(parts []yield.SweepTally) error {
 		mu.Lock()
 		defer mu.Unlock()
 		for i := range merged {
@@ -276,9 +326,9 @@ func (c *Coordinator) EvaluateQueries(n int, seed uint64, queries []YieldQuery) 
 		}
 		return nil
 	}
-	post := func(w *shard.Worker, r shard.Range) error {
+	post := func(ctx context.Context, w *shard.Worker, r shard.Range, commit func() bool) error {
 		var resp YieldPassResponse
-		err := w.Post("/v1/shard/yield-pass", YieldPassRequest{
+		err := w.Post(ctx, "/v1/shard/yield-pass", YieldPassRequest{
 			Circuit:     c.Circuit,
 			Options:     c.Options,
 			EvalSamples: n,
@@ -289,12 +339,29 @@ func (c *Coordinator) EvaluateQueries(n int, seed uint64, queries []YieldQuery) 
 		if err != nil {
 			return err
 		}
-		return mergeAll(resp.Tallies)
+		if err := validate(resp.Tallies); err != nil {
+			return shard.Errf(shard.ClassCorrupt, "%v", err)
+		}
+		if !commit() {
+			return nil // lost hedge race: the range already merged
+		}
+		if err := mergeAll(resp.Tallies); err != nil {
+			// Post-commit merge failures cannot retry (the range is already
+			// acknowledged); abort the pass explicitly rather than finish
+			// with a silently short tally.
+			return shard.Errf(shard.ClassFatal, "serve: merging range [%d,%d): %v", r.Lo, r.Hi, err)
+		}
+		return nil
 	}
-	local := func(r shard.Range) error {
-		return mergeAll(yield.TallyRange(mc.New(c.g, seed), r.Lo, r.Hi, sweeps...))
+	local := func(ctx context.Context, r shard.Range) error {
+		src := ctxSource{ctx: ctx, src: mc.New(c.g, seed)}
+		parts := yield.TallyRange(src, r.Lo, r.Hi, sweeps...)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return mergeAll(parts)
 	}
-	if err := c.Pool.Run(c.ranges(n), post, local); err != nil {
+	if err := c.Pool.Run(ctx, c.ranges(n), post, local); err != nil {
 		return nil, err
 	}
 	reports := make([]yield.SweepReport, len(sweeps))
@@ -307,12 +374,12 @@ func (c *Coordinator) EvaluateQueries(n int, seed uint64, queries []YieldQuery) 
 // EvalPlans measures each plan's single-period yield report (at its own
 // target T) over n fresh chips — the sharded replacement for the shared
 // in-process pass expt.RunRows runs, byte-identical to it.
-func (c *Coordinator) EvalPlans(plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error) {
+func (c *Coordinator) EvalPlans(ctx context.Context, plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error) {
 	queries := make([]YieldQuery, len(plans))
 	for i, p := range plans {
 		queries[i] = YieldQuery{Plan: p}
 	}
-	results, err := c.EvaluateQueries(n, seed, queries)
+	results, err := c.EvaluateQueries(ctx, n, seed, queries)
 	if err != nil {
 		return nil, err
 	}

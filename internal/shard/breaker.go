@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one worker's circuit-breaker position.
+type breakerState int
+
+const (
+	// brClosed admits attempts normally.
+	brClosed breakerState = iota
+	// brOpen withdraws the worker; attempts wait out the cooldown.
+	brOpen
+	// brHalfOpen admits probe attempts after the cooldown: the next
+	// success closes the breaker, the next failure re-opens it.
+	brHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brClosed:
+		return "closed"
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// breaker is the per-worker circuit breaker: consecutive transient/corrupt
+// failures trip it open, the cooldown re-admits it half-open, and the
+// half-open probe's outcome decides between closing and re-opening. It is
+// shared across concurrent Runs on one Pool, so every transition holds the
+// mutex.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	st          breakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+func (b *breaker) state() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+// admitDelay reports how long until the worker may take attempts: 0 means
+// admitted now (an open breaker whose cooldown elapsed transitions to
+// half-open), otherwise the remaining cooldown.
+func (b *breaker) admitDelay() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st != brOpen {
+		return 0
+	}
+	if rem := b.cooldown - time.Since(b.openedAt); rem > 0 {
+		return rem
+	}
+	b.st = brHalfOpen
+	return 0
+}
+
+// probe moves an open breaker to half-open (its scheduled re-admission).
+func (b *breaker) probe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st == brOpen {
+		b.st = brHalfOpen
+	}
+}
+
+// success closes the breaker and clears the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.st = brClosed
+	b.consecutive = 0
+}
+
+// fail records one breaker-relevant failure and reports whether it tripped
+// the breaker open (the caller withdraws the worker and schedules the
+// half-open probe). A half-open probe failure re-opens immediately.
+func (b *breaker) fail() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.st == brOpen {
+		return false
+	}
+	if b.st == brHalfOpen || b.consecutive >= b.threshold {
+		b.st = brOpen
+		b.openedAt = time.Now()
+		return true
+	}
+	return false
+}
+
+// reset fully closes the breaker (a health probe answered).
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.st = brClosed
+	b.consecutive = 0
+}
+
+// forceOpen trips the breaker open (a health probe failed); reports
+// whether this was a transition.
+func (b *breaker) forceOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st == brOpen {
+		return false
+	}
+	b.st = brOpen
+	b.openedAt = time.Now()
+	return true
+}

@@ -1,0 +1,263 @@
+// Package chaos is the deterministic fault-injection harness of the shard
+// dispatch plane: a http.RoundTripper wrapper that subjects a worker's
+// traffic to a seeded schedule of faults — dropped (hung) requests,
+// injected latency, 5xx and 429 responses, connection resets, truncated
+// bodies, and corrupted JSON.
+//
+// The schedule is a pure function of (seed, request ordinal): request i on
+// a transport always draws the same fault for a given seed, so a test or
+// CI smoke can replay an exact fault sequence. (Which logical range
+// suffers which fault still depends on arrival order under concurrency;
+// the invariant the harness exists to check is scheduling-independent: for
+// ANY fault schedule, a sharded pass either returns byte-identical results
+// to the in-process path or an explicit error — never silent corruption.)
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Kind names one injectable fault.
+type Kind string
+
+const (
+	// Drop blackholes the request: no response until the request's context
+	// ends (a hung worker; recovery needs a deadline or a hedge).
+	Drop Kind = "drop"
+	// Delay stalls the request for the schedule's delay, then forwards it.
+	Delay Kind = "delay"
+	// Err500 answers 500 without forwarding (a crashed handler).
+	Err500 Kind = "500"
+	// Err429 answers 429 without forwarding (an admission-limited worker).
+	Err429 Kind = "429"
+	// Reset fails the request with a connection-reset transport error.
+	Reset Kind = "reset"
+	// Truncate forwards the request but returns only the first half of the
+	// response body.
+	Truncate Kind = "truncate"
+	// Corrupt forwards the request but mangles the response body so it no
+	// longer decodes.
+	Corrupt Kind = "corrupt"
+)
+
+// Kinds lists every fault kind (the full chaos sweep).
+func Kinds() []Kind {
+	return []Kind{Drop, Delay, Err500, Err429, Reset, Truncate, Corrupt}
+}
+
+// ParseKinds parses a comma-separated fault list ("reset,500,corrupt");
+// blank entries are dropped, unknown names are an error.
+func ParseKinds(s string) ([]Kind, error) {
+	var out []Kind
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k := Kind(f)
+		switch k {
+		case Drop, Delay, Err500, Err429, Reset, Truncate, Corrupt:
+			out = append(out, k)
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault kind %q", f)
+		}
+	}
+	return out, nil
+}
+
+// Schedule is a deterministic fault plan: FaultAt(i) is a pure function of
+// (seed, i), drawing a fault for a Rate fraction of requests, uniformly
+// over Kinds.
+type Schedule struct {
+	seed  uint64
+	rate  float64
+	kinds []Kind
+	delay time.Duration
+}
+
+// NewSchedule builds a schedule injecting faults from kinds into rate of
+// all requests (0 ≤ rate ≤ 1), deterministically in seed. An empty kinds
+// list uses the full sweep. Delay faults stall 100ms by default; tune with
+// SetDelay.
+func NewSchedule(seed uint64, rate float64, kinds ...Kind) *Schedule {
+	if len(kinds) == 0 {
+		kinds = Kinds()
+	}
+	return &Schedule{seed: seed, rate: rate, kinds: kinds, delay: 100 * time.Millisecond}
+}
+
+// SetDelay tunes the stall of Delay faults; returns the schedule.
+func (s *Schedule) SetDelay(d time.Duration) *Schedule {
+	s.delay = d
+	return s
+}
+
+// splitmix64 is the mixing function behind the deterministic draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FaultAt returns the fault for request ordinal i (1-based), or false for
+// a clean pass-through. Pure in (seed, i).
+func (s *Schedule) FaultAt(i uint64) (Kind, bool) {
+	u := splitmix64(s.seed ^ splitmix64(i))
+	if float64(u>>11)/float64(1<<53) >= s.rate {
+		return "", false
+	}
+	pick := splitmix64(u) % uint64(len(s.kinds))
+	return s.kinds[pick], true
+}
+
+// Transport wraps a worker's RoundTripper with a fault schedule. Safe for
+// concurrent use. The zero Match injects into every request; set it to
+// scope injection (e.g. to /v1/shard/ paths only).
+type Transport struct {
+	Base  http.RoundTripper
+	Sched *Schedule
+	Match func(*http.Request) bool
+
+	n        atomic.Uint64
+	injected [7]atomic.Int64 // indexed by kindIndex
+}
+
+func kindIndex(k Kind) int {
+	for i, kk := range Kinds() {
+		if kk == k {
+			return i
+		}
+	}
+	return 0
+}
+
+// Injected reports how many faults of each kind the transport has
+// injected so far.
+func (t *Transport) Injected() map[Kind]int64 {
+	out := make(map[Kind]int64, 7)
+	for i, k := range Kinds() {
+		if n := t.injected[i].Load(); n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// Total reports the total number of injected faults.
+func (t *Transport) Total() int64 {
+	var n int64
+	for i := range t.injected {
+		n += t.injected[i].Load()
+	}
+	return n
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip draws the next fault from the schedule and applies it.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Match != nil && !t.Match(req) {
+		return t.base().RoundTrip(req)
+	}
+	kind, ok := t.Sched.FaultAt(t.n.Add(1))
+	if !ok {
+		return t.base().RoundTrip(req)
+	}
+	t.injected[kindIndex(kind)].Add(1)
+	switch kind {
+	case Drop:
+		// A hung worker: hold the request until the caller gives up.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: dropped request: %w", req.Context().Err())
+	case Delay:
+		timer := time.NewTimer(t.Sched.delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, fmt.Errorf("chaos: delayed request: %w", req.Context().Err())
+		}
+		return t.base().RoundTrip(req)
+	case Err500:
+		return synthesize(req, http.StatusInternalServerError, `{"error":"chaos: injected 500"}`), nil
+	case Err429:
+		return synthesize(req, http.StatusTooManyRequests, `{"error":"chaos: injected 429"}`), nil
+	case Reset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: %w", syscall.ECONNRESET)
+	case Truncate:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		return mangleBody(resp, func(b []byte) []byte { return b[:len(b)/2] }), nil
+	case Corrupt:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		return mangleBody(resp, func(b []byte) []byte {
+			if len(b) == 0 {
+				return []byte("!")
+			}
+			// A leading '!' guarantees the JSON decode fails while the
+			// length (and any framing) stays plausible.
+			b[0] = '!'
+			return b
+		}), nil
+	}
+	return t.base().RoundTrip(req)
+}
+
+// synthesize fabricates a JSON error response without forwarding.
+func synthesize(req *http.Request, status int, body string) *http.Response {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	return &http.Response{
+		Status:        http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// mangleBody replaces a response's body with f(body), leaving the rest of
+// the response intact.
+func mangleBody(resp *http.Response, f func([]byte) []byte) *http.Response {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		data = nil
+	}
+	out := f(data)
+	resp.Body = io.NopCloser(bytes.NewReader(out))
+	resp.ContentLength = int64(len(out))
+	return resp
+}

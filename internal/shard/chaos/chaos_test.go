@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := NewSchedule(42, 0.5)
+	b := NewSchedule(42, 0.5)
+	diff := 0
+	other := NewSchedule(43, 0.5)
+	for i := uint64(1); i <= 1000; i++ {
+		ka, oka := a.FaultAt(i)
+		kb, okb := b.FaultAt(i)
+		if ka != kb || oka != okb {
+			t.Fatalf("FaultAt(%d) diverges for identical seeds: (%v,%v) vs (%v,%v)", i, ka, oka, kb, okb)
+		}
+		ko, oko := other.FaultAt(i)
+		if ko != ka || oko != oka {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds drew identical fault sequences")
+	}
+}
+
+func TestScheduleRate(t *testing.T) {
+	s := NewSchedule(7, 0.3)
+	hits := 0
+	const n = 10000
+	for i := uint64(1); i <= n; i++ {
+		if _, ok := s.FaultAt(i); ok {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("fault rate %.3f, want ≈0.30", frac)
+	}
+	if _, ok := NewSchedule(7, 0).FaultAt(1); ok {
+		t.Fatal("rate 0 must never fault")
+	}
+	none := NewSchedule(7, 1)
+	for i := uint64(1); i <= 100; i++ {
+		if _, ok := none.FaultAt(i); !ok {
+			t.Fatal("rate 1 must always fault")
+		}
+	}
+}
+
+func TestScheduleKindSubset(t *testing.T) {
+	s := NewSchedule(9, 1, Reset, Err429)
+	for i := uint64(1); i <= 200; i++ {
+		k, ok := s.FaultAt(i)
+		if !ok || (k != Reset && k != Err429) {
+			t.Fatalf("FaultAt(%d) = (%v,%v), want only reset/429", i, k, ok)
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	got, err := ParseKinds(" reset,500 , corrupt,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Reset, Err500, Corrupt}
+	if len(got) != len(want) {
+		t.Fatalf("ParseKinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseKinds = %v, want %v", got, want)
+		}
+	}
+	if out, err := ParseKinds(""); err != nil || out != nil {
+		t.Fatalf("ParseKinds(\"\") = (%v, %v), want (nil, nil)", out, err)
+	}
+	if _, err := ParseKinds("reset,sharknado"); err == nil {
+		t.Fatal("unknown kind must be an error")
+	}
+}
+
+// stubTripper answers every request with a fixed 200 JSON body.
+type stubTripper struct {
+	body  string
+	calls int
+}
+
+func (s *stubTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.calls++
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(s.body)),
+		Request:    req,
+	}, nil
+}
+
+func request(t *testing.T, ctx context.Context) *http.Request {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://worker/v1/shard/insert-pass", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// transportFor builds a transport that injects exactly the given kind on
+// every request.
+func transportFor(kind Kind, base http.RoundTripper) *Transport {
+	return &Transport{Base: base, Sched: NewSchedule(1, 1, kind).SetDelay(time.Millisecond)}
+}
+
+func TestTransportFaults(t *testing.T) {
+	const clean = `{"outcomes":[1,2,3]}`
+
+	t.Run("drop blocks until ctx", func(t *testing.T) {
+		tr := transportFor(Drop, &stubTripper{body: clean})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := tr.RoundTrip(request(t, ctx))
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want deadline exceeded", err)
+		}
+		if time.Since(start) < 15*time.Millisecond {
+			t.Fatal("drop returned before the request context ended")
+		}
+	})
+
+	t.Run("delay forwards late", func(t *testing.T) {
+		st := &stubTripper{body: clean}
+		tr := transportFor(Delay, st)
+		resp, err := tr.RoundTrip(request(t, context.Background()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		if string(data) != clean || st.calls != 1 {
+			t.Fatalf("delay must forward the request intact, got %q (%d calls)", data, st.calls)
+		}
+	})
+
+	t.Run("500 and 429 synthesize without forwarding", func(t *testing.T) {
+		for kind, status := range map[Kind]int{Err500: 500, Err429: 429} {
+			st := &stubTripper{body: clean}
+			tr := transportFor(kind, st)
+			resp, err := tr.RoundTrip(request(t, context.Background()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != status || st.calls != 0 {
+				t.Fatalf("%s: status %d (%d forwards), want %d (0 forwards)", kind, resp.StatusCode, st.calls, status)
+			}
+		}
+	})
+
+	t.Run("reset is a transport error", func(t *testing.T) {
+		tr := transportFor(Reset, &stubTripper{body: clean})
+		_, err := tr.RoundTrip(request(t, context.Background()))
+		if !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("err = %v, want ECONNRESET", err)
+		}
+	})
+
+	t.Run("truncate halves the body", func(t *testing.T) {
+		tr := transportFor(Truncate, &stubTripper{body: clean})
+		resp, err := tr.RoundTrip(request(t, context.Background()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		if len(data) != len(clean)/2 || resp.ContentLength != int64(len(data)) {
+			t.Fatalf("truncated body %q (len %d), want first %d bytes", data, len(data), len(clean)/2)
+		}
+	})
+
+	t.Run("corrupt breaks JSON decode", func(t *testing.T) {
+		tr := transportFor(Corrupt, &stubTripper{body: clean})
+		resp, err := tr.RoundTrip(request(t, context.Background()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		if len(data) != len(clean) || data[0] != '!' {
+			t.Fatalf("corrupted body %q, want same length starting with '!'", data)
+		}
+	})
+
+	t.Run("match scopes injection and counters tick", func(t *testing.T) {
+		st := &stubTripper{body: clean}
+		tr := transportFor(Reset, st)
+		tr.Match = func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/shard/") }
+		if _, err := tr.RoundTrip(request(t, context.Background())); !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("matched path must fault, got %v", err)
+		}
+		health, _ := http.NewRequest(http.MethodGet, "http://worker/healthz", nil)
+		if _, err := tr.RoundTrip(health); err != nil {
+			t.Fatalf("unmatched path must pass through, got %v", err)
+		}
+		if tr.Total() != 1 || tr.Injected()[Reset] != 1 {
+			t.Fatalf("injected counters %v (total %d), want one reset", tr.Injected(), tr.Total())
+		}
+	})
+}

@@ -1,22 +1,41 @@
 // Package shard is the distribution substrate of the sharded sample loop:
 // it splits a Monte Carlo sample range [0, n) into contiguous k-ranges and
-// dispatches them across a pool of worker processes, re-dispatching the
-// ranges of workers that fail mid-run and degrading to in-process
-// execution when no workers remain.
+// dispatches them across a pool of worker processes. The dispatch plane is
+// fault-tolerant by construction:
+//
+//   - every worker attempt runs under a context derived from the caller's,
+//     so a cancelled or deadline-expired coordinated pass releases every
+//     worker immediately instead of leaking minutes of solver work;
+//   - worker failures are classified (see Class): transient faults and
+//     throttling retry with capped exponential backoff + jitter, corrupt
+//     partials are discarded and retried without ever merging, and fatal
+//     (4xx) errors abort the pass — the request is wrong, not the worker;
+//   - a per-worker circuit breaker trips after consecutive failures and
+//     re-admits the worker with a half-open probe, so one TCP reset backs
+//     a worker off briefly instead of benching it for the whole pass;
+//   - straggling ranges are hedged: once most of a pass is acknowledged, a
+//     range outstanding far longer than the observed per-range latency is
+//     speculatively re-dispatched to an idle worker, first acknowledgment
+//     wins, and the loser is cancelled through its context.
 //
 // The package is deliberately ignorant of what a range computes. The
-// caller supplies two closures — post(worker, range) executes a range on a
-// worker over HTTP and merges its partial result, local(range) computes
-// the same range in-process — and the pool guarantees every range is
-// acknowledged by exactly one of them. Because every per-sample result in
-// the flow is k-indexed and order-independent (the mc seeding contract:
-// chip k is deterministic in (Seed, k)), that guarantee is all a
-// coordinator needs to merge partials into byte-identical final stats.
+// caller supplies two closures — post(ctx, worker, range, commit) executes
+// a range on a worker over HTTP and merges its partial result, local(ctx,
+// range) computes the same range in-process — and the pool guarantees
+// every range is acknowledged by exactly one of them: post must call
+// commit() before merging and discard its partial when commit reports the
+// range was already acknowledged (a lost hedge race). Because every
+// per-sample result in the flow is k-indexed and order-independent (the mc
+// seeding contract: chip k is deterministic in (Seed, k)), that guarantee
+// is all a coordinator needs to merge partials into byte-identical final
+// stats.
 package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -57,19 +76,179 @@ func Split(n, parts int) []Range {
 	return out
 }
 
+// ---------------- error classification ----------------
+
+// Class partitions worker attempt failures by what they say about the
+// worker versus the request — the policy table of the retry loop.
+type Class int
+
+const (
+	// ClassTransient covers transport errors (resets, refusals, timeouts)
+	// and 5xx responses: the worker or the network hiccuped. Retried with
+	// backoff; counts toward the worker's circuit breaker.
+	ClassTransient Class = iota
+	// ClassThrottled is a 429: the worker's admission limiter is full but
+	// the worker is healthy. Retried with backoff; never counts toward the
+	// breaker — an admission-limited worker must be backed off, not
+	// benched.
+	ClassThrottled
+	// ClassCorrupt is a 2xx whose body failed to read or decode, or a
+	// decoded partial that failed validation. The partial is discarded —
+	// corrupt data must never merge — and the range retries elsewhere;
+	// counts toward the breaker (the worker is producing garbage).
+	ClassCorrupt
+	// ClassFatal is any other 4xx: the request is wrong, not the worker.
+	// Retrying it anywhere would fail identically, so the pass aborts with
+	// the error.
+	ClassFatal
+)
+
+// String names the class as exported on /metrics.
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassThrottled:
+		return "throttled"
+	case ClassCorrupt:
+		return "corrupt"
+	case ClassFatal:
+		return "fatal"
+	}
+	return "unknown"
+}
+
+// Error is a classified worker attempt failure.
+type Error struct {
+	Class  Class
+	Status int // HTTP status when one was received, else 0
+	Err    error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Errf builds a classified error. Callers' post closures use it to mark
+// validation failures of otherwise-2xx partials as ClassCorrupt so the
+// pool discards and retries them instead of merging garbage.
+func Errf(class Class, format string, args ...any) *Error {
+	return &Error{Class: class, Err: fmt.Errorf(format, args...)}
+}
+
+// ClassOf extracts an error's class; unclassified errors (plain transport
+// failures, test stubs) default to ClassTransient.
+func ClassOf(err error) Class {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Class
+	}
+	return ClassTransient
+}
+
+// classifyStatus maps an HTTP status to its failure class.
+func classifyStatus(status int) Class {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return ClassThrottled
+	case status >= 400 && status < 500:
+		return ClassFatal
+	default:
+		return ClassTransient
+	}
+}
+
+// ---------------- options and counters ----------------
+
+// Options tunes the dispatch plane's failure handling. The zero value
+// selects the defaults noted on each field; negative HedgeMultiple
+// disables hedging.
+type Options struct {
+	// RangeTimeout bounds one worker attempt (0 = only the transport's
+	// 10-minute patience). A hung worker costs one RangeTimeout, not the
+	// full transport timeout.
+	RangeTimeout time.Duration
+	// MaxAttempts caps worker attempts (including hedges) per range before
+	// the range falls back to in-process execution (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 50ms); it doubles per
+	// attempt up to MaxBackoff (default 2s), jittered ±50%.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// BreakerThreshold trips a worker's circuit breaker after this many
+	// consecutive transient/corrupt failures (default 3); BreakerCooldown
+	// is the open interval before a half-open probe re-admits it (default
+	// 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HedgeQuorum is the fraction of the pass that must be acknowledged
+	// before stragglers are hedged (default 0.8); HedgeMultiple is how
+	// many multiples of the observed mean range latency a range may be
+	// outstanding before a speculative duplicate dispatch (default 3;
+	// negative disables hedging).
+	HedgeQuorum   float64
+	HedgeMultiple float64
+	// Seed drives the deterministic backoff jitter (default 1).
+	Seed uint64
+}
+
+func (o *Options) fill() {
+	if o.RangeTimeout < 0 {
+		o.RangeTimeout = 0
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.HedgeQuorum <= 0 || o.HedgeQuorum > 1 {
+		o.HedgeQuorum = 0.8
+	}
+	if o.HedgeMultiple == 0 {
+		o.HedgeMultiple = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
 // Counters are the pool's cumulative dispatch statistics, exported on the
 // coordinator's /metrics. All fields are atomics; read them with Load.
 type Counters struct {
 	// Dispatched counts ranges acknowledged by a worker.
 	Dispatched atomic.Int64
-	// Redispatched counts ranges requeued after their worker failed.
+	// Redispatched counts failed worker attempts that were retried (on the
+	// pool or, after MaxAttempts, in-process).
 	Redispatched atomic.Int64
-	// Local counts ranges executed in-process (zero-worker degradation, or
-	// the drain after every worker died mid-run).
+	// Local counts ranges executed in-process (zero-worker degradation,
+	// exhausted retries, or the drain after every worker tripped).
 	Local atomic.Int64
-	// WorkerErrors counts worker request failures.
+	// WorkerErrors counts worker attempt failures of any class.
 	WorkerErrors atomic.Int64
+	// Throttled counts attempts rejected with 429 (admission-limited but
+	// healthy workers; never breaker failures).
+	Throttled atomic.Int64
+	// Corrupt counts 2xx responses whose body failed to decode or
+	// validate. The partials are discarded, never merged.
+	Corrupt atomic.Int64
+	// Hedges counts speculative duplicate dispatches of straggling ranges;
+	// HedgeWins counts ranges whose hedge acknowledged first.
+	Hedges    atomic.Int64
+	HedgeWins atomic.Int64
+	// BreakerTrips counts closed/half-open → open breaker transitions.
+	BreakerTrips atomic.Int64
 }
+
+// ---------------- workers ----------------
 
 // Worker is one shard worker endpoint with its health state.
 type Worker struct {
@@ -77,48 +256,71 @@ type Worker struct {
 	Base string
 
 	// client carries range executions (generous timeout: a range of a big
-	// circuit is minutes of solver work); prober answers health checks and
-	// must fail fast — a blackholed host must not stall every coordinated
-	// pass for the transport's full patience.
+	// circuit is minutes of solver work; per-attempt deadlines come from
+	// Options.RangeTimeout); prober answers health checks and must fail
+	// fast — a blackholed host must not stall every coordinated pass for
+	// the transport's full patience.
 	client *http.Client
 	prober *http.Client
-	down   atomic.Bool
+	br     breaker
 }
 
-// Down reports whether the worker is currently marked unhealthy.
-func (w *Worker) Down() bool { return w.down.Load() }
+// Down reports whether the worker's circuit breaker is open.
+func (w *Worker) Down() bool { return w.br.state() == brOpen }
 
-// Post sends one JSON request to a worker endpoint and decodes the JSON
-// response into out. Any transport error or non-2xx status is an error
-// (carrying the worker's message when it sent one).
-func (w *Worker) Post(path string, req, out any) error {
+// BreakerState names the worker's breaker state: "closed", "half_open",
+// or "open" (exported on /metrics).
+func (w *Worker) BreakerState() string { return w.br.state().String() }
+
+// Post sends one JSON request to a worker endpoint under ctx and decodes
+// the JSON response into out. Failures come back classified (*Error):
+// transport errors and 5xx are transient, 429 throttled, other 4xx fatal,
+// and a 2xx body that cannot be read or decoded is corrupt — the caller
+// must discard it, never merge it.
+func (w *Worker) Post(ctx context.Context, path string, req, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return &Error{Class: ClassFatal, Err: fmt.Errorf("shard: encoding %s request: %w", path, err)}
 	}
-	resp, err := w.client.Post(w.Base+path, "application/json", bytes.NewReader(body))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("shard: POST %s%s: %w", w.Base, path, err)
+		return &Error{Class: ClassFatal, Err: fmt.Errorf("shard: building %s%s request: %w", w.Base, path, err)}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(hreq)
+	if err != nil {
+		return &Error{Class: ClassTransient, Err: fmt.Errorf("shard: POST %s%s: %w", w.Base, path, err)}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fmt.Errorf("shard: reading %s%s response: %w", w.Base, path, err)
+		// The status arrived but the body didn't: on a 2xx this is a
+		// truncated partial (corrupt — it must not merge); on an error
+		// status the response was an error anyway.
+		class := ClassTransient
+		if resp.StatusCode == http.StatusOK {
+			class = ClassCorrupt
+		}
+		return &Error{Class: class, Status: resp.StatusCode, Err: fmt.Errorf("shard: reading %s%s response: %w", w.Base, path, err)}
 	}
 	if resp.StatusCode != http.StatusOK {
+		class := classifyStatus(resp.StatusCode)
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("shard: %s%s: %s (HTTP %d)", w.Base, path, e.Error, resp.StatusCode)
+			return &Error{Class: class, Status: resp.StatusCode, Err: fmt.Errorf("shard: %s%s: %s (HTTP %d)", w.Base, path, e.Error, resp.StatusCode)}
 		}
-		return fmt.Errorf("shard: %s%s: HTTP %d", w.Base, path, resp.StatusCode)
+		return &Error{Class: class, Status: resp.StatusCode, Err: fmt.Errorf("shard: %s%s: HTTP %d", w.Base, path, resp.StatusCode)}
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("shard: decoding %s%s response: %w", w.Base, path, err)
+		return &Error{Class: ClassCorrupt, Status: resp.StatusCode, Err: fmt.Errorf("shard: decoding %s%s response: %w", w.Base, path, err)}
 	}
 	return nil
 }
@@ -134,42 +336,78 @@ func (w *Worker) healthy(path string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// ---------------- pool ----------------
+
 // Pool is a registry of shard workers plus the dispatch loop. Safe for
 // concurrent use: several coordinated requests may Run over one Pool at
-// once (each Run owns its range queue; health flags and counters are
-// atomics).
+// once (each Run owns its dispatch state; breaker flags and counters are
+// shared and synchronized).
 type Pool struct {
 	workers []*Worker
+	opts    Options
+
+	rngMu sync.Mutex
+	rng   uint64
+
 	// C aggregates dispatch counters across every Run.
 	C Counters
 }
 
 // NewPool builds a pool over worker base URLs (trailing slashes trimmed,
-// blanks dropped). A nil/empty list is a valid pool that always degrades
-// to local execution.
-func NewPool(bases []string) *Pool {
-	p := &Pool{}
+// blanks dropped) with default Options. A nil/empty list is a valid pool
+// that always degrades to local execution.
+func NewPool(bases []string) *Pool { return NewPoolWith(bases, Options{}) }
+
+// NewPoolWith builds a pool with explicit dispatch options.
+func NewPoolWith(bases []string, o Options) *Pool {
+	o.fill()
+	p := &Pool{opts: o, rng: o.Seed}
 	for _, b := range bases {
 		b = strings.TrimRight(strings.TrimSpace(b), "/")
 		if b == "" {
 			continue
 		}
-		p.workers = append(p.workers, &Worker{
+		w := &Worker{
 			Base:   b,
 			client: &http.Client{Timeout: 10 * time.Minute},
 			prober: &http.Client{Timeout: 2 * time.Second},
-		})
+		}
+		w.br.threshold = o.BreakerThreshold
+		w.br.cooldown = o.BreakerCooldown
+		p.workers = append(p.workers, w)
 	}
 	return p
 }
 
-// Workers returns the registry (read-only; health flags change under Run).
+// Options returns the pool's filled dispatch options.
+func (p *Pool) Options() Options { return p.opts }
+
+// WrapTransport wraps the range-execution transport of the worker with the
+// given base URL (chaos injection, instrumentation). Reports whether a
+// worker matched. Must be called before any Run uses the worker.
+func (p *Pool) WrapTransport(base string, wrap func(http.RoundTripper) http.RoundTripper) bool {
+	base = strings.TrimRight(strings.TrimSpace(base), "/")
+	for _, w := range p.workers {
+		if w.Base == base {
+			rt := w.client.Transport
+			if rt == nil {
+				rt = http.DefaultTransport
+			}
+			w.client.Transport = wrap(rt)
+			return true
+		}
+	}
+	return false
+}
+
+// Workers returns the registry (read-only; breaker states change under
+// Run).
 func (p *Pool) Workers() []*Worker { return p.workers }
 
 // Size returns the number of registered workers.
 func (p *Pool) Size() int { return len(p.workers) }
 
-// Alive returns the number of workers not marked down.
+// Alive returns the number of workers whose breaker is not open.
 func (p *Pool) Alive() int {
 	n := 0
 	for _, w := range p.workers {
@@ -180,95 +418,472 @@ func (p *Pool) Alive() int {
 	return n
 }
 
-// Probe checks worker health at path (e.g. "/healthz"), reviving workers
-// that answer and marking down those that don't. Coordinators call it
-// before a dispatch so a worker that restarted since its last failure
-// rejoins the pool.
+// Probe checks worker health at path (e.g. "/healthz"), resetting the
+// breakers of workers that answer and force-opening those that don't.
+// Coordinators call it before a dispatch so a worker that restarted since
+// its last failure rejoins the pool.
 func (p *Pool) Probe(path string) {
 	var wg sync.WaitGroup
 	for _, w := range p.workers {
 		wg.Add(1)
 		go func(w *Worker) {
 			defer wg.Done()
-			w.down.Store(!w.healthy(path))
+			if w.healthy(path) {
+				w.br.reset()
+			} else if w.br.forceOpen() {
+				p.C.BreakerTrips.Add(1)
+			}
 		}(w)
 	}
 	wg.Wait()
 }
 
-// Run executes every range exactly once: alive workers pull ranges from a
-// shared queue through post; a worker whose post fails is marked down and
-// its unacknowledged range is requeued for the survivors; ranges left when
-// every worker has failed — or queued against an empty pool — run
-// in-process through local. post and local run concurrently across ranges,
-// so both must be safe for concurrent use (disjoint ranges merge into
-// disjoint regions, which is what the serve coordinator does). The first
-// local error aborts the drain; worker errors never surface as long as
-// some path completes the work.
-func (p *Pool) Run(ranges []Range, post func(w *Worker, r Range) error, local func(r Range) error) error {
+// jitter returns a deterministic multiplier in [0.5, 1.5) from the pool's
+// seeded xorshift stream.
+func (p *Pool) jitter() float64 {
+	p.rngMu.Lock()
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rng = x
+	p.rngMu.Unlock()
+	return 0.5 + float64(x>>11)/float64(1<<53)
+}
+
+// backoff returns the jittered delay before retry n (1-based): capped
+// exponential growth from BaseBackoff.
+func (p *Pool) backoff(n int) time.Duration {
+	d := p.opts.BaseBackoff
+	for i := 1; i < n && d < p.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.opts.MaxBackoff {
+		d = p.opts.MaxBackoff
+	}
+	return time.Duration(float64(d) * p.jitter())
+}
+
+// PostFunc executes one range on a worker and merges its partial result.
+// It must call commit() after validating the response and before merging:
+// commit reports whether this attempt won the range's exactly-once
+// acknowledgment (a hedged duplicate loses the race and must discard its
+// partial). Validation failures of a 2xx partial should come back as
+// Errf(ClassCorrupt, ...) so the pool retries the range without merging.
+type PostFunc func(ctx context.Context, w *Worker, r Range, commit func() bool) error
+
+// LocalFunc executes one range in-process. The pool acknowledges the range
+// itself; local merges unconditionally (it never races a worker — the
+// in-process path only runs for ranges no worker attempt will touch
+// again).
+type LocalFunc func(ctx context.Context, r Range) error
+
+// hedgePoll is how often an idle range driver re-evaluates the hedging
+// condition while its primary attempt is outstanding.
+const hedgePoll = 15 * time.Millisecond
+
+// runState is the per-Run dispatch state shared by the range drivers.
+type runState struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	opts   Options
+
+	idle  chan *Worker // admitted, currently unclaimed workers
+	avail atomic.Int64 // admitted workers (idle or busy); 0 = drain local
+
+	total int
+	acked atomic.Int64 // worker-acknowledged ranges (hedge quorum)
+
+	latNS atomic.Int64 // successful attempt latency sum / count
+	latN  atomic.Int64
+
+	failMu  sync.Mutex
+	failErr error
+
+	timerMu sync.Mutex
+	timers  []*time.Timer
+	closed  bool
+}
+
+// fail records the first pass-fatal error and cancels the run.
+func (st *runState) fail(err error) {
+	st.failMu.Lock()
+	if st.failErr == nil {
+		st.failErr = err
+	}
+	st.failMu.Unlock()
+	st.cancel()
+}
+
+func (st *runState) failure() error {
+	st.failMu.Lock()
+	defer st.failMu.Unlock()
+	return st.failErr
+}
+
+func (st *runState) observe(d time.Duration) {
+	st.latNS.Add(int64(d))
+	st.latN.Add(1)
+}
+
+func (st *runState) meanLatency() (time.Duration, bool) {
+	n := st.latN.Load()
+	if n == 0 {
+		return 0, false
+	}
+	return time.Duration(st.latNS.Load() / n), true
+}
+
+// after schedules f on the run's timer set; timers are stopped when the
+// run ends so breaker re-admissions don't outlive their Run.
+func (st *runState) after(d time.Duration, f func()) {
+	st.timerMu.Lock()
+	defer st.timerMu.Unlock()
+	if st.closed {
+		return
+	}
+	st.timers = append(st.timers, time.AfterFunc(d, f))
+}
+
+func (st *runState) stopTimers() {
+	st.timerMu.Lock()
+	defer st.timerMu.Unlock()
+	st.closed = true
+	for _, t := range st.timers {
+		t.Stop()
+	}
+	st.timers = nil
+}
+
+// readmit returns a worker to the idle queue (capacity covers every
+// worker, so the send never blocks).
+func (st *runState) readmit(w *Worker) { st.idle <- w }
+
+// acquire claims an idle worker, giving up when the context ends or no
+// worker remains admitted (every breaker open → nil: drain locally).
+func (st *runState) acquire(ctx context.Context) *Worker {
+	if st.avail.Load() == 0 {
+		return nil
+	}
+	tick := time.NewTicker(hedgePoll)
+	defer tick.Stop()
+	for {
+		select {
+		case w := <-st.idle:
+			return w
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+			if st.avail.Load() == 0 {
+				return nil
+			}
+		}
+	}
+}
+
+// tryAcquire claims an idle worker without blocking (hedge dispatch).
+func (st *runState) tryAcquire() *Worker {
+	select {
+	case w := <-st.idle:
+		return w
+	default:
+		return nil
+	}
+}
+
+// Run executes every range exactly once under ctx: range drivers claim
+// idle workers through post, retrying classified failures with backoff
+// across the pool (circuit breakers withdraw misbehaving workers and
+// re-admit them with half-open probes), hedging stragglers once most of
+// the pass is acknowledged; ranges that exhaust their attempts — or find
+// no admitted worker — run in-process through local, serially, on the
+// caller's goroutine. post and local run concurrently across ranges, so
+// both must be safe for concurrent use (disjoint ranges merge into
+// disjoint regions, which is what the serve coordinator does).
+//
+// The first local error, the first ClassFatal worker error, or ctx ending
+// aborts the run with that error. Transient worker errors never surface as
+// long as some path completes the work.
+func (p *Pool) Run(ctx context.Context, ranges []Range, post PostFunc, local LocalFunc) error {
 	if len(ranges) == 0 {
 		return nil
 	}
-	var alive []*Worker
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &runState{
+		ctx:    rctx,
+		cancel: cancel,
+		opts:   p.opts,
+		idle:   make(chan *Worker, len(p.workers)+1),
+		total:  len(ranges),
+	}
+	defer st.stopTimers()
+
+	// Admit workers: closed/half-open breakers join now; open breakers are
+	// scheduled for a half-open probe when their cooldown expires.
 	for _, w := range p.workers {
-		if !w.Down() {
-			alive = append(alive, w)
+		w := w
+		if d := w.br.admitDelay(); d == 0 {
+			st.avail.Add(1)
+			st.readmit(w)
+		} else {
+			st.after(d, func() {
+				w.br.probe()
+				st.avail.Add(1)
+				st.readmit(w)
+			})
 		}
 	}
-	// The queue is buffered for every range plus one requeue per worker, so
-	// neither the initial fill nor a failing worker's requeue can block.
-	work := make(chan Range, len(ranges)+len(alive))
-	for _, r := range ranges {
-		work <- r
-	}
-	var pending atomic.Int64
-	pending.Store(int64(len(ranges)))
-	done := make(chan struct{})
-	complete := func() {
-		if pending.Add(-1) == 0 {
-			close(done)
-		}
-	}
+
+	ackc := make(chan struct{}, len(ranges))
+	localc := make(chan Range, len(ranges))
 	var wg sync.WaitGroup
-	for _, w := range alive {
-		wg.Add(1)
-		go func(w *Worker) {
-			defer wg.Done()
-			for {
-				select {
-				case <-done:
+	if st.avail.Load() > 0 {
+		for _, r := range ranges {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.drive(st, r, post, ackc, localc)
+			}()
+		}
+	} else {
+		// No admitted worker: pure in-process degradation.
+		for _, r := range ranges {
+			localc <- r
+		}
+	}
+
+	remaining := len(ranges)
+	for remaining > 0 {
+		select {
+		case <-ackc:
+			remaining--
+		case r := <-localc:
+			p.C.Local.Add(1)
+			if err := local(rctx, r); err != nil {
+				st.fail(err)
+			} else {
+				remaining--
+			}
+		case <-rctx.Done():
+		}
+		if rctx.Err() != nil {
+			break
+		}
+	}
+	cancel()
+	wg.Wait()
+	st.stopTimers()
+	if err := st.failure(); err != nil {
+		return err
+	}
+	if remaining > 0 {
+		// The run was cancelled from outside before completing.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("shard: %d range(s) unaccounted for after drain", remaining)
+	}
+	return nil
+}
+
+// attemptResult is one finished worker attempt, reported to its driver.
+type attemptResult struct {
+	err   error
+	hedge bool
+}
+
+// drive owns one range's lifecycle: attempt → classify → backoff/retry →
+// hedge → ack, falling back to the local queue when the worker path is
+// exhausted. It returns only when the range is acknowledged (worker path),
+// queued for local execution, or the run is cancelled — and never while
+// one of its attempts is still in flight.
+func (p *Pool) drive(st *runState, r Range, post PostFunc, ackc chan<- struct{}, localc chan<- Range) {
+	o := st.opts
+	rctx, rcancel := context.WithCancel(st.ctx)
+	defer rcancel()
+	var acked atomic.Bool
+	resc := make(chan attemptResult, o.MaxAttempts+1)
+	attempts, inflight, hedges, retries := 0, 0, 0, 0
+	var primaryStart time.Time
+
+	commitFor := func(hedge bool) func() bool {
+		return func() bool {
+			if !acked.CompareAndSwap(false, true) {
+				return false
+			}
+			p.C.Dispatched.Add(1)
+			if hedge {
+				p.C.HedgeWins.Add(1)
+			}
+			st.acked.Add(1)
+			ackc <- struct{}{}
+			rcancel() // release the losing sibling attempt immediately
+			return true
+		}
+	}
+
+	launch := func(w *Worker, hedge bool) {
+		attempts++
+		inflight++
+		if hedge {
+			hedges++
+			p.C.Hedges.Add(1)
+		} else {
+			primaryStart = time.Now()
+		}
+		commit := commitFor(hedge)
+		go func() {
+			actx, acancel := rctx, context.CancelFunc(func() {})
+			if o.RangeTimeout > 0 {
+				actx, acancel = context.WithTimeout(rctx, o.RangeTimeout)
+			}
+			start := time.Now()
+			err := post(actx, w, r, commit)
+			acancel()
+			p.settle(st, w, err, rctx, time.Since(start))
+			resc <- attemptResult{err: err, hedge: hedge}
+		}()
+	}
+
+	for {
+		if inflight == 0 {
+			if acked.Load() {
+				return
+			}
+			if rctx.Err() != nil {
+				return
+			}
+			if attempts >= o.MaxAttempts || st.avail.Load() == 0 {
+				if retries > 0 {
+					p.C.Redispatched.Add(1)
+				}
+				localc <- r
+				return
+			}
+			if retries > 0 {
+				p.C.Redispatched.Add(1)
+				if !sleep(rctx, p.backoff(retries)) {
 					return
-				case r := <-work:
-					if err := post(w, r); err != nil {
-						p.C.WorkerErrors.Add(1)
-						p.C.Redispatched.Add(1)
-						w.down.Store(true)
-						work <- r
-						return
-					}
-					p.C.Dispatched.Add(1)
-					complete()
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
-	// Every worker returned: either all ranges completed, or the remaining
-	// ones sit in the queue (each failing worker requeued its range before
-	// returning). Drain them in-process — the zero-worker degradation.
-	for {
-		select {
-		case r := <-work:
-			p.C.Local.Add(1)
-			if err := local(r); err != nil {
-				return err
+			w := st.acquire(rctx)
+			if w == nil {
+				if rctx.Err() != nil {
+					return
+				}
+				localc <- r
+				return
 			}
-			complete()
-		default:
-			if n := pending.Load(); n > 0 {
-				return fmt.Errorf("shard: %d range(s) unaccounted for after drain", n)
-			}
-			return nil
+			launch(w, false)
+			continue
 		}
+		select {
+		case res := <-resc:
+			inflight--
+			if res.err == nil || acked.Load() {
+				continue
+			}
+			if rctx.Err() != nil {
+				continue // cancelled mid-attempt: nothing to retry
+			}
+			if ClassOf(res.err) == ClassFatal {
+				st.fail(res.err)
+				continue
+			}
+			retries++
+		case <-time.After(hedgePoll):
+			if hedges == 0 && attempts < o.MaxAttempts && p.shouldHedge(st, primaryStart) {
+				if w := st.tryAcquire(); w != nil {
+					launch(w, true)
+				}
+			}
+		case <-rctx.Done():
+			// Acked or run-cancelled: keep looping to drain inflight.
+			res := <-resc
+			inflight--
+			_ = res
+		}
+	}
+}
+
+// settle applies one finished attempt to the worker's breaker and the idle
+// queue: successes and benign cancellations readmit immediately, throttles
+// readmit after a jittered backoff without penalty, and transient/corrupt
+// failures penalize the breaker — a trip withdraws the worker until its
+// half-open probe.
+func (p *Pool) settle(st *runState, w *Worker, err error, rctx context.Context, dur time.Duration) {
+	if err == nil {
+		w.br.success()
+		st.observe(dur)
+		st.readmit(w)
+		return
+	}
+	if rctx.Err() != nil {
+		// The range was acknowledged elsewhere or the run is over; the
+		// aborted attempt says nothing about the worker.
+		st.readmit(w)
+		return
+	}
+	p.C.WorkerErrors.Add(1)
+	switch ClassOf(err) {
+	case ClassThrottled:
+		p.C.Throttled.Add(1)
+		st.after(p.backoff(1), func() { st.readmit(w) })
+	case ClassFatal:
+		st.readmit(w)
+	default:
+		if ClassOf(err) == ClassCorrupt {
+			p.C.Corrupt.Add(1)
+		}
+		if w.br.fail() {
+			p.C.BreakerTrips.Add(1)
+			st.avail.Add(-1)
+			st.after(p.opts.BreakerCooldown, func() {
+				w.br.probe()
+				st.avail.Add(1)
+				st.readmit(w)
+			})
+		} else {
+			st.readmit(w)
+		}
+	}
+}
+
+// shouldHedge reports whether a straggling range qualifies for speculative
+// re-dispatch: hedging enabled, most of the pass acknowledged, and the
+// primary attempt outstanding for more than HedgeMultiple times the
+// observed mean range latency.
+func (p *Pool) shouldHedge(st *runState, primaryStart time.Time) bool {
+	o := st.opts
+	if o.HedgeMultiple <= 0 || primaryStart.IsZero() {
+		return false
+	}
+	mean, ok := st.meanLatency()
+	if !ok {
+		return false
+	}
+	if float64(st.acked.Load()) < o.HedgeQuorum*float64(st.total) {
+		return false
+	}
+	return time.Since(primaryStart) > time.Duration(o.HedgeMultiple*float64(mean))
+}
+
+// sleep waits d respecting ctx; reports false when the context ended.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }

@@ -1,10 +1,15 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSplitTilesExactly(t *testing.T) {
@@ -31,7 +36,73 @@ func TestSplitTilesExactly(t *testing.T) {
 	}
 }
 
-// coverage tracks which samples were acknowledged, and by whom.
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		status int
+		want   Class
+	}{
+		{http.StatusTooManyRequests, ClassThrottled},
+		{http.StatusBadRequest, ClassFatal},
+		{http.StatusNotFound, ClassFatal},
+		{http.StatusInternalServerError, ClassTransient},
+		{http.StatusBadGateway, ClassTransient},
+	}
+	for _, c := range cases {
+		if got := classifyStatus(c.status); got != c.want {
+			t.Errorf("classifyStatus(%d) = %v, want %v", c.status, got, c.want)
+		}
+	}
+	if ClassOf(errors.New("plain transport failure")) != ClassTransient {
+		t.Error("unclassified errors must default to transient")
+	}
+	inner := errors.New("bad partial")
+	err := fmt.Errorf("wrapped: %w", Errf(ClassCorrupt, "validate: %w", inner))
+	if ClassOf(err) != ClassCorrupt {
+		t.Error("class must survive error wrapping")
+	}
+	if !errors.Is(err, inner) {
+		t.Error("classified errors must unwrap to their cause")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: 20 * time.Millisecond}
+	if b.state() != brClosed || b.admitDelay() != 0 {
+		t.Fatal("new breaker must admit immediately")
+	}
+	b.fail()
+	b.fail()
+	if b.state() != brClosed {
+		t.Fatal("breaker tripped before threshold")
+	}
+	b.success()
+	b.fail()
+	b.fail()
+	if b.state() != brClosed {
+		t.Fatal("success must clear the consecutive-failure streak")
+	}
+	if !b.fail() {
+		t.Fatal("third consecutive failure must trip the breaker")
+	}
+	if b.state() != brOpen || b.admitDelay() == 0 {
+		t.Fatal("tripped breaker must be open with a cooldown remaining")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if b.admitDelay() != 0 || b.state() != brHalfOpen {
+		t.Fatal("elapsed cooldown must re-admit half-open")
+	}
+	if !b.fail() {
+		t.Fatal("half-open probe failure must re-open immediately")
+	}
+	b.probe()
+	b.success()
+	if b.state() != brClosed {
+		t.Fatal("half-open probe success must close the breaker")
+	}
+}
+
+// coverage tracks which samples were acknowledged, and by whom — the
+// exactly-once checker every Run test goes through.
 type coverage struct {
 	mu   sync.Mutex
 	seen map[int]string
@@ -60,6 +131,27 @@ func (c *coverage) check(t *testing.T, n int) {
 	}
 }
 
+func (c *coverage) by(who string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.seen {
+		if w == who {
+			n++
+		}
+	}
+	return n
+}
+
+// fastOpts keeps the retry/breaker clockwork at test speed.
+func fastOpts() Options {
+	return Options{
+		BaseBackoff:     time.Millisecond,
+		MaxBackoff:      4 * time.Millisecond,
+		BreakerCooldown: 40 * time.Millisecond,
+	}
+}
+
 func TestRunDispatchesEveryRangeOnce(t *testing.T) {
 	p := NewPool([]string{"http://a/", " http://b ", ""})
 	if p.Size() != 2 || p.Alive() != 2 {
@@ -67,9 +159,14 @@ func TestRunDispatchesEveryRangeOnce(t *testing.T) {
 	}
 	cov := newCoverage()
 	const n = 100
-	err := p.Run(Split(n, 7),
-		func(w *Worker, r Range) error { return cov.mark(r, w.Base) },
-		func(r Range) error { return errors.New("local must not run") })
+	err := p.Run(context.Background(), Split(n, 7),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			if !commit() {
+				return nil
+			}
+			return cov.mark(r, w.Base)
+		},
+		func(ctx context.Context, r Range) error { return errors.New("local must not run") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,52 +179,288 @@ func TestRunDispatchesEveryRangeOnce(t *testing.T) {
 	}
 }
 
-func TestRunRedispatchesToSurvivor(t *testing.T) {
-	p := NewPool([]string{"http://good", "http://flaky"})
+// TestRunRetriesTransientWithoutBenching is the headline behavior change
+// from mark-down-forever: a single transient fault retries with backoff and
+// leaves the worker's liveness untouched for the rest of the pass.
+func TestRunRetriesTransientWithoutBenching(t *testing.T) {
+	p := NewPoolWith([]string{"http://good", "http://flaky"}, fastOpts())
 	cov := newCoverage()
 	const n = 90
-	// The good worker blocks until the flaky one has failed once, so the
-	// flaky worker is guaranteed to pull (and lose) a range regardless of
-	// goroutine scheduling.
 	flakyFailed := make(chan struct{})
-	var fail sync.Once
-	err := p.Run(Split(n, 6),
-		func(w *Worker, r Range) error {
+	var failOnce sync.Once
+	failed := false
+	err := p.Run(context.Background(), Split(n, 6),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
 			if w.Base == "http://flaky" {
-				fail.Do(func() { close(flakyFailed) })
-				return errors.New("connection reset")
+				var fail bool
+				failOnce.Do(func() { fail = true; failed = true; close(flakyFailed) })
+				if fail {
+					return errors.New("connection reset")
+				}
+			} else {
+				// The good worker waits for the flaky one to have failed, so
+				// the fault is guaranteed to land regardless of scheduling.
+				<-flakyFailed
 			}
-			<-flakyFailed
+			if !commit() {
+				return nil
+			}
 			return cov.mark(r, w.Base)
 		},
-		func(r Range) error { return cov.mark(r, "local") })
+		func(ctx context.Context, r Range) error { return cov.mark(r, "local") })
 	if err != nil {
 		t.Fatal(err)
 	}
 	cov.check(t, n)
-	if p.C.Redispatched.Load() != 1 || p.C.WorkerErrors.Load() != 1 {
-		t.Fatalf("counters %+v: want exactly one redispatch/error", countersOf(p))
+	if !failed {
+		t.Fatal("the flaky worker never pulled a range")
+	}
+	if p.C.Redispatched.Load() == 0 || p.C.WorkerErrors.Load() != 1 {
+		t.Fatalf("counters %+v: want one error and a redispatch", countersOf(p))
 	}
 	for _, w := range p.Workers() {
-		if want := w.Base == "http://flaky"; w.Down() != want {
-			t.Fatalf("worker %s down=%v, want %v", w.Base, w.Down(), want)
+		if w.Down() {
+			t.Fatalf("worker %s benched by a single transient fault (breaker %s)", w.Base, w.BreakerState())
 		}
 	}
 }
 
-func TestRunDrainsLocallyWhenAllWorkersDie(t *testing.T) {
-	p := NewPool([]string{"http://a", "http://b"})
+// TestRunThrottledBacksOffWithoutBenching: a worker 429 (the serve layer's
+// own admission limit) is backed off and retried, never counted toward the
+// circuit breaker.
+func TestRunThrottledBacksOffWithoutBenching(t *testing.T) {
+	p := NewPoolWith([]string{"http://busy"}, fastOpts())
+	cov := newCoverage()
+	const n = 30
+	var calls atomic.Int64
+	err := p.Run(context.Background(), Split(n, 3),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			if calls.Add(1) == 1 {
+				return &Error{Class: ClassThrottled, Status: http.StatusTooManyRequests, Err: errors.New("server at max inflight requests")}
+			}
+			if !commit() {
+				return nil
+			}
+			return cov.mark(r, w.Base)
+		},
+		func(ctx context.Context, r Range) error { return cov.mark(r, "local") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if p.C.Throttled.Load() != 1 {
+		t.Fatalf("throttled counter %d, want 1", p.C.Throttled.Load())
+	}
+	w := p.Workers()[0]
+	if w.Down() || w.BreakerState() != "closed" {
+		t.Fatalf("throttled worker benched (breaker %s); admission limits must not trip breakers", w.BreakerState())
+	}
+	if cov.by("local") == n {
+		t.Fatal("every range drained locally: the throttled worker was never retried")
+	}
+}
+
+// TestRunCorruptPartialNeverMerges: a 2xx body that fails validation is
+// discarded and the range retried — the merged output contains only the
+// good attempt's data, and the corrupt counter ticks.
+func TestRunCorruptPartialNeverMerges(t *testing.T) {
+	p := NewPoolWith([]string{"http://garbler"}, fastOpts())
 	cov := newCoverage()
 	const n = 40
-	err := p.Run(Split(n, 4),
-		func(w *Worker, r Range) error { return errors.New("down") },
-		func(r Range) error { return cov.mark(r, "local") })
+	var calls atomic.Int64
+	err := p.Run(context.Background(), Split(n, 4),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			if calls.Add(1) == 1 {
+				// A corrupt partial fails validation BEFORE commit: nothing
+				// may be merged from it.
+				return Errf(ClassCorrupt, "worker returned 3 outcomes for range [%d,%d)", r.Lo, r.Hi)
+			}
+			if !commit() {
+				return nil
+			}
+			return cov.mark(r, w.Base)
+		},
+		func(ctx context.Context, r Range) error { return cov.mark(r, "local") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if p.C.Corrupt.Load() != 1 {
+		t.Fatalf("corrupt counter %d, want 1", p.C.Corrupt.Load())
+	}
+}
+
+// TestRunBreakerTripsAndRecovers: consecutive failures trip the breaker
+// (withdrawing the worker), and the elapsed cooldown re-admits it
+// half-open — a later pass closes it again on success.
+func TestRunBreakerTripsAndRecovers(t *testing.T) {
+	o := fastOpts()
+	p := NewPoolWith([]string{"http://bad", "http://good"}, o)
+	bad := p.Workers()[0]
+	cov := newCoverage()
+	const n = 60
+	var badFails atomic.Int64
+	badTripped := make(chan struct{})
+	badHealthy := atomic.Bool{}
+	badCommitted := make(chan struct{})
+	var commitOnce sync.Once
+	post := func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+		if w.Base == "http://bad" && !badHealthy.Load() {
+			if badFails.Add(1) == int64(p.Options().BreakerThreshold) {
+				defer close(badTripped)
+			}
+			return errors.New("connection refused")
+		}
+		if w.Base == "http://good" && !badHealthy.Load() {
+			<-badTripped // hold the good worker until the bad one tripped
+		}
+		if w.Base == "http://bad" {
+			commitOnce.Do(func() { close(badCommitted) })
+		} else if badHealthy.Load() {
+			<-badCommitted // second pass: let the revived worker win a range
+		}
+		if !commit() {
+			return nil
+		}
+		return cov.mark(r, w.Base)
+	}
+	local := func(ctx context.Context, r Range) error { return cov.mark(r, "local") }
+
+	if err := p.Run(context.Background(), Split(n, 8), post, local); err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if p.C.BreakerTrips.Load() < 1 {
+		t.Fatalf("breaker never tripped after %d consecutive failures", badFails.Load())
+	}
+
+	// Second pass after the cooldown: the worker recovered, the half-open
+	// probe must close its breaker and hand it work again.
+	badHealthy.Store(true)
+	time.Sleep(o.BreakerCooldown + 20*time.Millisecond)
+	cov2 := newCoverage()
+	cov = cov2
+	if err := p.Run(context.Background(), Split(n, 8), post, local); err != nil {
+		t.Fatal(err)
+	}
+	cov2.check(t, n)
+	if bad.Down() {
+		t.Fatalf("recovered worker still down (breaker %s) after a successful pass", bad.BreakerState())
+	}
+	if cov2.by("http://bad") == 0 {
+		t.Fatal("revived worker was never handed a range")
+	}
+}
+
+// TestRunHedgesStraggler: once most of the pass is acknowledged, a hung
+// range is speculatively re-dispatched; the first acknowledgment wins and
+// the loser is cancelled through its context — coverage stays exactly-once.
+func TestRunHedgesStraggler(t *testing.T) {
+	o := fastOpts()
+	o.HedgeQuorum = 0.5
+	o.HedgeMultiple = 1
+	o.RangeTimeout = 5 * time.Second // safety net if hedging regresses
+	p := NewPoolWith([]string{"http://fast", "http://slow"}, o)
+	cov := newCoverage()
+	const n = 100
+	slowStarted := make(chan struct{})
+	var startOnce sync.Once
+	err := p.Run(context.Background(), Split(n, 10),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			if w.Base == "http://slow" {
+				startOnce.Do(func() { close(slowStarted) })
+				<-ctx.Done() // a hung worker: only cancellation frees it
+				return ctx.Err()
+			}
+			<-slowStarted // guarantee the slow worker holds a range
+			if !commit() {
+				return nil
+			}
+			return cov.mark(r, w.Base)
+		},
+		func(ctx context.Context, r Range) error { return cov.mark(r, "local") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.check(t, n)
+	if p.C.Hedges.Load() < 1 || p.C.HedgeWins.Load() < 1 {
+		t.Fatalf("counters %+v: the straggling range was never hedged", countersOf(p))
+	}
+	if got := cov.by("http://slow"); got != 0 {
+		t.Fatalf("hung worker acknowledged %d samples, want 0", got)
+	}
+}
+
+// TestRunCancellationPromptNoLeaks: cancelling the run context mid-pass
+// returns promptly (not after the transport timeout) and leaves no
+// goroutines behind.
+func TestRunCancellationPromptNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPoolWith([]string{"http://hang"}, fastOpts())
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	var localRuns atomic.Int64
+	start := time.Now()
+	err := p.Run(ctx, Split(50, 5),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			<-ctx.Done()
+			return ctx.Err()
+		},
+		func(ctx context.Context, r Range) error {
+			localRuns.Add(1)
+			return ctx.Err()
+		})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	// No goroutine may outlive Run. Poll: the drained attempt goroutines
+	// need a moment to finish their final statements.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunFatalAborts(t *testing.T) {
+	p := NewPoolWith([]string{"http://a"}, fastOpts())
+	fatal := Errf(ClassFatal, "malformed request")
+	err := p.Run(context.Background(), Split(20, 2),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			return fatal
+		},
+		func(ctx context.Context, r Range) error { return nil })
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want the fatal worker error", err)
+	}
+}
+
+func TestRunDrainsLocallyWhenAllWorkersDie(t *testing.T) {
+	p := NewPoolWith([]string{"http://a", "http://b"}, fastOpts())
+	cov := newCoverage()
+	const n = 40
+	err := p.Run(context.Background(), Split(n, 4),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			return errors.New("down")
+		},
+		func(ctx context.Context, r Range) error { return cov.mark(r, "local") })
 	if err != nil {
 		t.Fatal(err)
 	}
 	cov.check(t, n)
 	if p.Alive() != 0 {
-		t.Fatalf("alive = %d, want 0", p.Alive())
+		t.Fatalf("alive = %d, want 0 (both breakers tripped)", p.Alive())
 	}
 	if p.C.Local.Load() != 4 {
 		t.Fatalf("local ranges %d, want all 4", p.C.Local.Load())
@@ -138,9 +471,11 @@ func TestRunZeroWorkersDegradesToLocal(t *testing.T) {
 	p := NewPool(nil)
 	cov := newCoverage()
 	const n = 33
-	err := p.Run(Split(n, 5),
-		func(w *Worker, r Range) error { return errors.New("no workers to post to") },
-		func(r Range) error { return cov.mark(r, "local") })
+	err := p.Run(context.Background(), Split(n, 5),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error {
+			return errors.New("no workers to post to")
+		},
+		func(ctx context.Context, r Range) error { return cov.mark(r, "local") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,9 +488,9 @@ func TestRunZeroWorkersDegradesToLocal(t *testing.T) {
 func TestRunPropagatesLocalError(t *testing.T) {
 	p := NewPool(nil)
 	boom := errors.New("boom")
-	err := p.Run(Split(10, 2),
-		func(w *Worker, r Range) error { return nil },
-		func(r Range) error { return boom })
+	err := p.Run(context.Background(), Split(10, 2),
+		func(ctx context.Context, w *Worker, r Range, commit func() bool) error { return nil },
+		func(ctx context.Context, r Range) error { return boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
@@ -167,5 +502,10 @@ func countersOf(p *Pool) map[string]int64 {
 		"redispatched": p.C.Redispatched.Load(),
 		"local":        p.C.Local.Load(),
 		"errors":       p.C.WorkerErrors.Load(),
+		"throttled":    p.C.Throttled.Load(),
+		"corrupt":      p.C.Corrupt.Load(),
+		"hedges":       p.C.Hedges.Load(),
+		"hedge_wins":   p.C.HedgeWins.Load(),
+		"trips":        p.C.BreakerTrips.Load(),
 	}
 }

@@ -9,6 +9,8 @@
 #   verify  fmt + vet + build + test + smokes + bench gate (no fuzz, no race)
 #   race    tier-1 tests under the race detector
 #   fuzz    solver-equivalence fuzzing (implies CI_FUZZ=on)
+#   chaos   coordinator + 2 workers with one chaos-wrapped transport: the
+#           -check probe must stay byte-identical under a fixed fault seed
 # The stages exist so the GitHub workflow can fan them out as parallel jobs
 # while local runs keep the single-command gate.
 #
@@ -20,9 +22,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-all | verify | race | fuzz) ;;
+all | verify | race | fuzz | chaos) ;;
 *)
-    echo "usage: scripts/ci.sh [all|verify|race|fuzz]" >&2
+    echo "usage: scripts/ci.sh [all|verify|race|fuzz|chaos]" >&2
     exit 2
     ;;
 esac
@@ -36,6 +38,54 @@ save_artifact() {
     if [ -n "${CI_OUT:-}" ] && [ -f "$1" ]; then
         cp "$1" "$CI_OUT/$2" || true
     fi
+}
+
+# Service-smoke machinery, shared by the verify smokes and the chaos stage.
+smokedir=""
+smokepids=""
+
+# Collect every smoke log into CI_OUT before cleanup, whether the gate
+# passes or dies mid-smoke.
+cleanup_smoke() {
+    [ -n "$smokedir" ] || return 0
+    for f in "$smokedir"/*.log; do
+        [ -f "$f" ] && save_artifact "$f" "$(basename "$f")"
+    done
+    # shellcheck disable=SC2086
+    kill $smokepids 2>/dev/null || true
+    smokepids=""
+    rm -rf "$smokedir"
+    smokedir=""
+}
+
+# setup_smoke — fresh scratch dir + bufinsd binary + cleanup trap.
+setup_smoke() {
+    smokedir=$(mktemp -d)
+    smokepids=""
+    trap cleanup_smoke EXIT
+    go build -o "$smokedir/bufinsd" ./cmd/bufinsd
+}
+
+# start_daemon <name> <extra flags...> — boot a bufinsd on an ephemeral
+# port and wait for its address file; the resolved base URL lands in
+# $daemon_url. (Runs in the main shell so the pid is ours to kill —
+# command substitution would orphan the daemon in a subshell.)
+start_daemon() {
+    name="$1"
+    shift
+    "$smokedir/bufinsd" -addr 127.0.0.1:0 -addr-file "$smokedir/$name.addr" "$@" \
+        >"$smokedir/$name.log" 2>&1 &
+    smokepids="$smokepids $!"
+    for _ in $(seq 100); do
+        [ -s "$smokedir/$name.addr" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$smokedir/$name.addr" ]; then
+        cat "$smokedir/$name.log" >&2
+        echo "bufinsd ($name) failed to start" >&2
+        exit 1
+    fi
+    daemon_url="http://$(cat "$smokedir/$name.addr")"
 }
 
 if [ "$stage" = "race" ]; then
@@ -67,42 +117,7 @@ if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
     echo "== go test =="
     go test ./...
 
-    smokedir=$(mktemp -d)
-    smokepids=""
-    # Collect every smoke log into CI_OUT before cleanup, whether the gate
-    # passes or dies mid-smoke.
-    cleanup_smoke() {
-        for f in "$smokedir"/*.log; do
-            [ -f "$f" ] && save_artifact "$f" "$(basename "$f")"
-        done
-        # shellcheck disable=SC2086
-        kill $smokepids 2>/dev/null || true
-        rm -rf "$smokedir"
-    }
-    trap cleanup_smoke EXIT
-    go build -o "$smokedir/bufinsd" ./cmd/bufinsd
-
-    # start_daemon <name> <extra flags...> — boot a bufinsd on an ephemeral
-    # port and wait for its address file; the resolved base URL lands in
-    # $daemon_url. (Runs in the main shell so the pid is ours to kill —
-    # command substitution would orphan the daemon in a subshell.)
-    start_daemon() {
-        name="$1"
-        shift
-        "$smokedir/bufinsd" -addr 127.0.0.1:0 -addr-file "$smokedir/$name.addr" "$@" \
-            >"$smokedir/$name.log" 2>&1 &
-        smokepids="$smokepids $!"
-        for _ in $(seq 100); do
-            [ -s "$smokedir/$name.addr" ] && break
-            sleep 0.1
-        done
-        if [ ! -s "$smokedir/$name.addr" ]; then
-            cat "$smokedir/$name.log" >&2
-            echo "bufinsd ($name) failed to start" >&2
-            exit 1
-        fi
-        daemon_url="http://$(cat "$smokedir/$name.addr")"
-    }
+    setup_smoke
 
     echo "== service smoke (bufinsd) =="
     # Single daemon: the probe prepares + inserts a tiny generated circuit
@@ -132,6 +147,33 @@ if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
         -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
         -benchtime=1x .
     go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep' -benchtime=1x ./internal/serve
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "chaos" ]; then
+    echo "== chaos smoke (1 coordinator + 2 workers, one fault-injected) =="
+    # Same trio as the distributed smoke, but the coordinator's transport to
+    # worker2 runs behind a deterministic fault schedule (fixed seed, ~1/3 of
+    # requests dropped/delayed/500'd/429'd/reset/truncated/corrupted). The
+    # -check probe must still come back byte-identical to the in-process
+    # flow, and -expect-shards proves the answers travelled through the
+    # pool: every fault was retried, hedged, or drained — never merged.
+    setup_smoke
+    start_daemon chaos-worker1 -worker
+    w1="$daemon_url"
+    start_daemon chaos-worker2 -worker
+    w2="$daemon_url"
+    start_daemon chaos-coordinator -workers "$w1,$w2" -shards 6 \
+        -chaos-worker "$w2" -chaos-seed 7 -chaos-rate 0.35 \
+        -chaos-faults drop,delay,500,429,reset,truncate,corrupt \
+        -range-timeout 1s -retries 8
+    "$smokedir/bufinsd" -check "$daemon_url" -expect-shards
+    cleanup_smoke
+    trap - EXIT
+fi
+
+if [ "$stage" = "chaos" ]; then
+    echo "CI OK (chaos)"
+    exit 0
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "fuzz" ]; then
