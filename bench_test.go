@@ -29,6 +29,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/binning"
 	"repro/internal/cells"
+	"repro/internal/ckt"
 	"repro/internal/diffcon"
 	"repro/internal/expt"
 	"repro/internal/gen"
@@ -616,8 +617,10 @@ func BenchmarkYieldPerPeriod(b *testing.B) {
 	b.ReportMetric(rep.Improvement(), "Yi_at_last_T_points")
 }
 
-// BenchmarkSSTAPairDelays measures the canonical SSTA pass on s9234.
-func BenchmarkSSTAPairDelays(b *testing.B) {
+// sstaAnalyzer builds the s9234 circuit and a fresh analyzer for the SSTA
+// benchmarks.
+func sstaAnalyzer(b *testing.B) (*ckt.Circuit, *ssta.Analyzer) {
+	b.Helper()
 	p, _ := gen.PresetByName("s9234")
 	c, err := p.Build()
 	if err != nil {
@@ -627,9 +630,74 @@ func BenchmarkSSTAPairDelays(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return c, a
+}
+
+// BenchmarkSSTAPairDelays measures the warm canonical SSTA pass on s9234:
+// the arena is filled once before the clock starts, so the loop measures
+// steady-state refills, which must stay (near) allocation-free.
+func BenchmarkSSTAPairDelays(b *testing.B) {
+	_, a := sstaAnalyzer(b)
+	if pairs := a.PairDelays(); len(pairs) == 0 {
+		b.Fatal("no pairs")
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if pairs := a.PairDelays(); len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkSSTAPrepareCold measures the full cold prepare cost of the SSTA
+// stage on s9234 — analyzer construction (validation, topo sort, skeleton
+// precompute, arena allocation) plus the first full propagation. This is
+// the serve-side cache-miss cost the incremental rework targets.
+func BenchmarkSSTAPrepareCold(b *testing.B) {
+	p, _ := gen.PresetByName("s9234")
+	c, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := variation.NewModel(cells.Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := ssta.New(c, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pairs := a.PairDelays(); len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkSSTARepropagateCone measures the incremental re-analysis after
+// a single what-if edit on s9234: one AddDelay plus the cone-limited
+// repropagation. The acceptance bar is ≥10× cheaper than a full
+// PairDelays; the warm path must not regress on allocs/op (benchcmp gate).
+func BenchmarkSSTARepropagateCone(b *testing.B) {
+	c, a := sstaAnalyzer(b)
+	a.PairDelays()
+	// Edit the driver of some capture D pin — a guaranteed on-path gate.
+	edit := -1
+	for _, f := range c.FFs() {
+		fi := c.Nodes[f].Fanin
+		if len(fi) > 0 && c.Nodes[fi[0]].Kind.IsGate() {
+			edit = fi[0]
+			break
+		}
+	}
+	if edit < 0 {
+		b.Fatal("no gate-driven capture in s9234")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AddDelay(edit, 1)
+		if pairs := a.RepropagateCone(edit); len(pairs) == 0 {
 			b.Fatal("no pairs")
 		}
 	}

@@ -264,6 +264,13 @@ func (c *Circuit) Validate() error {
 		if fi < n.Kind.MinFanin() {
 			return fmt.Errorf("ckt: node %q (%v) has fan-in %d < %d", n.Name, n.Kind, fi, n.Kind.MinFanin())
 		}
+		if n.Kind == DFF && fi > 1 {
+			// Named explicitly: the SSTA pair extraction reads only Fanin[0]
+			// of a capture DFF (the D pin), so a multi-fanin DFF slipping
+			// through would silently drop timing arcs and report optimistic
+			// yield. Malformed netlists must fail loudly here instead.
+			return fmt.Errorf("ckt: DFF %q has %d fan-ins; a DFF has exactly one D input — merge the drivers with a gate", n.Name, fi)
+		}
 		if mx := n.Kind.MaxFanin(); mx > 0 && fi > mx {
 			return fmt.Errorf("ckt: node %q (%v) has fan-in %d > %d", n.Name, n.Kind, fi, mx)
 		}

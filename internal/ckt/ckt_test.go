@@ -263,3 +263,27 @@ func TestKindHelpers(t *testing.T) {
 		t.Fatalf("And = %q", And.String())
 	}
 }
+
+func TestMultiFaninDFFRejected(t *testing.T) {
+	// Regression: a DFF with two D drivers must fail validation with an
+	// explicit DFF diagnostic — the SSTA pair extraction reads only
+	// Fanin[0], so letting such a netlist through would silently drop
+	// timing arcs and overstate yield.
+	c := New("dualD")
+	ff0 := c.MustAddNode("ff0", DFF)
+	g1 := c.MustAddNode("g1", Buf)
+	g2 := c.MustAddNode("g2", Buf)
+	ff1 := c.MustAddNode("ff1", DFF)
+	c.MustConnect(ff0, g1)
+	c.MustConnect(ff0, g2)
+	c.MustConnect(g1, ff1)
+	c.MustConnect(g2, ff1)
+	c.MustConnect(ff1, ff0)
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("multi-fanin DFF must fail validation")
+	}
+	if !strings.Contains(err.Error(), "DFF") || !strings.Contains(err.Error(), "ff1") {
+		t.Fatalf("diagnostic should name the DFF and its nature, got: %v", err)
+	}
+}

@@ -34,6 +34,15 @@ type Bench struct {
 	Graph     *timing.Graph
 	Placement *placement.Placement
 	Period    mc.PeriodStats
+
+	// Analyzer is the prepared SSTA state the Graph was built from. It is
+	// frozen after Prepare like everything else here; what-if queries Fork
+	// it (ssta.Analyzer.Fork) so incremental re-analysis never mutates the
+	// shared bench.
+	Analyzer *ssta.Analyzer
+	// Opt records the resolved preparation options, so derived analyses
+	// (WhatIf) can reuse the same sampling universes.
+	Opt Options
 }
 
 // Options configure benchmark preparation.
@@ -121,7 +130,53 @@ func Prepare(c *ckt.Circuit, opt Options) (*Bench, error) {
 	}
 	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
 	ps := mc.New(g, opt.Seed+2).PeriodDistribution(opt.PeriodSamples)
-	return &Bench{Name: c.Name, Circuit: c, Graph: g, Placement: pl, Period: ps}, nil
+	return &Bench{Name: c.Name, Circuit: c, Graph: g, Placement: pl, Period: ps,
+		Analyzer: a, Opt: opt}, nil
+}
+
+// Edit is one what-if delay perturbation: DeltaPS is added to the nominal
+// canonical delay of the named node (clk→Q for a DFF) — the timing effect
+// of inserting a buffer at the node's output, or of a library swap's
+// nominal shift.
+type Edit struct {
+	Node    string  `json:"node"`
+	DeltaPS float64 `json:"delta_ps"`
+}
+
+// WhatIfResult is the re-analysis of a prepared bench under delay edits.
+type WhatIfResult struct {
+	Graph  *timing.Graph
+	Period mc.PeriodStats
+}
+
+// WhatIf re-analyzes the bench with the given delay edits applied, using
+// incremental cone repropagation on a fork of the prepared analyzer: only
+// the launches whose cones contain an edited node are re-propagated, and
+// the resulting pairs are byte-identical to a from-scratch re-prepare of
+// the edited circuit at the bench's skews. The prepared clock skews are
+// deliberately held fixed (not re-drawn from the perturbed pair delays) so
+// the reported period shift is attributable to the edit alone. The bench
+// itself is never mutated; concurrent WhatIf calls on a shared bench are
+// safe. Edits at nodes no register-to-register path can observe (ports,
+// output-only cones) are valid and leave the timing unchanged.
+func (b *Bench) WhatIf(edits []Edit) (*WhatIfResult, error) {
+	if len(edits) == 0 {
+		return nil, fmt.Errorf("expt: what-if needs at least one edit")
+	}
+	a := b.Analyzer.Fork()
+	nodes := make([]int, len(edits))
+	for i, e := range edits {
+		id, ok := b.Circuit.Index(e.Node)
+		if !ok {
+			return nil, fmt.Errorf("expt: what-if edit: unknown node %q", e.Node)
+		}
+		a.AddDelay(id, e.DeltaPS)
+		nodes[i] = id
+	}
+	pairs := a.RepropagateCone(nodes...)
+	g := timing.BuildPairs(a, pairs, b.Graph.Skew)
+	ps := mc.New(g, b.Opt.Seed+2).PeriodDistribution(b.Opt.PeriodSamples)
+	return &WhatIfResult{Graph: g, Period: ps}, nil
 }
 
 // RegionAssigner maps every netlist node to one of `regions` spatial
@@ -136,6 +191,12 @@ func RegionAssigner(c *ckt.Circuit, regions int) func(node int) int {
 	if ns == 0 || regions < 1 {
 		return func(int) int { return 0 }
 	}
+	// memo: −1 unvisited, −2 on the current chain (cycle sentinel), else
+	// the resolved region. Iterative: the region chase follows Fanout[0]
+	// links that can be as long as the whole netlist, so a recursive walk
+	// would overflow the goroutine stack on deep combinational chains; and
+	// the cycle guard memoizes its verdict, so a pathological (illegal)
+	// cyclic netlist costs one walk, not an exponential re-walk per query.
 	memo := make([]int, len(c.Nodes))
 	for i := range memo {
 		memo[i] = -1
@@ -147,32 +208,47 @@ func RegionAssigner(c *ckt.Circuit, regions int) func(node int) int {
 		}
 		return r
 	}
-	var regionOf func(node, depth int) int
-	regionOf = func(node, depth int) int {
+	regionOf := func(node int) int {
 		if memo[node] >= 0 {
 			return memo[node]
 		}
-		if depth > len(c.Nodes) {
-			return 0 // cycle guard (illegal netlists only)
+		// Chase the fan-out chain until a resolved node, collecting the
+		// chain so every node on it memoizes the answer.
+		chain := []int{}
+		cur := node
+		r := 0
+		for {
+			if memo[cur] >= 0 {
+				r = memo[cur]
+				break
+			}
+			if memo[cur] == -2 {
+				// Cycle (illegal netlists only): the whole loop resolves
+				// to region 0, memoized below like any other answer.
+				break
+			}
+			memo[cur] = -2
+			chain = append(chain, cur)
+			n := c.Nodes[cur]
+			if n.Kind == ckt.DFF {
+				r = ffRegion(c.FFID(cur))
+				break
+			}
+			if len(n.Fanout) == 0 {
+				break
+			}
+			cur = n.Fanout[0]
 		}
-		n := c.Nodes[node]
-		var r int
-		switch {
-		case n.Kind == ckt.DFF:
-			r = ffRegion(c.FFID(node))
-		case len(n.Fanout) == 0:
-			r = 0
-		default:
-			r = regionOf(n.Fanout[0], depth+1)
+		for _, v := range chain {
+			memo[v] = r
 		}
-		memo[node] = r
 		return r
 	}
 	return func(node int) int {
 		if node < 0 || node >= len(c.Nodes) {
 			return 0
 		}
-		return regionOf(node, 0)
+		return regionOf(node)
 	}
 }
 

@@ -1,0 +1,167 @@
+package expt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/ckt"
+	"repro/internal/gen"
+	"repro/internal/mc"
+	"repro/internal/ssta"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// TestRegionAssignerDeepChain: the region chase follows Fanout[0] links
+// whose length is bounded only by the netlist size, so the assigner must
+// walk iteratively. A 200k-gate buffer chain guards the stack behavior and
+// the O(1)-amortized memoization structurally.
+func TestRegionAssignerDeepChain(t *testing.T) {
+	const depth = 200_000
+	c := ckt.New("deepchain")
+	ff0 := c.MustAddNode("ff0", ckt.DFF)
+	prev := ff0
+	first := -1
+	for i := 0; i < depth; i++ {
+		b := c.MustAddNode(fmt.Sprintf("b%d", i), ckt.Buf)
+		c.MustConnect(prev, b)
+		if first < 0 {
+			first = b
+		}
+		prev = b
+	}
+	ff1 := c.MustAddNode("ff1", ckt.DFF)
+	c.MustConnect(prev, ff1)
+	c.MustConnect(ff1, ff0)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const regions = 4
+	ra := RegionAssigner(c, regions)
+	// Every chain gate inherits the region of ff1 (FF id 1 of 2).
+	want := ra(ff1)
+	if got := ra(first); got != want {
+		t.Fatalf("chain head region %d, want %d", got, want)
+	}
+	if got := ra(first + depth/2); got != want {
+		t.Fatalf("chain middle region %d, want %d", got, want)
+	}
+	// Memoized: a second pass over the whole chain must be trivially cheap
+	// and agree (this would time out under exponential re-walks).
+	for i := 0; i < depth; i++ {
+		if ra(first+i) != want {
+			t.Fatalf("memoized region diverged at %d", i)
+		}
+	}
+}
+
+// TestRegionAssignerCycle: an (illegal) cyclic fan-out chain must resolve
+// to region 0 with the verdict memoized, instead of re-walking the loop on
+// every query.
+func TestRegionAssignerCycle(t *testing.T) {
+	c := ckt.New("cyclic")
+	c.MustAddNode("ff0", ckt.DFF)
+	c.MustAddNode("ff1", ckt.DFF)
+	b1 := c.MustAddNode("b1", ckt.Buf)
+	b2 := c.MustAddNode("b2", ckt.Buf)
+	c.MustConnect(b1, b2)
+	c.MustConnect(b2, b1) // cycle; Validate would reject, the assigner must not hang
+	ra := RegionAssigner(c, 2)
+	for i := 0; i < 3; i++ {
+		if got := ra(b1); got != 0 {
+			t.Fatalf("cyclic node region = %d, want 0", got)
+		}
+		if got := ra(b2); got != 0 {
+			t.Fatalf("cyclic node region = %d, want 0", got)
+		}
+	}
+	// Out-of-range queries stay clamped.
+	if ra(-1) != 0 || ra(99) != 0 {
+		t.Fatal("out-of-range node must map to region 0")
+	}
+}
+
+// TestWhatIfMatchesFullReprepare is the acceptance pin for the incremental
+// prepare path: a WhatIf on a prepared bench must equal — bit for bit — a
+// from-scratch SSTA + graph build + period sampling of the edited circuit
+// at the bench's skews.
+func TestWhatIfMatchesFullReprepare(t *testing.T) {
+	c, err := gen.Generate(gen.Config{NumFFs: 12, NumGates: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Prepare(c, Options{PeriodSamples: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit the node the critical pair's delay is read from, so the period
+	// distribution provably shifts: the capture's D driver if it is a gate,
+	// else (direct FF→FF arc) the launch DFF's clk→Q.
+	crit := 0
+	critNeed := 0.0
+	for i, p := range b.Graph.Pairs {
+		need := p.Max.Mean + b.Graph.Skew[p.Launch] - b.Graph.Skew[p.Capture]
+		if need > critNeed {
+			critNeed, crit = need, i
+		}
+	}
+	capNode := c.FFs()[b.Graph.Pairs[crit].Capture]
+	editNode := c.Nodes[capNode].Fanin[0]
+	if !c.Nodes[editNode].Kind.IsGate() {
+		editNode = c.FFs()[b.Graph.Pairs[crit].Launch]
+	}
+	const delta = 42.5
+	wr, err := b.WhatIf([]Edit{{Node: c.Nodes[editNode].Name, DeltaPS: delta}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full re-prepare of the edited circuit, same model and skews.
+	a2, err := ssta.New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2.AddDelay(editNode, delta)
+	g2 := timing.BuildPairs(a2, a2.PairDelays(), b.Graph.Skew)
+	ps2 := mc.New(g2, b.Opt.Seed+2).PeriodDistribution(b.Opt.PeriodSamples)
+
+	if wr.Period != ps2 {
+		t.Fatalf("what-if period %+v != full re-prepare %+v", wr.Period, ps2)
+	}
+	if len(wr.Graph.Pairs) != len(g2.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(wr.Graph.Pairs), len(g2.Pairs))
+	}
+	for i := range g2.Pairs {
+		gp, wp := &g2.Pairs[i], &wr.Graph.Pairs[i]
+		if gp.Launch != wp.Launch || gp.Capture != wp.Capture ||
+			gp.Max.Mean != wp.Max.Mean || gp.Max.Rand != wp.Max.Rand ||
+			gp.Min.Mean != wp.Min.Mean || gp.Min.Rand != wp.Min.Rand {
+			t.Fatalf("pair %d differs between what-if and full re-prepare", i)
+		}
+		for k := range gp.Max.Sens {
+			if gp.Max.Sens[k] != wp.Max.Sens[k] || gp.Min.Sens[k] != wp.Min.Sens[k] {
+				t.Fatalf("pair %d sensitivity %d differs", i, k)
+			}
+		}
+	}
+	// The edit must actually have moved the distribution, and the shared
+	// bench must be untouched.
+	if wr.Period.Mu <= b.Period.Mu {
+		t.Fatalf("adding %vps on a critical cone should raise µT: %v vs %v", delta, wr.Period.Mu, b.Period.Mu)
+	}
+	ps0 := mc.New(b.Graph, b.Opt.Seed+2).PeriodDistribution(b.Opt.PeriodSamples)
+	if ps0 != b.Period {
+		t.Fatal("what-if mutated the shared bench graph")
+	}
+}
+
+func TestWhatIfErrors(t *testing.T) {
+	b := smallBench(t)
+	if _, err := b.WhatIf(nil); err == nil {
+		t.Fatal("empty edit list must fail")
+	}
+	if _, err := b.WhatIf([]Edit{{Node: "no-such-node", DeltaPS: 1}}); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+}

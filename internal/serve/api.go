@@ -85,13 +85,24 @@ func (cs CircuitSpec) Build() (*ckt.Circuit, error) {
 	return nil, fmt.Errorf("serve: empty circuit spec")
 }
 
-// PrepareRequest warms (or probes) the bench cache.
+// PrepareRequest warms (or probes) the bench cache. With WhatIf edits it
+// becomes a question instead of a warm-up: the period distribution is
+// re-derived on a fork of the cached bench via incremental cone
+// repropagation, and the perturbed state is discarded — what-if probes
+// never insert anything into the bench LRU, so sweeping candidate edits
+// cannot thrash the cache of real prepared circuits.
 type PrepareRequest struct {
 	Circuit CircuitSpec  `json:"circuit"`
 	Options expt.Options `json:"options"`
+	// WhatIf, when non-empty, reports the bench as re-analyzed under these
+	// delay edits (the base bench is still prepared and cached as usual).
+	WhatIf []expt.Edit `json:"what_if,omitempty"`
 }
 
-// PrepareResponse describes the prepared bench.
+// PrepareResponse describes the prepared bench. Under a what-if request,
+// Mu/Sigma/HoldViolRate describe the edited circuit (WhatIf is set and
+// Cached reports the base bench's cache status); Summary always describes
+// the unedited base bench.
 type PrepareResponse struct {
 	Key          string  `json:"key"`
 	Name         string  `json:"name"`
@@ -103,6 +114,7 @@ type PrepareResponse struct {
 	HoldViolRate float64 `json:"hold_viol_rate"`
 	ElapsedMS    int64   `json:"elapsed_ms"`
 	Cached       bool    `json:"cached"`
+	WhatIf       bool    `json:"what_if,omitempty"`
 }
 
 // InsertRequest asks for an insertion plan at one period target.

@@ -123,6 +123,7 @@ type metrics struct {
 	planMiss  atomic.Int64
 	popHit    atomic.Int64
 	popMiss   atomic.Int64
+	whatIf    atomic.Int64
 }
 
 type endpoint int
@@ -368,7 +369,7 @@ func (s *Server) handlePrepare(r *http.Request) (any, error) {
 		return nil, err
 	}
 	b := e.sys.Bench()
-	return &PrepareResponse{
+	resp := &PrepareResponse{
 		Key:          e.key,
 		Name:         b.Name,
 		Summary:      e.sys.Summary(),
@@ -379,7 +380,23 @@ func (s *Server) handlePrepare(r *http.Request) (any, error) {
 		HoldViolRate: b.Period.HoldViolRate,
 		ElapsedMS:    e.elapsedMS,
 		Cached:       hit,
-	}, nil
+	}
+	if len(req.WhatIf) > 0 {
+		// Answered from a fork of the cached bench; nothing derived from the
+		// edits is cached, so probe sweeps cannot evict prepared circuits.
+		start := time.Now()
+		wr, err := b.WhatIf(req.WhatIf)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		s.m.whatIf.Add(1)
+		resp.Mu = wr.Period.Mu
+		resp.Sigma = wr.Period.Sigma
+		resp.HoldViolRate = wr.Period.HoldViolRate
+		resp.ElapsedMS = time.Since(start).Milliseconds()
+		resp.WhatIf = true
+	}
+	return resp, nil
 }
 
 // resolveT turns the request's target into a concrete period using the
@@ -629,6 +646,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"bench\"} %d\n", s.m.benchHit.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"plan\"} %d\n", s.m.planHit.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"population\"} %d\n", s.m.popHit.Load())
+	fmt.Fprintf(&b, "# TYPE bufinsd_whatif_total counter\nbufinsd_whatif_total %d\n", s.m.whatIf.Load())
 	fmt.Fprintf(&b, "# TYPE bufinsd_cache_misses_total counter\n")
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"bench\"} %d\n", s.m.benchMiss.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"plan\"} %d\n", s.m.planMiss.Load())

@@ -399,3 +399,75 @@ func TestBenchEviction(t *testing.T) {
 		t.Fatalf("bench cache size %d, want 1", n)
 	}
 }
+
+// TestPrepareWhatIf: a prepare request with edits answers from a fork of
+// the cached bench — the response must flag what-if mode, match an
+// in-process WhatIf bit-for-bit, and never add an entry to the bench LRU.
+func TestPrepareWhatIf(t *testing.T) {
+	s, cl := newTestServer(t)
+	base, err := cl.Prepare(PrepareRequest{Circuit: tinySpec(), Options: tinyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.WhatIf {
+		t.Fatal("plain prepare must not be flagged what-if")
+	}
+	b := inProcessBench(t)
+	// Perturb the critical pair's capture-side driver so µT must move.
+	crit, need := 0, 0.0
+	for i, p := range b.Graph.Pairs {
+		if n := p.Max.Mean + b.Graph.Skew[p.Launch] - b.Graph.Skew[p.Capture]; n > need {
+			need, crit = n, i
+		}
+	}
+	capNode := b.Circuit.FFs()[b.Graph.Pairs[crit].Capture]
+	editNode := b.Circuit.Nodes[capNode].Fanin[0]
+	if !b.Circuit.Nodes[editNode].Kind.IsGate() {
+		editNode = b.Circuit.FFs()[b.Graph.Pairs[crit].Launch]
+	}
+	edits := []expt.Edit{{Node: b.Circuit.Nodes[editNode].Name, DeltaPS: 55}}
+
+	got, err := cl.Prepare(PrepareRequest{Circuit: tinySpec(), Options: tinyOptions(), WhatIf: edits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.WhatIf || !got.Cached {
+		t.Fatalf("what-if on a warm bench should report WhatIf+Cached, got %+v", got)
+	}
+	want, err := b.WhatIf(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mu != want.Period.Mu || got.Sigma != want.Period.Sigma || got.HoldViolRate != want.Period.HoldViolRate {
+		t.Fatalf("service what-if %+v != in-process %+v", got, want.Period)
+	}
+	if got.Mu <= base.Mu {
+		t.Fatalf("edit on the critical cone should raise µT: %v vs base %v", got.Mu, base.Mu)
+	}
+	// The probe must not have created a second bench entry, and the base
+	// answer must be unchanged by the probe.
+	s.mu.Lock()
+	benches := s.benches.len()
+	s.mu.Unlock()
+	if benches != 1 {
+		t.Fatalf("what-if polluted the bench LRU: %d entries", benches)
+	}
+	again, err := cl.Prepare(PrepareRequest{Circuit: tinySpec(), Options: tinyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Mu != base.Mu || again.Sigma != base.Sigma || again.WhatIf {
+		t.Fatal("base bench answer changed after a what-if probe")
+	}
+}
+
+func TestPrepareWhatIfBadNode(t *testing.T) {
+	_, cl := newTestServer(t)
+	_, err := cl.Prepare(PrepareRequest{
+		Circuit: tinySpec(), Options: tinyOptions(),
+		WhatIf: []expt.Edit{{Node: "definitely-not-a-node", DeltaPS: 5}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Fatalf("unknown node should 400 with a clear message, got %v", err)
+	}
+}

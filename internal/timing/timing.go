@@ -46,6 +46,17 @@ type Graph struct {
 // Build assembles the constraint graph from an SSTA analyzer and optional
 // skews (nil = zero skew).
 func Build(a *ssta.Analyzer, skew []float64) *Graph {
+	return BuildPairs(a, a.PairDelays(), skew)
+}
+
+// BuildPairs assembles the constraint graph from precomputed pair delays —
+// a full PairDelays result or an incremental RepropagateCone one. The pair
+// forms are copied into sparse evaluation snapshots (and the dense structs
+// are value copies), so the graph's realized numbers stay frozen even if
+// the analyzer arena is propagated again afterwards; only the dense
+// Pairs[i].Max/Min.Sens slices alias the arena, which is why a shared
+// analyzer must be Forked before further edits.
+func BuildPairs(a *ssta.Analyzer, pairs []ssta.Pair, skew []float64) *Graph {
 	ns := a.C.NumFFs()
 	if skew == nil {
 		skew = make([]float64, ns)
@@ -54,7 +65,7 @@ func Build(a *ssta.Analyzer, skew []float64) *Graph {
 		panic("timing: skew length mismatch")
 	}
 	g := &Graph{NS: ns, Skew: skew, dim: a.M.Space.Dim()}
-	for _, p := range a.PairDelays() {
+	for _, p := range pairs {
 		g.Pairs = append(g.Pairs, Pair{Launch: p.Launch, Capture: p.Capture, Max: p.Max, Min: p.Min})
 	}
 	g.setup = make([]variation.Canonical, ns)

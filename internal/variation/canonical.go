@@ -102,16 +102,38 @@ func (c Canonical) Correlation(d Canonical) float64 {
 // Add returns c + d. Independent parts add in quadrature (RSS) because the
 // two ΔR sources are distinct and a sum of independent normals is normal.
 func (c Canonical) Add(d Canonical) Canonical {
-	if len(c.Sens) != len(d.Sens) {
+	out := Zero(len(c.Sens))
+	AddInto(&out, c, d)
+	return out
+}
+
+// CopyInto copies src into dst without allocating. dst.Sens must already
+// have the space's length (it is overwritten element-wise, preserving the
+// backing array — the point of the In-to family: propagation engines keep
+// all Sens vectors in one preallocated slab).
+func CopyInto(dst *Canonical, src Canonical) {
+	if len(dst.Sens) != len(src.Sens) {
+		panic("variation: CopyInto across different spaces")
+	}
+	dst.Mean = src.Mean
+	copy(dst.Sens, src.Sens)
+	dst.Rand = src.Rand
+}
+
+// AddInto sets *dst = a + b without allocating; bit-identical to Add.
+// dst may alias a or b.
+func AddInto(dst *Canonical, a, b Canonical) {
+	if len(a.Sens) != len(b.Sens) {
 		panic("variation: add across different spaces")
 	}
-	out := Zero(len(c.Sens))
-	out.Mean = c.Mean + d.Mean
-	for i := range out.Sens {
-		out.Sens[i] = c.Sens[i] + d.Sens[i]
+	if len(dst.Sens) != len(a.Sens) {
+		panic("variation: AddInto destination has wrong dimension")
 	}
-	out.Rand = math.Hypot(c.Rand, d.Rand)
-	return out
+	dst.Mean = a.Mean + b.Mean
+	for i := range dst.Sens {
+		dst.Sens[i] = a.Sens[i] + b.Sens[i]
+	}
+	dst.Rand = math.Hypot(a.Rand, b.Rand)
 }
 
 // AddConst returns c + k.
@@ -135,6 +157,16 @@ func (c Canonical) Scale(k float64) Canonical {
 // Neg returns −c.
 func (c Canonical) Neg() Canonical { return c.Scale(-1) }
 
+// degenEps is the relative degeneracy threshold of the canonical max: the
+// pair is treated as perfectly correlated when Var(c−d) is below
+// degenEps·(Var(c)+Var(d)). θ² is computed as va+vb−2cov, which cancels
+// catastrophically for near-perfectly-correlated forms — the absolute
+// 1e-18 threshold this replaces let ps-scale forms through with a θ² that
+// was pure rounding noise, producing a garbage α = Δµ/θ. Cancellation
+// error is bounded by a few ulps of va+vb, so a relative test is the
+// scale-independent guard.
+const degenEps = 1e-12
+
 // Max returns a canonical approximation of max(c, d) using Clark's
 // moment-matching: the result's mean and variance match the exact first two
 // moments of the max of the bivariate normal pair, and the sensitivities are
@@ -142,59 +174,96 @@ func (c Canonical) Neg() Canonical { return c.Scale(-1) }
 // variance assigned to the independent term. This is the standard canonical
 // max of block-based SSTA [3].
 func (c Canonical) Max(d Canonical) Canonical {
-	if len(c.Sens) != len(d.Sens) {
+	out := Zero(len(c.Sens))
+	MaxInto(&out, c, d)
+	return out
+}
+
+// MaxInto sets *dst = max(a, b) (Clark) without allocating; bit-identical
+// to Max. dst may alias a or b.
+func MaxInto(dst *Canonical, a, b Canonical) {
+	clarkInto(dst, a, b, 1)
+}
+
+// Min returns the canonical min via −max(−c, −d).
+func (c Canonical) Min(d Canonical) Canonical {
+	out := Zero(len(c.Sens))
+	MinInto(&out, c, d)
+	return out
+}
+
+// MinInto sets *dst = min(a, b) without allocating; bit-identical to Min
+// (which is defined as −max(−a, −b)). dst may alias a or b.
+func MinInto(dst *Canonical, a, b Canonical) {
+	clarkInto(dst, a, b, -1)
+}
+
+// clarkInto is the shared Clark max/min kernel: with s = +1 it computes
+// max(a, b); with s = −1 it computes −max(−a, −b) = min(a, b), executing
+// exactly the floating-point operations the negate–max–negate composition
+// would (negation is exact, so reading inputs through s and unnegating the
+// outputs reproduces the historical Min bit-for-bit).
+func clarkInto(dst *Canonical, a, b Canonical, s float64) {
+	if len(a.Sens) != len(b.Sens) {
 		panic("variation: max across different spaces")
 	}
-	va, vb := c.Variance(), d.Variance()
-	cov := c.Covariance(d)
-	// θ² = Var(c−d) ≥ 0 up to rounding.
-	theta2 := va + vb - 2*cov
-	if theta2 <= 1e-18 {
-		// The difference is (numerically) deterministic: pick the larger mean.
-		if c.Mean >= d.Mean {
-			return c.Clone()
-		}
-		return d.Clone()
+	if len(dst.Sens) != len(a.Sens) {
+		panic("variation: destination has wrong dimension")
 	}
+	va, vb := a.Variance(), b.Variance()
+	cov := a.Covariance(b)
+	// θ² = Var(a−b) ≥ 0 up to rounding (negation-invariant).
+	theta2 := va + vb - 2*cov
+	if theta2 <= degenEps*(va+vb) {
+		// The difference is (numerically) deterministic: pick the form the
+		// max in s-space would pick.
+		if s*a.Mean >= s*b.Mean {
+			CopyInto(dst, a)
+		} else {
+			CopyInto(dst, b)
+		}
+		return
+	}
+	am, bm := s*a.Mean, s*b.Mean
 	theta := math.Sqrt(theta2)
-	alpha := (c.Mean - d.Mean) / theta
-	t := stat.NormalCDF(alpha) // P(c > d)
+	alpha := (am - bm) / theta
+	t := stat.NormalCDF(alpha) // P(s·a > s·b)
 	phi := normPDF(alpha)
-	// Exact first two moments of max (Clark 1961).
-	m1 := c.Mean*t + d.Mean*(1-t) + theta*phi
-	m2 := (va+c.Mean*c.Mean)*t + (vb+d.Mean*d.Mean)*(1-t) + (c.Mean+d.Mean)*theta*phi
+	// Exact first two moments of max (Clark 1961), in s-space.
+	m1 := am*t + bm*(1-t) + theta*phi
+	m2 := (va+am*am)*t + (vb+bm*bm)*(1-t) + (am+bm)*theta*phi
 	variance := m2 - m1*m1
 	if variance < 0 {
 		variance = 0
 	}
-	out := Zero(len(c.Sens))
-	out.Mean = m1
-	for i := range out.Sens {
-		out.Sens[i] = t*c.Sens[i] + (1-t)*d.Sens[i]
+	dst.Mean = s * m1
+	for i := range dst.Sens {
+		dst.Sens[i] = t*(s*a.Sens[i]) + (1-t)*(s*b.Sens[i])
 	}
-	// Residual variance to the independent source.
+	// Residual variance to the independent source (computed on the s-space
+	// blend; squares are negation-invariant).
 	explained := 0.0
-	for _, a := range out.Sens {
-		explained += a * a
+	for _, v := range dst.Sens {
+		explained += v * v
 	}
 	resid := variance - explained
 	if resid < 0 {
 		// Clamp and renormalize sensitivities so total variance matches.
 		if explained > 0 {
 			k := math.Sqrt(variance / explained)
-			for i := range out.Sens {
-				out.Sens[i] *= k
+			for i := range dst.Sens {
+				dst.Sens[i] *= k
 			}
 		}
 		resid = 0
 	}
-	out.Rand = math.Sqrt(resid)
-	return out
-}
-
-// Min returns the canonical min via −max(−c, −d).
-func (c Canonical) Min(d Canonical) Canonical {
-	return c.Neg().Max(d.Neg()).Neg()
+	dst.Rand = math.Sqrt(resid)
+	// Undo the s-space view of the blend (s = ±1, so s·x is exact).
+	if s < 0 {
+		for i := range dst.Sens {
+			dst.Sens[i] = -dst.Sens[i]
+		}
+	}
 }
 
 func normPDF(x float64) float64 {

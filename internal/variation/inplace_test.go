@@ -1,0 +1,145 @@
+package variation
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randForm draws a random canonical form over dim sources.
+func randForm(rng *rand.Rand, dim int, scale float64) Canonical {
+	c := Zero(dim)
+	c.Mean = scale * (0.5 + rng.Float64())
+	for i := range c.Sens {
+		c.Sens[i] = scale * 0.1 * (rng.Float64() - 0.5)
+	}
+	c.Rand = scale * 0.05 * rng.Float64()
+	return c
+}
+
+func identical(a, b Canonical) bool {
+	if a.Mean != b.Mean || a.Rand != b.Rand || len(a.Sens) != len(b.Sens) {
+		return false
+	}
+	for i := range a.Sens {
+		if a.Sens[i] != b.Sens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIntoOpsBitIdentical pins the In-to family to the allocating ops: the
+// SSTA arena propagation writes through AddInto/MaxInto/MinInto, so every
+// downstream number depends on them being the same floating-point program.
+func TestIntoOpsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	const dim = 5
+	for trial := 0; trial < 500; trial++ {
+		a := randForm(rng, dim, 100)
+		b := randForm(rng, dim, 100)
+		if trial%7 == 0 {
+			// Exercise the degenerate branch: b nearly equals a.
+			b = a.Clone()
+			b.Mean += 1e-9
+		}
+		dst := Zero(dim)
+		AddInto(&dst, a, b)
+		if !identical(dst, a.Add(b)) {
+			t.Fatalf("trial %d: AddInto != Add", trial)
+		}
+		MaxInto(&dst, a, b)
+		if !identical(dst, a.Max(b)) {
+			t.Fatalf("trial %d: MaxInto != Max", trial)
+		}
+		MinInto(&dst, a, b)
+		if !identical(dst, a.Min(b)) {
+			t.Fatalf("trial %d: MinInto != Min", trial)
+		}
+		// Aliasing: dst == a must behave like the non-aliased op.
+		wantMax := a.Max(b)
+		am := a.Clone()
+		MaxInto(&am, am, b)
+		if !identical(am, wantMax) {
+			t.Fatalf("trial %d: aliased MaxInto differs", trial)
+		}
+		wantMin := a.Min(b)
+		am = a.Clone()
+		MinInto(&am, am, b)
+		if !identical(am, wantMin) {
+			t.Fatalf("trial %d: aliased MinInto differs", trial)
+		}
+		wantAdd := a.Add(b)
+		am = a.Clone()
+		AddInto(&am, am, b)
+		if !identical(am, wantAdd) {
+			t.Fatalf("trial %d: aliased AddInto differs", trial)
+		}
+	}
+}
+
+// TestMaxNearPerfectCorrelation is the regression for the scale-dependent
+// degeneracy threshold: two ps-scale forms that are almost perfectly
+// correlated produce a θ² that is pure cancellation noise. The old absolute
+// test (θ² ≤ 1e-18) let such pairs through to a garbage α = Δµ/θ; the
+// relative test must classify them as degenerate and return the
+// larger-mean form, and the result must never leave the [max of means,
+// sum-bound] envelope Clark guarantees.
+func TestMaxNearPerfectCorrelation(t *testing.T) {
+	// ps-scale: means ~200ps, σ ~20ps, correlation 1 − O(1e-17).
+	a := form(200, []float64{20, 5, 2}, 0)
+	b := a.Clone()
+	// Perturb far below the cancellation noise floor of θ².
+	b.Sens[0] += 1e-13
+	b.Mean = 200.0000001
+	m := a.Max(b)
+	// Degenerate: the larger-mean form, exactly.
+	if !identical(m, b) {
+		t.Fatalf("near-perfectly-correlated max should return the larger form, got %+v", m)
+	}
+	// And symmetric order.
+	m = b.Max(a)
+	if !identical(m, b) {
+		t.Fatalf("order must not matter in the degenerate branch, got %+v", m)
+	}
+	// Moments must stay sane (the failure mode of the old threshold was a
+	// wildly wrong mean/variance from α = Δµ/θ with θ ≈ 1e-9·σ).
+	if m.Mean < 200 || m.Mean > 201 || math.Abs(m.Std()-a.Std()) > 1e-6 {
+		t.Fatalf("degenerate max moments off: mean=%v std=%v", m.Mean, m.Std())
+	}
+}
+
+// TestMinNearPerfectCorrelation covers the same regression through Min.
+func TestMinNearPerfectCorrelation(t *testing.T) {
+	a := form(200, []float64{20, 5, 2}, 0)
+	b := a.Clone()
+	b.Sens[0] += 1e-13
+	b.Mean = 200.0000001
+	m := a.Min(b)
+	if !identical(m, a) {
+		t.Fatalf("near-perfectly-correlated min should return the smaller form, got %+v", m)
+	}
+	m = b.Min(a)
+	if !identical(m, a) {
+		t.Fatalf("order must not matter in the degenerate branch, got %+v", m)
+	}
+	if math.Abs(m.Std()-a.Std()) > 1e-6 {
+		t.Fatalf("degenerate min moments off: std=%v", m.Std())
+	}
+}
+
+// TestMaxDegeneracyIsScaleInvariant: scaling both forms by a large factor
+// must not change which branch the max takes (the point of the relative
+// threshold).
+func TestMaxDegeneracyIsScaleInvariant(t *testing.T) {
+	a := form(1, []float64{0.1, 0.05}, 0)
+	b := a.Clone()
+	b.Mean = 1.0000001
+	for _, k := range []float64{1e-6, 1, 1e6} {
+		ak, bk := a.Scale(k), b.Scale(k)
+		m := ak.Max(bk)
+		if !identical(m, bk) {
+			t.Fatalf("scale %g: degenerate max should return larger form", k)
+		}
+	}
+}

@@ -144,7 +144,7 @@ if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
 
     echo "== bench smoke (substrates, 1 iteration) =="
     go test -run '^$' \
-        -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|ChipRealization|YieldSweep' \
+        -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|SSTAPrepareCold|SSTARepropagateCone|ChipRealization|YieldSweep' \
         -benchtime=1x .
     go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep' -benchtime=1x ./internal/serve
 fi
