@@ -617,6 +617,39 @@ func BenchmarkYieldPerPeriod(b *testing.B) {
 	b.ReportMetric(rep.Improvement(), "Yi_at_last_T_points")
 }
 
+// BenchmarkAdaptiveYield measures the sequential stopping rule at an easy
+// point (µT+3σ, where both yields are ≈ 1): chips arrive in escalating
+// stratified waves until the yield is known to ±0.005 at 95% confidence,
+// which an easy point reaches a few waves in — under a tenth of the
+// 40000-chip nominal budget. Compare chips_used (and time/op) against
+// BenchmarkYieldSweep's fixed 2000-chip pass; hard points degrade
+// gracefully toward the cap instead.
+func BenchmarkAdaptiveYield(b *testing.B) {
+	ev, bench, _ := yieldSweepSetup(b)
+	easy := bench.Period.Mu + 3*bench.Period.Sigma
+	b.ResetTimer()
+	var reps []yield.AdaptiveReport
+	for i := 0; i < b.N; i++ {
+		sw, err := yield.NewSweepEvaluator(ev, []float64{easy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps, err = yield.EvaluateManyAdaptive(mc.New(bench.Graph, 0x1F00D), 40000,
+			yield.Precision{Eps: 0.005, Conf: 0.95}, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reps[0].Met {
+			b.Fatal("easy point must meet ±0.005 before the cap")
+		}
+	}
+	rep := reps[0]
+	b.ReportMetric(float64(rep.SamplesUsed), "chips_used")
+	b.ReportMetric(float64(rep.Waves), "waves")
+	b.ReportMetric(rep.Tuned[0].Estimate*100, "Y_%")
+	b.ReportMetric(rep.Tuned[0].HalfWidth*100, "hw_points")
+}
+
 // sstaAnalyzer builds the s9234 circuit and a fresh analyzer for the SSTA
 // benchmarks.
 func sstaAnalyzer(b *testing.B) (*ckt.Circuit, *ssta.Analyzer) {

@@ -25,7 +25,9 @@
 // on any mismatch — the CI smoke test runs exactly this, and with
 // -expect-shards additionally requires the daemon's /metrics to show shard
 // ranges dispatched to workers (the distributed smoke probes a coordinator
-// this way).
+// this way). The probe also runs an adaptive (eps-bounded) yield query;
+// -expect-waves additionally requires /metrics to show it ran more than
+// one wave and stopped early (samples_used < samples_requested).
 package main
 
 import (
@@ -77,6 +79,7 @@ func main() {
 		workers     = flag.String("workers", "", "comma-separated shard-worker base URLs: coordinate /v1/insert and /v1/yield sample loops across them")
 		shards      = flag.Int("shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
 		expectShard = flag.Bool("expect-shards", false, "with -check: additionally require the daemon to have dispatched shard ranges to workers (proves the answers came through the distributed path)")
+		expectWaves = flag.Bool("expect-waves", false, "with -check: additionally require the daemon's /metrics to show a multi-wave adaptive evaluation that stopped under its sample cap")
 
 		rangeTimeout = flag.Duration("range-timeout", 0, "per-attempt deadline for one sharded range (0 = transport timeout only)")
 		retries      = flag.Int("retries", 0, "worker attempts per range before in-process fallback (0 = default 4)")
@@ -92,7 +95,7 @@ func main() {
 	flag.Parse()
 
 	if *check != "" {
-		if err := runCheck(*check, *expectShard); err != nil {
+		if err := runCheck(*check, *expectShard, *expectWaves); err != nil {
 			fatalf("check: %v", err)
 		}
 		fmt.Println("bufinsd check OK: service plans and yields byte-identical to the in-process flow")
@@ -209,7 +212,7 @@ func checkCircuit() (serve.CircuitSpec, expt.Options) {
 // expectShards, the daemon must additionally report shard ranges
 // dispatched to workers on /metrics — probing a coordinator proves the
 // byte-identical answers actually came through the distributed path.
-func runCheck(base string, expectShards bool) error {
+func runCheck(base string, expectShards, expectWaves bool) error {
 	if err := runCheckFlow(base); err != nil {
 		return err
 	}
@@ -221,7 +224,12 @@ func runCheck(base string, expectShards bool) error {
 	// logs should make a silent retry or a tripped breaker visible.
 	printRecoveryCounters(metricsText)
 	if expectShards {
-		return checkShardDispatch(metricsText)
+		if err := checkShardDispatch(metricsText); err != nil {
+			return err
+		}
+	}
+	if expectWaves {
+		return checkAdaptiveWaves(metricsText)
 	}
 	return nil
 }
@@ -241,33 +249,70 @@ func fetchMetrics(base string) (string, error) {
 }
 
 // printRecoveryCounters echoes the dispatch plane's retry/hedge/breaker
-// and chaos counters (anything under bufinsd_shard_* / bufinsd_chaos_*)
-// so smoke logs record which failure-handling paths fired.
+// counters, the chaos counters, and the adaptive-sampling counters
+// (anything under bufinsd_shard_* / bufinsd_chaos_* / bufinsd_adaptive_*)
+// so smoke logs record which failure-handling paths fired and how much
+// sampling the sequential evaluation actually bought.
 func printRecoveryCounters(metricsText string) {
 	for _, line := range strings.Split(metricsText, "\n") {
-		if strings.HasPrefix(line, "bufinsd_shard_") || strings.HasPrefix(line, "bufinsd_chaos_") {
+		if strings.HasPrefix(line, "bufinsd_shard_") || strings.HasPrefix(line, "bufinsd_chaos_") ||
+			strings.HasPrefix(line, "bufinsd_adaptive_") {
 			fmt.Printf("bufinsd check: %s\n", line)
 		}
 	}
 }
 
-// checkShardDispatch asserts the daemon's /metrics show at least one range
-// dispatched to a shard worker.
-func checkShardDispatch(metricsText string) error {
-	const metric = `bufinsd_shard_ranges_total{kind="dispatched"} `
+// metricValue extracts one counter from a /metrics exposition by its
+// name-plus-labels prefix (up to and including the separating space).
+func metricValue(metricsText, metric string) (int64, error) {
 	for _, line := range strings.Split(metricsText, "\n") {
 		if rest, ok := strings.CutPrefix(line, metric); ok {
 			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
 			if err != nil {
-				return fmt.Errorf("parsing %q: %v", line, err)
+				return 0, fmt.Errorf("parsing %q: %v", line, err)
 			}
-			if n <= 0 {
-				return fmt.Errorf("daemon dispatched no shard ranges (is it a coordinator with live workers?)")
-			}
-			return nil
+			return n, nil
 		}
 	}
-	return fmt.Errorf("daemon exports no shard metrics (started without -workers?)")
+	return 0, fmt.Errorf("daemon exports no %q metric", strings.TrimSpace(metric))
+}
+
+// checkShardDispatch asserts the daemon's /metrics show at least one range
+// dispatched to a shard worker.
+func checkShardDispatch(metricsText string) error {
+	n, err := metricValue(metricsText, `bufinsd_shard_ranges_total{kind="dispatched"} `)
+	if err != nil {
+		return fmt.Errorf("daemon exports no shard metrics (started without -workers?)")
+	}
+	if n <= 0 {
+		return fmt.Errorf("daemon dispatched no shard ranges (is it a coordinator with live workers?)")
+	}
+	return nil
+}
+
+// checkAdaptiveWaves asserts the daemon's /metrics prove the adaptive probe
+// ran a genuinely sequential evaluation: more than one wave, stopping early
+// with fewer samples than requested.
+func checkAdaptiveWaves(metricsText string) error {
+	waves, err := metricValue(metricsText, "bufinsd_adaptive_waves_total ")
+	if err != nil {
+		return err
+	}
+	if waves <= 1 {
+		return fmt.Errorf("adaptive evaluation ran %d wave(s), want > 1", waves)
+	}
+	requested, err := metricValue(metricsText, `bufinsd_adaptive_samples_total{kind="requested"} `)
+	if err != nil {
+		return err
+	}
+	used, err := metricValue(metricsText, `bufinsd_adaptive_samples_total{kind="used"} `)
+	if err != nil {
+		return err
+	}
+	if used >= requested {
+		return fmt.Errorf("adaptive evaluation used %d of %d requested samples — no early stop", used, requested)
+	}
+	return nil
 }
 
 func runCheckFlow(base string) error {
@@ -342,5 +387,44 @@ func runCheckFlow(base string) error {
 	if string(rj) != string(gj) {
 		return fmt.Errorf("yield report diverges:\n server: %s\n local:  %s", gj, rj)
 	}
+
+	// Adaptive probe: the same plan at an easy period (µ+3.5σ, both yields
+	// ≈ 1) evaluated sequentially must stop after more than one wave, well
+	// under the cap, and match the in-process wave loop byte for byte. The
+	// eps is chosen so the first wave's interval is just too wide: the probe
+	// always needs a second wave but an easy point never needs the cap.
+	const (
+		adaptiveCap  = 20000
+		adaptiveEps  = 0.015
+		adaptiveConf = 0.95
+	)
+	easy := b.Period.Mu + 3.5*b.Period.Sigma
+	aQueries := []serve.YieldQuery{{Plan: ins.Plan, Periods: []float64{easy}}}
+	ayld, err := cl.Yield(serve.YieldRequest{
+		Circuit: spec, Options: opt, EvalSamples: adaptiveCap, Seed: evalSeed,
+		Eps: adaptiveEps, Conf: adaptiveConf, Queries: aQueries,
+	})
+	if err != nil {
+		return err
+	}
+	if len(ayld.Results) != 1 || len(ayld.Results[0].Adaptive) != 1 {
+		return errors.New("unexpected adaptive yield result shape")
+	}
+	arep := ayld.Results[0].Adaptive[0]
+	lres, err := serve.EvaluateQueriesAdaptive(b.Graph, evalSeed, adaptiveCap, aQueries,
+		yield.Precision{Eps: adaptiveEps, Conf: adaptiveConf})
+	if err != nil {
+		return err
+	}
+	laj, _ := json.Marshal(lres[0].Adaptive[0])
+	saj, _ := json.Marshal(arep)
+	if string(laj) != string(saj) {
+		return fmt.Errorf("adaptive report diverges:\n server: %s\n local:  %s", saj, laj)
+	}
+	if !arep.Met || arep.Waves < 2 || arep.SamplesUsed >= adaptiveCap {
+		return fmt.Errorf("adaptive probe did not stop sequentially: %s", saj)
+	}
+	fmt.Printf("bufinsd check: adaptive probe ±%g used %d/%d chips in %d waves\n",
+		adaptiveEps, arep.SamplesUsed, adaptiveCap, arep.Waves)
 	return nil
 }

@@ -53,6 +53,8 @@ func main() {
 		evalN    = flag.Int("eval", 4000, "fresh chips per yield measurement")
 		seed     = flag.Uint64("seed", 0xF00D, "insertion seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table")
+		eps      = flag.Float64("eps", 0, "adaptive yield precision: stop sampling once every row's yield is known to ±eps (0 = exact -eval chips)")
+		conf     = flag.Float64("conf", 0, "adaptive confidence level (0 = 0.95; only with -eps)")
 		server   = flag.String("server", "", "bufinsd base URL: run the flow in the daemon instead of in-process")
 		workers  = flag.String("workers", "", "comma-separated shard-worker bufinsd URLs: shard the sample loops across them (coordinating from this process)")
 		shards   = flag.Int("shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
@@ -101,9 +103,9 @@ func main() {
 		var rows []expt.Row
 		var err error
 		if *server != "" {
-			rows, err = serverRows(*server, name, *samples, *evalN, *seed)
+			rows, err = serverRows(*server, name, *samples, *evalN, *seed, *eps, *conf)
 		} else {
-			rows, err = localRows(ctx, pool, *shards, name, *samples, *evalN, *seed)
+			rows, err = localRows(ctx, pool, *shards, name, *samples, *evalN, *seed, *eps, *conf)
 		}
 		if err != nil {
 			fatalf("%v", err)
@@ -114,6 +116,13 @@ func main() {
 				row.Yo, row.Y, row.Yi, fmt.Sprintf("%.2f", row.Runtime.Seconds()))
 			fmt.Fprintf(os.Stderr, "  %-10s Nb=%-3d Ab=%-6.2f Yi=%+6.2f  (%.1fs)\n",
 				row.Target, row.Nb, row.Ab, row.Yi, row.Runtime.Seconds())
+		}
+		if len(rows) > 0 && rows[0].Adaptive != nil {
+			// The three targets share one wave loop, so the counts are per
+			// circuit, read off any row.
+			rep := rows[0].Adaptive
+			fmt.Fprintf(os.Stderr, "  adaptive: ±%g @ %.0f%% used %d/%d chips in %d waves (met=%v)\n",
+				rep.Eps, rep.Conf*100, rep.SamplesUsed, *evalN, rep.Waves, rep.Met)
 		}
 	}
 	if *csv {
@@ -130,7 +139,7 @@ func main() {
 // the workers instead; rows are byte-identical either way (the reductions
 // are shared code over merged k-indexed partials), only the runtime
 // column reflects the distributed schedule.
-func localRows(ctx context.Context, pool *shard.Pool, shards int, name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
+func localRows(ctx context.Context, pool *shard.Pool, shards int, name string, samples, evalN int, seed uint64, eps, conf float64) ([]expt.Row, error) {
 	b, err := expt.PreparePreset(name, expt.Options{})
 	if err != nil {
 		return nil, err
@@ -141,6 +150,8 @@ func localRows(ctx context.Context, pool *shard.Pool, shards int, name string, s
 		InsertSamples: samples,
 		EvalSamples:   evalN,
 		Seed:          seed,
+		Eps:           eps,
+		Conf:          conf,
 	}
 	if pool != nil {
 		coord := serve.NewCoordinator(pool, shards,
@@ -152,6 +163,9 @@ func localRows(ctx context.Context, pool *shard.Pool, shards int, name string, s
 		rc.EvalPlans = func(plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error) {
 			return coord.EvalPlans(ctx, plans, n, seed)
 		}
+		rc.EvalPlansAdaptive = func(plans []insertion.Plan, n int, seed uint64, prec yield.Precision) ([]yield.AdaptiveReport, error) {
+			return coord.EvalPlansAdaptive(ctx, plans, n, seed, prec)
+		}
 	}
 	// One shared evaluation pass measures all three targets' yields: the
 	// fresh-chip population is realized once per circuit.
@@ -162,7 +176,7 @@ func localRows(ctx context.Context, pool *shard.Pool, shards int, name string, s
 // prepare, one insert per target, and a single batched yield request — the
 // daemon realizes the evaluation population once per circuit, exactly like
 // the in-process shared pass.
-func serverRows(base, name string, samples, evalN int, seed uint64) ([]expt.Row, error) {
+func serverRows(base, name string, samples, evalN int, seed uint64, eps, conf float64) ([]expt.Row, error) {
 	cl := serve.NewClient(base)
 	spec := serve.CircuitSpec{Preset: name}
 	opt := expt.Options{}
@@ -176,6 +190,7 @@ func serverRows(base, name string, samples, evalN int, seed uint64) ([]expt.Row,
 	yreq := serve.YieldRequest{
 		Circuit: spec, Options: opt,
 		EvalSamples: evalN, Seed: seed + 0x1000,
+		Eps: eps, Conf: conf,
 	}
 	for i, target := range expt.Targets {
 		k := float64(target)
@@ -203,6 +218,14 @@ func serverRows(base, name string, samples, evalN int, seed uint64) ([]expt.Row,
 		return nil, fmt.Errorf("yield %s: %w", name, err)
 	}
 	for i := range rows {
+		if eps > 0 {
+			rep := yld.Results[i].Adaptive[0]
+			rows[i].Yo = rep.Original[0].Estimate * 100
+			rows[i].Y = rep.Tuned[0].Estimate * 100
+			rows[i].Yi = rows[i].Y - rows[i].Yo
+			rows[i].Adaptive = &rep
+			continue
+		}
 		rep := yld.Results[i].Reports[0].At(0)
 		rows[i].Yo = rep.Original.Percent()
 		rows[i].Y = rep.Tuned.Percent()

@@ -14,10 +14,17 @@
 // deterministic code on the same seeds, so the output is byte-identical —
 // the warm bench cache just answers repeat circuits in milliseconds.
 //
+// With -eps the evaluation is sequential: chips arrive in escalating waves
+// until every reported yield is known to ±eps at the -conf confidence level
+// (valid under optional stopping), with -eval as the sample cap. All three
+// backends run the identical wave schedule, and -eps 0 is exactly the
+// fixed-n pass.
+//
 // Usage:
 //
 //	yieldeval -preset s13207 -samples 1000 -eval 4000
 //	yieldeval -preset s9234 -periods 10     # fine period sweep, one insertion
+//	yieldeval -preset s9234 -eps 0.005      # adaptive: stop at ±0.5 points
 //	yieldeval -preset s9234 -server http://127.0.0.1:8077
 package main
 
@@ -62,6 +69,12 @@ type options struct {
 	workers       string
 	shards        int
 
+	// Adaptive precision: eps > 0 evaluates sequentially (escalating waves,
+	// stopping once every reported yield is known to ±eps at confidence
+	// conf) with evalN as the cap. eps == 0 is the exact fixed-n pass.
+	eps  float64
+	conf float64
+
 	// Dispatch-plane tuning for -workers mode (zero values take the
 	// shard.Options defaults).
 	rangeTimeout time.Duration
@@ -88,6 +101,8 @@ func main() {
 	flag.IntVar(&o.evalN, "eval", 4000, "fresh chips per yield measurement")
 	flag.Uint64Var(&o.seed, "seed", 0xF00D, "insertion seed")
 	flag.IntVar(&o.periods, "periods", 0, "sweep this many periods across [µT, µT+2σ] with one insertion at µT+σ (0 = classic three-target table)")
+	flag.Float64Var(&o.eps, "eps", 0, "adaptive precision: stop sampling once every reported yield is known to ±eps (0 = exact -eval chips)")
+	flag.Float64Var(&o.conf, "conf", 0, "adaptive confidence level (0 = 0.95; only with -eps)")
 	flag.StringVar(&o.planFile, "plan", "", "evaluate a saved buffer plan (JSON from bufins -saveplan) instead of running the flow")
 	flag.StringVar(&o.server, "server", "", "bufinsd base URL: run prepare/insert/yield in the daemon instead of in-process")
 	flag.StringVar(&o.workers, "workers", "", "comma-separated shard-worker bufinsd URLs: shard the sample loops across them (coordinating from this process)")
@@ -114,10 +129,44 @@ type evalQuery struct {
 	strategies bool
 }
 
-// evalResult pairs strategy names with their sweep reports.
+// evalResult pairs strategy names with their sweep reports; adaptive runs
+// fill adaptive (parallel to names) instead of reports.
 type evalResult struct {
-	names   []string
-	reports []yield.SweepReport
+	names    []string
+	reports  []yield.SweepReport
+	adaptive []yield.AdaptiveReport
+}
+
+// origCell and tunedCell render one sweep point of one strategy as a table
+// cell: the exact percent for fixed-n runs, estimate±half-width (both in
+// percent) for adaptive ones.
+func (r evalResult) origCell(si, pi int) any {
+	if len(r.adaptive) > 0 {
+		p := r.adaptive[si].Original[pi]
+		return fmt.Sprintf("%.2f±%.2f", p.Estimate*100, p.HalfWidth*100)
+	}
+	return r.reports[si].Original[pi].Percent()
+}
+
+func (r evalResult) tunedCell(si, pi int) any {
+	if len(r.adaptive) > 0 {
+		p := r.adaptive[si].Tuned[pi]
+		return fmt.Sprintf("%.2f±%.2f", p.Estimate*100, p.HalfWidth*100)
+	}
+	return r.reports[si].Tuned[pi].Percent()
+}
+
+// adaptiveFooter summarizes the shared wave loop of an adaptive run (empty
+// for fixed-n runs). Every query of a batch shares the loop, so the counts
+// are read off the first adaptive report.
+func adaptiveFooter(results []evalResult, evalN int) string {
+	for _, r := range results {
+		for _, rep := range r.adaptive {
+			return fmt.Sprintf("adaptive: ±%g at %.0f%% confidence used %d/%d chips in %d waves (met=%v)",
+				rep.Eps, rep.Conf*100, rep.SamplesUsed, evalN, rep.Waves, rep.Met)
+		}
+	}
+	return ""
 }
 
 // backend abstracts where the heavy lifting happens: in this process or in
@@ -176,6 +225,17 @@ func runPlanMode(be backend, o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if len(res[0].adaptive) > 0 {
+		a := res[0].adaptive[0]
+		yo, y := a.Original[0], a.Tuned[0]
+		fmt.Fprintf(out, "plan %q (%d buffers) at T=%.1f ps:\n",
+			o.planFile, len(plan.Groups), plan.T)
+		fmt.Fprintf(out, "  Yo = %6.2f ± %.2f %%\n  Y  = %6.2f ± %.2f %%\n  Yi = %+6.2f points\n",
+			yo.Estimate*100, yo.HalfWidth*100, y.Estimate*100, y.HalfWidth*100,
+			(y.Estimate-yo.Estimate)*100)
+		fmt.Fprintln(out, adaptiveFooter(res, o.evalN))
+		return nil
+	}
 	rep := res[0].reports[0].At(0)
 	fmt.Fprintf(out, "plan %q (%d buffers) at T=%.1f ps over %d chips:\n",
 		o.planFile, len(plan.Groups), plan.T, o.evalN)
@@ -213,13 +273,16 @@ func runClassicMode(be backend, o options, out io.Writer) error {
 	tb.SetTitle("Yield vs strategy (equal buffer budget for topk/randk):")
 	for i, row := range rows {
 		cells := []any{fmt.Sprintf("%.1f (µ+%0.0fσ)", row.T, row.k),
-			results[i].reports[0].Original[0].Percent(), row.nb}
-		for _, rep := range results[i].reports {
-			cells = append(cells, rep.Tuned[0].Percent())
+			results[i].origCell(0, 0), row.nb}
+		for si := range results[i].names {
+			cells = append(cells, results[i].tunedCell(si, 0))
 		}
 		tb.AddRowf(cells...)
 	}
 	fmt.Fprintln(out, tb)
+	if f := adaptiveFooter(results, o.evalN); f != "" {
+		fmt.Fprintln(out, f)
+	}
 	return nil
 }
 
@@ -252,13 +315,16 @@ func runSweepMode(be backend, o options, out io.Writer) error {
 	tb.SetTitle(fmt.Sprintf("Yield sweep, %d periods, insertion at µT+σ (Nb=%d), %d chips realized once:",
 		o.periods, len(plan.Groups), o.evalN))
 	for i := range Ts {
-		cells := []any{fmt.Sprintf("%.1f", Ts[i]), res.reports[0].Original[i].Percent()}
-		for _, rep := range res.reports {
-			cells = append(cells, rep.Tuned[i].Percent())
+		cells := []any{fmt.Sprintf("%.1f", Ts[i]), res.origCell(0, i)}
+		for si := range res.names {
+			cells = append(cells, res.tunedCell(si, i))
 		}
 		tb.AddRowf(cells...)
 	}
 	fmt.Fprintln(out, tb)
+	if f := adaptiveFooter(results, o.evalN); f != "" {
+		fmt.Fprintln(out, f)
+	}
 	return nil
 }
 
@@ -284,7 +350,8 @@ type localBackend struct {
 	// coord shards the sample loops over worker daemons (-workers mode);
 	// nil runs everything in this process. Either way the reductions are
 	// shared code, so the output is byte-identical.
-	coord *serve.Coordinator
+	coord     *serve.Coordinator
+	eps, conf float64
 }
 
 func newLocalBackend(o options) (backend, error) {
@@ -305,7 +372,7 @@ func newLocalBackend(o options) (backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &localBackend{ctx: o.ctx, sys: sys}
+	b := &localBackend{ctx: o.ctx, sys: sys, eps: o.eps, conf: o.conf}
 	if b.ctx == nil {
 		b.ctx = context.Background()
 	}
@@ -348,9 +415,14 @@ func (b *localBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([]
 		results []serve.YieldResult
 		err     error
 	)
-	if b.coord != nil {
+	switch {
+	case b.eps > 0 && b.coord != nil:
+		results, err = b.coord.EvaluateQueriesAdaptive(b.ctx, evalN, seed, toServeQueries(queries), yield.Precision{Eps: b.eps, Conf: b.conf})
+	case b.eps > 0:
+		results, err = serve.EvaluateQueriesAdaptive(b.sys.Graph(), seed, evalN, toServeQueries(queries), yield.Precision{Eps: b.eps, Conf: b.conf})
+	case b.coord != nil:
 		results, err = b.coord.EvaluateQueries(b.ctx, evalN, seed, toServeQueries(queries))
-	} else {
+	default:
 		g := b.sys.Graph()
 		results, err = serve.EvaluateQueries(g, mc.New(g, seed), evalN, toServeQueries(queries))
 	}
@@ -359,7 +431,7 @@ func (b *localBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([]
 	}
 	out := make([]evalResult, len(results))
 	for i, r := range results {
-		out[i] = evalResult{names: r.Names, reports: r.Reports}
+		out[i] = evalResult{names: r.Names, reports: r.Reports, adaptive: r.Adaptive}
 	}
 	return out, nil
 }
@@ -382,10 +454,11 @@ func toServeQueries(queries []evalQuery) []serve.YieldQuery {
 // ---------------- server backend ----------------
 
 type serverBackend struct {
-	cl   *serve.Client
-	spec serve.CircuitSpec
-	opt  expt.Options
-	prep *serve.PrepareResponse
+	cl        *serve.Client
+	spec      serve.CircuitSpec
+	opt       expt.Options
+	prep      *serve.PrepareResponse
+	eps, conf float64
 }
 
 func newServerBackend(o options) (backend, error) {
@@ -396,7 +469,7 @@ func newServerBackend(o options) (backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &serverBackend{cl: serve.NewClient(o.server), spec: spec, opt: expt.Options{}}
+	b := &serverBackend{cl: serve.NewClient(o.server), spec: spec, opt: expt.Options{}, eps: o.eps, conf: o.conf}
 	prep, err := b.cl.Prepare(serve.PrepareRequest{Circuit: spec, Options: b.opt})
 	if err != nil {
 		return nil, err
@@ -428,6 +501,7 @@ func (b *serverBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([
 	req := serve.YieldRequest{
 		Circuit: b.spec, Options: b.opt,
 		EvalSamples: evalN, Seed: seed,
+		Eps: b.eps, Conf: b.conf,
 	}
 	for _, q := range queries {
 		req.Queries = append(req.Queries, serve.YieldQuery{
@@ -443,7 +517,7 @@ func (b *serverBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([
 	}
 	out := make([]evalResult, len(resp.Results))
 	for i, r := range resp.Results {
-		out[i] = evalResult{names: r.Names, reports: r.Reports}
+		out[i] = evalResult{names: r.Names, reports: r.Reports, adaptive: r.Adaptive}
 	}
 	return out, nil
 }

@@ -171,3 +171,43 @@ func TestWorkersModeSweepByteIdentical(t *testing.T) {
 	workers := []string{startDaemon(t), startDaemon(t)}
 	requireIdenticalSharded(t, options{bench: bench, samples: 120, evalN: 300, seed: 5, periods: 4}, workers, 7)
 }
+
+// TestAdaptiveEpsZeroMatchesFixed: -eps 0 is the exact fixed-n path — its
+// stdout is byte-identical to a run without the flag, on every backend.
+func TestAdaptiveEpsZeroMatchesFixed(t *testing.T) {
+	bench := writeTinyBench(t)
+	fixed := options{bench: bench, samples: 120, evalN: 300, seed: 5}
+	var want bytes.Buffer
+	if err := run(fixed, &want); err != nil {
+		t.Fatal(err)
+	}
+	zero := fixed
+	zero.eps, zero.conf = 0, 0
+	var got bytes.Buffer
+	if err := run(zero, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("-eps 0 output differs from fixed-n output:\n--- eps 0 ---\n%s--- fixed ---\n%s",
+			got.String(), want.String())
+	}
+	requireIdentical(t, zero, startDaemon(t))
+	requireIdenticalSharded(t, zero, []string{startDaemon(t), startDaemon(t)}, 7)
+}
+
+// TestAdaptiveByteIdenticalAcrossBackends: the adaptive wave schedule is a
+// pure function of the merged tallies, so in-process, -server, and -workers
+// runs print the identical table, samples-used footer included.
+func TestAdaptiveByteIdenticalAcrossBackends(t *testing.T) {
+	bench := writeTinyBench(t)
+	o := options{bench: bench, samples: 120, evalN: 2000, seed: 5, eps: 0.05, conf: 0.9}
+	var local bytes.Buffer
+	if err := run(o, &local); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(local.String(), "adaptive:") || !strings.Contains(local.String(), "waves") {
+		t.Fatalf("adaptive run missing the samples-used footer:\n%s", local.String())
+	}
+	requireIdentical(t, o, startDaemon(t))
+	requireIdenticalSharded(t, o, []string{startDaemon(t), startDaemon(t)}, 7)
+}

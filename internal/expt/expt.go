@@ -316,6 +316,15 @@ type RowConfig struct {
 	MaxBuffers int
 	// Workers bounds parallelism (0 = all cores).
 	Workers int
+	// Eps, when > 0, switches the shared yield pass to adaptive sequential
+	// evaluation: chips arrive in escalating waves until every row's yield
+	// is known to ±Eps at confidence Conf (default 0.95), with EvalSamples
+	// as the cap instead of the exact count. Rows then carry the adaptive
+	// report and their Yo/Y columns are the sequential estimates.
+	Eps float64
+	// Conf is the adaptive confidence level (0 = 0.95); ignored unless Eps
+	// is set.
+	Conf float64
 
 	// Pass, when non-nil, supplies the distributed executor for each
 	// insertion run's Monte Carlo passes (serve.Coordinator.InsertPass is
@@ -329,6 +338,12 @@ type RowConfig struct {
 	// Plans carry the same spec, groups, and target the in-process
 	// evaluators are built from, so reports are byte-identical.
 	EvalPlans func(plans []insertion.Plan, n int, seed uint64) ([]yield.Report, error)
+	// EvalPlansAdaptive is the distributed executor for the adaptive pass
+	// (serve.Coordinator.EvalPlansAdaptive); it is consulted instead of
+	// EvalPlans when Eps > 0. Like every other hook it must match the
+	// in-process result exactly — the wave schedule is a pure function of
+	// the merged tallies, so sharding cannot change it.
+	EvalPlansAdaptive func(plans []insertion.Plan, n int, seed uint64, prec yield.Precision) ([]yield.AdaptiveReport, error)
 }
 
 func (rc *RowConfig) fill() {
@@ -357,6 +372,10 @@ type Row struct {
 	Runtime  time.Duration
 	Insert   *insertion.Result
 	YieldRep yield.Report
+	// Adaptive is the sequential-evaluation report when the row was measured
+	// under RowConfig.Eps (YieldRep is then zero: there is no exact-count
+	// report to fill).
+	Adaptive *yield.AdaptiveReport
 }
 
 // RunRow executes the full flow + yield measurement for one target.
@@ -376,6 +395,12 @@ func RunRow(b *Bench, target Target, rc RowConfig) (Row, error) {
 // repeated realization cost is gone.
 func RunRows(b *Bench, targets []Target, rc RowConfig) ([]Row, error) {
 	rc.fill()
+	// remote marks the evaluation pass that will actually answer this run:
+	// the adaptive hook only applies under Eps, the exact hook only without.
+	remote := rc.EvalPlans != nil
+	if rc.Eps > 0 {
+		remote = rc.EvalPlansAdaptive != nil
+	}
 	rows := make([]Row, len(targets))
 	sweeps := make([]*yield.SweepEvaluator, len(targets))
 	for i, target := range targets {
@@ -398,7 +423,7 @@ func RunRows(b *Bench, targets []Target, rc RowConfig) ([]Row, error) {
 			return nil, fmt.Errorf("expt: insertion on %s@%v: %w", b.Name, target, err)
 		}
 		elapsed := time.Since(start)
-		if rc.EvalPlans == nil {
+		if !remote {
 			ev, err := yield.NewEvaluator(b.Graph, res.Cfg.Spec, res.Groups)
 			if err != nil {
 				return nil, err
@@ -418,6 +443,34 @@ func RunRows(b *Bench, targets []Target, rc RowConfig) ([]Row, error) {
 			Runtime: elapsed,
 			Insert:  res,
 		}
+	}
+	if rc.Eps > 0 {
+		prec := yield.Precision{Eps: rc.Eps, Conf: rc.Conf}
+		var (
+			reps []yield.AdaptiveReport
+			err  error
+		)
+		if remote {
+			plans := make([]insertion.Plan, len(rows))
+			for i := range rows {
+				plans[i] = rows[i].Insert.Plan(b.Name)
+			}
+			reps, err = rc.EvalPlansAdaptive(plans, rc.EvalSamples, rc.Seed+0x1000, prec)
+		} else {
+			eng := mc.New(b.Graph, rc.Seed+0x1000)
+			eng.Workers = rc.Workers
+			reps, err = yield.EvaluateManyAdaptive(eng, rc.EvalSamples, prec, sweeps...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("expt: adaptive yield evaluation on %s: %w", b.Name, err)
+		}
+		for i := range rows {
+			rows[i].Yo = reps[i].Original[0].Estimate * 100
+			rows[i].Y = reps[i].Tuned[0].Estimate * 100
+			rows[i].Yi = rows[i].Y - rows[i].Yo
+			rows[i].Adaptive = &reps[i]
+		}
+		return rows, nil
 	}
 	var reports []yield.Report
 	if rc.EvalPlans != nil {

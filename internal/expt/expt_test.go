@@ -1,10 +1,15 @@
 package expt
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/ckt"
 	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/mc"
+	"repro/internal/yield"
 )
 
 func smallBench(t *testing.T) *Bench {
@@ -222,6 +227,81 @@ func TestRunRowsSharedEvalMatchesRunRow(t *testing.T) {
 	for i := 1; i < len(rows); i++ {
 		if rows[i].Yo < rows[i-1].Yo {
 			t.Fatalf("Yo not monotone across targets: %v", rows)
+		}
+	}
+}
+
+// TestRunRowsAdaptive: Eps switches the shared yield pass to sequential
+// evaluation — rows carry the adaptive report instead of the exact one, the
+// estimates agree with a fixed-n run to within the reported interval, and
+// remote runs consult the adaptive hook (never the exact EvalPlans hook).
+func TestRunRowsAdaptive(t *testing.T) {
+	b := smallBench(t)
+	rc := RowConfig{InsertSamples: 150, EvalSamples: 2000, Seed: 3}
+	exact, err := RunRows(b, Targets, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Eps, rc.Conf = 0.05, 0.9
+	rows, err := RunRows(b, Targets, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		rep := rows[i].Adaptive
+		if rep == nil {
+			t.Fatalf("row %d: no adaptive report", i)
+		}
+		if rows[i].YieldRep != (yield.Report{}) {
+			t.Fatalf("row %d: exact report filled on an adaptive run", i)
+		}
+		if rep.SamplesUsed > rc.EvalSamples || rep.Waves < 1 {
+			t.Fatalf("row %d: implausible wave loop %+v", i, rep)
+		}
+		// The exact run shares the chip universe, so the sequential estimate
+		// must sit within its interval of the exact rate plus that rate's own
+		// Monte Carlo slack.
+		diff := rows[i].Yo - exact[i].Yo
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > rep.Original[0].HalfWidth*100+5 {
+			t.Fatalf("row %d: adaptive Yo %.2f far from exact %.2f (±%.2f)",
+				i, rows[i].Yo, exact[i].Yo, rep.Original[0].HalfWidth*100)
+		}
+		if got, want := rows[i].Yi, rows[i].Y-rows[i].Yo; got != want {
+			t.Fatalf("row %d: Yi arithmetic: %v != %v", i, got, want)
+		}
+	}
+
+	// Hook dispatch: under Eps only the adaptive executor runs, and it
+	// reproduces the in-process wave loop exactly (same tallies, same
+	// schedule).
+	rc.EvalPlans = func([]insertion.Plan, int, uint64) ([]yield.Report, error) {
+		t.Error("exact EvalPlans hook consulted under Eps")
+		return nil, fmt.Errorf("wrong hook")
+	}
+	rc.EvalPlansAdaptive = func(plans []insertion.Plan, n int, seed uint64, prec yield.Precision) ([]yield.AdaptiveReport, error) {
+		sweeps := make([]*yield.SweepEvaluator, len(plans))
+		for i, p := range plans {
+			ev, err := yield.NewEvaluator(b.Graph, p.Spec, p.Groups)
+			if err != nil {
+				return nil, err
+			}
+			if sweeps[i], err = yield.NewSweepEvaluator(ev, []float64{p.T}); err != nil {
+				return nil, err
+			}
+		}
+		return yield.EvaluateManyAdaptive(mc.New(b.Graph, seed), n, prec, sweeps...)
+	}
+	hooked, err := RunRows(b, Targets, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hooked {
+		if !reflect.DeepEqual(hooked[i].Adaptive, rows[i].Adaptive) {
+			t.Fatalf("row %d: hook adaptive report diverges:\n got %+v\nwant %+v",
+				i, hooked[i].Adaptive, rows[i].Adaptive)
 		}
 	}
 }

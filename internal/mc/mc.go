@@ -43,6 +43,21 @@ type Engine struct {
 	// use it to assert how many times a pass materializes chips (batched
 	// evaluation must realize each chip exactly once per pass).
 	OnRealize func(k int)
+	// Stratify, when > 1, stratifies the first global variation component
+	// (the die-level source every pair delay loads on) over this many
+	// equal-probability bands: chip k's base stream index b (b = k, or k/2
+	// under Antithetic) draws gvec[0] from the normal quantile band
+	// [(b mod L)/L, (b mod L+1)/L) instead of the full distribution —
+	// systematic (cycling) stratification, so any contiguous sample range
+	// whose length is a multiple of the stratification cycle covers every
+	// band exactly evenly. Chip k stays deterministic in (Seed, k,
+	// Antithetic, Stratify) alone, independent of worker scheduling or
+	// range tiling, which is what lets the adaptive wave sampler merge
+	// stratified waves from different processes. A stratified universe is
+	// a different universe from the unstratified one at the same seed:
+	// only the adaptive (eps > 0) evaluation paths set this, so every
+	// fixed-n result stays byte-identical.
+	Stratify int
 }
 
 // Source streams a deterministic chip universe to one or more consumers.
@@ -92,10 +107,61 @@ type negSource struct{ r *rand.Rand }
 
 func (n negSource) NormFloat64() float64 { return -n.r.NormFloat64() }
 
+// stratumOf returns chip k's stratum index under Stratify (antithetic
+// pairs share the base stream, hence the stratum; the odd chip's mirrored
+// deviates land in the symmetric band, as with every other draw).
+func (e *Engine) stratumOf(k int) int {
+	base := k
+	if e.Antithetic {
+		base = k / 2
+	}
+	return base % e.Stratify
+}
+
+// stratumNormal maps a uniform draw within stratum s of L onto the normal
+// quantile band [s/L, (s+1)/L).
+func stratumNormal(s, L int, u float64) float64 {
+	p := (float64(s) + u) / float64(L)
+	// u ∈ [0,1): p can reach exactly 0 (never 1); keep the quantile finite.
+	if p <= 0 {
+		p = 1e-15
+	}
+	return stat.NormalQuantile(p)
+}
+
+// realizeStratified samples chip k with the stratified global draw:
+// gvec[0] comes from the chip's stratum band (negated under an antithetic
+// flip, consistent with every other deviate of the mirrored stream), the
+// rest of the global vector and all local deviates stream from ns as
+// usual. rng must be the chip's raw (unflipped) stream — the uniform
+// stratum position is shared by an antithetic pair. gv is caller scratch
+// of length G.Dim().
+func (e *Engine) realizeStratified(k int, rng *rand.Rand, ns timing.NormSource, flip bool, gv []float64, ch *timing.Chip) {
+	z := stratumNormal(e.stratumOf(k), e.Stratify, rng.Float64())
+	if flip {
+		z = -z
+	}
+	gv[0] = z
+	for i := 1; i < len(gv); i++ {
+		gv[i] = ns.NormFloat64()
+	}
+	e.G.RealizeWithGlobals(ns, gv, ch)
+}
+
 // Chip materializes sample k (deterministic; mostly for tests and
 // debugging — bulk work should use ForEach).
 func (e *Engine) Chip(k int) *timing.Chip {
 	ch := e.G.NewChip()
+	if e.Stratify > 1 && e.G.Dim() > 0 {
+		s1, s2, flip := e.streamParams(k)
+		rng := rand.New(rand.NewPCG(s1, s2))
+		var ns timing.NormSource = rng
+		if flip {
+			ns = negSource{rng}
+		}
+		e.realizeStratified(k, rng, ns, flip, make([]float64, e.G.Dim()), ch)
+		return ch
+	}
 	e.G.RealizeInto(e.rngFor(k), ch)
 	return ch
 }
@@ -137,11 +203,16 @@ func (e *Engine) ForEachRangeBatch(lo, hi int, fns ...func(k int, ch *timing.Chi
 	if len(fns) == 0 {
 		return
 	}
+	stratified := e.Stratify > 1 && e.G.Dim() > 0
 	forEachChunked(lo, hi, e.Workers, func() func(k int) {
 		ch := e.G.NewChip()
 		src := rand.NewPCG(0, 0)
 		rng := rand.New(src)
 		neg := negSource{rng}
+		var gv []float64
+		if stratified {
+			gv = make([]float64, e.G.Dim())
+		}
 		return func(k int) {
 			s1, s2, flip := e.streamParams(k)
 			src.Seed(s1, s2)
@@ -149,7 +220,11 @@ func (e *Engine) ForEachRangeBatch(lo, hi int, fns ...func(k int, ch *timing.Chi
 			if flip {
 				ns = neg
 			}
-			e.G.RealizeInto(ns, ch)
+			if stratified {
+				e.realizeStratified(k, rng, ns, flip, gv, ch)
+			} else {
+				e.G.RealizeInto(ns, ch)
+			}
 			if e.OnRealize != nil {
 				e.OnRealize(k)
 			}

@@ -436,3 +436,66 @@ func TestRangeBatchEmptyAndAntithetic(t *testing.T) {
 		}
 	})
 }
+
+// TestStratifiedDeterministicAcrossTiling: under stratification chip k must
+// stay a pure function of (Seed, k, Antithetic, Stratify) — identical from
+// the direct API, the full pass, and any range tiling at any worker count.
+// This is what lets the adaptive sampler merge stratified waves computed by
+// different processes.
+func TestStratifiedDeterministicAcrossTiling(t *testing.T) {
+	for _, anti := range []bool{false, true} {
+		e := buildEngine(t, 12, 50, 5)
+		e.Antithetic = anti
+		e.Stratify = 8
+		const n = 96
+		direct := make([][]float64, n)
+		for k := 0; k < n; k++ {
+			direct[k] = append([]float64(nil), e.Chip(k).DMax...)
+		}
+		for _, workers := range []int{1, 4} {
+			e.Workers = workers
+			for _, r := range [][2]int{{0, n}, {0, 31}, {31, 32}, {32, n}} {
+				e.ForEachRangeBatch(r[0], r[1], func(k int, ch *timing.Chip) {
+					for p := range direct[k] {
+						if ch.DMax[p] != direct[k][p] {
+							t.Errorf("anti=%v workers=%d range %v: chip %d differs at pair %d",
+								anti, workers, r, k, p)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStratifiedUniverseDiffers: Stratify > 1 redraws the first global
+// component, so the universe must differ from the plain one at the same
+// seed — and Stratify ≤ 1 must leave it untouched.
+func TestStratifiedUniverseDiffers(t *testing.T) {
+	plain := buildEngine(t, 12, 50, 6)
+	strat := buildEngine(t, 12, 50, 6)
+	strat.Stratify = 8
+	same := buildEngine(t, 12, 50, 6)
+	same.Stratify = 1
+	differs := false
+	for k := 0; k < 8 && !differs; k++ {
+		a, b := plain.Chip(k), strat.Chip(k)
+		for p := range a.DMax {
+			if a.DMax[p] != b.DMax[p] {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("stratified universe identical to plain universe")
+	}
+	for k := 0; k < 4; k++ {
+		a, b := plain.Chip(k), same.Chip(k)
+		for p := range a.DMax {
+			if a.DMax[p] != b.DMax[p] {
+				t.Fatalf("Stratify=1 changed chip %d at pair %d", k, p)
+			}
+		}
+	}
+}

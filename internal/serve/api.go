@@ -184,13 +184,24 @@ type YieldRequest struct {
 	// for the paper's out-of-sample convention).
 	Seed    uint64       `json:"seed"`
 	Queries []YieldQuery `json:"queries"`
+	// Eps switches the request to adaptive (sequential) evaluation: samples
+	// arrive in escalating waves until every queried threshold's yield is
+	// known to ±Eps at confidence Conf (default 0.95), capped at
+	// EvalSamples. Results then carry Adaptive reports (estimate,
+	// half_width, samples_used) instead of exact-count Reports. Unset (or
+	// 0), the fixed-n path runs and responses stay byte-identical to
+	// servers without adaptive support.
+	Eps  float64 `json:"eps,omitempty"`
+	Conf float64 `json:"conf,omitempty"`
 }
 
 // YieldResult is one query's answer: parallel Names/Reports slices (a
-// single-element pair unless Strategies was set).
+// single-element pair unless Strategies was set). Adaptive requests fill
+// Adaptive (parallel to Names) instead of Reports.
 type YieldResult struct {
-	Names   []string            `json:"names"`
-	Reports []yield.SweepReport `json:"reports"`
+	Names    []string               `json:"names"`
+	Reports  []yield.SweepReport    `json:"reports,omitempty"`
+	Adaptive []yield.AdaptiveReport `json:"adaptive,omitempty"`
 }
 
 // YieldResponse carries the per-query results in request order.
@@ -248,6 +259,12 @@ type YieldPassRequest struct {
 	Seed        uint64       `json:"seed"`
 	Queries     []YieldQuery `json:"queries"`
 	Range       shard.Range  `json:"range"`
+	// ZeroOnly asks for a zero-only tally (step-1 search, no rescue solver;
+	// FirstTuned omitted) — the cheap wave kind of adaptive dispatch.
+	ZeroOnly bool `json:"zero_only,omitempty"`
+	// Strata stratifies the worker's sample universe (mc.Engine.Stratify);
+	// 0 means the plain universe, as every fixed-n pass uses.
+	Strata int `json:"strata,omitempty"`
 }
 
 // YieldPassResponse carries the per-sweep partial tallies in the flattened

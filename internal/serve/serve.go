@@ -124,6 +124,15 @@ type metrics struct {
 	popHit    atomic.Int64
 	popMiss   atomic.Int64
 	whatIf    atomic.Int64
+
+	// Adaptive (eps > 0) yield accounting: nominal vs actually realized
+	// samples, dispatch waves, and how each adaptive request ended (the
+	// early-stop ratio is adEarlyStop / (adEarlyStop + adCap)).
+	adSamplesReq  atomic.Int64
+	adSamplesUsed atomic.Int64
+	adWaves       atomic.Int64
+	adEarlyStop   atomic.Int64
+	adCap         atomic.Int64
 }
 
 type endpoint int
@@ -519,11 +528,26 @@ func (s *Server) handleYield(r *http.Request) (any, error) {
 	}
 	start := time.Now()
 	var results []YieldResult
-	if s.pool != nil {
+	switch {
+	case req.Eps > 0:
+		// Adaptive: escalating waves until every threshold reaches ±eps at
+		// conf. The stratified wave universe differs from the fixed-n one,
+		// so this path never touches the population cache; the wave
+		// schedule is identical sharded and in-process.
+		prec := yield.Precision{Eps: req.Eps, Conf: req.Conf}
+		if s.pool != nil {
+			results, err = s.coordinator(req.Circuit, req.Options, e).EvaluateQueriesAdaptive(r.Context(), req.EvalSamples, req.Seed, req.Queries, prec)
+		} else {
+			results, err = EvaluateQueriesAdaptive(e.sys.Graph(), req.Seed, req.EvalSamples, req.Queries, prec)
+		}
+		if err == nil {
+			s.recordAdaptive(req.EvalSamples, results)
+		}
+	case s.pool != nil:
 		// Sharded: tile the chip range across the worker pool and merge the
 		// per-sweep tallies (byte-identical to the in-process pass).
 		results, err = s.coordinator(req.Circuit, req.Options, e).EvaluateQueries(r.Context(), req.EvalSamples, req.Seed, req.Queries)
-	} else {
+	default:
 		src := s.chipSource(e, req.Seed, req.EvalSamples)
 		results, err = EvaluateQueries(e.sys.Graph(), src, req.EvalSamples, req.Queries)
 	}
@@ -612,6 +636,57 @@ func foldReports(results []YieldResult, reports []yield.SweepReport) []YieldResu
 	return results
 }
 
+// EvaluateQueriesAdaptive is the adaptive counterpart of EvaluateQueries:
+// the whole batch shares one wave loop (every sweep sees every wave), so
+// the rule stops only when every threshold of every query is within eps.
+// It streams from a fresh engine — the stratified adaptive universe is
+// distinct from the cached fixed-n populations.
+func EvaluateQueriesAdaptive(g *timing.Graph, seed uint64, n int, queries []YieldQuery, prec yield.Precision) ([]YieldResult, error) {
+	results, sweeps, err := expandQueries(g, queries)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := yield.EvaluateManyAdaptive(mc.New(g, seed), n, prec, sweeps...)
+	if err != nil {
+		return nil, err
+	}
+	return foldAdaptive(results, reports), nil
+}
+
+// foldAdaptive distributes the flat adaptive reports back onto the
+// per-query results in expansion order.
+func foldAdaptive(results []YieldResult, reports []yield.AdaptiveReport) []YieldResult {
+	i := 0
+	for qi := range results {
+		for range results[qi].Names {
+			results[qi].Adaptive = append(results[qi].Adaptive, reports[i])
+			i++
+		}
+	}
+	return results
+}
+
+// recordAdaptive accounts one adaptive yield request. The batch shares a
+// single wave loop, so sample/wave counts are per request, read off the
+// first report.
+func (s *Server) recordAdaptive(requested int, results []YieldResult) {
+	for _, res := range results {
+		if len(res.Adaptive) == 0 {
+			continue
+		}
+		rep := res.Adaptive[0]
+		s.m.adSamplesReq.Add(int64(requested))
+		s.m.adSamplesUsed.Add(int64(rep.SamplesUsed))
+		s.m.adWaves.Add(int64(rep.Waves))
+		if rep.Met {
+			s.m.adEarlyStop.Add(1)
+		} else {
+			s.m.adCap.Add(1)
+		}
+		return
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.m.requests[epHealthz].Add(1)
 	s.mu.Lock()
@@ -647,6 +722,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"plan\"} %d\n", s.m.planHit.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_hits_total{cache=\"population\"} %d\n", s.m.popHit.Load())
 	fmt.Fprintf(&b, "# TYPE bufinsd_whatif_total counter\nbufinsd_whatif_total %d\n", s.m.whatIf.Load())
+	fmt.Fprintf(&b, "# TYPE bufinsd_adaptive_samples_total counter\n")
+	fmt.Fprintf(&b, "bufinsd_adaptive_samples_total{kind=\"requested\"} %d\n", s.m.adSamplesReq.Load())
+	fmt.Fprintf(&b, "bufinsd_adaptive_samples_total{kind=\"used\"} %d\n", s.m.adSamplesUsed.Load())
+	fmt.Fprintf(&b, "# TYPE bufinsd_adaptive_waves_total counter\nbufinsd_adaptive_waves_total %d\n", s.m.adWaves.Load())
+	fmt.Fprintf(&b, "# TYPE bufinsd_adaptive_queries_total counter\n")
+	fmt.Fprintf(&b, "bufinsd_adaptive_queries_total{result=\"early_stop\"} %d\n", s.m.adEarlyStop.Load())
+	fmt.Fprintf(&b, "bufinsd_adaptive_queries_total{result=\"cap\"} %d\n", s.m.adCap.Load())
 	fmt.Fprintf(&b, "# TYPE bufinsd_cache_misses_total counter\n")
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"bench\"} %d\n", s.m.benchMiss.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"plan\"} %d\n", s.m.planMiss.Load())

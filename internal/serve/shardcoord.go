@@ -99,9 +99,18 @@ func (s *Server) handleYieldPass(r *http.Request) (any, error) {
 	// Stream the range from the engine: a worker touches only its slice of
 	// the universe, so materializing the full (seed, n) population here
 	// would defeat the point of sharding it. The ctx guard lets a cancelled
-	// coordinator attempt release the worker's CPU mid-range.
-	src := ctxSource{ctx: r.Context(), src: mc.New(e.sys.Graph(), req.Seed)}
-	tallies := yield.TallyRange(src, req.Range.Lo, req.Range.Hi, sweeps...)
+	// coordinator attempt — including an adaptive tail wave whose precision
+	// was met elsewhere — release the worker's CPU mid-range. Strata selects
+	// the stratified adaptive universe (0 = the plain fixed-n one).
+	eng := mc.New(e.sys.Graph(), req.Seed)
+	eng.Stratify = req.Strata
+	src := ctxSource{ctx: r.Context(), src: eng}
+	var tallies []yield.SweepTally
+	if req.ZeroOnly {
+		tallies = yield.TallyRangeZero(src, req.Range.Lo, req.Range.Hi, sweeps...)
+	} else {
+		tallies = yield.TallyRange(src, req.Range.Lo, req.Range.Hi, sweeps...)
+	}
 	if err := r.Context().Err(); err != nil {
 		return nil, err // partial tallies must not go on the wire
 	}
@@ -219,7 +228,12 @@ func (s *Server) coordinator(spec CircuitSpec, opt expt.Options, e *benchEntry) 
 
 // ranges tiles [0, n), and revives any down workers that answer /healthz
 // again — a restarted worker rejoins at the next coordinated pass.
-func (c *Coordinator) ranges(n int) []shard.Range {
+func (c *Coordinator) ranges(n int) []shard.Range { return c.waveRanges(0, n) }
+
+// waveRanges tiles the sub-range [lo, hi) — a full pass, or one adaptive
+// dispatch wave — and probes down workers so a restarted worker rejoins at
+// the next pass or wave.
+func (c *Coordinator) waveRanges(lo, hi int) []shard.Range {
 	if c.Pool.Alive() < c.Pool.Size() {
 		c.Pool.Probe("/healthz")
 	}
@@ -230,7 +244,7 @@ func (c *Coordinator) ranges(n int) []shard.Range {
 			parts = 1
 		}
 	}
-	return shard.Split(n, parts)
+	return shard.SplitRange(lo, hi, parts)
 }
 
 // InsertPass returns the distributed executor for one flow configuration:
@@ -371,6 +385,120 @@ func (c *Coordinator) EvaluateQueries(ctx context.Context, n int, seed uint64, q
 	return foldReports(results, reports), nil
 }
 
+// EvaluateQueriesAdaptive answers a yield query batch adaptively: the same
+// wave state machine the in-process path drives (yield.Adaptive) decides
+// range, kind, and stopping, and each wave is dispatched over the pool as
+// its own sharded pass — so the wave schedule, the samples used, and every
+// reported estimate are identical to EvaluateQueriesAdaptive in serve.go
+// on the same inputs. Worker loss inside a wave is absorbed by Pool.Run as
+// usual (re-dispatch, in-process drain), and cancelling ctx releases every
+// in-flight wave range promptly.
+func (c *Coordinator) EvaluateQueriesAdaptive(ctx context.Context, n int, seed uint64, queries []YieldQuery, prec yield.Precision) ([]YieldResult, error) {
+	results, sweeps, err := expandQueries(c.g, queries)
+	if err != nil {
+		return nil, err
+	}
+	a, err := yield.NewAdaptive(prec, n, sweeps...)
+	if err != nil {
+		return nil, asClientError(err)
+	}
+	for {
+		lo, hi, zeroOnly, ok := a.Next()
+		if !ok {
+			break
+		}
+		merged := make([]yield.SweepTally, len(sweeps))
+		for i, sw := range sweeps {
+			if zeroOnly {
+				merged[i] = yield.SweepTally{FirstZero: make([]int, len(sw.Ts)+1)}
+			} else {
+				merged[i] = sw.NewTally()
+			}
+		}
+		validate := func(parts []yield.SweepTally) error {
+			if len(parts) != len(sweeps) {
+				return fmt.Errorf("serve: got %d tallies, want %d", len(parts), len(sweeps))
+			}
+			for i, sw := range sweeps {
+				wantTuned := len(sw.Ts) + 1
+				if zeroOnly {
+					wantTuned = 0
+				}
+				if len(parts[i].FirstZero) != len(sw.Ts)+1 || len(parts[i].FirstTuned) != wantTuned {
+					return fmt.Errorf("serve: wave tally %d has lengths %d/%d, want %d/%d",
+						i, len(parts[i].FirstZero), len(parts[i].FirstTuned), len(sw.Ts)+1, wantTuned)
+				}
+			}
+			return nil
+		}
+		var mu sync.Mutex
+		mergeAll := func(parts []yield.SweepTally) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := range merged {
+				var err error
+				if zeroOnly {
+					err = merged[i].MergeZero(parts[i])
+				} else {
+					err = merged[i].Merge(parts[i])
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		post := func(ctx context.Context, w *shard.Worker, r shard.Range, commit func() bool) error {
+			var resp YieldPassResponse
+			err := w.Post(ctx, "/v1/shard/yield-pass", YieldPassRequest{
+				Circuit:     c.Circuit,
+				Options:     c.Options,
+				EvalSamples: n,
+				Seed:        seed,
+				Queries:     queries,
+				Range:       r,
+				ZeroOnly:    zeroOnly,
+				Strata:      a.Prec.Strata,
+			}, &resp)
+			if err != nil {
+				return err
+			}
+			if err := validate(resp.Tallies); err != nil {
+				return shard.Errf(shard.ClassCorrupt, "%v", err)
+			}
+			if !commit() {
+				return nil // lost hedge race: the range already merged
+			}
+			if err := mergeAll(resp.Tallies); err != nil {
+				return shard.Errf(shard.ClassFatal, "serve: merging wave range [%d,%d): %v", r.Lo, r.Hi, err)
+			}
+			return nil
+		}
+		local := func(ctx context.Context, r shard.Range) error {
+			eng := mc.New(c.g, seed)
+			eng.Stratify = a.Prec.Strata
+			src := ctxSource{ctx: ctx, src: eng}
+			var parts []yield.SweepTally
+			if zeroOnly {
+				parts = yield.TallyRangeZero(src, r.Lo, r.Hi, sweeps...)
+			} else {
+				parts = yield.TallyRange(src, r.Lo, r.Hi, sweeps...)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return mergeAll(parts)
+		}
+		if err := c.Pool.Run(ctx, c.waveRanges(lo, hi), post, local); err != nil {
+			return nil, err
+		}
+		if err := a.Absorb(merged); err != nil {
+			return nil, err
+		}
+	}
+	return foldAdaptive(results, a.Reports()), nil
+}
+
 // EvalPlans measures each plan's single-period yield report (at its own
 // target T) over n fresh chips — the sharded replacement for the shared
 // in-process pass expt.RunRows runs, byte-identical to it.
@@ -386,6 +514,26 @@ func (c *Coordinator) EvalPlans(ctx context.Context, plans []insertion.Plan, n i
 	reports := make([]yield.Report, len(results))
 	for i, res := range results {
 		reports[i] = res.Reports[0].At(0)
+	}
+	return reports, nil
+}
+
+// EvalPlansAdaptive is EvalPlans under a precision target: one shared
+// wave-dispatched sequential pass answers every plan's single-period yield
+// to ±prec.Eps (capped at n chips), matching the in-process adaptive path
+// wave for wave.
+func (c *Coordinator) EvalPlansAdaptive(ctx context.Context, plans []insertion.Plan, n int, seed uint64, prec yield.Precision) ([]yield.AdaptiveReport, error) {
+	queries := make([]YieldQuery, len(plans))
+	for i, p := range plans {
+		queries[i] = YieldQuery{Plan: p}
+	}
+	results, err := c.EvaluateQueriesAdaptive(ctx, n, seed, queries, prec)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]yield.AdaptiveReport, len(results))
+	for i, res := range results {
+		reports[i] = res.Adaptive[0]
 	}
 	return reports, nil
 }

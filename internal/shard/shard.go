@@ -76,6 +76,18 @@ func Split(n, parts int) []Range {
 	return out
 }
 
+// SplitRange tiles the sub-range [lo, hi) into at most parts contiguous
+// near-equal ranges — the wave form of Split, used by the adaptive
+// coordinator to shard one dispatch wave across workers.
+func SplitRange(lo, hi, parts int) []Range {
+	out := Split(hi-lo, parts)
+	for i := range out {
+		out[i].Lo += lo
+		out[i].Hi += lo
+	}
+	return out
+}
+
 // ---------------- error classification ----------------
 
 // Class partitions worker attempt failures by what they say about the

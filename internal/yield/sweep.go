@@ -160,22 +160,12 @@ func (sc *SweepScratch) rescueFeasible(e *Evaluator, ch *timing.Chip, T float64)
 // too — which makes the hand-rolled binary searches below agree with
 // evaluating every sweep point directly.
 func (s *SweepEvaluator) ChipSweep(ch *timing.Chip, sc *SweepScratch) (firstZero, firstTuned int) {
-	g := s.ev.G
-	lo, hi := 0, len(s.Ts)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if g.FeasibleAtZero(ch, s.Ts[mid]) {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	firstZero = lo
+	firstZero = s.firstZeroIndex(ch)
 	// A tuned pass is zero-pass OR rescue, both monotone: only rescues
 	// strictly before firstZero can improve the tuned threshold.
 	firstTuned = firstZero
 	if firstZero > 0 && sc.prepare(s.ev, ch) {
-		lo, hi = 0, firstZero
+		lo, hi := 0, firstZero
 		for lo < hi {
 			mid := int(uint(lo+hi) >> 1)
 			if sc.rescueFeasible(s.ev, ch, s.Ts[mid]) {
@@ -187,6 +177,23 @@ func (s *SweepEvaluator) ChipSweep(ch *timing.Chip, sc *SweepScratch) (firstZero
 		firstTuned = lo
 	}
 	return firstZero, firstTuned
+}
+
+// firstZeroIndex binary-searches the smallest sweep index at which the
+// chip passes with zero tuning (len(Ts) = never) — the step-1 half of
+// ChipSweep, shared with the adaptive zero-only waves.
+func (s *SweepEvaluator) firstZeroIndex(ch *timing.Chip) int {
+	g := s.ev.G
+	lo, hi := 0, len(s.Ts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.FeasibleAtZero(ch, s.Ts[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // SweepTally is the mergeable partial result of a sweep over any subset of
@@ -224,6 +231,20 @@ func (t *SweepTally) Merge(o SweepTally) error {
 	return nil
 }
 
+// MergeZero adds only the zero-pass histogram of o into t. The adaptive
+// zero-only waves produce tallies with no tuned bins (FirstTuned nil), so
+// the full Merge would reject them; their step-1 counts still accumulate.
+func (t *SweepTally) MergeZero(o SweepTally) error {
+	if len(o.FirstZero) != len(t.FirstZero) {
+		return fmt.Errorf("yield: merging zero tallies of different sweep lengths (%d vs %d)",
+			len(o.FirstZero), len(t.FirstZero))
+	}
+	for i, c := range o.FirstZero {
+		t.FirstZero[i] += c
+	}
+	return nil
+}
+
 // NewTally returns an empty tally sized for this sweep (a merge identity).
 func (s *SweepEvaluator) NewTally() SweepTally {
 	return SweepTally{
@@ -253,6 +274,28 @@ func (s *SweepEvaluator) RangePass(lo, hi int) (consume func(k int, ch *timing.C
 		for i := range firstZero {
 			t.FirstZero[firstZero[i]]++
 			t.FirstTuned[firstTuned[i]]++
+		}
+		return t
+	}
+	return consume, tally
+}
+
+// RangePassZero is the zero-only form of RangePass: only the step-1
+// (zero-tuning) threshold search runs — no rescue system, no Bellman–Ford
+// — so a chip costs a handful of FeasibleAtZero probes instead of a
+// solver pass. The tally carries FirstZero only (FirstTuned stays nil, a
+// shape MergeZero accepts and Merge rejects). The adaptive evaluator uses
+// these cheap waves to extend the step-1 horizon (original yield, and the
+// control-variate correction of tuned yield) without paying step-2 cost.
+func (s *SweepEvaluator) RangePassZero(lo, hi int) (consume func(k int, ch *timing.Chip), tally func() SweepTally) {
+	firstZero := make([]int32, hi-lo)
+	consume = func(k int, ch *timing.Chip) {
+		firstZero[k-lo] = int32(s.firstZeroIndex(ch))
+	}
+	tally = func() SweepTally {
+		t := SweepTally{FirstZero: make([]int, len(s.Ts)+1)}
+		for _, z := range firstZero {
+			t.FirstZero[z]++
 		}
 		return t
 	}
@@ -309,6 +352,24 @@ func TallyRange(src mc.Source, lo, hi int, sweeps ...*SweepEvaluator) []SweepTal
 	tallies := make([]func() SweepTally, len(sweeps))
 	for i, sw := range sweeps {
 		consumes[i], tallies[i] = sw.RangePass(lo, hi)
+	}
+	src.ForEachRangeBatch(lo, hi, consumes...)
+	out := make([]SweepTally, len(sweeps))
+	for i, tl := range tallies {
+		out[i] = tl()
+	}
+	return out
+}
+
+// TallyRangeZero is the zero-only form of TallyRange: one shared
+// realization pass over chips [lo, hi) feeding every sweep's step-1
+// threshold search only. Partial tallies carry FirstZero alone and merge
+// via SweepTally.MergeZero.
+func TallyRangeZero(src mc.Source, lo, hi int, sweeps ...*SweepEvaluator) []SweepTally {
+	consumes := make([]func(k int, ch *timing.Chip), len(sweeps))
+	tallies := make([]func() SweepTally, len(sweeps))
+	for i, sw := range sweeps {
+		consumes[i], tallies[i] = sw.RangePassZero(lo, hi)
 	}
 	src.ForEachRangeBatch(lo, hi, consumes...)
 	out := make([]SweepTally, len(sweeps))

@@ -121,30 +121,33 @@ if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
 
     echo "== service smoke (bufinsd) =="
     # Single daemon: the probe prepares + inserts a tiny generated circuit
-    # through the HTTP API and verifies the plan and yield report are
-    # byte-identical to the in-process flow.
+    # through the HTTP API and verifies the plan, yield report, and adaptive
+    # (eps-bounded) report are byte-identical to the in-process flow;
+    # -expect-waves asserts via /metrics that the adaptive probe genuinely
+    # ran multiple waves and stopped early (samples_used < samples_requested).
     start_daemon single
-    "$smokedir/bufinsd" -check "$daemon_url"
+    "$smokedir/bufinsd" -check "$daemon_url" -expect-waves
 
     echo "== distributed smoke (1 coordinator + 2 workers) =="
     # Coordinator/worker trio on ephemeral ports: the same -check probe
     # against the coordinator proves sharded /v1/insert and /v1/yield are
-    # byte-identical to the in-process flow, and -expect-shards asserts the
+    # byte-identical to the in-process flow, -expect-shards asserts the
     # answers actually travelled through the workers (dispatch counters on
-    # /metrics), not the local fallback.
+    # /metrics), not the local fallback, and -expect-waves asserts the
+    # adaptive probe dispatched >1 wave and stopped under its sample cap.
     start_daemon worker1 -worker
     w1="$daemon_url"
     start_daemon worker2 -worker
     w2="$daemon_url"
     start_daemon coordinator -workers "$w1,$w2" -shards 6
-    "$smokedir/bufinsd" -check "$daemon_url" -expect-shards
+    "$smokedir/bufinsd" -check "$daemon_url" -expect-shards -expect-waves
 
     cleanup_smoke
     trap - EXIT
 
     echo "== bench smoke (substrates, 1 iteration) =="
     go test -run '^$' \
-        -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|SSTAPrepareCold|SSTARepropagateCone|ChipRealization|YieldSweep' \
+        -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|SSTAPrepareCold|SSTARepropagateCone|ChipRealization|YieldSweep|AdaptiveYield' \
         -benchtime=1x .
     go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep' -benchtime=1x ./internal/serve
 fi
