@@ -1,0 +1,184 @@
+// Command contractlint runs the repository's contract analyzers
+// (determinism, allocfree, ctxpass, errclass — see internal/lint and
+// DESIGN.md "Static contracts") in two modes:
+//
+//   - vettool mode: `go vet -vettool=$(which contractlint) ./...`. The
+//     go command probes `contractlint -flags` for the flag schema and
+//     `-V=full` for a cache-busting build ID, then invokes the tool once
+//     per package with a vet.cfg path as the sole positional argument.
+//     Diagnostics go to stderr and a non-zero exit fails the vet run.
+//
+//   - standalone mode: `contractlint [-C dir] [-analyzers a,b] [patterns]`.
+//     Packages are loaded with `go list -export` and findings print to
+//     stdout; the exit status is 1 if any finding survives.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("contractlint: ")
+
+	fs := flag.NewFlagSet("contractlint", flag.ExitOnError)
+	printFlags := fs.Bool("flags", false, "print the tool's flag schema as JSON (go vet -vettool protocol)")
+	version := fs.String("V", "", `print version information (go vet probes with -V=full)`)
+	analyzers := fs.String("analyzers", "", "comma-separated subset of contract analyzers to run (default: all)")
+	chdir := fs.String("C", ".", "standalone mode: directory to load packages from")
+	fs.Parse(os.Args[1:])
+
+	if *printFlags {
+		emitFlagSchema()
+		return
+	}
+	if *version != "" {
+		emitVersion()
+		return
+	}
+
+	as := lint.ByName(*analyzers)
+	if len(as) == 0 {
+		log.Fatalf("no analyzers match %q (have: determinism, allocfree, ctxpass, errclass)", *analyzers)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0], as))
+	}
+	os.Exit(runStandalone(*chdir, args, as))
+}
+
+// emitFlagSchema answers the `-flags` probe: cmd/go accepts exactly the
+// flags listed here on the `go vet` command line and forwards them.
+func emitFlagSchema() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	schema := []jsonFlag{
+		{Name: "analyzers", Bool: false, Usage: "comma-separated subset of contract analyzers to run (default: all)"},
+	}
+	out, err := json.Marshal(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", out)
+}
+
+// emitVersion answers the `-V=full` probe. cmd/go requires the line
+// `<name> version devel ... buildID=<id>` and folds the ID into its
+// action cache key, so the ID must change whenever the binary does:
+// hash the executable itself.
+func emitVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Printf("contractlint version devel buildID=%s\n", id)
+}
+
+// vetConfig is the per-package JSON job description cmd/go writes to
+// <objdir>/vet.cfg (see cmd/go/internal/work.buildVetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	GoVersion                 string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet executes one vet.cfg job: type-check the package from source
+// against the export data cmd/go compiled for its dependencies, run the
+// analyzers, and report diagnostics on stderr.
+func runVet(cfgPath string, as []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgPath, err)
+	}
+
+	// The contract analyzers exchange no facts between packages, but
+	// cmd/go records the fact file in its cache, so write an empty one
+	// up front.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		log.Fatalf("unsupported compiler %q", cfg.Compiler)
+	}
+
+	fset := token.NewFileSet()
+	imp := loader.NewChainImporter(cfg.ImportMap, nil, loader.ExportImporter(fset, cfg.PackageFile))
+	pkg, err := loader.Check(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+	findings, err := lint.Run(pkg, as)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (contract:%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone loads patterns (default ./...) relative to dir and
+// prints findings to stdout.
+func runStandalone(dir string, patterns []string, as []*analysis.Analyzer) int {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := lint.Run(pkg, as)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range findings {
+			fmt.Printf("%s: %s (contract:%s)\n", f.Pos, f.Message, f.Analyzer)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		return 1
+	}
+	return 0
+}

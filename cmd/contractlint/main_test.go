@@ -1,0 +1,115 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles contractlint into t's temp dir and returns the
+// binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "contractlint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building contractlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// wantDiags is the full expected finding set for the quarantined fixture
+// module: exactly one seeded violation per analyzer.
+var wantDiags = []struct{ file, frag, analyzer string }{
+	{"internal/mc/mc.go:7", "map iteration order is randomized but this range feeds an append", "determinism"},
+	{"internal/serve/serve.go:7", "exported function Fanout launches goroutines but accepts no context.Context", "ctxpass"},
+	{"internal/shard/shard.go:8", "error wrapped with %v loses the wrapped chain", "errclass"},
+	{"warm/warm.go:8", "make allocates in allocfree function Scratch", "allocfree"},
+}
+
+func checkDiags(t *testing.T, out string) {
+	t.Helper()
+	for _, w := range wantDiags {
+		if !strings.Contains(out, w.frag) || !strings.Contains(out, "(contract:"+w.analyzer+")") {
+			t.Errorf("missing %s diagnostic %q in output:\n%s", w.analyzer, w.frag, out)
+		}
+		if !strings.Contains(out, w.file+":") {
+			t.Errorf("missing position %s in output:\n%s", w.file, out)
+		}
+	}
+}
+
+// TestVettoolMode drives the binary exactly the way `go vet -vettool`
+// does: cmd/go probes -flags and -V=full, then feeds it one vet.cfg per
+// package of the quarantined fixture module.
+func TestVettoolMode(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("testdata", "fixturemod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded on a fixture module seeded with violations:\n%s", out)
+	}
+	checkDiags(t, string(out))
+}
+
+// TestStandaloneMode loads the fixture module through the go/list loader
+// and expects the same four findings on stdout with exit status 1.
+func TestStandaloneMode(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-C", filepath.Join("testdata", "fixturemod"), "./...").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("standalone run: want exit status 1, got %v\n%s", err, out)
+	}
+	checkDiags(t, string(out))
+	if n := len(strings.Split(strings.TrimSpace(string(out)), "\n")); n != len(wantDiags) {
+		t.Errorf("want exactly %d findings, got %d:\n%s", len(wantDiags), n, out)
+	}
+}
+
+// TestAnalyzerSubset narrows the run to one analyzer via -analyzers, the
+// flag the -flags probe advertises to `go vet`.
+func TestAnalyzerSubset(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-C", filepath.Join("testdata", "fixturemod"), "-analyzers", "errclass", "./...").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("subset run: want exit status 1, got %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "(contract:errclass)") || strings.Contains(s, "(contract:determinism)") {
+		t.Errorf("subset run should report errclass only:\n%s", s)
+	}
+}
+
+// TestProtocolProbes checks the two handshake endpoints cmd/go hits
+// before dispatching any vet.cfg.
+func TestProtocolProbes(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var schema []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &schema); err != nil {
+		t.Fatalf("-flags output is not the vetflag JSON schema: %v\n%s", err, out)
+	}
+
+	out, err = exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	line := strings.TrimSpace(string(out))
+	f := strings.Fields(line)
+	if len(f) < 3 || f[1] != "version" || !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("-V=full output %q does not satisfy the cmd/go tool ID grammar", line)
+	}
+}

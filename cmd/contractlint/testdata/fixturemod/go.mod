@@ -1,0 +1,3 @@
+module quarantine.example
+
+go 1.24

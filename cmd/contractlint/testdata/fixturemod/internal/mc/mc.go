@@ -1,0 +1,11 @@
+// Package mc seeds one determinism violation for the driver test.
+package mc
+
+// MergeCounts returns map keys in iteration order.
+func MergeCounts(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

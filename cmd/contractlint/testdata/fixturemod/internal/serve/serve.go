@@ -1,0 +1,14 @@
+// Package serve seeds one ctxpass violation for the driver test.
+package serve
+
+import "sync"
+
+// Fanout launches goroutines without a context.
+func Fanout(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}

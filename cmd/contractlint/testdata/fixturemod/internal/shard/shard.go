@@ -1,0 +1,9 @@
+// Package shard seeds one errclass violation for the driver test.
+package shard
+
+import "fmt"
+
+// Wrap loses the wrapped chain.
+func Wrap(err error) error {
+	return fmt.Errorf("post: %v", err)
+}

@@ -1,0 +1,9 @@
+// Package warm seeds one allocfree violation for the driver test.
+package warm
+
+// Scratch allocates inside an allocation-free function.
+//
+//contract:allocfree
+func Scratch(n int) []byte {
+	return make([]byte, n)
+}

@@ -424,7 +424,7 @@ func (b *localBackend) evaluate(queries []evalQuery, evalN int, seed uint64) ([]
 		results, err = b.coord.EvaluateQueries(b.ctx, evalN, seed, toServeQueries(queries))
 	default:
 		g := b.sys.Graph()
-		results, err = serve.EvaluateQueries(g, mc.New(g, seed), evalN, toServeQueries(queries))
+		results, err = serve.EvaluateQueries(b.ctx, g, mc.New(g, seed), evalN, toServeQueries(queries))
 	}
 	if err != nil {
 		return nil, err

@@ -89,8 +89,12 @@ func (r *Runner) passParams(spec PassSpec) (mode solverMode, allowed []bool, low
 // A non-nil cancelled ctx short-circuits the remaining samples' solver
 // work (the dominant cost), so a cancelled pass releases its CPU within a
 // few sample realizations; the caller discards the partial outcomes.
+//
+//contract:allocfree
 func (r *Runner) collectRange(ctx context.Context, src mc.Source, cfg Config, mode solverMode, allowed []bool, lower, center []float64, lo, hi int) []SampleOutcome {
+	//lint:ignore contract:allocfree per-wave outcome buffer: O(range) header amortized over the samples
 	raw := make([]SampleOutcome, hi-lo)
+	//lint:ignore contract:allocfree the consume closure escapes once per wave, not per sample
 	src.ForEachRangeBatch(lo, hi, func(k int, ch *timing.Chip) {
 		if ctx != nil && ctx.Err() != nil {
 			return
@@ -100,6 +104,7 @@ func (r *Runner) collectRange(ctx context.Context, src mc.Source, cfg Config, mo
 		if len(out.Tuned) > 0 {
 			// out.Tuned aliases solver scratch that the next sample on this
 			// worker overwrites; keep an exact-size copy.
+			//lint:ignore contract:allocfree exact-size copy outlives solver scratch reuse; only tuned samples pay it
 			out.Tuned = append([]Tuning(nil), out.Tuned...)
 		}
 		raw[k-lo] = out
@@ -121,11 +126,14 @@ func (r *Runner) collectRange(ctx context.Context, src mc.Source, cfg Config, mo
 // deadline expired — the remaining samples skip their solver work and
 // PassRange returns ctx.Err() instead of a partial result, releasing the
 // worker's CPU promptly instead of leaking minutes of solver work.
+//
+//contract:allocfree
 func (r *Runner) PassRange(ctx context.Context, cfg Config, spec PassSpec, lo, hi int) ([]SampleOutcome, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
 	if lo < 0 || hi > cfg.Samples || lo > hi {
+		//lint:ignore contract:allocfree cold validation error path
 		return nil, fmt.Errorf("insertion: pass range [%d,%d) outside [0,%d)", lo, hi, cfg.Samples)
 	}
 	mode, allowed, lower, center, err := r.passParams(spec)

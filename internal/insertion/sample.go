@@ -164,6 +164,8 @@ func (s *sampleSolver) windowOf(ff int) (lo, hi float64) {
 
 // solve runs the two-ILP sequence for one chip. The returned outcome's
 // tuned slice aliases solver scratch (see SampleOutcome).
+//
+//contract:allocfree
 func (s *sampleSolver) solve(ch *timing.Chip) SampleOutcome {
 	g := s.g
 	// 1. Realize constraint bounds; find violations.
@@ -189,6 +191,7 @@ func (s *sampleSolver) solve(ch *timing.Chip) SampleOutcome {
 		s.active[i] = false
 	}
 	s.queue = s.queue[:0]
+	//lint:ignore contract:allocfree non-escaping closure, stack-allocated: the AllocsPerRun test pins solve at zero
 	mark := func(ff int) {
 		if s.allowed[ff] && !s.active[ff] {
 			s.active[ff] = true

@@ -1,0 +1,66 @@
+// Package leakcheck is the shared goroutine-leak guard for lifecycle
+// tests in the shard plane. It replaces per-test runtime.NumGoroutine
+// bookkeeping with one idiom:
+//
+//	check := leakcheck.Guard(t)        // snapshot the baseline
+//	... exercise dispatch/cancellation ...
+//	check()                            // poll until drained, else fail
+//
+// The check polls rather than asserting immediately — goroutines that
+// just lost a select race need a moment to run their final statements —
+// and dumps all goroutine stacks on failure so the leaked driver is
+// identifiable. Slack admits long-lived service goroutines owned by test
+// servers (httptest listeners, keep-alive conns) that outlive the guard
+// by design: the guard catches wholesale leaks of per-range drivers, not
+// singletons.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+type config struct {
+	slack  int
+	within time.Duration
+}
+
+// Option adjusts a Guard.
+type Option func(*config)
+
+// Slack tolerates n goroutines above the baseline at check time.
+func Slack(n int) Option { return func(c *config) { c.slack = n } }
+
+// Within bounds how long the check polls for goroutines to drain
+// (default 2s).
+func Within(d time.Duration) Option { return func(c *config) { c.within = d } }
+
+// Guard snapshots the current goroutine count and returns the check to
+// run (or defer) once the code under test should have shed everything it
+// spawned. The check fails t with a full stack dump if the count stays
+// above baseline+slack for the polling window.
+func Guard(t testing.TB, opts ...Option) func() {
+	cfg := config{within: 2 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	baseline := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(cfg.within)
+		for {
+			if runtime.NumGoroutine() <= baseline+cfg.slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d at baseline (slack %d), %d after %v\n%s",
+			baseline, cfg.slack, runtime.NumGoroutine(), cfg.within,
+			buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// AllocFree enforces the zero-allocation warm-path contract on functions
+// annotated //contract:allocfree (the warm solve entry points whose
+// AllocsPerRun==0 benchmarks gate CI). Inside an annotated function it
+// flags the constructs that heap-allocate:
+//
+//   - make/new and slice/map/&composite literals;
+//   - append whose destination is not rooted in a parameter or receiver
+//     (caller- or receiver-owned storage may grow amortized; a fresh
+//     local backing array is a per-call allocation);
+//   - conversions between string and []byte/[]rune;
+//   - implicit interface conversions of non-pointer values (call
+//     arguments, assignments, returns) — boxing escapes to the heap;
+//   - closures capturing enclosing variables, and go statements;
+//   - any fmt call.
+//
+// The check is intraprocedural: annotate the callees on the warm path
+// too, and justify unavoidable cold-path growth (first-use workspace
+// sizing) with //lint:ignore contract:allocfree <reason>.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "flag heap-allocating constructs in //contract:allocfree functions",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || inTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			if !hasDirective(fd.Doc, "contract:allocfree") {
+				continue
+			}
+			checkAllocFree(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkAllocFree(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	params := funcParamObjs(info, fd)
+	sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine in allocfree function %s", fd.Name.Name)
+		case *ast.FuncLit:
+			if cap := capturedVar(info, fd, n); cap != "" {
+				pass.Reportf(n.Pos(), "closure captures %q and allocates in allocfree function %s", cap, fd.Name.Name)
+			}
+			return true
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in allocfree function %s", fd.Name.Name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in allocfree function %s", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in allocfree function %s", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkAllocCall(pass, fd, params, n)
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+				// := infers types from the rhs (never an implicit boxing);
+				// x, y = f() has no per-position source expression.
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				reportIfaceConv(pass, fd, info.TypeOf(lhs), n.Rhs[i])
+			}
+		case *ast.ReturnStmt:
+			if sig == nil || sig.Results() == nil || len(n.Results) != sig.Results().Len() {
+				return true
+			}
+			for i, res := range n.Results {
+				reportIfaceConv(pass, fd, sig.Results().At(i).Type(), res)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+func checkAllocCall(pass *analysis.Pass, fd *ast.FuncDecl, params map[types.Object]bool, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	switch {
+	case isBuiltinCall(info, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in allocfree function %s", fd.Name.Name)
+		return
+	case isBuiltinCall(info, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in allocfree function %s", fd.Name.Name)
+		return
+	case isBuiltinCall(info, call, "append"):
+		if len(call.Args) == 0 {
+			return
+		}
+		root := rootIdent(call.Args[0])
+		if root == nil {
+			pass.Reportf(call.Pos(), "append to non-parameter storage may allocate in allocfree function %s", fd.Name.Name)
+			return
+		}
+		if obj := info.Uses[root]; obj == nil || !params[obj] {
+			pass.Reportf(call.Pos(),
+				"append to %s may allocate a fresh backing array in allocfree function %s (grow caller- or receiver-owned storage instead)",
+				root.Name, fd.Name.Name)
+		}
+		return
+	case isTypeConversion(info, call):
+		reportStringConv(pass, fd, call)
+		return
+	}
+	if pkg, name, ok := pkgLevelCallee(info, call); ok && pkg == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in allocfree function %s", name, fd.Name.Name)
+		return
+	}
+	// Implicit interface conversions at call boundaries.
+	ft := info.TypeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				pt = sig.Params().At(np - 1).Type() // slice passed whole
+			} else {
+				pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		reportIfaceConv(pass, fd, pt, arg)
+	}
+}
+
+// reportIfaceConv flags dst := src when src's concrete non-pointer value
+// would be boxed into an interface. Pointers, channels, maps, funcs and
+// existing interface values fit the interface word without allocating.
+func reportIfaceConv(pass *analysis.Pass, fd *ast.FuncDecl, dst types.Type, src ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	st := pass.TypesInfo.TypeOf(src)
+	if st == nil || types.IsInterface(st) {
+		return false
+	}
+	switch u := st.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	pass.Reportf(src.Pos(),
+		"implicit conversion of %s to interface %s allocates in allocfree function %s",
+		types.TypeString(st, types.RelativeTo(pass.Pkg)), types.TypeString(dst, types.RelativeTo(pass.Pkg)), fd.Name.Name)
+	return true
+}
+
+// reportStringConv flags string<->[]byte/[]rune conversions, which copy.
+func reportStringConv(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := pass.TypesInfo.TypeOf(call)
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if dst == nil || src == nil {
+		return
+	}
+	if (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src)) {
+		pass.Reportf(call.Pos(), "string conversion copies and allocates in allocfree function %s", fd.Name.Name)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturedVar returns the name of the first variable a func literal
+// captures from its enclosing function, or "".
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal (package-level vars are not captures).
+		if obj.Pos() >= fd.Pos() && obj.Pos() < lit.Pos() {
+			name = obj.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,73 @@
+// Package analysis is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis: just enough structure to write
+// type-aware analyzers and drive them from cmd/contractlint. The shape
+// deliberately mirrors the x/tools API (Analyzer, Pass, Diagnostic) so
+// the contract analyzers could migrate to the real framework if the
+// dependency ever becomes available; the build environment for this
+// repository has no module proxy, so the framework is vendored by
+// reimplementation instead.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single package and
+// reports findings through pass.Report; it must not retain the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore contract:<name> directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by contractlint -help.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Path is the package's import path as the build system names it
+	// (e.g. "repro/internal/shard"); analyzers scope package-targeted
+	// rules by suffix-matching it.
+	Path string
+	// Pkg and TypesInfo hold the type-checked package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver wraps it with the
+	// //lint:ignore suppression filter before the analyzer sees it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info with every lookup map an analyzer needs
+// allocated. Shared by the loader and the unitchecker driver so both
+// type-check with identical fidelity.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrClass keeps shard error classification intact through wrapping:
+//
+//   - in internal/shard and internal/serve, an error argument formatted
+//     with %v/%s/%q in fmt.Errorf or shard.Errf is flagged — only %w
+//     preserves the wrapped chain, and shard.ClassOf (hence the retry /
+//     breaker / hedge policy table) dies with it;
+//   - everywhere, a composite literal of shard.Error must set Class
+//     explicitly to one of the declared shard.Class constants, and a
+//     shard.Errf call's class argument must be one of those constants —
+//     an unclassified Error defaults to the zero value (transient) by
+//     accident, not by decision.
+var ErrClass = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "shard error wrapping must use %w and constructed shard.Error values must carry a known class",
+	Run:  runErrClass,
+}
+
+var errClassWrapPkgs = []string{"internal/shard", "internal/serve"}
+
+func runErrClass(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	wrapScope := pathMatchesAny(pass.Path, errClassWrapPkgs)
+	for _, file := range pass.Files {
+		if inTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkShardErrorLit(pass, n)
+			case *ast.CallExpr:
+				pkg, name, ok := pkgLevelCallee(info, n)
+				if !ok {
+					return true
+				}
+				isErrf := name == "Errf" && pathMatchesAny(pkg, []string{"internal/shard"})
+				if isErrf {
+					checkErrfClass(pass, n)
+				}
+				if !wrapScope {
+					return true
+				}
+				switch {
+				case pkg == "fmt" && name == "Errorf":
+					checkWrapVerbs(pass, n, 0)
+				case isErrf:
+					checkWrapVerbs(pass, n, 1)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// shardClassConst reports whether e resolves to a declared constant of
+// the shard Class type (ClassTransient, ClassThrottled, ...).
+func shardClassConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok {
+		return false
+	}
+	return isShardClassType(c.Type())
+}
+
+// isShardClassType reports whether t is the shard package's Class type.
+func isShardClassType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Class" && obj.Pkg() != nil &&
+		pathMatchesAny(obj.Pkg().Path(), []string{"internal/shard"})
+}
+
+// classifiedExpr reports whether e carries a decided shard class: a
+// declared Class constant, or a non-constant Class-typed value threaded
+// from one (a parameter, field, or variable). Raw literals (Errf(2, ...))
+// and constant conversions (Class(3)) are not classified — they bypass
+// the named-constant vocabulary the dispatch policy table is keyed on.
+func classifiedExpr(info *types.Info, e ast.Expr) bool {
+	if shardClassConst(info, e) {
+		return true
+	}
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if _, isConst := info.Uses[id].(*types.Const); isConst {
+			return false
+		}
+	}
+	return isShardClassType(info.TypeOf(e))
+}
+
+// isShardErrorType reports whether t is the shard package's Error type.
+func isShardErrorType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Error" && obj.Pkg() != nil &&
+		pathMatchesAny(obj.Pkg().Path(), []string{"internal/shard"})
+}
+
+func checkShardErrorLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil || !isShardErrorType(t) {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Class" {
+			continue
+		}
+		if classifiedExpr(pass.TypesInfo, kv.Value) {
+			return
+		}
+		pass.Reportf(kv.Value.Pos(),
+			"shard.Error Class must be a declared shard.Class constant (or a Class value threaded from one) so the dispatch policy table applies")
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"shard.Error constructed without an explicit Class: the zero value silently means transient; state the class")
+}
+
+func checkErrfClass(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if !classifiedExpr(pass.TypesInfo, call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(),
+			"shard.Errf class argument must be a declared shard.Class constant (or a Class value threaded from one)")
+	}
+}
+
+// checkWrapVerbs matches printf verbs to arguments for a call whose
+// format string is args[fmtIdx] and flags error-typed arguments consumed
+// by %v/%s/%q instead of %w.
+func checkWrapVerbs(pass *analysis.Pass, call *ast.CallExpr, fmtIdx int) {
+	if len(call.Args) <= fmtIdx {
+		return
+	}
+	format, ok := stringLiteral(pass.TypesInfo, call.Args[fmtIdx])
+	if !ok {
+		return
+	}
+	args := call.Args[fmtIdx+1:]
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return // indexed or otherwise exotic format: out of scope
+	}
+	for i, v := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if v != 'v' && v != 's' && v != 'q' {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(args[i])
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		pass.Reportf(args[i].Pos(),
+			"error wrapped with %%%c loses the wrapped chain; use %%w so shard.ClassOf survives", v)
+	}
+}
+
+// stringLiteral resolves a constant string expression.
+func stringLiteral(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs returns the verb rune consuming each successive argument.
+// A '*' width/precision consumes an argument of its own (recorded as
+// '*'). Reports !ok on explicit argument indexes, which reorder args.
+func parseVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(rs) && rs[i] == '%' {
+			continue
+		}
+		for i < len(rs) {
+			r := rs[i]
+			if strings.ContainsRune("+-# 0.0123456789", r) {
+				i++
+				continue
+			}
+			if r == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if r == '[' {
+				return nil, false
+			}
+			verbs = append(verbs, r)
+			break
+		}
+	}
+	return verbs, true
+}

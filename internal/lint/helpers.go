@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// bytePathPkgs are the packages on the byte-identical reproduction path:
+// every value they return or merge must be a pure function of (inputs,
+// Seed, k), independent of map iteration order, wall clock, environment,
+// and scheduling. Matched by import-path suffix so fixture modules
+// (fixture.example/internal/mc) scope the same way the real tree does.
+var bytePathPkgs = []string{
+	"internal/mc",
+	"internal/yield",
+	"internal/shard",
+	"internal/serve",
+	"internal/ssta",
+	"internal/stat",
+}
+
+// ctxPkgs are the packages under the PR-6 cancellation contract:
+// exported dispatch/batch-loop entry points must accept and propagate a
+// context.Context.
+var ctxPkgs = []string{
+	"internal/shard",
+	"internal/serve",
+}
+
+func pathMatchesAny(path string, targets []string) bool {
+	for _, t := range targets {
+		if path == t || strings.HasSuffix(path, "/"+t) {
+			return true
+		}
+	}
+	return false
+}
+
+// inTestFile reports whether pos lies in a _test.go file. The contract
+// analyzers lint the product, not its tests: test helpers legitimately
+// range maps for t.Run subtests, launch bare goroutines, and format
+// errors with %v.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// hasDirective reports whether a declaration's doc comment carries the
+// given //contract: directive (exact token, Go directive style: no
+// space after //).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//"+directive {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes (package
+// function or method), or nil for builtins, type conversions, and
+// dynamic calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// pkgLevelCallee returns the (package path, name) of a call to a
+// package-level function, e.g. ("time", "Now").
+func pkgLevelCallee(info *types.Info, call *ast.CallExpr) (string, string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", "", false
+	}
+	return f.Pkg().Path(), f.Name(), true
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isTypeConversion reports whether call is a conversion T(x).
+func isTypeConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// rootIdent walks to the base identifier of an lvalue-ish expression:
+// p.buf[:0] -> p, (*ws).cols -> ws, arr[i] -> arr.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcParamObjs collects the objects of a declaration's parameters and
+// receiver — the storage a caller provided, which an allocation-free
+// function may grow amortized (append) without breaking its contract.
+func funcParamObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if o := info.Defs[n]; o != nil {
+					objs[o] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return objs
+}
+
+// exportedFuncTarget reports whether fd is an exported function, and —
+// when it is a method — whether its receiver's named type is exported
+// too. Unexported adapter types (e.g. internal ctx-carrying wrappers
+// that satisfy a ctx-less interface) stay out of scope.
+func exportedFuncTarget(info *types.Info, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Exported()
+}

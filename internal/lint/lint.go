@@ -1,0 +1,145 @@
+// Package lint holds the contract-enforcing analyzers that turn this
+// repository's prose invariants — byte-identical yields across backends,
+// zero-allocation warm solves, context-governed shard dispatch,
+// class-preserving error wrapping — into compile-time checks. The
+// analyzers run over the go/ast + go/types representation produced by
+// internal/lint/loader (standalone mode) or a vet.cfg (go vet
+// -vettool=contractlint); see DESIGN.md "Static contracts" for the
+// annotation grammar and the escape-hatch policy.
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Analyzers returns the full contract suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Determinism, AllocFree, CtxPass, ErrClass}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) []*analysis.Analyzer {
+	if names == "" {
+		return Analyzers()
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		for _, a := range Analyzers() {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Finding is one resolved diagnostic: position plus the analyzer that
+// produced it, after //lint:ignore suppression.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving findings sorted by position. Diagnostics suppressed by a
+// //lint:ignore contract:<name> <reason> directive on the same or the
+// preceding line are dropped.
+func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	ig := collectIgnores(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if ig.suppresses(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreDirective is the parsed form of
+// //lint:ignore contract:<analyzer> <reason>. The reason is mandatory:
+// an escape hatch without a justification is itself a finding.
+const ignorePrefix = "//lint:ignore contract:"
+
+type ignoreSet struct {
+	// byLine maps file name -> line -> analyzer names ignored there. A
+	// directive suppresses findings on its own line and the line below
+	// it (the annotated statement).
+	byLine map[string]map[int]map[string]bool
+}
+
+func collectIgnores(pkg *loader.Package) *ignoreSet {
+	ig := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					// Malformed escape hatch: leave the finding visible
+					// rather than honoring a reasonless ignore.
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ig.byLine[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = make(map[string]bool)
+					}
+					lines[ln][name] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := ig.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}

@@ -1,0 +1,98 @@
+// Package linttest runs a contract analyzer over a fixture module and
+// compares its findings against `// want` expectations — the same idea
+// as golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// stdlib-only framework. A fixture line that must produce a diagnostic
+// carries a trailing comment of one or more backquoted regexps:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Every finding must be wanted and every want must be found; ignored
+// findings (suppressed by //lint:ignore) count as not found, which is
+// how the escape hatch itself gets tested.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads pattern (e.g. "fixture.example/internal/mc" or "./...")
+// from the fixture module rooted at dir, applies the analyzer, and
+// reports mismatches against // want comments on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := loader.Load(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture pattern %s matched no packages", pattern)
+	}
+	for _, pkg := range pkgs {
+		findings, err := lint.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func checkWants(t *testing.T, pkg *loader.Package, findings []lint.Finding) {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+				if len(wants[key]) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted regexp", pos.Filename, pos.Line)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := wantKey{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, re := range wants[key] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected finding [%s]: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected finding matching %q was not reported", key.file, key.line, re)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package loader type-checks Go packages from source without
+// golang.org/x/tools/go/packages. It shells out to `go list -export
+// -deps -json` for build metadata, imports dependencies through their
+// compiled export data (the same files the gc toolchain uses), and
+// type-checks the requested packages from source in dependency order —
+// which is exactly the information a vet.cfg hands cmd/contractlint, so
+// the standalone and vettool drivers share one type-checking path.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Package is one type-checked source package.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir with the go tool and type-checks every
+// matched (non-dependency) package from source. Dependencies — standard
+// library and module packages alike — are imported from the export data
+// `go list -export` compiled for them, except that matched packages
+// importing each other share the source-checked result.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string) // import path -> export data file
+	srcPkgs := make(map[string]*types.Package)
+	gcImp := ExportImporter(fset, exports)
+
+	var result []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listPkg
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Incomplete {
+			return nil, fmt.Errorf("loader: %s: package is incomplete", lp.ImportPath)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("loader: %s: cgo packages are not supported", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue // e.g. a directory holding only test files
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		goVersion := ""
+		if lp.Module != nil && lp.Module.GoVersion != "" {
+			goVersion = "go" + lp.Module.GoVersion
+		}
+		imp := &chainImporter{importMap: lp.ImportMap, src: srcPkgs, next: gcImp}
+		pkg, err := Check(fset, lp.ImportPath, files, imp, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		srcPkgs[lp.ImportPath] = pkg.Types
+		result = append(result, pkg)
+	}
+	return result, nil
+}
+
+// Check parses and type-checks one package from the given source files.
+// The importer resolves every dependency; goVersion (e.g. "go1.24") may
+// be empty.
+func Check(fset *token.FileSet, path string, files []string, imp types.Importer, goVersion string) (*Package, error) {
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parsing %s: %w", f, err)
+		}
+		parsed = append(parsed, af)
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	name := ""
+	if len(parsed) > 0 {
+		name = parsed[0].Name.Name
+	}
+	return &Package{Path: path, Name: name, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// ExportImporter returns a types.Importer that reads gc export data
+// files out of the given path→file map (as produced by `go list
+// -export` or a vet.cfg's PackageFile). One importer must be shared
+// across all packages of a load so dependency types stay identical.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// chainImporter resolves an import path through, in order: the source
+// import map (vendoring/test-variant renames), already source-checked
+// packages, and finally compiled export data.
+type chainImporter struct {
+	importMap map[string]string
+	src       map[string]*types.Package
+	next      types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := c.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.src[path]; ok {
+		return p, nil
+	}
+	return c.next.Import(path)
+}
+
+// NewChainImporter builds the same importer chain for callers (the
+// unitchecker driver) that assemble importMap/PackageFile themselves.
+func NewChainImporter(importMap map[string]string, src map[string]*types.Package, next types.Importer) types.Importer {
+	return &chainImporter{importMap: importMap, src: src, next: next}
+}

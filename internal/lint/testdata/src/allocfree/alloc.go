@@ -1,0 +1,70 @@
+// Package allocfree is an annotation-driven fixture: only the functions
+// carrying //contract:allocfree are checked.
+package allocfree
+
+import "fmt"
+
+// SolveWarm is deliberately broken in several allocating ways.
+//
+//contract:allocfree
+func SolveWarm(in []float64, out []float64) []float64 {
+	tmp := []float64{1, 2, 3} // want `slice literal allocates`
+	for i, v := range in {
+		out[i] = v + tmp[i%3]
+	}
+	extra := make([]float64, 4) // want `make allocates`
+	scratch := append(out, extra...)
+	_ = scratch
+	var acc []float64
+	acc = append(acc, in...)            // want `append to acc may allocate`
+	msg := fmt.Sprintf("n=%d", len(in)) // want `fmt\.Sprintf allocates`
+	_ = msg
+	return out
+}
+
+// SolveClean reuses caller storage only: no diagnostics.
+//
+//contract:allocfree
+func SolveClean(in, out []float64) []float64 {
+	out = out[:0]
+	out = append(out, in...)
+	s := 0.0
+	for _, v := range in {
+		s += v
+	}
+	if len(out) > 0 {
+		out[0] = s
+	}
+	return out
+}
+
+type sink interface{ accept(any) }
+
+// Box demonstrates interface boxing and closure capture.
+//
+//contract:allocfree
+func Box(s sink, v int, vs []int) func() int {
+	s.accept(v)       // want `implicit conversion of int to interface`
+	f := func() int { // want `closure captures "vs" and allocates`
+		return len(vs)
+	}
+	return f
+}
+
+// solveUnannotated allocates freely without the directive: no check.
+func solveUnannotated(n int) []float64 {
+	out := make([]float64, n)
+	_ = fmt.Sprint(n)
+	return out
+}
+
+// SolveIgnored shows the justified escape hatch on cold-path growth.
+//
+//contract:allocfree
+func SolveIgnored(n int) int {
+	//lint:ignore contract:allocfree fixture: first-use workspace sizing is amortized
+	ws := make([]float64, n)
+	return len(ws)
+}
+
+var _ = solveUnannotated

@@ -1,0 +1,97 @@
+// Package mc is a determinism fixture: its import path suffix puts it
+// on the byte-identical path, so map-range sinks and impure pass/merge
+// calls must be flagged.
+package mc
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// MergeTallies is deliberately broken: a map range feeding an ordered
+// slice that is never sorted.
+func MergeTallies(parts map[string]int) []string {
+	var keys []string
+	for k := range parts { // want `feeds an append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// MergeTalliesSorted is the idiomatic fix: collect, sort, use. No
+// diagnostic.
+func MergeTalliesSorted(parts map[string]int) []string {
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RenderCounts streams a map in iteration order.
+func RenderCounts(w io.Writer, counts map[string]int) {
+	for k, v := range counts { // want `feeds fmt\.Fprintf`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// TallyYield folds floats in map order: rounding differs run to run.
+func TallyYield(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `floating-point accumulation`
+		total += v
+	}
+	return total
+}
+
+// CountChips is commutative (integer adds into an int): no diagnostic.
+func CountChips(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// StampPass reads the wall clock inside a pass function.
+func StampPass(k int) int64 {
+	if k > 0 {
+		return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+	}
+	return 0
+}
+
+// MergeJitter draws from the unseeded global rand source.
+func MergeJitter(a, b int) int {
+	return a + b + rand.Intn(3) // want `math/rand\.Intn draws from the unseeded global rand source`
+}
+
+// configured is annotated deterministic, so the directive — not the
+// name — puts it under the pass/merge call rules.
+//
+//contract:deterministic
+func configured() string {
+	return os.Getenv("MODE") // want `os\.Getenv reads the environment`
+}
+
+// mergeEscapeHatch shows the justified escape hatch: the directive below
+// suppresses the diagnostic, so no want comment here.
+func mergeEscapeHatch(m map[string]int) []string {
+	var keys []string
+	//lint:ignore contract:determinism fixture: proving the escape hatch suppresses findings
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// timestamp is not a pass/merge function: wall-clock use is fine here.
+func timestamp() int64 { return time.Now().UnixNano() }
+
+var _ = configured
+var _ = mergeEscapeHatch

@@ -1,0 +1,78 @@
+// Package shard is an errclass fixture: it stubs the real shard error
+// vocabulary (Class, Error, Errf) so wrap-verb and class-vocabulary
+// rules can be exercised against seeded violations.
+package shard
+
+import "fmt"
+
+// Class mirrors the real shard error taxonomy.
+type Class int
+
+const (
+	ClassTransient Class = iota
+	ClassThrottled
+	ClassCorrupt
+	ClassFatal
+)
+
+// Error mirrors the real classified shard error.
+type Error struct {
+	Class  Class
+	Status int
+	Err    error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("shard[%d]: %v", int(e.Class), e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Errf mirrors the real constructor: the Class-typed parameter threads a
+// decided class, so the composite literal below is clean.
+func Errf(class Class, format string, args ...any) error {
+	return &Error{Class: class, Err: fmt.Errorf(format, args...)}
+}
+
+// WrapLossy formats the error with %v: the chain is cut.
+func WrapLossy(err error) error {
+	return fmt.Errorf("probe failed: %v", err) // want `error wrapped with %v loses the wrapped chain`
+}
+
+// WrapKept uses %w: clean.
+func WrapKept(err error) error {
+	return fmt.Errorf("probe failed: %w", err)
+}
+
+// ErrfLossy routes the error through Errf with %s.
+func ErrfLossy(err error) error {
+	return Errf(ClassThrottled, "post rejected: %s", err) // want `error wrapped with %s loses the wrapped chain`
+}
+
+// ErrfKept wraps through Errf with %w after non-error verbs: clean.
+func ErrfKept(lo, hi int, err error) error {
+	return Errf(ClassCorrupt, "merging range [%d,%d): %w", lo, hi, err)
+}
+
+// Unclassified omits Class: the zero value silently means transient.
+func Unclassified(err error) error {
+	return &Error{Err: err} // want `constructed without an explicit Class`
+}
+
+// NumericClass smuggles a number past the named vocabulary.
+func NumericClass(err error) error {
+	return &Error{Class: Class(3), Err: err} // want `Class must be a declared shard\.Class constant`
+}
+
+// BadErrfClass passes a raw literal as the class argument.
+func BadErrfClass(err error) error {
+	return Errf(2, "status: %w", err) // want `class argument must be a declared shard\.Class constant`
+}
+
+// Reclassify threads an existing Class value: clean.
+func Reclassify(c Class, err error) error {
+	return Errf(c, "retried: %w", err)
+}
+
+// WrapIgnored shows the justified escape hatch for display-only wrapping.
+func WrapIgnored(err error) error {
+	//lint:ignore contract:errclass fixture: display-only summary, chain intentionally cut
+	return fmt.Errorf("summary: %v", err)
+}

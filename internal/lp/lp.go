@@ -447,6 +447,8 @@ func (ws *Workspace) markSolved(n, m, stride, total, ncols, artStart int, constS
 // problem is not modified. The returned Solution.X aliases ws and is only
 // valid until the next solve call on the same workspace; callers that
 // retain it must copy.
+//
+//contract:allocfree
 func (p *Problem) SolveWS(ws *Workspace) (Solution, error) {
 	ws.live = false
 	n := len(p.obj)

@@ -549,7 +549,7 @@ func (s *Server) handleYield(r *http.Request) (any, error) {
 		results, err = s.coordinator(req.Circuit, req.Options, e).EvaluateQueries(r.Context(), req.EvalSamples, req.Seed, req.Queries)
 	default:
 		src := s.chipSource(e, req.Seed, req.EvalSamples)
-		results, err = EvaluateQueries(e.sys.Graph(), src, req.EvalSamples, req.Queries)
+		results, err = EvaluateQueries(r.Context(), e.sys.Graph(), src, req.EvalSamples, req.Queries)
 	}
 	if err != nil {
 		return nil, asClientError(err)
@@ -579,12 +579,16 @@ func asClientError(err error) error {
 // handler and the CLIs' in-process mode, which is what keeps their
 // outputs byte-identical by construction. Errors are client errors
 // (malformed plans, unsorted sweeps).
-func EvaluateQueries(g *timing.Graph, src mc.Source, n int, queries []YieldQuery) ([]YieldResult, error) {
+func EvaluateQueries(ctx context.Context, g *timing.Graph, src mc.Source, n int, queries []YieldQuery) ([]YieldResult, error) {
 	results, sweeps, err := expandQueries(g, queries)
 	if err != nil {
 		return nil, err
 	}
-	return foldReports(results, yield.EvaluateMany(src, n, sweeps...)), nil
+	reports := yield.EvaluateMany(ctxSource{ctx: ctx, src: src}, n, sweeps...)
+	if err := ctx.Err(); err != nil {
+		return nil, err // samples after the cancellation point never ran
+	}
+	return foldReports(results, reports), nil
 }
 
 // expandQueries validates every query and expands it into its named sweep

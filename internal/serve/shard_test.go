@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,6 +18,8 @@ import (
 	"repro/internal/insertion"
 	"repro/internal/shard"
 	"repro/internal/shard/chaos"
+
+	"repro/internal/leakcheck"
 )
 
 // startWorkers spins n worker bufinsd instances (full serve handlers on
@@ -389,7 +390,9 @@ func TestShardedByteIdenticalUnderChaos(t *testing.T) {
 // poisoned singleflight entry: the same query, re-asked once the worker
 // behaves, computes fresh and matches the in-process answer.
 func TestShardedInsertCancelsPromptlyAndIsNotCached(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	// The bound is lenient (httptest keeps service goroutines): it catches
+	// wholesale leaks of per-range drivers, not singletons.
+	check := leakcheck.Guard(t, leakcheck.Slack(6))
 	inner := New(Config{}).Handler()
 	var hang atomic.Bool
 	hang.Store(true)
@@ -470,20 +473,9 @@ func TestShardedInsertCancelsPromptlyAndIsNotCached(t *testing.T) {
 	}
 
 	// Goroutine accounting: once idle connections close, the coordinator
-	// must shed everything it spawned for the cancelled run. The bound is
-	// lenient (httptest keeps service goroutines) — it catches wholesale
-	// leaks of per-range drivers, not singletons.
+	// must shed everything it spawned for the cancelled run.
 	hc.CloseIdleConnections()
 	cl.HTTP.CloseIdleConnections()
 	plainCl.HTTP.CloseIdleConnections()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline+6 {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	t.Fatalf("goroutines: %d at start, %d after cancellation test\n%s",
-		baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+	check()
 }

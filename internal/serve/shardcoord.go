@@ -49,6 +49,7 @@ func (s *Server) handleInsertPass(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore contract:determinism ElapsedMS is latency accounting; the merged outcomes are unaffected
 	start := time.Now()
 	outcomes, err := e.runner.PassRange(r.Context(), insertion.Config{
 		T:               req.T,
@@ -68,7 +69,8 @@ func (s *Server) handleInsertPass(r *http.Request) (any, error) {
 		return nil, badRequest("insert pass: %v", err)
 	}
 	return &InsertPassResponse{
-		Outcomes:  outcomes,
+		Outcomes: outcomes,
+		//lint:ignore contract:determinism ElapsedMS is latency accounting; the merged outcomes are unaffected
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
 }
@@ -95,6 +97,7 @@ func (s *Server) handleYieldPass(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
+	//lint:ignore contract:determinism ElapsedMS is latency accounting; the merged tallies are unaffected
 	start := time.Now()
 	// Stream the range from the engine: a worker touches only its slice of
 	// the universe, so materializing the full (seed, n) population here
@@ -115,7 +118,8 @@ func (s *Server) handleYieldPass(r *http.Request) (any, error) {
 		return nil, err // partial tallies must not go on the wire
 	}
 	return &YieldPassResponse{
-		Tallies:   tallies,
+		Tallies: tallies,
+		//lint:ignore contract:determinism ElapsedMS is latency accounting; the merged tallies are unaffected
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
 }
@@ -228,14 +232,16 @@ func (s *Server) coordinator(spec CircuitSpec, opt expt.Options, e *benchEntry) 
 
 // ranges tiles [0, n), and revives any down workers that answer /healthz
 // again — a restarted worker rejoins at the next coordinated pass.
-func (c *Coordinator) ranges(n int) []shard.Range { return c.waveRanges(0, n) }
+func (c *Coordinator) ranges(ctx context.Context, n int) []shard.Range {
+	return c.waveRanges(ctx, 0, n)
+}
 
 // waveRanges tiles the sub-range [lo, hi) — a full pass, or one adaptive
 // dispatch wave — and probes down workers so a restarted worker rejoins at
 // the next pass or wave.
-func (c *Coordinator) waveRanges(lo, hi int) []shard.Range {
+func (c *Coordinator) waveRanges(ctx context.Context, lo, hi int) []shard.Range {
 	if c.Pool.Alive() < c.Pool.Size() {
-		c.Pool.Probe("/healthz")
+		c.Pool.Probe(ctx, "/healthz")
 	}
 	parts := c.Shards
 	if parts <= 0 {
@@ -295,7 +301,7 @@ func (c *Coordinator) InsertPass(ctx context.Context, cfg insertion.Config) inse
 			copy(out[r.Lo:r.Hi], part)
 			return nil
 		}
-		if err := c.Pool.Run(ctx, c.ranges(cfg.Samples), post, local); err != nil {
+		if err := c.Pool.Run(ctx, c.ranges(ctx, cfg.Samples), post, local); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -354,7 +360,7 @@ func (c *Coordinator) EvaluateQueries(ctx context.Context, n int, seed uint64, q
 			return err
 		}
 		if err := validate(resp.Tallies); err != nil {
-			return shard.Errf(shard.ClassCorrupt, "%v", err)
+			return shard.Errf(shard.ClassCorrupt, "%w", err)
 		}
 		if !commit() {
 			return nil // lost hedge race: the range already merged
@@ -363,7 +369,7 @@ func (c *Coordinator) EvaluateQueries(ctx context.Context, n int, seed uint64, q
 			// Post-commit merge failures cannot retry (the range is already
 			// acknowledged); abort the pass explicitly rather than finish
 			// with a silently short tally.
-			return shard.Errf(shard.ClassFatal, "serve: merging range [%d,%d): %v", r.Lo, r.Hi, err)
+			return shard.Errf(shard.ClassFatal, "serve: merging range [%d,%d): %w", r.Lo, r.Hi, err)
 		}
 		return nil
 	}
@@ -375,7 +381,7 @@ func (c *Coordinator) EvaluateQueries(ctx context.Context, n int, seed uint64, q
 		}
 		return mergeAll(parts)
 	}
-	if err := c.Pool.Run(ctx, c.ranges(n), post, local); err != nil {
+	if err := c.Pool.Run(ctx, c.ranges(ctx, n), post, local); err != nil {
 		return nil, err
 	}
 	reports := make([]yield.SweepReport, len(sweeps))
@@ -464,13 +470,13 @@ func (c *Coordinator) EvaluateQueriesAdaptive(ctx context.Context, n int, seed u
 				return err
 			}
 			if err := validate(resp.Tallies); err != nil {
-				return shard.Errf(shard.ClassCorrupt, "%v", err)
+				return shard.Errf(shard.ClassCorrupt, "%w", err)
 			}
 			if !commit() {
 				return nil // lost hedge race: the range already merged
 			}
 			if err := mergeAll(resp.Tallies); err != nil {
-				return shard.Errf(shard.ClassFatal, "serve: merging wave range [%d,%d): %v", r.Lo, r.Hi, err)
+				return shard.Errf(shard.ClassFatal, "serve: merging wave range [%d,%d): %w", r.Lo, r.Hi, err)
 			}
 			return nil
 		}
@@ -489,7 +495,7 @@ func (c *Coordinator) EvaluateQueriesAdaptive(ctx context.Context, n int, seed u
 			}
 			return mergeAll(parts)
 		}
-		if err := c.Pool.Run(ctx, c.waveRanges(lo, hi), post, local); err != nil {
+		if err := c.Pool.Run(ctx, c.waveRanges(ctx, lo, hi), post, local); err != nil {
 			return nil, err
 		}
 		if err := a.Absorb(merged); err != nil {

@@ -337,9 +337,14 @@ func (w *Worker) Post(ctx context.Context, path string, req, out any) error {
 	return nil
 }
 
-// healthy probes the worker's health endpoint (short timeout).
-func (w *Worker) healthy(path string) bool {
-	resp, err := w.prober.Get(w.Base + path)
+// healthy probes the worker's health endpoint (short timeout; aborted
+// early if ctx ends first).
+func (w *Worker) healthy(ctx context.Context, path string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Base+path, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := w.prober.Do(req)
 	if err != nil {
 		return false
 	}
@@ -433,14 +438,16 @@ func (p *Pool) Alive() int {
 // Probe checks worker health at path (e.g. "/healthz"), resetting the
 // breakers of workers that answer and force-opening those that don't.
 // Coordinators call it before a dispatch so a worker that restarted since
-// its last failure rejoins the pool.
-func (p *Pool) Probe(path string) {
+// its last failure rejoins the pool. Cancelling ctx aborts in-flight
+// probes (an unanswered probe then counts as down, which the next pass
+// re-checks).
+func (p *Pool) Probe(ctx context.Context, path string) {
 	var wg sync.WaitGroup
 	for _, w := range p.workers {
 		wg.Add(1)
 		go func(w *Worker) {
 			defer wg.Done()
-			if w.healthy(path) {
+			if w.healthy(ctx, path) {
 				w.br.reset()
 			} else if w.br.forceOpen() {
 				p.C.BreakerTrips.Add(1)

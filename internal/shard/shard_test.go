@@ -5,11 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 func TestSplitTilesExactly(t *testing.T) {
@@ -395,7 +396,7 @@ func TestRunHedgesStraggler(t *testing.T) {
 // returns promptly (not after the transport timeout) and leaves no
 // goroutines behind.
 func TestRunCancellationPromptNoLeaks(t *testing.T) {
-	before := runtime.NumGoroutine()
+	check := leakcheck.Guard(t)
 	p := NewPoolWith([]string{"http://hang"}, fastOpts())
 	ctx, cancel := context.WithCancel(context.Background())
 	time.AfterFunc(30*time.Millisecond, cancel)
@@ -417,20 +418,8 @@ func TestRunCancellationPromptNoLeaks(t *testing.T) {
 	if elapsed > 2*time.Second {
 		t.Fatalf("cancellation took %v, want prompt return", elapsed)
 	}
-	// No goroutine may outlive Run. Poll: the drained attempt goroutines
-	// need a moment to finish their final statements.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// No goroutine may outlive Run.
+	check()
 }
 
 func TestRunFatalAborts(t *testing.T) {

@@ -416,6 +416,8 @@ func (a *Analyzer) propagate(ids []int32) {
 // parallel across CPU cores. The result is ordered by (launch, capture)
 // and is a view into the analyzer's arena — see the package ownership
 // contract.
+//
+//contract:allocfree
 func (a *Analyzer) PairDelays() []Pair {
 	a.propagate(a.launches)
 	a.prepared = true
@@ -432,6 +434,8 @@ func (a *Analyzer) PairDelays() []Pair {
 // no edited node. Edits at nodes no pair can observe (inputs, outputs,
 // off-path gates) are correctly ignored. Falls back to a full propagation
 // if the arena has never been filled.
+//
+//contract:allocfree
 func (a *Analyzer) RepropagateCone(nodes ...int) []Pair {
 	if !a.prepared {
 		return a.PairDelays()
@@ -441,14 +445,17 @@ func (a *Analyzer) RepropagateCone(nodes ...int) []Pair {
 	sc.bump()
 	epoch := sc.epoch
 	stack, aff := sc.stack[:0], sc.aff[:0]
+	//lint:ignore contract:allocfree non-escaping closure, stack-allocated
 	markLaunch := func(id int) {
 		if a.arcOff[id] < a.arcOff[id+1] && sc.ffMark[id] != epoch {
 			sc.ffMark[id] = epoch
+			//lint:ignore contract:allocfree grows pooled scratch (sc.aff), amortized to zero once warm
 			aff = append(aff, int32(id))
 		}
 	}
 	for _, x := range nodes {
 		if x < 0 || x >= len(c.Nodes) {
+			//lint:ignore contract:allocfree cold panic path
 			panic(fmt.Sprintf("ssta: RepropagateCone node %d out of range", x))
 		}
 		n := &c.Nodes[x]
@@ -458,6 +465,7 @@ func (a *Analyzer) RepropagateCone(nodes ...int) []Pair {
 		case n.Kind.IsGate() && a.onPath[x]:
 			if sc.mark[x] != epoch {
 				sc.mark[x] = epoch
+				//lint:ignore contract:allocfree grows pooled scratch (sc.stack), amortized to zero once warm
 				stack = append(stack, int32(x))
 			}
 		}
@@ -473,6 +481,7 @@ func (a *Analyzer) RepropagateCone(nodes ...int) []Pair {
 			case un.Kind.IsGate() && sc.mark[u] != epoch:
 				// u feeds an on-path gate, so u is on-path by construction.
 				sc.mark[u] = epoch
+				//lint:ignore contract:allocfree grows pooled scratch (sc.stack), amortized to zero once warm
 				stack = append(stack, int32(u))
 			}
 		}

@@ -347,13 +347,18 @@ func EvaluateSweep(ev *Evaluator, src mc.Source, n int, Ts []float64) (SweepRepo
 // feeding every sweep, returning their partial tallies in order — the
 // worker half of the sharded yield loop: disjoint ranges tiling [0, n)
 // merge (SweepTally.Merge) into exactly the tally one full pass produces.
+//
+//contract:allocfree
 func TallyRange(src mc.Source, lo, hi int, sweeps ...*SweepEvaluator) []SweepTally {
+	//lint:ignore contract:allocfree per-wave header: O(sweeps), not O(samples)
 	consumes := make([]func(k int, ch *timing.Chip), len(sweeps))
+	//lint:ignore contract:allocfree per-wave header: O(sweeps), not O(samples)
 	tallies := make([]func() SweepTally, len(sweeps))
 	for i, sw := range sweeps {
 		consumes[i], tallies[i] = sw.RangePass(lo, hi)
 	}
 	src.ForEachRangeBatch(lo, hi, consumes...)
+	//lint:ignore contract:allocfree per-wave partial-tally result: O(sweeps), not O(samples)
 	out := make([]SweepTally, len(sweeps))
 	for i, tl := range tallies {
 		out[i] = tl()
@@ -365,13 +370,18 @@ func TallyRange(src mc.Source, lo, hi int, sweeps ...*SweepEvaluator) []SweepTal
 // realization pass over chips [lo, hi) feeding every sweep's step-1
 // threshold search only. Partial tallies carry FirstZero alone and merge
 // via SweepTally.MergeZero.
+//
+//contract:allocfree
 func TallyRangeZero(src mc.Source, lo, hi int, sweeps ...*SweepEvaluator) []SweepTally {
+	//lint:ignore contract:allocfree per-wave header: O(sweeps), not O(samples)
 	consumes := make([]func(k int, ch *timing.Chip), len(sweeps))
+	//lint:ignore contract:allocfree per-wave header: O(sweeps), not O(samples)
 	tallies := make([]func() SweepTally, len(sweeps))
 	for i, sw := range sweeps {
 		consumes[i], tallies[i] = sw.RangePassZero(lo, hi)
 	}
 	src.ForEachRangeBatch(lo, hi, consumes...)
+	//lint:ignore contract:allocfree per-wave partial-tally result: O(sweeps), not O(samples)
 	out := make([]SweepTally, len(sweeps))
 	for i, tl := range tallies {
 		out[i] = tl()

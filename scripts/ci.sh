@@ -7,6 +7,9 @@
 # Usage: scripts/ci.sh [stage]
 #   all     (default) every stage below
 #   verify  fmt + vet + build + test + smokes + bench gate (no fuzz, no race)
+#   lint    contract analyzers (cmd/contractlint as a go vet -vettool):
+#           determinism, allocfree, ctxpass, errclass — see DESIGN.md
+#           "Static contracts"
 #   race    tier-1 tests under the race detector
 #   fuzz    solver-equivalence fuzzing (implies CI_FUZZ=on)
 #   chaos   coordinator + 2 workers with one chaos-wrapped transport: the
@@ -22,9 +25,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-all | verify | race | fuzz | chaos) ;;
+all | verify | lint | race | fuzz | chaos) ;;
 *)
-    echo "usage: scripts/ci.sh [all|verify|race|fuzz|chaos]" >&2
+    echo "usage: scripts/ci.sh [all|verify|lint|race|fuzz|chaos]" >&2
     exit 2
     ;;
 esac
@@ -92,6 +95,34 @@ if [ "$stage" = "race" ]; then
     echo "== tier-1 under the race detector =="
     go test -race ./...
     echo "CI OK (race)"
+    exit 0
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "lint" ]; then
+    echo "== contract lint (go vet -vettool=contractlint) =="
+    # The contract analyzers turn DESIGN.md invariants into diagnostics:
+    # determinism (byte-identical path), allocfree (annotated warm solves),
+    # ctxpass (cancellable shard dispatch), errclass (class-preserving
+    # wraps). Findings land in CI_OUT for the workflow to upload.
+    lintdir=$(mktemp -d)
+    trap 'rm -rf "$lintdir"' EXIT
+    go build -o "$lintdir/contractlint" ./cmd/contractlint
+    lint_status=0
+    go vet -vettool="$lintdir/contractlint" ./... 2>"$lintdir/findings.txt" || lint_status=$?
+    if [ -s "$lintdir/findings.txt" ]; then
+        cat "$lintdir/findings.txt" >&2
+    fi
+    save_artifact "$lintdir/findings.txt" "contractlint-findings.txt"
+    rm -rf "$lintdir"
+    trap - EXIT
+    if [ "$lint_status" -ne 0 ]; then
+        echo "contract lint failed" >&2
+        exit "$lint_status"
+    fi
+fi
+
+if [ "$stage" = "lint" ]; then
+    echo "CI OK (lint)"
     exit 0
 fi
 
