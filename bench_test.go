@@ -37,6 +37,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/mc"
 	"repro/internal/milp"
+	"repro/internal/shard/wire"
 	"repro/internal/ssta"
 	"repro/internal/stat"
 	"repro/internal/timing"
@@ -745,5 +746,81 @@ func BenchmarkChipRealization(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bench.Graph.RealizeInto(rng, ch)
+	}
+}
+
+// wireBenchBatch builds a deterministic shard-pass payload of realistic
+// shape for the wire-codec benchmarks: 512 sample outcomes (about one
+// dispatched range of a 2000-sample pass) with a mixed tuning profile,
+// plus 8 sweep tallies of 64 periods each.
+func wireBenchBatch() ([]insertion.SampleOutcome, []yield.SweepTally) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	outs := make([]insertion.SampleOutcome, 512)
+	for i := range outs {
+		o := &outs[i]
+		o.Feasible = i%5 != 0
+		o.NK = i % 4
+		if o.Feasible {
+			tuned := make([]insertion.Tuning, i%6)
+			for j := range tuned {
+				tuned[j] = insertion.Tuning{FF: j, Val: rng.NormFloat64() * 50}
+			}
+			o.Tuned = tuned
+		}
+	}
+	tallies := make([]yield.SweepTally, 8)
+	for i := range tallies {
+		fz := make([]int, 64)
+		ft := make([]int, 64)
+		for j := range fz {
+			fz[j] = rng.IntN(100)
+			ft[j] = rng.IntN(100)
+		}
+		tallies[i] = yield.SweepTally{FirstZero: fz, FirstTuned: ft}
+	}
+	return outs, tallies
+}
+
+// BenchmarkShardWireEncode measures the binary encode of one shard-pass
+// payload into a reused buffer. Gated: the warm encode must stay at zero
+// allocs/op (the //contract:allocfree annotation on the codecs, measured).
+func BenchmarkShardWireEncode(b *testing.B) {
+	outs, tallies := wireBenchBatch()
+	var buf []byte
+	buf = insertion.AppendOutcomes(buf[:0], outs) // pre-grow outside the clock
+	buf = yield.AppendTallies(buf, tallies)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = insertion.AppendOutcomes(buf[:0], outs)
+		buf = yield.AppendTallies(buf, tallies)
+	}
+}
+
+// BenchmarkShardWireDecode measures the binary decode of the same payload
+// into reused batch arenas. Gated at zero warm allocs/op like the encode.
+func BenchmarkShardWireDecode(b *testing.B) {
+	outs, tallies := wireBenchBatch()
+	outFrame := insertion.AppendOutcomes(nil, outs)
+	talFrame := yield.AppendTallies(nil, tallies)
+	var ob insertion.OutcomeBuf
+	var tb yield.TallyBuf
+	b.SetBytes(int64(len(outFrame) + len(talFrame)))
+	decode := func() {
+		or := wire.NewReader(outFrame)
+		if ob.Decode(&or) == nil || or.Done() != nil {
+			b.Fatal("outcome decode failed")
+		}
+		tr := wire.NewReader(talFrame)
+		if tb.Decode(&tr) == nil || tr.Done() != nil {
+			b.Fatal("tally decode failed")
+		}
+	}
+	decode() // warm the arenas outside the clock
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decode()
 	}
 }

@@ -10,6 +10,8 @@
 //	bufinsd -check http://127.0.0.1:8077             # client self-check
 //	bufinsd -worker -addr :8078                      # shard worker
 //	bufinsd -workers http://h1:8078,http://h2:8078   # coordinator
+//	bufinsd -store /var/lib/bufinsd                  # persistent prepared store
+//	bufinsd -workers ... -codec json                 # shard framing (debug)
 //
 // With -workers the daemon coordinates the Monte Carlo sample loops of
 // /v1/insert and /v1/yield across shard workers (other bufinsd processes):
@@ -18,6 +20,19 @@
 // failed workers are re-dispatched (degrading to in-process execution with
 // every worker down). -worker marks a process as a dedicated worker (it
 // refuses -workers so a worker never fans out itself).
+//
+// -store names a directory for the persistent prepared-bench store:
+// first prepares write checksummed snapshots of the SSTA state there, and
+// a restarted daemon re-attaches to them, cold-starting each circuit in
+// milliseconds instead of re-running the propagation and the period Monte
+// Carlo. Entries are verified on load; corrupt ones are quarantined and
+// re-prepared, never trusted.
+//
+// -codec selects the shard pass framing a coordinator speaks to its
+// workers: "binary" (default, length-prefixed little-endian), "json"
+// (debug/compat), or "mixed" (alternating per worker — the CI matrix uses
+// it to prove both framings merge identically in one run). Workers answer
+// whichever codec the coordinator sends, so the flag is coordinator-side.
 //
 // The -check mode probes a running daemon: it prepares and inserts a tiny
 // generated circuit through the service and verifies the returned plan and
@@ -80,6 +95,9 @@ func main() {
 		shards      = flag.Int("shards", 0, "k-ranges per sharded pass (0 = 4 per worker)")
 		expectShard = flag.Bool("expect-shards", false, "with -check: additionally require the daemon to have dispatched shard ranges to workers (proves the answers came through the distributed path)")
 		expectWaves = flag.Bool("expect-waves", false, "with -check: additionally require the daemon's /metrics to show a multi-wave adaptive evaluation that stopped under its sample cap")
+		expectStore = flag.Bool("expect-store", false, "with -check: additionally require the daemon's /metrics to show the prepared-bench store answered (hits >= 1, misses == 0 — proves a restart re-attached without re-preparing)")
+		storeDir    = flag.String("store", "", "persistent prepared-bench store directory (empty = in-memory LRU only)")
+		codec       = flag.String("codec", "", "shard pass framing to workers: binary (default), json, or mixed")
 
 		rangeTimeout = flag.Duration("range-timeout", 0, "per-attempt deadline for one sharded range (0 = transport timeout only)")
 		retries      = flag.Int("retries", 0, "worker attempts per range before in-process fallback (0 = default 4)")
@@ -95,7 +113,7 @@ func main() {
 	flag.Parse()
 
 	if *check != "" {
-		if err := runCheck(*check, *expectShard, *expectWaves); err != nil {
+		if err := runCheck(*check, *expectShard, *expectWaves, *expectStore); err != nil {
 			fatalf("check: %v", err)
 		}
 		fmt.Println("bufinsd check OK: service plans and yields byte-identical to the in-process flow")
@@ -116,6 +134,15 @@ func main() {
 	if *chaosWorker != "" && len(workerList) == 0 {
 		fatalf("-chaos-worker requires -workers")
 	}
+	shardCodec, err := serve.ParseCodec(*codec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			fatalf("-store: %v", err)
+		}
+	}
 	s := serve.New(serve.Config{
 		MaxBenches:      *benches,
 		MaxPlans:        *plans,
@@ -135,6 +162,8 @@ func main() {
 		ChaosSeed:   *chaosSeed,
 		ChaosRate:   *chaosRate,
 		ChaosFaults: faults,
+		Codec:       shardCodec,
+		StoreDir:    *storeDir,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -212,7 +241,7 @@ func checkCircuit() (serve.CircuitSpec, expt.Options) {
 // expectShards, the daemon must additionally report shard ranges
 // dispatched to workers on /metrics — probing a coordinator proves the
 // byte-identical answers actually came through the distributed path.
-func runCheck(base string, expectShards, expectWaves bool) error {
+func runCheck(base string, expectShards, expectWaves, expectStore bool) error {
 	if err := runCheckFlow(base); err != nil {
 		return err
 	}
@@ -225,6 +254,11 @@ func runCheck(base string, expectShards, expectWaves bool) error {
 	printRecoveryCounters(metricsText)
 	if expectShards {
 		if err := checkShardDispatch(metricsText); err != nil {
+			return err
+		}
+	}
+	if expectStore {
+		if err := checkStoreHits(metricsText); err != nil {
 			return err
 		}
 	}
@@ -256,10 +290,31 @@ func fetchMetrics(base string) (string, error) {
 func printRecoveryCounters(metricsText string) {
 	for _, line := range strings.Split(metricsText, "\n") {
 		if strings.HasPrefix(line, "bufinsd_shard_") || strings.HasPrefix(line, "bufinsd_chaos_") ||
-			strings.HasPrefix(line, "bufinsd_adaptive_") {
+			strings.HasPrefix(line, "bufinsd_adaptive_") || strings.HasPrefix(line, "bufinsd_store_") {
 			fmt.Printf("bufinsd check: %s\n", line)
 		}
 	}
+}
+
+// checkStoreHits asserts the daemon answered the probe's prepare from its
+// persistent store: at least one hit and no misses, proving a restarted
+// daemon re-attached to its prepared state without re-running SSTA.
+func checkStoreHits(metricsText string) error {
+	hits, err := metricValue(metricsText, "bufinsd_store_hits_total ")
+	if err != nil {
+		return fmt.Errorf("daemon exports no store metrics (started without -store?)")
+	}
+	if hits < 1 {
+		return fmt.Errorf("prepared store answered no prepares (hits = %d, want >= 1)", hits)
+	}
+	misses, err := metricValue(metricsText, "bufinsd_store_misses_total ")
+	if err != nil {
+		return err
+	}
+	if misses != 0 {
+		return fmt.Errorf("prepared store missed %d prepare(s) — the daemon re-ran SSTA instead of re-attaching", misses)
+	}
+	return nil
 }
 
 // metricValue extracts one counter from a /metrics exposition by its

@@ -1,0 +1,88 @@
+package expt
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/cells"
+	"repro/internal/ckt"
+	"repro/internal/mc"
+	"repro/internal/placement"
+	"repro/internal/ssta"
+	"repro/internal/timing"
+	"repro/internal/variation"
+)
+
+// BenchSnapshot is the portable image of a prepared Bench: everything
+// Prepare computes that is expensive or sampled — the propagated pair
+// arena, the drawn clock skews, and the Monte Carlo period distribution.
+// Restoring it over the same circuit and options reproduces the Bench
+// byte-for-byte while skipping both the SSTA propagation and the
+// PeriodSamples-sized Monte Carlo, which is what lets a store-backed
+// worker cold-start in milliseconds.
+type BenchSnapshot struct {
+	// Name is the prepared circuit's name, verified on restore.
+	Name string
+	// Skew is the per-FF deterministic clock skew (Graph.Skew), length NS.
+	Skew []float64
+	// Period is the measured period distribution.
+	Period mc.PeriodStats
+	// Pairs is the prepared SSTA pair arena.
+	Pairs *ssta.PairSnapshot
+}
+
+// Snapshot captures the restorable state of a prepared Bench. The
+// snapshot owns its storage.
+func (b *Bench) Snapshot() (*BenchSnapshot, error) {
+	if b.Analyzer == nil {
+		return nil, fmt.Errorf("expt: snapshot of a bench without an analyzer")
+	}
+	ps, err := b.Analyzer.SnapshotPairs()
+	if err != nil {
+		return nil, err
+	}
+	return &BenchSnapshot{
+		Name:   b.Name,
+		Skew:   slices.Clone(b.Graph.Skew),
+		Period: b.Period,
+		Pairs:  ps,
+	}, nil
+}
+
+// RestoreBench rebuilds the Bench that Prepare(c, opt) produced, using a
+// snapshot taken from that preparation instead of re-running the SSTA
+// propagation and the period Monte Carlo. The cheap structural work
+// (model, analyzer skeleton, constraint graph assembly, placement) is
+// redone from the circuit — it is deterministic, so the result is
+// byte-identical to the original Bench — and every snapshot field is
+// validated against the rebuilt structure before it is trusted.
+func RestoreBench(c *ckt.Circuit, opt Options, s *BenchSnapshot) (*Bench, error) {
+	opt.fill()
+	if s.Name != c.Name {
+		return nil, fmt.Errorf("expt: snapshot is for %q, circuit is %q", s.Name, c.Name)
+	}
+	model := variation.NewModel(cells.Default())
+	if opt.Regions > 1 {
+		model.Space = variation.Space{Params: model.Space.Params, Regions: opt.Regions}
+		model.RegionOf = RegionAssigner(c, opt.Regions)
+	}
+	a, err := ssta.New(c, model)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := a.RestorePairs(s.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Skew) != c.NumFFs() {
+		return nil, fmt.Errorf("expt: snapshot has %d skews, circuit has %d FFs", len(s.Skew), c.NumFFs())
+	}
+	if s.Period.Samples != opt.PeriodSamples {
+		return nil, fmt.Errorf("expt: snapshot period uses %d samples, options ask %d",
+			s.Period.Samples, opt.PeriodSamples)
+	}
+	g := timing.BuildPairs(a, pairs, slices.Clone(s.Skew))
+	pl := placement.Grid(g.NS, placement.AdjFromPairs(g.NS, g.FFPairIDs()))
+	return &Bench{Name: c.Name, Circuit: c, Graph: g, Placement: pl, Period: s.Period,
+		Analyzer: a, Opt: opt}, nil
+}

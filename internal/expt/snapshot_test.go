@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mc"
+)
+
+// TestRestoreBenchByteIdentical: a Bench rebuilt from a snapshot answers
+// exactly like the one Prepare produced — same graph bytes, same period
+// stats, same downstream yield numbers — without re-running propagation
+// or the period Monte Carlo.
+func TestRestoreBenchByteIdentical(t *testing.T) {
+	c, err := gen.Generate(gen.Config{NumFFs: 25, NumGates: 130, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{PeriodSamples: 600, Regions: 2}
+	want, err := Prepare(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := want.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RestoreBench(c, opt, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Period != want.Period {
+		t.Fatalf("period diverges: got %+v want %+v", got.Period, want.Period)
+	}
+	if len(got.Graph.Skew) != len(want.Graph.Skew) {
+		t.Fatal("skew length diverges")
+	}
+	for i := range want.Graph.Skew {
+		if math.Float64bits(got.Graph.Skew[i]) != math.Float64bits(want.Graph.Skew[i]) {
+			t.Fatalf("skew[%d] diverges", i)
+		}
+	}
+	if len(got.Graph.Pairs) != len(want.Graph.Pairs) {
+		t.Fatal("pair count diverges")
+	}
+	for i := range want.Graph.Pairs {
+		w, g := &want.Graph.Pairs[i], &got.Graph.Pairs[i]
+		if g.Launch != w.Launch || g.Capture != w.Capture ||
+			math.Float64bits(g.Max.Mean) != math.Float64bits(w.Max.Mean) ||
+			math.Float64bits(g.Min.Mean) != math.Float64bits(w.Min.Mean) {
+			t.Fatalf("graph pair %d diverges", i)
+		}
+	}
+
+	// The decisive check: a sampled yield measurement is bit-equal, so every
+	// downstream request (insert, yield, adaptive) is answered identically.
+	yw := mc.New(want.Graph, 77).YieldAtZero(300, want.Period.Mu)
+	yg := mc.New(got.Graph, 77).YieldAtZero(300, got.Period.Mu)
+	if yw != yg {
+		t.Fatalf("yield diverges: got %+v want %+v", yg, yw)
+	}
+
+	// What-ifs keep working on a restored bench (the analyzer is live).
+	ew, err := want.WhatIf([]Edit{{Node: c.Nodes[c.FFs()[0]].Name, DeltaPS: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := got.WhatIf([]Edit{{Node: c.Nodes[c.FFs()[0]].Name, DeltaPS: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ew.Period != eg.Period {
+		t.Fatalf("what-if period diverges: got %+v want %+v", eg.Period, ew.Period)
+	}
+}
+
+// TestRestoreBenchRejectsMismatch: snapshots for the wrong circuit or
+// options fail loudly.
+func TestRestoreBenchRejectsMismatch(t *testing.T) {
+	c, err := gen.Generate(gen.Config{NumFFs: 10, NumGates: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{PeriodSamples: 200}
+	b, err := Prepare(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := gen.Generate(gen.Config{NumFFs: 12, NumGates: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreBench(other, opt, snap); err == nil {
+		t.Fatal("snapshot restored onto a different circuit")
+	}
+	if _, err := RestoreBench(c, Options{PeriodSamples: 999}, snap); err == nil {
+		t.Fatal("snapshot restored under different sampling options")
+	}
+	bad := *snap
+	bad.Skew = snap.Skew[:len(snap.Skew)-1]
+	if _, err := RestoreBench(c, opt, &bad); err == nil {
+		t.Fatal("short skew vector accepted")
+	}
+}

@@ -58,6 +58,18 @@ type Config struct {
 	// retries, breakers, hedging); the zero value selects shard.Options'
 	// defaults.
 	Dispatch shard.Options
+	// Codec selects the wire codec the coordinator speaks on /v1/shard/*
+	// when Workers is set: CodecBinary (the default), CodecJSON (the
+	// debug/compat surface), or CodecMixed (alternate per worker). It
+	// steers outbound framing only — every server answers both codecs,
+	// negotiated per request via Content-Type/Accept.
+	Codec string
+	// StoreDir, when set, backs the prepared-bench LRU with a persistent
+	// content-addressed snapshot store in that directory: first prepares
+	// write a checksummed snapshot, and a restarted server re-attaches in
+	// milliseconds instead of re-running seconds of SSTA. Corrupt or
+	// version-skewed entries are quarantined and re-prepared fresh.
+	StoreDir string
 	// ChaosWorker, when set to one of the Workers base URLs, wraps that
 	// worker's transport in a deterministic fault-injection schedule
 	// (ChaosSeed, ChaosRate, ChaosFaults — nil means every fault kind).
@@ -88,6 +100,9 @@ func (c *Config) fill() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.Codec == "" {
+		c.Codec = CodecBinary
+	}
 }
 
 // Server answers insertion and yield queries from warm prepared-benchmark
@@ -105,6 +120,10 @@ type Server struct {
 	// worker (nil otherwise).
 	pool  *shard.Pool
 	chaos *chaos.Transport
+
+	// store is the persistent prepared-bench store (nil unless
+	// Config.StoreDir is set).
+	store *benchStore
 
 	inflight chan struct{}
 	m        metrics
@@ -133,6 +152,15 @@ type metrics struct {
 	adWaves       atomic.Int64
 	adEarlyStop   atomic.Int64
 	adCap         atomic.Int64
+
+	// Persistent prepared-bench store accounting (StoreDir only): hits
+	// restored a bench from disk, misses found no entry, invalid counts
+	// quarantined entries (bad checksum/version/shape), writes counts
+	// persisted prepares.
+	storeHit     atomic.Int64
+	storeMiss    atomic.Int64
+	storeInvalid atomic.Int64
+	storeWrites  atomic.Int64
 }
 
 type endpoint int
@@ -197,6 +225,9 @@ func New(cfg Config) *Server {
 		benches:  newLRU(cfg.MaxBenches),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 	}
+	if cfg.StoreDir != "" {
+		s.store = &benchStore{dir: cfg.StoreDir}
+	}
 	if len(cfg.Workers) > 0 {
 		s.pool = shard.NewPoolWith(cfg.Workers, cfg.Dispatch)
 		if cfg.ChaosWorker != "" {
@@ -212,8 +243,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/prepare", s.jsonHandler(epPrepare, s.handlePrepare))
 	s.mux.Handle("/v1/insert", s.jsonHandler(epInsert, s.handleInsert))
 	s.mux.Handle("/v1/yield", s.jsonHandler(epYield, s.handleYield))
-	s.mux.Handle("/v1/shard/insert-pass", s.jsonHandler(epInsertPass, s.handleInsertPass))
-	s.mux.Handle("/v1/shard/yield-pass", s.jsonHandler(epYieldPass, s.handleYieldPass))
+	s.shardRoutes()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -315,7 +345,19 @@ func (s *Server) getBench(spec CircuitSpec, opt expt.Options) (*benchEntry, bool
 				if err != nil {
 					return nil, err
 				}
-				return expt.Prepare(c, opt)
+				if s.store != nil {
+					if b := s.storedBench(key, c, opt); b != nil {
+						return b, nil
+					}
+				}
+				b, err := expt.Prepare(c, opt)
+				if err != nil {
+					return nil, err
+				}
+				if s.store != nil {
+					s.persistBench(key, b)
+				}
+				return b, nil
 			},
 			plans:  newLRU(s.cfg.MaxPlans),
 			pops:   newLRU(s.cfg.MaxPopulations),
@@ -737,6 +779,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"bench\"} %d\n", s.m.benchMiss.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"plan\"} %d\n", s.m.planMiss.Load())
 	fmt.Fprintf(&b, "bufinsd_cache_misses_total{cache=\"population\"} %d\n", s.m.popMiss.Load())
+	if s.store != nil {
+		fmt.Fprintf(&b, "# TYPE bufinsd_store_hits_total counter\nbufinsd_store_hits_total %d\n", s.m.storeHit.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_store_misses_total counter\nbufinsd_store_misses_total %d\n", s.m.storeMiss.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_store_invalid_total counter\nbufinsd_store_invalid_total %d\n", s.m.storeInvalid.Load())
+		fmt.Fprintf(&b, "# TYPE bufinsd_store_writes_total counter\nbufinsd_store_writes_total %d\n", s.m.storeWrites.Load())
+	}
 	if s.pool != nil {
 		alive := s.pool.Alive()
 		fmt.Fprintf(&b, "# TYPE bufinsd_shard_workers gauge\n")

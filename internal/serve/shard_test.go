@@ -115,6 +115,51 @@ func TestShardedByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestShardedByteIdenticalAcrossCodecs is the codec matrix: JSON, binary,
+// and mixed (per-worker alternating) framing must all merge to the same
+// bytes as the plain in-process server over uneven tilings — the codec is
+// pure transport, invisible in every merged result.
+func TestShardedByteIdenticalAcrossCodecs(t *testing.T) {
+	_, plain := newTestServer(t)
+	wantPlan, wantStats, wantResults := insertYield(t, plain)
+	wj, _ := json.Marshal(wantPlan)
+	workers := startWorkers(t, 2)
+	for _, codec := range []string{CodecJSON, CodecBinary, CodecMixed} {
+		for _, tc := range []struct {
+			workers []string
+			shards  int
+		}{
+			{workers[:1], 1},
+			{workers[:1], 2},
+			{workers[:1], 7},
+			{workers, 1},
+			{workers, 2},
+			{workers, 7},
+		} {
+			s := New(Config{Workers: tc.workers, Shards: tc.shards, Codec: codec})
+			ts := httptest.NewServer(s.Handler())
+			gotPlan, gotStats, gotResults := insertYield(t, NewClient(ts.URL))
+			gj, _ := json.Marshal(gotPlan)
+			if string(wj) != string(gj) {
+				t.Fatalf("%s, %dw×%ds: plan diverges:\n got %s\nwant %s", codec, len(tc.workers), tc.shards, gj, wj)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("%s, %dw×%ds: stats diverge: got %+v want %+v", codec, len(tc.workers), tc.shards, gotStats, wantStats)
+			}
+			if gotResults != wantResults {
+				t.Fatalf("%s, %dw×%ds: yield results diverge", codec, len(tc.workers), tc.shards)
+			}
+			if s.Pool().C.Dispatched.Load() == 0 {
+				t.Fatalf("%s, %dw×%ds: no ranges dispatched to workers", codec, len(tc.workers), tc.shards)
+			}
+			if s.Pool().C.Local.Load() != 0 {
+				t.Fatalf("%s, %dw×%ds: healthy pool fell back to local execution", codec, len(tc.workers), tc.shards)
+			}
+			ts.Close()
+		}
+	}
+}
+
 // flakyWorker proxies a real worker but dies (connection-level) after
 // serving `succeed` shard passes — the mid-run kill of the acceptance
 // criterion, observable as transport errors on later dispatches.
@@ -146,11 +191,17 @@ func flakyWorker(t *testing.T, target string, succeed int64) string {
 		if err != nil {
 			t.Fatal(err)
 		}
+		req.Header = r.Header.Clone() // codec negotiation rides on Content-Type/Accept
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body)
 	}))

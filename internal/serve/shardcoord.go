@@ -14,6 +14,7 @@ import (
 	"repro/internal/insertion"
 	"repro/internal/mc"
 	"repro/internal/shard"
+	"repro/internal/shard/wire"
 	"repro/internal/timing"
 	"repro/internal/yield"
 )
@@ -37,11 +38,16 @@ import (
 
 // ---------------- worker half ----------------
 
-func (s *Server) handleInsertPass(r *http.Request) (any, error) {
-	req, err := decode[InsertPassRequest](r)
-	if err != nil {
-		return nil, err
-	}
+// The shard-pass endpoint paths, shared by route registration and the
+// coordinator's dispatch.
+const (
+	insertPassPath = "/v1/shard/insert-pass"
+	yieldPassPath  = "/v1/shard/yield-pass"
+)
+
+// insertPass executes one contiguous k-range of an insertion pass; the
+// codec-negotiating passHandler decodes req from either framing.
+func (s *Server) insertPass(r *http.Request, req InsertPassRequest) (any, error) {
 	if req.Samples <= 0 {
 		return nil, badRequest("need samples > 0")
 	}
@@ -75,11 +81,9 @@ func (s *Server) handleInsertPass(r *http.Request) (any, error) {
 	}, nil
 }
 
-func (s *Server) handleYieldPass(r *http.Request) (any, error) {
-	req, err := decode[YieldPassRequest](r)
-	if err != nil {
-		return nil, err
-	}
+// yieldPass tallies one contiguous chip range of a yield sweep batch;
+// the codec-negotiating passHandler decodes req from either framing.
+func (s *Server) yieldPass(r *http.Request, req YieldPassRequest) (any, error) {
 	if req.EvalSamples <= 0 {
 		return nil, badRequest("need eval_samples > 0")
 	}
@@ -198,6 +202,11 @@ type Coordinator struct {
 	// Circuit and Options identify the prepared bench on the workers.
 	Circuit CircuitSpec
 	Options expt.Options
+	// Codec selects the wire framing for dispatched passes: CodecBinary
+	// (also the zero value's meaning), CodecJSON, or CodecMixed
+	// (alternate per worker). Responses decode by their Content-Type, so
+	// any mix of framings merges into byte-identical results.
+	Codec string
 
 	g      *timing.Graph
 	runner *insertion.Runner
@@ -225,9 +234,95 @@ func (s *Server) coordinator(spec CircuitSpec, opt expt.Options, e *benchEntry) 
 		Shards:  s.cfg.Shards,
 		Circuit: spec,
 		Options: opt,
+		Codec:   s.cfg.Codec,
 		g:       e.sys.Graph(),
 		runner:  e.runner,
 	}
+}
+
+// codecFor picks the request framing for one worker: the coordinator's
+// configured codec, with CodecMixed alternating by pool position (even
+// index binary, odd JSON).
+func (c *Coordinator) codecFor(w *shard.Worker) string {
+	switch c.Codec {
+	case CodecJSON:
+		return CodecJSON
+	case CodecMixed:
+		for i, wk := range c.Pool.Workers() {
+			if wk == w {
+				if i%2 == 1 {
+					return CodecJSON
+				}
+				break
+			}
+		}
+	}
+	return CodecBinary
+}
+
+// postInsertPass sends one insert-pass range to w in the coordinator's
+// codec and decodes the response by its Content-Type. req must carry a
+// zero Range (the frame, or a copy, carries r); header is req's JSON
+// form, marshaled once per pass and shared by every range. A response
+// frame that fails to decode — truncated mid-frame, version-skewed, or
+// mangled — classifies corrupt: the partial is discarded and the range
+// retries elsewhere, never merging.
+func (c *Coordinator) postInsertPass(ctx context.Context, w *shard.Worker, req InsertPassRequest, header []byte, r shard.Range) (*InsertPassResponse, error) {
+	if c.codecFor(w) == CodecJSON {
+		var resp InsertPassResponse
+		req.Range = r
+		if err := w.Post(ctx, insertPassPath, req, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	data, ct, err := w.PostBody(ctx, insertPassPath, wire.ContentType, wire.ContentType, appendPassRequest(nil, header, r))
+	if err != nil {
+		return nil, err
+	}
+	if !wantsBinary(ct) {
+		// The worker answered on the JSON debug surface despite our Accept.
+		var resp InsertPassResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return nil, shard.Errf(shard.ClassCorrupt, "serve: decoding insert-pass response from %s: %w", w.Base, err)
+		}
+		return &resp, nil
+	}
+	var ob insertion.OutcomeBuf
+	resp, err := decodeInsertPassResponse(data, &ob)
+	if err != nil {
+		return nil, shard.Errf(shard.ClassCorrupt, "serve: decoding binary insert-pass frame from %s: %w", w.Base, err)
+	}
+	return resp, nil
+}
+
+// postYieldPass is postInsertPass for yield-pass ranges.
+func (c *Coordinator) postYieldPass(ctx context.Context, w *shard.Worker, req YieldPassRequest, header []byte, r shard.Range) (*YieldPassResponse, error) {
+	if c.codecFor(w) == CodecJSON {
+		var resp YieldPassResponse
+		req.Range = r
+		if err := w.Post(ctx, yieldPassPath, req, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	data, ct, err := w.PostBody(ctx, yieldPassPath, wire.ContentType, wire.ContentType, appendPassRequest(nil, header, r))
+	if err != nil {
+		return nil, err
+	}
+	if !wantsBinary(ct) {
+		var resp YieldPassResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return nil, shard.Errf(shard.ClassCorrupt, "serve: decoding yield-pass response from %s: %w", w.Base, err)
+		}
+		return &resp, nil
+	}
+	var tb yield.TallyBuf
+	resp, err := decodeYieldPassResponse(data, &tb)
+	if err != nil {
+		return nil, shard.Errf(shard.ClassCorrupt, "serve: decoding binary yield-pass frame from %s: %w", w.Base, err)
+	}
+	return resp, nil
 }
 
 // ranges tiles [0, n), and revives any down workers that answer /healthz
@@ -262,21 +357,26 @@ func (c *Coordinator) waveRanges(ctx context.Context, lo, hi int) []shard.Range 
 func (c *Coordinator) InsertPass(ctx context.Context, cfg insertion.Config) insertion.PassFunc {
 	return func(spec insertion.PassSpec) ([]insertion.SampleOutcome, error) {
 		out := make([]insertion.SampleOutcome, cfg.Samples)
+		req := InsertPassRequest{
+			Circuit:         c.Circuit,
+			Options:         c.Options,
+			T:               cfg.T,
+			Samples:         cfg.Samples,
+			Seed:            cfg.Seed,
+			Workers:         cfg.Workers,
+			Spec:            cfg.Spec,
+			MaxComponent:    cfg.MaxComponent,
+			NoConcentration: cfg.NoConcentration,
+			Pass:            spec,
+		}
+		// The binary frame's shared header: marshaled once per pass, with
+		// the per-range window travelling natively beside it.
+		header, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
 		post := func(ctx context.Context, w *shard.Worker, r shard.Range, commit func() bool) error {
-			var resp InsertPassResponse
-			err := w.Post(ctx, "/v1/shard/insert-pass", InsertPassRequest{
-				Circuit:         c.Circuit,
-				Options:         c.Options,
-				T:               cfg.T,
-				Samples:         cfg.Samples,
-				Seed:            cfg.Seed,
-				Workers:         cfg.Workers,
-				Spec:            cfg.Spec,
-				MaxComponent:    cfg.MaxComponent,
-				NoConcentration: cfg.NoConcentration,
-				Pass:            spec,
-				Range:           r,
-			}, &resp)
+			resp, err := c.postInsertPass(ctx, w, req, header, r)
 			if err != nil {
 				return err
 			}
@@ -346,16 +446,19 @@ func (c *Coordinator) EvaluateQueries(ctx context.Context, n int, seed uint64, q
 		}
 		return nil
 	}
+	req := YieldPassRequest{
+		Circuit:     c.Circuit,
+		Options:     c.Options,
+		EvalSamples: n,
+		Seed:        seed,
+		Queries:     queries,
+	}
+	header, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
 	post := func(ctx context.Context, w *shard.Worker, r shard.Range, commit func() bool) error {
-		var resp YieldPassResponse
-		err := w.Post(ctx, "/v1/shard/yield-pass", YieldPassRequest{
-			Circuit:     c.Circuit,
-			Options:     c.Options,
-			EvalSamples: n,
-			Seed:        seed,
-			Queries:     queries,
-			Range:       r,
-		}, &resp)
+		resp, err := c.postYieldPass(ctx, w, req, header, r)
 		if err != nil {
 			return err
 		}
@@ -454,18 +557,21 @@ func (c *Coordinator) EvaluateQueriesAdaptive(ctx context.Context, n int, seed u
 			}
 			return nil
 		}
+		req := YieldPassRequest{
+			Circuit:     c.Circuit,
+			Options:     c.Options,
+			EvalSamples: n,
+			Seed:        seed,
+			Queries:     queries,
+			ZeroOnly:    zeroOnly,
+			Strata:      a.Prec.Strata,
+		}
+		header, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
 		post := func(ctx context.Context, w *shard.Worker, r shard.Range, commit func() bool) error {
-			var resp YieldPassResponse
-			err := w.Post(ctx, "/v1/shard/yield-pass", YieldPassRequest{
-				Circuit:     c.Circuit,
-				Options:     c.Options,
-				EvalSamples: n,
-				Seed:        seed,
-				Queries:     queries,
-				Range:       r,
-				ZeroOnly:    zeroOnly,
-				Strata:      a.Prec.Strata,
-			}, &resp)
+			resp, err := c.postYieldPass(ctx, w, req, header, r)
 			if err != nil {
 				return err
 			}

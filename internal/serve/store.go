@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ckt"
+	"repro/internal/expt"
+	"repro/internal/shard/wire"
+	"repro/internal/ssta"
+)
+
+// benchStore is the persistent prepared-bench store: a content-addressed
+// directory of BenchSnapshot files keyed by the same CircuitSpec.Key() ×
+// Options.Key() string the warm LRU uses. A worker restarted with the
+// same -store directory re-attaches to its prepared state and cold-starts
+// in milliseconds instead of re-running the SSTA propagation and the
+// period Monte Carlo; the warm LRU in front is unchanged.
+//
+// Trust model: entries are verified, never believed. Every file carries a
+// magic, a format version, its own cache key, and a trailing SHA-256 over
+// the payload; a mismatch in any of them — or a snapshot that fails the
+// structural checks in expt.RestoreBench — classifies the entry invalid.
+// Invalid entries are quarantined (renamed aside for postmortem) and the
+// server falls back to a fresh prepare, so a corrupt store can cost time
+// but never correctness.
+type benchStore struct {
+	dir string
+}
+
+const (
+	storeMagic   = 0xB0F1_5EED
+	storeVersion = 1
+	storeExt     = ".bench"
+)
+
+// errStoreInvalid tags every verification failure so callers can count
+// and quarantine uniformly.
+var errStoreInvalid = errors.New("invalid store entry")
+
+// path is the content address of a cache key: the hex SHA-256 of the key
+// keeps arbitrary key text out of filenames.
+func (st *benchStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:])+storeExt)
+}
+
+// appendBenchSnapshot serializes one entry: magic, version, the owning
+// cache key, the snapshot fields (wire primitives, little-endian), and a
+// trailing SHA-256 over everything before it.
+func appendBenchSnapshot(buf []byte, key string, s *expt.BenchSnapshot) []byte {
+	buf = wire.AppendU32(buf, storeMagic)
+	buf = wire.AppendU32(buf, storeVersion)
+	buf = wire.AppendString(buf, key)
+	buf = wire.AppendString(buf, s.Name)
+	buf = wire.AppendF64(buf, s.Period.Mu)
+	buf = wire.AppendF64(buf, s.Period.Sigma)
+	buf = wire.AppendF64(buf, s.Period.HoldViolRate)
+	buf = wire.AppendInt(buf, s.Period.Samples)
+	buf = wire.AppendF64s(buf, s.Skew)
+	buf = wire.AppendInt(buf, s.Pairs.Dim)
+	buf = appendInt32s(buf, s.Pairs.Launch)
+	buf = appendInt32s(buf, s.Pairs.Capture)
+	buf = wire.AppendF64s(buf, s.Pairs.MaxMean)
+	buf = wire.AppendF64s(buf, s.Pairs.MaxRand)
+	buf = wire.AppendF64s(buf, s.Pairs.MinMean)
+	buf = wire.AppendF64s(buf, s.Pairs.MinRand)
+	buf = wire.AppendF64s(buf, s.Pairs.Sens)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+func appendInt32s(buf []byte, xs []int32) []byte {
+	buf = wire.AppendU32(buf, uint32(len(xs)))
+	for _, x := range xs {
+		buf = wire.AppendInt(buf, int(x))
+	}
+	return buf
+}
+
+func readInt32s(r *wire.Reader) []int32 {
+	n := r.Count(8)
+	out := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, int32(r.Int()))
+	}
+	return out
+}
+
+// decodeBenchSnapshot verifies and decodes one entry. Any failure —
+// short file, checksum mismatch, wrong magic/version, wrong key, frame
+// error — wraps errStoreInvalid.
+func decodeBenchSnapshot(data []byte, key string) (*expt.BenchSnapshot, error) {
+	if len(data) < sha256.Size {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than its checksum", errStoreInvalid, len(data))
+	}
+	payload, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(payload); string(sum[:]) != string(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errStoreInvalid)
+	}
+	r := wire.NewReader(payload)
+	if m := r.U32(); m != storeMagic && r.Err() == nil {
+		return nil, fmt.Errorf("%w: bad magic %#x", errStoreInvalid, m)
+	}
+	if v := r.U32(); v != storeVersion && r.Err() == nil {
+		return nil, fmt.Errorf("%w: format version %d, want %d", errStoreInvalid, v, storeVersion)
+	}
+	if k := string(r.Bytes()); k != key && r.Err() == nil {
+		return nil, fmt.Errorf("%w: entry is for key %q, want %q", errStoreInvalid, k, key)
+	}
+	s := &expt.BenchSnapshot{Pairs: &ssta.PairSnapshot{}}
+	s.Name = string(r.Bytes())
+	s.Period.Mu = r.F64()
+	s.Period.Sigma = r.F64()
+	s.Period.HoldViolRate = r.F64()
+	s.Period.Samples = r.Int()
+	s.Skew = r.F64s(nil)
+	s.Pairs.Dim = r.Int()
+	s.Pairs.Launch = readInt32s(&r)
+	s.Pairs.Capture = readInt32s(&r)
+	s.Pairs.MaxMean = r.F64s(nil)
+	s.Pairs.MaxRand = r.F64s(nil)
+	s.Pairs.MinMean = r.F64s(nil)
+	s.Pairs.MinRand = r.F64s(nil)
+	s.Pairs.Sens = r.F64s(nil)
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %w", errStoreInvalid, err)
+	}
+	return s, nil
+}
+
+// load reads and verifies the entry for key. A missing entry is a plain
+// miss: (nil, nil). A present-but-unverifiable entry returns an error
+// wrapping errStoreInvalid.
+func (st *benchStore) load(key string) (*expt.BenchSnapshot, error) {
+	data, err := os.ReadFile(st.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errStoreInvalid, err)
+	}
+	return decodeBenchSnapshot(data, key)
+}
+
+// save persists an entry atomically (temp file + rename), so a crashed
+// writer leaves either the old entry or none — a torn write can only
+// appear as a checksum failure, which load quarantines.
+func (st *benchStore) save(key string, s *expt.BenchSnapshot) error {
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return err
+	}
+	path := st.path(key)
+	tmp, err := os.CreateTemp(st.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	buf := appendBenchSnapshot(nil, key, s)
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// quarantine moves an invalid entry aside (<name>.quarantine) so the next
+// prepare can re-write a good one while the bad bytes stay inspectable.
+func (st *benchStore) quarantine(key string) {
+	p := st.path(key)
+	os.Rename(p, p+".quarantine")
+}
+
+// storedBench tries to answer a prepare from the store: nil means miss or
+// invalid (both already counted), and the caller falls through to a fresh
+// expt.Prepare. Invalid entries — failed checksum, wrong version, or a
+// snapshot RestoreBench rejects against the freshly built circuit — are
+// quarantined, counted in bufinsd_store_invalid_total, and never trusted.
+func (s *Server) storedBench(key string, c *ckt.Circuit, opt expt.Options) *expt.Bench {
+	snap, err := s.store.load(key)
+	if err != nil {
+		s.m.storeInvalid.Add(1)
+		s.store.quarantine(key)
+		return nil
+	}
+	if snap == nil {
+		s.m.storeMiss.Add(1)
+		return nil
+	}
+	b, err := expt.RestoreBench(c, opt, snap)
+	if err != nil {
+		s.m.storeInvalid.Add(1)
+		s.store.quarantine(key)
+		return nil
+	}
+	s.m.storeHit.Add(1)
+	return b
+}
+
+// persistBench writes a freshly prepared bench to the store. Persistence
+// is best-effort — a full disk degrades to re-preparing on the next cold
+// start, never to a failed request.
+func (s *Server) persistBench(key string, b *expt.Bench) {
+	snap, err := b.Snapshot()
+	if err != nil {
+		return
+	}
+	if s.store.save(key, snap) == nil {
+		s.m.storeWrites.Add(1)
+	}
+}

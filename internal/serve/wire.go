@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/insertion"
+	"repro/internal/shard"
+	"repro/internal/shard/wire"
+	"repro/internal/yield"
+)
+
+// This file is the binary wire codec for the /v1/shard/* pass payloads,
+// negotiated per request via Content-Type (request encoding) and Accept
+// (response encoding). JSON remains the debug/compat surface — a worker
+// answers whichever codec the coordinator speaks, and error responses
+// are always JSON regardless of Accept.
+//
+// Frame grammar (all little-endian, see internal/shard/wire):
+//
+//	request  := version:u8 header:bytes lo:int hi:int
+//	response := version:u8 batch elapsedMS:int
+//
+// The request header is the JSON encoding of the full pass request with
+// its Range zeroed: the slow-moving part (circuit spec, options, query
+// batch, pass spec) is marshaled once per pass and shared by every
+// range and wave, while the per-range part travels as two native ints.
+// Reusing the JSON form for the header guarantees the binary and JSON
+// codecs agree on every field — including nil-vs-empty — by
+// construction. The response is the bulky direction (per-sample
+// outcomes, per-sweep tallies) and is fully binary via the flat batch
+// codecs in internal/insertion and internal/yield.
+
+// Codec names accepted by Config.Codec, Coordinator.Codec, and the
+// cmds' -codec flag.
+const (
+	// CodecBinary frames every shard pass in the length-prefixed binary
+	// codec (the default: ~10x less coordinator CPU and bytes than JSON
+	// for the flat numeric payloads).
+	CodecBinary = "binary"
+	// CodecJSON keeps every shard pass on the HTTP/JSON debug surface.
+	CodecJSON = "json"
+	// CodecMixed alternates codecs across the worker pool (even worker
+	// index binary, odd JSON) — the CI matrix uses it to prove both
+	// framings merge byte-identically in one run.
+	CodecMixed = "mixed"
+)
+
+// ParseCodec validates a codec name from config or flag input; the
+// empty string selects the default (binary).
+func ParseCodec(s string) (string, error) {
+	switch s {
+	case "":
+		return CodecBinary, nil
+	case CodecBinary, CodecJSON, CodecMixed:
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown shard codec %q (want %s, %s, or %s)", s, CodecBinary, CodecJSON, CodecMixed)
+}
+
+// appendPassRequest frames one pass request: the shared JSON header plus
+// the native per-range window.
+func appendPassRequest(buf []byte, header []byte, r shard.Range) []byte {
+	buf = wire.AppendU8(buf, wire.Version)
+	buf = wire.AppendBytes(buf, header)
+	buf = wire.AppendInt(buf, r.Lo)
+	buf = wire.AppendInt(buf, r.Hi)
+	return buf
+}
+
+// decodePassRequest unframes a binary pass request into the JSON header
+// and the range window; the caller unmarshals the header into its
+// request type and restores the range.
+func decodePassRequest(data []byte) (header []byte, rng shard.Range, err error) {
+	r := wire.NewReader(data)
+	r.Version(wire.Version)
+	header = r.Bytes()
+	rng.Lo = r.Int()
+	rng.Hi = r.Int()
+	if err := r.Done(); err != nil {
+		return nil, shard.Range{}, err
+	}
+	return header, rng, nil
+}
+
+func decodeInsertPassRequest(data []byte) (InsertPassRequest, error) {
+	var req InsertPassRequest
+	header, rng, err := decodePassRequest(data)
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(header, &req); err != nil {
+		return req, err
+	}
+	req.Range = rng
+	return req, nil
+}
+
+func decodeYieldPassRequest(data []byte) (YieldPassRequest, error) {
+	var req YieldPassRequest
+	header, rng, err := decodePassRequest(data)
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(header, &req); err != nil {
+		return req, err
+	}
+	req.Range = rng
+	return req, nil
+}
+
+// appendInsertPassResponse frames one insert-pass response binary.
+func appendInsertPassResponse(buf []byte, resp *InsertPassResponse) []byte {
+	buf = wire.AppendU8(buf, wire.Version)
+	buf = insertion.AppendOutcomes(buf, resp.Outcomes)
+	buf = wire.AppendInt(buf, int(resp.ElapsedMS))
+	return buf
+}
+
+// decodeInsertPassResponse unframes a binary insert-pass response into
+// ob's reused storage; the outcomes alias ob.
+func decodeInsertPassResponse(data []byte, ob *insertion.OutcomeBuf) (*InsertPassResponse, error) {
+	r := wire.NewReader(data)
+	r.Version(wire.Version)
+	outs := ob.Decode(&r)
+	elapsed := r.Int()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &InsertPassResponse{Outcomes: outs, ElapsedMS: int64(elapsed)}, nil
+}
+
+// appendYieldPassResponse frames one yield-pass response binary.
+func appendYieldPassResponse(buf []byte, resp *YieldPassResponse) []byte {
+	buf = wire.AppendU8(buf, wire.Version)
+	buf = yield.AppendTallies(buf, resp.Tallies)
+	buf = wire.AppendInt(buf, int(resp.ElapsedMS))
+	return buf
+}
+
+// decodeYieldPassResponse unframes a binary yield-pass response into
+// tb's reused storage; the tallies alias tb.
+func decodeYieldPassResponse(data []byte, tb *yield.TallyBuf) (*YieldPassResponse, error) {
+	r := wire.NewReader(data)
+	r.Version(wire.Version)
+	tallies := tb.Decode(&r)
+	elapsed := r.Int()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &YieldPassResponse{Tallies: tallies, ElapsedMS: int64(elapsed)}, nil
+}
+
+// encBufPool recycles response encode buffers across shard-pass
+// requests so the warm worker encode path reuses storage instead of
+// allocating a fresh frame per range.
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// wantsBinary reports whether the request's header h (Content-Type or
+// Accept) selects the binary shard codec.
+func wantsBinary(h string) bool {
+	return strings.Contains(h, wire.ContentType)
+}
+
+// shardRoutes installs the codec-negotiating /v1/shard/* handlers.
+func (s *Server) shardRoutes() {
+	s.mux.Handle(insertPassPath, s.passHandler(epInsertPass,
+		func(body []byte) (any, error) {
+			var req InsertPassRequest
+			err := json.Unmarshal(body, &req)
+			return req, err
+		},
+		func(body []byte) (any, error) { return decodeInsertPassRequest(body) },
+		func(r *http.Request, req any) (any, error) { return s.insertPass(r, req.(InsertPassRequest)) },
+		func(buf []byte, resp any) []byte { return appendInsertPassResponse(buf, resp.(*InsertPassResponse)) },
+	))
+	s.mux.Handle(yieldPassPath, s.passHandler(epYieldPass,
+		func(body []byte) (any, error) {
+			var req YieldPassRequest
+			err := json.Unmarshal(body, &req)
+			return req, err
+		},
+		func(body []byte) (any, error) { return decodeYieldPassRequest(body) },
+		func(r *http.Request, req any) (any, error) { return s.yieldPass(r, req.(YieldPassRequest)) },
+		func(buf []byte, resp any) []byte { return appendYieldPassResponse(buf, resp.(*YieldPassResponse)) },
+	))
+}
+
+// passHandler wraps one /v1/shard/* endpoint with codec negotiation on
+// top of the jsonHandler duties (inflight limiting, body capping, error
+// mapping): the request decodes by Content-Type, the 200 response
+// encodes by Accept, and errors are always JSON.
+func (s *Server) passHandler(ep endpoint,
+	decodeJSON func([]byte) (any, error),
+	decodeBin func([]byte) (any, error),
+	handle func(*http.Request, any) (any, error),
+	appendBin func([]byte, any) []byte,
+) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests[ep].Add(1)
+		if r.Method != http.MethodPost {
+			s.fail(w, ep, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.m.rejected.Add(1)
+			s.fail(w, ep, http.StatusTooManyRequests, errors.New("server at max inflight requests"))
+			return
+		}
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			s.fail(w, ep, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+			return
+		}
+		var req any
+		if wantsBinary(r.Header.Get("Content-Type")) {
+			req, err = decodeBin(body)
+		} else {
+			req, err = decodeJSON(body)
+		}
+		if err != nil {
+			s.fail(w, ep, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		resp, err := handle(r, req)
+		if err != nil {
+			status := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			}
+			s.fail(w, ep, status, err)
+			return
+		}
+		if wantsBinary(r.Header.Get("Accept")) {
+			bp := encBufPool.Get().(*[]byte)
+			buf := appendBin((*bp)[:0], resp)
+			w.Header().Set("Content-Type", wire.ContentType)
+			w.Write(buf)
+			*bp = buf[:0]
+			encBufPool.Put(bp)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/insertion"
+	"repro/internal/shard"
+	"repro/internal/shard/wire"
+	"repro/internal/yield"
+)
+
+func wireInsertReq() InsertPassRequest {
+	return InsertPassRequest{
+		Circuit: CircuitSpec{Gen: &gen.Config{NumFFs: 8, NumGates: 30, Seed: 3}},
+		Options: expt.Options{PeriodSamples: 100},
+		T:       812.5,
+		Samples: 130,
+		Seed:    5,
+		Pass:    insertion.PassSpec{},
+	}
+}
+
+func wireYieldReq() YieldPassRequest {
+	return YieldPassRequest{
+		Circuit:     CircuitSpec{Preset: "s27"},
+		Options:     expt.Options{PeriodSamples: 100},
+		EvalSamples: 400,
+		Seed:        0x1005,
+		Queries:     []YieldQuery{{Plan: insertion.Plan{T: 812.5}, Periods: []float64{800, 812.5}}},
+		ZeroOnly:    true,
+		Strata:      64,
+	}
+}
+
+// reqJSON is the comparison form for request round trips: the full JSON
+// encoding, which covers every field including nil-vs-empty slices.
+func reqJSON(t *testing.T, v any) string {
+	t.Helper()
+	j, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(j)
+}
+
+func TestInsertPassRequestRoundTrip(t *testing.T) {
+	req := wireInsertReq()
+	header, err := json.Marshal(req) // Range zero, as the coordinator sends it
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := shard.Range{Lo: 17, Hi: 101}
+	frame := appendPassRequest(nil, header, rng)
+	got, err := decodeInsertPassRequest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := req
+	want.Range = rng
+	if reqJSON(t, got) != reqJSON(t, want) {
+		t.Fatalf("round trip diverges:\n got  %s\n want %s", reqJSON(t, got), reqJSON(t, want))
+	}
+}
+
+func TestYieldPassRequestRoundTrip(t *testing.T) {
+	req := wireYieldReq()
+	header, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := shard.Range{Lo: 0, Hi: 57}
+	frame := appendPassRequest(nil, header, rng)
+	got, err := decodeYieldPassRequest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := req
+	want.Range = rng
+	if reqJSON(t, got) != reqJSON(t, want) {
+		t.Fatalf("round trip diverges:\n got  %s\n want %s", reqJSON(t, got), reqJSON(t, want))
+	}
+}
+
+func TestInsertPassResponseRoundTrip(t *testing.T) {
+	resp := &InsertPassResponse{
+		Outcomes: []insertion.SampleOutcome{
+			{Feasible: true, NK: 1, Tuned: []insertion.Tuning{{FF: 2, Val: 0.75}}},
+			{SelfLoop: true},
+			{},
+		},
+		ElapsedMS: 42,
+	}
+	frame := appendInsertPassResponse(nil, resp)
+	var ob insertion.OutcomeBuf
+	got, err := decodeInsertPassResponse(frame, &ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqJSON(t, got) != reqJSON(t, resp) {
+		t.Fatalf("round trip diverges:\n got  %s\n want %s", reqJSON(t, got), reqJSON(t, resp))
+	}
+}
+
+func TestYieldPassResponseRoundTrip(t *testing.T) {
+	resp := &YieldPassResponse{
+		Tallies: []yield.SweepTally{
+			{FirstZero: []int{3, 1, 0}, FirstTuned: []int{2, 2, 0}},
+			{FirstZero: []int{4, 0}}, // zero-only
+		},
+		ElapsedMS: 7,
+	}
+	frame := appendYieldPassResponse(nil, resp)
+	var tb yield.TallyBuf
+	got, err := decodeYieldPassResponse(frame, &tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqJSON(t, got) != reqJSON(t, resp) {
+		t.Fatalf("round trip diverges:\n got  %s\n want %s", reqJSON(t, got), reqJSON(t, resp))
+	}
+	if got.Tallies[1].FirstTuned != nil {
+		t.Fatal("zero-only tally decoded with FirstTuned present")
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	for in, want := range map[string]string{
+		"":     CodecBinary,
+		"json": CodecJSON, "binary": CodecBinary, "mixed": CodecMixed,
+	} {
+		got, err := ParseCodec(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseCodec(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseCodec("protobuf"); err == nil {
+		t.Fatal("ParseCodec accepted an unknown codec")
+	}
+}
+
+// TestTruncatedBinaryFrameClassifiesCorrupt is the truncate-mid-frame
+// guarantee: a worker whose 200 response carries a short binary frame
+// must classify ClassCorrupt at the coordinator — the partial is
+// discarded and retried, never merged.
+func TestTruncatedBinaryFrameClassifiesCorrupt(t *testing.T) {
+	full := appendInsertPassResponse(nil, &InsertPassResponse{
+		Outcomes: []insertion.SampleOutcome{
+			{Feasible: true, Tuned: []insertion.Tuning{{FF: 1, Val: 2}}},
+			{Feasible: true},
+		},
+		ElapsedMS: 3,
+	})
+	cases := map[string][]byte{
+		"truncated":   full[:len(full)/2],
+		"mangled":     append([]byte{'!'}, full[1:]...), // chaos corrupt: first byte flipped
+		"wrong-count": appendPassRequest(nil, []byte("{}"), shard.Range{}),
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", wire.ContentType)
+				w.Write(body)
+			}))
+			defer ts.Close()
+			pool := shard.NewPoolWith([]string{ts.URL}, shard.Options{})
+			c := &Coordinator{Pool: pool, Codec: CodecBinary}
+			req := wireInsertReq()
+			header, _ := json.Marshal(req)
+			_, err := c.postInsertPass(context.Background(), pool.Workers()[0], req, header, shard.Range{Lo: 0, Hi: 2})
+			if err == nil {
+				t.Fatal("short/mangled binary frame decoded cleanly")
+			}
+			if got := shard.ClassOf(err); got != shard.ClassCorrupt {
+				t.Fatalf("class = %v, want ClassCorrupt (err: %v)", got, err)
+			}
+		})
+	}
+}
+
+// TestPassHandlerNegotiatesCodecs drives one worker endpoint through all
+// four Content-Type × Accept combinations and checks the response framing
+// follows Accept while the decoded payload stays identical.
+func TestPassHandlerNegotiatesCodecs(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := InsertPassRequest{
+		Circuit: tinySpec(),
+		Options: tinyOptions(),
+		T:       1e9, // generous period: every sample is feasible fast
+		Samples: 4,
+		Seed:    5,
+		Pass:    insertion.PassSpec{Kind: insertion.PassFloating},
+		Range:   shard.Range{Lo: 0, Hi: 4},
+	}
+	pool := shard.NewPoolWith([]string{ts.URL}, shard.Options{})
+	w := pool.Workers()[0]
+
+	var wantJSON string
+	for _, tc := range []struct{ reqCodec, respCodec string }{
+		{CodecJSON, CodecJSON},
+		{CodecJSON, CodecBinary},
+		{CodecBinary, CodecJSON},
+		{CodecBinary, CodecBinary},
+	} {
+		var body []byte
+		var err error
+		ct := "application/json"
+		if tc.reqCodec == CodecBinary {
+			hdr := req
+			hdr.Range = shard.Range{}
+			header, merr := json.Marshal(hdr)
+			if merr != nil {
+				t.Fatal(merr)
+			}
+			body = appendPassRequest(nil, header, req.Range)
+			ct = wire.ContentType
+		} else if body, err = json.Marshal(req); err != nil {
+			t.Fatal(err)
+		}
+		accept := "application/json"
+		if tc.respCodec == CodecBinary {
+			accept = wire.ContentType
+		}
+		data, gotCT, err := w.PostBody(context.Background(), insertPassPath, ct, accept, body)
+		if err != nil {
+			t.Fatalf("%s→%s: %v", tc.reqCodec, tc.respCodec, err)
+		}
+		var resp InsertPassResponse
+		if tc.respCodec == CodecBinary {
+			if gotCT != wire.ContentType {
+				t.Fatalf("%s→%s: response Content-Type = %q", tc.reqCodec, tc.respCodec, gotCT)
+			}
+			var ob insertion.OutcomeBuf
+			p, err := decodeInsertPassResponse(data, &ob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp = *p
+		} else {
+			if gotCT == wire.ContentType {
+				t.Fatalf("%s→%s: JSON Accept answered binary", tc.reqCodec, tc.respCodec)
+			}
+			if err := json.Unmarshal(data, &resp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.ElapsedMS = 0
+		j := reqJSON(t, resp.Outcomes)
+		if wantJSON == "" {
+			wantJSON = j
+		} else if j != wantJSON {
+			t.Fatalf("%s→%s: outcomes diverge across codecs:\n got  %s\n want %s", tc.reqCodec, tc.respCodec, j, wantJSON)
+		}
+	}
+}
+
+// FuzzWireRoundTrip feeds arbitrary bytes to every binary frame decoder:
+// nothing may panic, a clean decode must re-encode to a frame that
+// decodes to the same value, and a rejected frame must surface a wire
+// sentinel that the coordinator maps to ClassCorrupt.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(appendInsertPassResponse(nil, &InsertPassResponse{
+		Outcomes:  []insertion.SampleOutcome{{Feasible: true, NK: 2, Tuned: []insertion.Tuning{{FF: 1, Val: 0.5}}}},
+		ElapsedMS: 9,
+	}))
+	f.Add(appendYieldPassResponse(nil, &YieldPassResponse{
+		Tallies:   []yield.SweepTally{{FirstZero: []int{1, 0}, FirstTuned: []int{1, 0}}, {FirstZero: []int{2}}},
+		ElapsedMS: 1,
+	}))
+	hdr, _ := json.Marshal(wireYieldReq())
+	f.Add(appendPassRequest(nil, hdr, shard.Range{Lo: 3, Hi: 9}))
+	f.Add([]byte{wire.Version})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ob insertion.OutcomeBuf
+		if resp, err := decodeInsertPassResponse(data, &ob); err == nil {
+			re := appendInsertPassResponse(nil, resp)
+			var ob2 insertion.OutcomeBuf
+			resp2, err := decodeInsertPassResponse(re, &ob2)
+			if err != nil {
+				t.Fatalf("re-encoded insert frame failed to decode: %v", err)
+			}
+			if reqJSON(t, resp) != reqJSON(t, resp2) {
+				t.Fatalf("insert frame not canonical:\n a %s\n b %s", reqJSON(t, resp), reqJSON(t, resp2))
+			}
+		}
+		var tb yield.TallyBuf
+		if resp, err := decodeYieldPassResponse(data, &tb); err == nil {
+			re := appendYieldPassResponse(nil, resp)
+			var tb2 yield.TallyBuf
+			resp2, err := decodeYieldPassResponse(re, &tb2)
+			if err != nil {
+				t.Fatalf("re-encoded yield frame failed to decode: %v", err)
+			}
+			if reqJSON(t, resp) != reqJSON(t, resp2) {
+				t.Fatalf("yield frame not canonical:\n a %s\n b %s", reqJSON(t, resp), reqJSON(t, resp2))
+			}
+		}
+		if req, err := decodeInsertPassRequest(data); err == nil {
+			hdr := req
+			hdr.Range = shard.Range{}
+			header, merr := json.Marshal(hdr)
+			if merr == nil {
+				re := appendPassRequest(nil, header, req.Range)
+				req2, err := decodeInsertPassRequest(re)
+				if err != nil {
+					t.Fatalf("re-encoded request failed to decode: %v", err)
+				}
+				if reqJSON(t, req) != reqJSON(t, req2) {
+					t.Fatalf("request frame not canonical")
+				}
+			}
+		}
+		_, _ = decodeYieldPassRequest(data) // exercised for panics only
+	})
+}

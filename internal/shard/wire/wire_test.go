@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendU8(buf, 0xAB)
+	buf = AppendU32(buf, 0xDEADBEEF)
+	buf = AppendU64(buf, 0x0123456789ABCDEF)
+	buf = AppendF64(buf, -math.Pi)
+	buf = AppendF64(buf, math.Inf(1))
+	buf = AppendInt(buf, -42)
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendBytes(buf, []byte("payload"))
+	buf = AppendString(buf, "spec-key")
+	buf = AppendF64s(buf, []float64{1.5, -0.25, 0})
+	buf = AppendInts(buf, []int{7, -7, 1 << 40})
+
+	r := NewReader(buf)
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("U8 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := r.F64(); got != -math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, 1) {
+		t.Fatalf("F64 inf = %v", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatalf("Bool round trip broke")
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if got := r.Bytes(); string(got) != "spec-key" {
+		t.Fatalf("String bytes = %q", got)
+	}
+	fs := r.F64s(nil)
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -0.25 || fs[2] != 0 {
+		t.Fatalf("F64s = %v", fs)
+	}
+	is := r.Ints(nil)
+	if len(is) != 3 || is[0] != 7 || is[1] != -7 || is[2] != 1<<40 {
+		t.Fatalf("Ints = %v", is)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestFloatBitPatternSurvives(t *testing.T) {
+	// The byte-identity contract rides on float64 bit patterns surviving
+	// the codec exactly — including NaN payloads and signed zero.
+	vals := []uint64{
+		math.Float64bits(0.1),
+		math.Float64bits(math.Copysign(0, -1)),
+		0x7FF8_0000_0000_0001, // NaN with payload
+		math.Float64bits(math.SmallestNonzeroFloat64),
+	}
+	for _, bits := range vals {
+		buf := AppendF64(nil, math.Float64frombits(bits))
+		r := NewReader(buf)
+		if got := math.Float64bits(r.F64()); got != bits {
+			t.Fatalf("bits %#x round-tripped to %#x", bits, got)
+		}
+	}
+}
+
+func TestReaderLatchesFirstError(t *testing.T) {
+	r := NewReader([]byte{1, 2}) // too short for a u32
+	if got := r.U32(); got != 0 {
+		t.Fatalf("U32 on short input = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Every subsequent read keeps returning zero with the same error.
+	if r.U64() != 0 || r.F64() != 0 || r.Bytes() != nil {
+		t.Fatalf("reads after a latched error must return zero values")
+	}
+	if !errors.Is(r.Done(), ErrTruncated) {
+		t.Fatalf("Done = %v, want the latched ErrTruncated", r.Done())
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	buf := AppendU32(nil, 9)
+	buf = append(buf, 0xFF) // stray byte after the frame
+	r := NewReader(buf)
+	if r.U32() != 9 {
+		t.Fatal("U32 decode broke")
+	}
+	if !errors.Is(r.Done(), ErrTrailing) {
+		t.Fatalf("Done = %v, want ErrTrailing", r.Done())
+	}
+}
+
+func TestReaderRejectsBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	if r.Bool() {
+		t.Fatal("bad bool byte decoded as true")
+	}
+	if !errors.Is(r.Err(), ErrValue) {
+		t.Fatalf("Err = %v, want ErrValue", r.Err())
+	}
+}
+
+func TestReaderRejectsOverlongLength(t *testing.T) {
+	buf := AppendU32(nil, 1<<30) // length prefix far beyond the input
+	r := NewReader(buf)
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("Bytes = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrLength) {
+		t.Fatalf("Err = %v, want ErrLength", r.Err())
+	}
+}
+
+func TestReaderRejectsAbsurdCount(t *testing.T) {
+	buf := AppendU32(nil, 1<<31-1) // count that cannot fit any elements
+	r := NewReader(buf)
+	if got := r.Ints(nil); got != nil {
+		t.Fatalf("Ints = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrCount) {
+		t.Fatalf("Err = %v, want ErrCount", r.Err())
+	}
+}
+
+func TestReaderVersion(t *testing.T) {
+	r := NewReader(AppendU8(nil, Version))
+	r.Version(Version)
+	if err := r.Done(); err != nil {
+		t.Fatalf("matching version: %v", err)
+	}
+	r = NewReader(AppendU8(nil, Version+1))
+	r.Version(Version)
+	if !errors.Is(r.Err(), ErrVersion) {
+		t.Fatalf("Err = %v, want ErrVersion", r.Err())
+	}
+}
+
+func TestBytesAliasesInput(t *testing.T) {
+	buf := AppendBytes(nil, []byte("abc"))
+	r := NewReader(buf)
+	got := r.Bytes()
+	if &got[0] != &buf[4] {
+		t.Fatal("Bytes must alias the input, not copy")
+	}
+}
+
+func TestAppendPrimitivesDoNotAllocateWarm(t *testing.T) {
+	buf := make([]byte, 0, 1024)
+	f64s := []float64{1, 2, 3}
+	ints := []int{4, 5, 6}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		buf = AppendU8(buf, 1)
+		buf = AppendU32(buf, 2)
+		buf = AppendU64(buf, 3)
+		buf = AppendF64(buf, 4)
+		buf = AppendInt(buf, 5)
+		buf = AppendBool(buf, true)
+		buf = AppendF64s(buf, f64s)
+		buf = AppendInts(buf, ints)
+		r := NewReader(buf)
+		r.U8()
+		r.U32()
+		r.U64()
+		r.F64()
+		r.Int()
+		r.Bool()
+		f64s = r.F64s(f64s[:0])
+		ints = r.Ints(ints[:0])
+		if err := r.Done(); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm encode+decode allocated %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,104 @@
+package ssta
+
+import (
+	"fmt"
+	"slices"
+)
+
+// PairSnapshot is a portable image of a prepared analyzer's pair arena:
+// the exact float64 bit patterns PairDelays computed, laid out as flat
+// parallel arrays so it serializes without reflection. Restoring it onto
+// a freshly built Analyzer for the same circuit and variation model
+// reproduces the prepared state byte-for-byte while skipping the
+// propagation entirely — the basis of the persistent prepared-bench
+// store in internal/serve.
+//
+// The skeleton columns (Launch, Capture) are carried redundantly: the
+// pair set is a pure function of connectivity, so a restore onto the
+// right circuit matches them trivially, and a restore onto the wrong
+// circuit (hash collision, stale store entry) is rejected instead of
+// silently misassigning delays.
+type PairSnapshot struct {
+	// Dim is the global variation-source dimension the Sens rows use.
+	Dim int
+	// Launch and Capture are the per-pair FF ids, in arena order.
+	Launch  []int32
+	Capture []int32
+	// MaxMean/MaxRand/MinMean/MinRand are the per-pair canonical scalars.
+	MaxMean []float64
+	MaxRand []float64
+	MinMean []float64
+	MinRand []float64
+	// Sens is the pair sensitivity slab: pair i's Max.Sens occupies
+	// [2*i*Dim, 2*i*Dim+Dim) and its Min.Sens the following Dim entries —
+	// the exact layout of the analyzer arena.
+	Sens []float64
+}
+
+// SnapshotPairs captures the prepared pair arena. The snapshot owns its
+// storage (nothing aliases the analyzer), so it stays valid across later
+// propagations.
+func (a *Analyzer) SnapshotPairs() (*PairSnapshot, error) {
+	if !a.prepared {
+		return nil, fmt.Errorf("ssta: snapshot of an unprepared analyzer (no PairDelays yet)")
+	}
+	np := len(a.pairs)
+	s := &PairSnapshot{
+		Dim:     a.dim,
+		Launch:  make([]int32, np),
+		Capture: make([]int32, np),
+		MaxMean: make([]float64, np),
+		MaxRand: make([]float64, np),
+		MinMean: make([]float64, np),
+		MinRand: make([]float64, np),
+		Sens:    slices.Clone(a.pairSens),
+	}
+	for i := range a.pairs {
+		p := &a.pairs[i]
+		s.Launch[i] = int32(p.Launch)
+		s.Capture[i] = int32(p.Capture)
+		s.MaxMean[i] = p.Max.Mean
+		s.MaxRand[i] = p.Max.Rand
+		s.MinMean[i] = p.Min.Mean
+		s.MinRand[i] = p.Min.Rand
+	}
+	return s, nil
+}
+
+// RestorePairs fills the analyzer's pair arena from a snapshot taken on
+// an identically built analyzer, marking it prepared. Every structural
+// property is verified against the freshly built skeleton — dimension,
+// pair count, per-pair (launch, capture), slab length — so a snapshot
+// from a different circuit or model shape fails loudly rather than
+// installing delays on the wrong arcs. The returned pairs are the same
+// arena view PairDelays returns.
+func (a *Analyzer) RestorePairs(s *PairSnapshot) ([]Pair, error) {
+	np := len(a.pairs)
+	if s.Dim != a.dim {
+		return nil, fmt.Errorf("ssta: snapshot dim %d, analyzer dim %d", s.Dim, a.dim)
+	}
+	if len(s.Launch) != np || len(s.Capture) != np ||
+		len(s.MaxMean) != np || len(s.MaxRand) != np ||
+		len(s.MinMean) != np || len(s.MinRand) != np {
+		return nil, fmt.Errorf("ssta: snapshot has %d pairs, skeleton has %d", len(s.Launch), np)
+	}
+	if len(s.Sens) != len(a.pairSens) {
+		return nil, fmt.Errorf("ssta: snapshot sens slab %d, arena %d", len(s.Sens), len(a.pairSens))
+	}
+	for i := range a.pairs {
+		if int(s.Launch[i]) != a.pairs[i].Launch || int(s.Capture[i]) != a.pairs[i].Capture {
+			return nil, fmt.Errorf("ssta: snapshot pair %d is %d→%d, skeleton has %d→%d",
+				i, s.Launch[i], s.Capture[i], a.pairs[i].Launch, a.pairs[i].Capture)
+		}
+	}
+	copy(a.pairSens, s.Sens)
+	for i := range a.pairs {
+		p := &a.pairs[i]
+		p.Max.Mean = s.MaxMean[i]
+		p.Max.Rand = s.MaxRand[i]
+		p.Min.Mean = s.MinMean[i]
+		p.Min.Rand = s.MinRand[i]
+	}
+	a.prepared = true
+	return a.pairs, nil
+}

@@ -1,0 +1,118 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/gen"
+	"repro/internal/variation"
+)
+
+// TestSnapshotRestoreByteIdentical: restoring a snapshot onto a freshly
+// built analyzer reproduces the propagated pair arena bit-for-bit — the
+// equivalence the persistent prepared store rests on.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	c, err := gen.Generate(gen.Config{NumFFs: 16, NumGates: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.PairDelays()
+	snap, err := a.SnapshotPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := New(c, variation.NewModel(cells.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RestorePairs(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := &want[i], &got[i]
+		if g.Launch != w.Launch || g.Capture != w.Capture {
+			t.Fatalf("pair %d: %d→%d, want %d→%d", i, g.Launch, g.Capture, w.Launch, w.Capture)
+		}
+		if math.Float64bits(g.Max.Mean) != math.Float64bits(w.Max.Mean) ||
+			math.Float64bits(g.Max.Rand) != math.Float64bits(w.Max.Rand) ||
+			math.Float64bits(g.Min.Mean) != math.Float64bits(w.Min.Mean) ||
+			math.Float64bits(g.Min.Rand) != math.Float64bits(w.Min.Rand) {
+			t.Fatalf("pair %d scalars diverge: got %+v want %+v", i, g, w)
+		}
+		for d := range w.Max.Sens {
+			if math.Float64bits(g.Max.Sens[d]) != math.Float64bits(w.Max.Sens[d]) ||
+				math.Float64bits(g.Min.Sens[d]) != math.Float64bits(w.Min.Sens[d]) {
+				t.Fatalf("pair %d sens[%d] diverges", i, d)
+			}
+		}
+	}
+	if !b.prepared {
+		t.Fatal("restored analyzer not marked prepared")
+	}
+	// A restored analyzer must still support incremental what-ifs: a no-op
+	// repropagation reproduces the same arena.
+	b.RepropagateCone(c.FFs()[0])
+	if math.Float64bits(got[0].Max.Mean) != math.Float64bits(want[0].Max.Mean) {
+		t.Fatal("repropagation on restored analyzer diverges")
+	}
+}
+
+// TestSnapshotRejectsWrongShape: a snapshot from a different circuit (or
+// a corrupted one) must be rejected, never silently installed.
+func TestSnapshotRejectsWrongShape(t *testing.T) {
+	build := func(cfg gen.Config) *Analyzer {
+		c, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(c, variation.NewModel(cells.Default()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a := build(gen.Config{NumFFs: 16, NumGates: 120, Seed: 2})
+	a.PairDelays()
+	snap, err := a.SnapshotPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := build(gen.Config{NumFFs: 8, NumGates: 40, Seed: 1})
+	if _, err := other.RestorePairs(snap); err == nil {
+		t.Fatal("snapshot restored onto a different circuit")
+	}
+
+	same := build(gen.Config{NumFFs: 16, NumGates: 120, Seed: 2})
+	bad := *snap
+	bad.Dim = snap.Dim + 1
+	if _, err := same.RestorePairs(&bad); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	bad = *snap
+	bad.Sens = snap.Sens[:len(snap.Sens)-1]
+	if _, err := same.RestorePairs(&bad); err == nil {
+		t.Fatal("short sens slab accepted")
+	}
+	bad = *snap
+	bad.Capture = append([]int32(nil), snap.Capture...)
+	bad.Capture[0]++
+	if _, err := same.RestorePairs(&bad); err == nil {
+		t.Fatal("mismatched arc accepted")
+	}
+
+	unprepared := build(gen.Config{NumFFs: 8, NumGates: 40, Seed: 1})
+	if _, err := unprepared.SnapshotPairs(); err == nil {
+		t.Fatal("snapshot of unprepared analyzer accepted")
+	}
+}

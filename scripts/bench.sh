@@ -17,8 +17,8 @@ out="${1:-BENCH_$(date -u +%Y%m%d).json}"
 # jittery for the 30 % ns/op gate. They run informationally below (and
 # ci.sh smokes them for one iteration); TestWarmSpeedup asserts the ≥10×
 # warm ratio. Disable with BENCH_SERVE=off.
-pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|SSTAPrepareCold|SSTARepropagateCone|ChipRealization|YieldSweep|YieldPerPeriod|AdaptiveYield}"
-serve_pattern="${BENCH_SERVE_PATTERN:-ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep}"
+pattern="${BENCH_PATTERN:-LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|SSTAPrepareCold|SSTARepropagateCone|ChipRealization|YieldSweep|YieldPerPeriod|AdaptiveYield|ShardWire}"
+serve_pattern="${BENCH_SERVE_PATTERN:-ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep|ShardPassCodec}"
 benchtime="${BENCH_TIME:-1s}"
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . |

@@ -14,6 +14,9 @@
 #   fuzz    solver-equivalence fuzzing (implies CI_FUZZ=on)
 #   chaos   coordinator + 2 workers with one chaos-wrapped transport: the
 #           -check probe must stay byte-identical under a fixed fault seed
+#   store   persistent prepared-bench store smoke: prepare with -store, kill
+#           the daemon, restart over the same directory, and require -check
+#           to answer byte-identically from store hits (no re-prepare)
 # The stages exist so the GitHub workflow can fan them out as parallel jobs
 # while local runs keep the single-command gate.
 #
@@ -25,9 +28,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-all | verify | lint | race | fuzz | chaos) ;;
+all | verify | lint | race | fuzz | chaos | store) ;;
 *)
-    echo "usage: scripts/ci.sh [all|verify|lint|race|fuzz|chaos]" >&2
+    echo "usage: scripts/ci.sh [all|verify|lint|race|fuzz|chaos|store]" >&2
     exit 2
     ;;
 esac
@@ -173,14 +176,29 @@ if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
     start_daemon coordinator -workers "$w1,$w2" -shards 6
     "$smokedir/bufinsd" -check "$daemon_url" -expect-shards -expect-waves
 
+    echo "== codec matrix (json / binary / mixed shard framing) =="
+    # One coordinator per wire framing over the same worker pair. Each run
+    # independently proves byte-identity against the in-process flow; on top
+    # of that the -check outputs must agree byte-for-byte across codecs once
+    # the counter echoes (scheduling-dependent retry/hedge tallies) are
+    # filtered out — the codec is pure transport, invisible in every result.
+    for c in json binary mixed; do
+        start_daemon "coord-$c" -workers "$w1,$w2" -shards 6 -codec "$c"
+        "$smokedir/bufinsd" -check "$daemon_url" -expect-shards -expect-waves |
+            tee "$smokedir/check-$c.out" |
+            grep -v '^bufinsd check: bufinsd_' >"$smokedir/check-$c.filtered"
+    done
+    diff "$smokedir/check-json.filtered" "$smokedir/check-binary.filtered"
+    diff "$smokedir/check-binary.filtered" "$smokedir/check-mixed.filtered"
+
     cleanup_smoke
     trap - EXIT
 
     echo "== bench smoke (substrates, 1 iteration) =="
     go test -run '^$' \
-        -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|SSTAPrepareCold|SSTARepropagateCone|ChipRealization|YieldSweep|AdaptiveYield' \
+        -bench 'LPSolve|MILPMinCount|SampleSolve|DiffconFeasibility|SSTAPairDelays|SSTAPrepareCold|SSTARepropagateCone|ChipRealization|YieldSweep|AdaptiveYield|ShardWire' \
         -benchtime=1x .
-    go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep' -benchtime=1x ./internal/serve
+    go test -run '^$' -bench 'ServeWarmQuery|ServeColdPrepare|ShardedYieldSweep|ShardPassCodec' -benchtime=1x ./internal/serve
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "chaos" ]; then
@@ -201,6 +219,26 @@ if [ "$stage" = "all" ] || [ "$stage" = "chaos" ]; then
         -chaos-faults drop,delay,500,429,reset,truncate,corrupt \
         -range-timeout 1s -retries 8
     "$smokedir/bufinsd" -check "$daemon_url" -expect-shards
+
+    echo "== chaos smoke (truncate-mid-frame, binary codec) =="
+    # Truncation-only schedule against the default binary framing: a short
+    # frame must be classified corrupt by the wire decoder (counted, then
+    # retried on a clean attempt) — never a panic, never a partial batch
+    # merged. The echoed counters prove truncation actually fired and that
+    # the decoder classified at least one short frame as corrupt.
+    start_daemon trunc-worker1 -worker
+    w1="$daemon_url"
+    start_daemon trunc-worker2 -worker
+    w2="$daemon_url"
+    start_daemon trunc-coordinator -workers "$w1,$w2" -shards 6 \
+        -chaos-worker "$w2" -chaos-seed 7 -chaos-rate 0.35 \
+        -chaos-faults truncate -range-timeout 1s -retries 8
+    "$smokedir/bufinsd" -check "$daemon_url" -expect-shards | tee "$smokedir/trunc-check.out"
+    grep -q 'bufinsd_chaos_injected_total{kind="truncate"} [1-9]' "$smokedir/trunc-check.out" ||
+        { echo "chaos schedule never truncated a frame" >&2; exit 1; }
+    grep -Eq 'bufinsd_shard_corrupt_total [1-9]' "$smokedir/trunc-check.out" ||
+        { echo "no truncated frame classified corrupt" >&2; exit 1; }
+
     cleanup_smoke
     trap - EXIT
 fi
@@ -210,15 +248,44 @@ if [ "$stage" = "chaos" ]; then
     exit 0
 fi
 
+if [ "$stage" = "all" ] || [ "$stage" = "store" ]; then
+    echo "== store smoke (prepare, kill, restart, re-attach) =="
+    # First life: a daemon with -store persists the prepared bench on the
+    # probe's first prepare. The directory outlives the process: after a
+    # kill, a second life over the same -store must answer -check
+    # byte-identically from a store hit with zero misses (-expect-store),
+    # proving the restart re-attached instead of re-running the SSTA.
+    setup_smoke
+    storedir="$smokedir/store"
+    start_daemon store-first -store "$storedir"
+    "$smokedir/bufinsd" -check "$daemon_url"
+    # shellcheck disable=SC2086
+    kill $smokepids 2>/dev/null || true
+    # shellcheck disable=SC2086
+    wait $smokepids 2>/dev/null || true
+    smokepids=""
+    start_daemon store-second -store "$storedir"
+    "$smokedir/bufinsd" -check "$daemon_url" -expect-store
+    cleanup_smoke
+    trap - EXIT
+fi
+
+if [ "$stage" = "store" ]; then
+    echo "CI OK (store)"
+    exit 0
+fi
+
 if [ "$stage" = "all" ] || [ "$stage" = "fuzz" ]; then
-    echo "== fuzz (solver equivalence, short budget) =="
+    echo "== fuzz (solver equivalence + wire round-trip, short budget) =="
     # Cross-check the warm-start solver paths against cold solves and the
-    # brute-force oracle under the fuzzer for a short budget. Off by default
+    # brute-force oracle, and hammer the shard wire decoders with arbitrary
+    # frames (must reject or round-trip, never panic). Off by default
     # (it adds ~2x CI_FUZZ_TIME of wall time); the CI workflow enables it.
     if [ "${CI_FUZZ:-off}" = "on" ]; then
         fuzztime="${CI_FUZZ_TIME:-10s}"
         go test -run '^$' -fuzz 'FuzzSolveFromBasis' -fuzztime "$fuzztime" ./internal/lp
         go test -run '^$' -fuzz 'FuzzSolveArenaWarm' -fuzztime "$fuzztime" ./internal/milp
+        go test -run '^$' -fuzz 'FuzzWireRoundTrip' -fuzztime "$fuzztime" ./internal/serve
     else
         echo "skipped (CI_FUZZ=off)"
     fi
